@@ -1,0 +1,53 @@
+// Command benchhybrid reproduces Figure 7: per-step execution time and
+// speedup of the kernel-level and pattern-driven hybrid designs against the
+// original single-core-per-process code, across the four paper meshes, on
+// the simulated CPU+Xeon-Phi platform. With -real it also measures real Go
+// wall-clock per step for every execution mode on an actually built mesh.
+//
+// Usage:
+//
+//	benchhybrid
+//	benchhybrid -real -level 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	mpas "repro"
+	"repro/internal/mesh"
+	"repro/internal/results"
+)
+
+func main() {
+	real := flag.Bool("real", false, "also measure real wall-clock on a built mesh")
+	level := flag.Int("level", 5, "mesh level for -real")
+	steps := flag.Int("steps", 5, "steps to average for -real")
+	flag.Parse()
+
+	mpas.Figure7().WriteText(os.Stdout)
+
+	if !*real {
+		return
+	}
+	fmt.Println()
+	msh, err := mesh.Build(*level, mesh.Options{LloydIterations: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	t := results.NewTable(
+		fmt.Sprintf("Real Go wall-clock per step (%d cells, %d steps averaged)", msh.NCells, *steps),
+		"Mode", "ms/step")
+	for _, mode := range []mpas.Mode{mpas.Serial, mpas.Threaded, mpas.KernelLevel, mpas.PatternDriven} {
+		m, err := mpas.New(mpas.Options{Mesh: msh, TestCase: mpas.TC5, Mode: mode, AdjustableFraction: 0.3})
+		if err != nil {
+			log.Fatal(err)
+		}
+		d := mpas.MeasuredStep(m, *steps)
+		m.Close()
+		t.AddRow(mode.String(), float64(d.Microseconds())/1000)
+	}
+	t.WriteText(os.Stdout)
+}

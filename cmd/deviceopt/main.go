@@ -1,0 +1,23 @@
+// Command deviceopt reproduces Figure 6: the cumulative optimization ladder
+// on the (simulated) Intel Xeon Phi — serial baseline, naive OpenMP,
+// regularity-aware refactoring, manual SIMD, streaming stores, and the
+// remaining prefetch/2MB/fusion optimizations.
+//
+// Usage:
+//
+//	deviceopt              # 30-km mesh (655362 cells), as in the paper
+//	deviceopt -cells 40962
+package main
+
+import (
+	"flag"
+	"os"
+
+	mpas "repro"
+)
+
+func main() {
+	cells := flag.Int("cells", 655362, "mesh size (paper Figure 6 uses the 30-km mesh)")
+	flag.Parse()
+	mpas.Figure6(*cells).WriteText(os.Stdout)
+}

@@ -1,0 +1,82 @@
+// Command meshgen builds quasi-uniform SCVT meshes, prints their statistics
+// and reproduces Table III of the paper.
+//
+// Usage:
+//
+//	meshgen -level 5 -lloyd 2      # build one mesh and validate it
+//	meshgen -table3 -maxbuild 6    # Table III, building levels <= 6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	mpas "repro"
+	"repro/internal/mesh"
+)
+
+func main() {
+	level := flag.Int("level", 4, "icosahedral subdivision level")
+	lloyd := flag.Int("lloyd", 2, "Lloyd relaxation sweeps")
+	table3 := flag.Bool("table3", false, "print Table III instead of building one mesh")
+	maxBuild := flag.Int("maxbuild", 5, "with -table3: build meshes up to this level for measured stats")
+	validate := flag.Bool("validate", true, "run the full mesh invariant validation")
+	save := flag.String("save", "", "write the built mesh to this file")
+	load := flag.String("load", "", "load a mesh from this file instead of building")
+	flag.Parse()
+
+	if *table3 {
+		mpas.Table3(*maxBuild).WriteText(os.Stdout)
+		return
+	}
+
+	start := time.Now()
+	var m *mesh.Mesh
+	var err error
+	if *load != "" {
+		m, err = mesh.LoadFile(*load)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("loaded %s in %v\n", m, time.Since(start))
+	} else {
+		m, err = mesh.Build(*level, mesh.Options{LloydIterations: *lloyd})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("built %s in %v\n", m, time.Since(start))
+	}
+	if *save != "" {
+		if err := m.SaveFile(*save); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("saved to %s\n", *save)
+	}
+
+	s := m.ComputeStats()
+	fmt.Printf("resolution: %.1f km mean cell spacing (min %.1f, max %.1f)\n",
+		s.ResolutionKm, s.MinDc/1000, s.MaxDc/1000)
+	fmt.Printf("cell areas: %.3e .. %.3e m^2\n", s.MinArea, s.MaxArea)
+	pent := 0
+	for c := 0; c < m.NCells; c++ {
+		if m.NEdgesOnCell[c] == 5 {
+			pent++
+		}
+	}
+	fmt.Printf("cells: %d hexagons, %d pentagons\n", m.NCells-pent, pent)
+
+	q := m.ComputeQuality()
+	fmt.Printf("quality: orthogonality max %.4f rad (mean %.5f), off-centering %.3f, area ratio %.2f, centroid drift %.3f\n",
+		q.MaxOrthogonality, q.MeanOrthogonality, q.MaxOffCentering, q.AreaRatio, q.MaxCentroidDrift)
+
+	if *validate {
+		start = time.Now()
+		if err := m.Validate(); err != nil {
+			log.Fatalf("mesh INVALID: %v", err)
+		}
+		fmt.Printf("all mesh invariants hold (checked in %v)\n", time.Since(start))
+	}
+}

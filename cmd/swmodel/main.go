@@ -1,0 +1,129 @@
+// Command swmodel runs the MPAS shallow-water model: pick a Williamson test
+// case, a mesh resolution and an execution design, and integrate forward
+// while reporting conservation diagnostics.
+//
+// Usage:
+//
+//	swmodel -level 5 -tc 5 -days 1 -mode pattern -report 50
+//	swmodel -info          # print the simulated platform (Table II)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	mpas "repro"
+	"repro/internal/sw"
+	"repro/internal/testcases"
+)
+
+func main() {
+	level := flag.Int("level", 4, "icosahedral subdivision level (cells = 10*4^n+2)")
+	tc := flag.Int("tc", 5, "test case: 1 (advection), 2, 5, 6 (Williamson), 8 (Galewsky jet)")
+	days := flag.Float64("days", 1, "simulated days to run")
+	mode := flag.String("mode", "serial", "execution design: serial|threaded|kernel|pattern")
+	workers := flag.Int("workers", 0, "host worker count (0 = GOMAXPROCS)")
+	devWorkers := flag.Int("dev-workers", 0, "device worker count (0 = GOMAXPROCS)")
+	report := flag.Int("report", 100, "report invariants every N steps")
+	highOrder := flag.Bool("high-order", false, "enable C1+D2 high-order thickness interpolation")
+	info := flag.Bool("info", false, "print platform and pattern info and exit")
+	profile := flag.Bool("profile", false, "profile real per-pattern wall time and print the report")
+	history := flag.String("history", "", "write an invariant time series CSV to this file")
+	flag.Parse()
+
+	if *info {
+		mpas.Table2().WriteText(os.Stdout)
+		fmt.Println()
+		mpas.Table1().WriteText(os.Stdout)
+		return
+	}
+
+	modes := map[string]mpas.Mode{
+		"serial": mpas.Serial, "threaded": mpas.Threaded,
+		"kernel": mpas.KernelLevel, "pattern": mpas.PatternDriven,
+	}
+	md, ok := modes[*mode]
+	if !ok {
+		log.Fatalf("unknown mode %q", *mode)
+	}
+
+	model, err := mpas.New(mpas.Options{
+		Level:              *level,
+		TestCase:           mpas.TestCase(*tc),
+		Mode:               md,
+		Workers:            *workers,
+		DeviceWorkers:      *devWorkers,
+		AdjustableFraction: -1,
+		HighOrderThickness: *highOrder,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer model.Close()
+
+	var prof *sw.ProfilingRunner
+	if *profile {
+		prof = sw.NewProfilingRunner(model.Solver.Runner)
+		model.Solver.Runner = prof
+	}
+	var hist sw.History
+
+	steps := int(*days * testcases.Day / model.Config.Dt)
+	fmt.Printf("%s\n", model.Mesh)
+	fmt.Printf("mode=%s dt=%.1fs steps=%d (%.2f days)\n", md, model.Config.Dt, steps, *days)
+
+	inv0 := model.Invariants()
+	fmt.Printf("initial: mass=%.6e energy=%.6e enstrophy=%.6e\n",
+		inv0.Mass, inv0.TotalEnergy, inv0.PotentialEnstrophy)
+
+	start := time.Now()
+	for done := 0; done < steps; {
+		n := *report
+		if done+n > steps {
+			n = steps - done
+		}
+		if *history != "" {
+			model.Solver.RunWithHistory(n, *report, &hist)
+		} else {
+			model.Run(n)
+		}
+		done += n
+		inv := model.Invariants()
+		fmt.Printf("step %6d t=%7.2fh  dMass=%+.2e dE=%+.2e dZ=%+.2e  h=[%.1f,%.1f] maxU=%.2f\n",
+			done, model.Time()/3600,
+			(inv.Mass-inv0.Mass)/inv0.Mass,
+			(inv.TotalEnergy-inv0.TotalEnergy)/inv0.TotalEnergy,
+			(inv.PotentialEnstrophy-inv0.PotentialEnstrophy)/inv0.PotentialEnstrophy,
+			inv.MinH, inv.MaxH, inv.MaxSpeed)
+	}
+	wall := time.Since(start)
+	fmt.Printf("wall time: %v (%.1f ms/step real", wall, wall.Seconds()*1000/float64(steps))
+	if t := model.SimulatedPlatformTime(); t > 0 {
+		fmt.Printf(", %.1f ms/step on simulated CPU+Phi node", t*1000/float64(steps))
+	}
+	fmt.Println(")")
+
+	if prof != nil {
+		fmt.Println("\nper-pattern profile (real wall time):")
+		fmt.Printf("  %-4s %-28s %8s %10s %7s\n", "ID", "kernel", "calls", "total", "share")
+		for _, e := range prof.Report() {
+			fmt.Printf("  %-4s %-28s %8d %10v %6.1f%%\n", e.ID, e.Kernel, e.Calls, e.Total.Round(time.Microsecond), e.Share*100)
+		}
+	}
+	if *history != "" {
+		f, err := os.Create(*history)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := hist.WriteCSV(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d history samples to %s\n", hist.Len(), *history)
+	}
+}

@@ -1,0 +1,83 @@
+// Distributed runs the shallow-water model across several simulated MPI
+// ranks: the sphere is decomposed by recursive bisection, each rank owns a
+// contiguous patch plus a three-layer halo, and halo exchanges fire at every
+// RK substage — the communication structure of the paper's scaling
+// experiments (Figures 8 and 9). The run verifies that the distributed
+// trajectory matches a serial reference bitwise on owned cells.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"repro/internal/mesh"
+	"repro/internal/mpisim"
+	"repro/internal/sw"
+	"repro/internal/testcases"
+)
+
+func main() {
+	const ranks = 4
+	const steps = 10
+
+	msh, err := mesh.Build(4, mesh.Options{LloydIterations: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := sw.DefaultConfig(msh)
+
+	// Serial reference.
+	ref, err := sw.NewSolver(msh, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	testcases.SetupTC5(ref)
+	ref.Run(steps)
+
+	// Decompose and run.
+	d, err := mpisim.Decompose(msh, ranks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s decomposed for %d ranks:\n", msh, ranks)
+	for r, l := range d.Locals {
+		fmt.Printf("  rank %d: %5d owned cells, %4d halo cells, halo message %5.1f KB, peers %v\n",
+			r, l.NOwnedCells, l.M.NCells-l.NOwnedCells,
+			float64(d.Plans[r].HaloBytes())/1024, d.Plans[r].Peers)
+	}
+
+	var mu sync.Mutex
+	matches := 0
+	world := mpisim.NewWorld(ranks)
+	world.Run(func(c *mpisim.Comm) {
+		rs, err := mpisim.NewRankSolver(c, d, cfg, testcases.SetupTC5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rs.Run(steps)
+
+		mass := rs.GlobalMass()
+		if c.Rank == 0 {
+			fmt.Printf("\nafter %d steps: global mass %.6e kg/m (allreduced)\n", steps, mass)
+		}
+
+		ok := true
+		for lc := 0; lc < rs.Local.NOwnedCells; lc++ {
+			if rs.S.State.H[lc] != ref.State.H[rs.Local.CellL2G[lc]] {
+				ok = false
+				break
+			}
+		}
+		mu.Lock()
+		if ok {
+			matches++
+		}
+		mu.Unlock()
+	})
+
+	fmt.Printf("%d/%d ranks bitwise-match the serial reference on owned cells\n", matches, ranks)
+	if matches != ranks {
+		log.Fatal("distributed run diverged from serial")
+	}
+}

@@ -1,0 +1,65 @@
+// Tracers advects passive tracers with the shallow-water flow in
+// conservative (h*q) form, demonstrating the two discrete guarantees the
+// scheme provides: tracer mass is conserved to roundoff, and an initially
+// uniform tracer stays uniform to the LAST BIT, because its flux divergence
+// is computed by the same sums as the thickness tendency.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/mesh"
+	"repro/internal/sw"
+	"repro/internal/testcases"
+)
+
+func main() {
+	m, err := mesh.Build(4, mesh.Options{LloydIterations: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := sw.NewSolver(m, sw.DefaultConfig(m))
+	if err != nil {
+		log.Fatal(err)
+	}
+	testcases.SetupTC5(s)
+
+	ones := make([]float64, m.NCells)
+	blob := make([]float64, m.NCells)
+	for c := range ones {
+		ones[c] = 1
+		d := math.Hypot(m.LatCell[c]-0.5, m.LonCell[c]-1.0)
+		blob[c] = math.Exp(-d * d / 0.1)
+	}
+	uniform := s.AddTracer("uniform", ones)
+	plume := s.AddTracer("plume", blob)
+	mass0 := s.TracerMass(plume)
+
+	fmt.Println("advecting two tracers through 2 days of TC5 flow...")
+	s.Run(int(2 * testcases.Day / s.Cfg.Dt))
+
+	q := s.Concentration(uniform, nil)
+	worst := 0.0
+	for _, v := range q {
+		if d := math.Abs(v - 1); d > worst {
+			worst = d
+		}
+	}
+	fmt.Printf("uniform tracer max deviation from 1: %g (exact constancy)\n", worst)
+
+	mass1 := s.TracerMass(plume)
+	fmt.Printf("plume tracer mass drift: %.2e (conservative transport)\n",
+		(mass1-mass0)/mass0)
+
+	qp := s.Concentration(plume, nil)
+	maxQ, argmax := 0.0, 0
+	for c, v := range qp {
+		if v > maxQ {
+			maxQ, argmax = v, c
+		}
+	}
+	fmt.Printf("plume peak now %.3f at (lat %.2f, lon %.2f) — advected east by the flow\n",
+		maxQ, m.LatCell[argmax], m.LonCell[argmax])
+}

@@ -1,0 +1,99 @@
+// Varres demonstrates variable-resolution SCVT meshes — MPAS's defining
+// capability and the natural extension of the paper's uniform-mesh setup: a
+// density function concentrates cells over the TC5 mountain, and the run is
+// compared on a common lat-lon raster against a uniform mesh of the same
+// cell count and a finer reference mesh.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/mesh"
+	"repro/internal/raster"
+	"repro/internal/sw"
+	"repro/internal/testcases"
+)
+
+func main() {
+	center := geom.FromLatLon(testcases.TC5MountainCenterLat, testcases.TC5MountainCenterLon)
+	density := func(p geom.Vec3) float64 {
+		d := geom.ArcLength(p, center)
+		t := 0.5 * (1 + math.Tanh((0.5-d)/0.25))
+		return 1 + 15*t
+	}
+
+	fmt.Println("building meshes (uniform L4, variable-resolution L4, reference L5)...")
+	uniform := mesh.MustBuild(4, mesh.Options{LloydIterations: 2})
+	varres := mesh.MustBuild(4, mesh.Options{
+		LloydIterations: 120, LloydRelaxation: 1.5, Density: density,
+	})
+	reference := mesh.MustBuild(5, mesh.Options{LloydIterations: 2})
+
+	stat := func(m *mesh.Mesh) (nearKm, globalKm float64) {
+		var sum float64
+		var n int
+		for e := 0; e < m.NEdges; e++ {
+			if geom.ArcLength(m.XEdge[e], center) < 0.3 {
+				sum += m.DcEdge[e]
+				n++
+			}
+		}
+		return sum / float64(n) / 1000, m.ComputeStats().ResolutionKm
+	}
+	un, ug := stat(uniform)
+	vn, vg := stat(varres)
+	fmt.Printf("  uniform : %.0f km near mountain, %.0f km global mean\n", un, ug)
+	fmt.Printf("  varres  : %.0f km near mountain, %.0f km global mean (same %d cells)\n\n",
+		vn, vg, varres.NCells)
+
+	const days = 1.0
+	run := func(m *mesh.Mesh) *sw.Solver {
+		s, err := sw.NewSolver(m, sw.DefaultConfig(m))
+		if err != nil {
+			log.Fatal(err)
+		}
+		testcases.SetupTC5(s)
+		s.Run(int(days * testcases.Day / s.Cfg.Dt))
+		return s
+	}
+	fmt.Printf("running TC5 for %.0f day on all three meshes...\n", days)
+	sU, sV, sR := run(uniform), run(varres), run(reference)
+
+	// Compare total height on a common raster, inside the mountain window.
+	const nlat, nlon = 36, 72
+	gU := raster.FromCellField(uniform, testcases.TotalHeight(sU), nlat, nlon)
+	gV := raster.FromCellField(varres, testcases.TotalHeight(sV), nlat, nlon)
+	gR := raster.FromCellField(reference, testcases.TotalHeight(sR), nlat, nlon)
+	for _, g := range []*raster.Grid{gU, gV, gR} {
+		g.FillEmpty()
+	}
+	rmse := func(g *raster.Grid) float64 {
+		sum, n := 0.0, 0
+		for i := 0; i < nlat; i++ {
+			for j := 0; j < nlon; j++ {
+				lat := (float64(i)+0.5)/nlat*math.Pi - math.Pi/2
+				lon := (float64(j) + 0.5) / nlon * 2 * math.Pi
+				p := geom.FromLatLon(lat, lon)
+				if geom.ArcLength(p, center) > 0.45 {
+					continue
+				}
+				d := g.At(i, j) - gR.At(i, j)
+				sum += d * d
+				n++
+			}
+		}
+		return math.Sqrt(sum / float64(n))
+	}
+	eU, eV := rmse(gU), rmse(gV)
+	fmt.Printf("\nRMS height difference vs fine reference, mountain region:\n")
+	fmt.Printf("  uniform mesh            : %.2f m\n", eU)
+	fmt.Printf("  variable-resolution mesh: %.2f m\n", eV)
+	if eV < eU {
+		fmt.Println("  -> local refinement improved the mountain-region solution")
+	} else {
+		fmt.Println("  -> no improvement at this horizon (try longer runs / stronger contrast)")
+	}
+}

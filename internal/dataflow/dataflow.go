@@ -1,0 +1,305 @@
+// Package dataflow builds and analyzes the data-flow diagram of the paper's
+// §3.B (Figure 4): a graph whose nodes are pattern instances and whose edges
+// are the variable def/use dependencies between them. The graph is "a
+// perfect indicator to recognize data dependencies and exploit inherent
+// parallelism": its topological levels are the sets of patterns that may run
+// concurrently, and its critical path bounds the achievable overlap of the
+// hybrid schedule.
+package dataflow
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/pattern"
+)
+
+// DepKind classifies a dependency edge.
+type DepKind uint8
+
+const (
+	// RAW: the consumer reads a variable the producer writes (true dep).
+	RAW DepKind = iota
+	// WAR: the writer overwrites a variable the earlier node reads
+	// (anti-dependency).
+	WAR
+	// WAW: both nodes write the same variable (output dependency).
+	WAW
+)
+
+func (k DepKind) String() string {
+	switch k {
+	case RAW:
+		return "RAW"
+	case WAR:
+		return "WAR"
+	case WAW:
+		return "WAW"
+	}
+	return "?"
+}
+
+// Edge is a dependency from node From to node To (From must complete first).
+type Edge struct {
+	From, To int
+	Kind     DepKind
+	Variable string
+}
+
+// Graph is the data-flow diagram over a sequence of pattern instances.
+type Graph struct {
+	Nodes []pattern.Instance
+	Edges []Edge
+	out   [][]int // adjacency: edge indices leaving each node
+	in    [][]int
+}
+
+// Build constructs the graph for the given instance sequence. The sequence
+// order is the program order used to orient WAR/WAW edges; an instance
+// depends on the most recent earlier writer of each variable it reads.
+func Build(instances []pattern.Instance) *Graph {
+	g := &Graph{Nodes: instances}
+	n := len(instances)
+	g.out = make([][]int, n)
+	g.in = make([][]int, n)
+
+	lastWriter := map[string]int{}
+	readersSince := map[string][]int{}
+
+	addEdge := func(from, to int, kind DepKind, v string) {
+		if from == to {
+			return
+		}
+		idx := len(g.Edges)
+		g.Edges = append(g.Edges, Edge{From: from, To: to, Kind: kind, Variable: v})
+		g.out[from] = append(g.out[from], idx)
+		g.in[to] = append(g.in[to], idx)
+	}
+
+	for i, ins := range instances {
+		for _, v := range ins.Reads {
+			if w, ok := lastWriter[v]; ok {
+				addEdge(w, i, RAW, v)
+			}
+			readersSince[v] = append(readersSince[v], i)
+		}
+		for _, v := range ins.Writes {
+			if w, ok := lastWriter[v]; ok {
+				addEdge(w, i, WAW, v)
+			}
+			for _, r := range readersSince[v] {
+				addEdge(r, i, WAR, v)
+			}
+			readersSince[v] = nil
+			lastWriter[v] = i
+		}
+	}
+	return g
+}
+
+// BuildModel returns the data-flow graph of one full RK substage of the
+// shallow-water model: all Table I instances in Algorithm 1 kernel order,
+// optionally including the optional (high-order / friction) instances.
+func BuildModel(includeOptional bool) *Graph {
+	var seq []pattern.Instance
+	for _, k := range pattern.Kernels() {
+		for _, ins := range pattern.KernelInstances(k) {
+			if ins.Optional && !includeOptional {
+				continue
+			}
+			seq = append(seq, ins)
+		}
+	}
+	return Build(seq)
+}
+
+// Preds returns the distinct predecessor node indices of node i.
+func (g *Graph) Preds(i int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, e := range g.in[i] {
+		f := g.Edges[e].From
+		if !seen[f] {
+			seen[f] = true
+			out = append(out, f)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Succs returns the distinct successor node indices of node i.
+func (g *Graph) Succs(i int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, e := range g.out[i] {
+		t := g.Edges[e].To
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// TopoOrder returns a topological order of the nodes, or an error if the
+// graph has a cycle. Build always orients edges forward in program order, so
+// a cycle indicates corrupted input.
+func (g *Graph) TopoOrder() ([]int, error) {
+	n := len(g.Nodes)
+	indeg := make([]int, n)
+	for _, e := range g.Edges {
+		indeg[e.To]++
+	}
+	var queue []int
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	var order []int
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, ei := range g.out[v] {
+			t := g.Edges[ei].To
+			indeg[t]--
+			if indeg[t] == 0 {
+				queue = append(queue, t)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("dataflow: cycle detected (%d of %d ordered)", len(order), n)
+	}
+	return order, nil
+}
+
+// Levels returns the ASAP schedule levels: level[k] is the set of node
+// indices whose predecessors all lie in earlier levels. Nodes within a level
+// have no mutual dependencies and may run concurrently — the "inherent
+// parallelism" the paper's hybrid algorithm exploits.
+func (g *Graph) Levels() [][]int {
+	n := len(g.Nodes)
+	depth := make([]int, n)
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil
+	}
+	maxDepth := 0
+	for _, v := range order {
+		for _, ei := range g.in[v] {
+			if d := depth[g.Edges[ei].From] + 1; d > depth[v] {
+				depth[v] = d
+			}
+		}
+		if depth[v] > maxDepth {
+			maxDepth = depth[v]
+		}
+	}
+	levels := make([][]int, maxDepth+1)
+	for v, d := range depth {
+		levels[d] = append(levels[d], v)
+	}
+	return levels
+}
+
+// CriticalPath returns the node sequence of maximum total weight along
+// dependency edges, and its weight. The weight function gives each node's
+// cost (e.g. the performance model's time for the pattern).
+func (g *Graph) CriticalPath(weight func(node int) float64) ([]int, float64) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, 0
+	}
+	n := len(g.Nodes)
+	best := make([]float64, n)
+	pred := make([]int, n)
+	for i := range pred {
+		pred[i] = -1
+	}
+	var endNode int
+	var endCost float64
+	for _, v := range order {
+		best[v] += weight(v)
+		if best[v] > endCost {
+			endCost = best[v]
+			endNode = v
+		}
+		for _, ei := range g.out[v] {
+			t := g.Edges[ei].To
+			if best[v] > best[t] {
+				best[t] = best[v]
+				pred[t] = v
+			}
+		}
+	}
+	var path []int
+	for v := endNode; v != -1; v = pred[v] {
+		path = append(path, v)
+	}
+	// Reverse.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, endCost
+}
+
+// ValidateOrder checks that the given node order respects every dependency
+// edge (producer before consumer). Used to verify that a hybrid schedule is
+// legal before executing it.
+func (g *Graph) ValidateOrder(order []int) error {
+	pos := make(map[int]int, len(order))
+	for p, v := range order {
+		pos[v] = p
+	}
+	if len(pos) != len(g.Nodes) {
+		return fmt.Errorf("dataflow: order covers %d of %d nodes", len(pos), len(g.Nodes))
+	}
+	for _, e := range g.Edges {
+		if pos[e.From] >= pos[e.To] {
+			return fmt.Errorf("dataflow: order violates %s dependency %s: %s before %s",
+				e.Kind, e.Variable, g.Nodes[e.To].ID, g.Nodes[e.From].ID)
+		}
+	}
+	return nil
+}
+
+// DOT renders the graph in Graphviz format, clustered by kernel, with
+// stencil shapes as node labels — a textual reproduction of Figure 4(a).
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph dataflow {\n  rankdir=TB;\n  node [shape=box];\n")
+	byKernel := map[string][]int{}
+	var kernels []string
+	for i, n := range g.Nodes {
+		if _, ok := byKernel[n.Kernel]; !ok {
+			kernels = append(kernels, n.Kernel)
+		}
+		byKernel[n.Kernel] = append(byKernel[n.Kernel], i)
+	}
+	for ci, k := range kernels {
+		fmt.Fprintf(&b, "  subgraph cluster_%d {\n    label=%q;\n", ci, k)
+		for _, i := range byKernel[k] {
+			n := g.Nodes[i]
+			shape := "box"
+			if n.Shape != pattern.ShapeX { // stencils are circles, as in Fig. 4
+				shape = "ellipse"
+			}
+			fmt.Fprintf(&b, "    n%d [label=\"%s\\n%s -> %s\" shape=%s];\n",
+				i, n.ID, strings.Join(n.Reads, ","), strings.Join(n.Writes, ","), shape)
+		}
+		b.WriteString("  }\n")
+	}
+	for _, e := range g.Edges {
+		if e.Kind != RAW {
+			continue // render true dependencies only, as Figure 4 does
+		}
+		fmt.Fprintf(&b, "  n%d -> n%d [label=%q];\n", e.From, e.To, e.Variable)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

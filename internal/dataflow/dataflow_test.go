@@ -1,0 +1,241 @@
+package dataflow
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/pattern"
+)
+
+func modelGraph(t testing.TB) *Graph {
+	g := BuildModel(false)
+	if g == nil || len(g.Nodes) == 0 {
+		t.Fatal("empty model graph")
+	}
+	return g
+}
+
+func TestBuildModelNodeCount(t *testing.T) {
+	g := modelGraph(t)
+	want := 0
+	for _, ins := range pattern.Table1 {
+		if !ins.Optional {
+			want++
+		}
+	}
+	if len(g.Nodes) != want {
+		t.Errorf("%d nodes, want %d", len(g.Nodes), want)
+	}
+	gOpt := BuildModel(true)
+	if len(gOpt.Nodes) != len(pattern.Table1) {
+		t.Errorf("optional graph has %d nodes, want %d", len(gOpt.Nodes), len(pattern.Table1))
+	}
+}
+
+func TestTopoOrderValid(t *testing.T) {
+	g := modelGraph(t)
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.ValidateOrder(order); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProgramOrderIsValid(t *testing.T) {
+	// The Table I order within Algorithm 1 must itself be a legal schedule.
+	g := modelGraph(t)
+	order := make([]int, len(g.Nodes))
+	for i := range order {
+		order[i] = i
+	}
+	if err := g.ValidateOrder(order); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateOrderDetectsViolation(t *testing.T) {
+	g := modelGraph(t)
+	order := make([]int, len(g.Nodes))
+	for i := range order {
+		order[i] = i
+	}
+	// Swap a producer/consumer pair: find any RAW edge and invert it.
+	var e Edge
+	found := false
+	for _, ed := range g.Edges {
+		if ed.Kind == RAW {
+			e = ed
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no RAW edges in model graph")
+	}
+	order[e.From], order[e.To] = order[e.To], order[e.From]
+	if err := g.ValidateOrder(order); err == nil {
+		t.Error("violated order accepted")
+	}
+}
+
+func TestValidateOrderIncomplete(t *testing.T) {
+	g := modelGraph(t)
+	if err := g.ValidateOrder([]int{0, 1, 2}); err == nil {
+		t.Error("incomplete order accepted")
+	}
+}
+
+func TestKnownDependencies(t *testing.T) {
+	g := modelGraph(t)
+	idx := map[string]int{}
+	for i, n := range g.Nodes {
+		idx[n.ID] = i
+	}
+	hasRAW := func(from, to string) bool {
+		for _, e := range g.Edges {
+			if e.Kind == RAW && e.From == idx[from] && e.To == idx[to] {
+				return true
+			}
+		}
+		return false
+	}
+	// The pv chain of Figure 4: E -> G -> H1 -> B2, and C2 -> B2.
+	for _, dep := range [][2]string{{"E", "G"}, {"G", "H1"}, {"H1", "B2"}, {"G", "C2"}, {"C2", "B2"}} {
+		if !hasRAW(dep[0], dep[1]) {
+			t.Errorf("missing RAW edge %s -> %s", dep[0], dep[1])
+		}
+	}
+	// tend_h (A1) must not depend on the pv chain.
+	if hasRAW("B2", "A1") || hasRAW("G", "A1") {
+		t.Error("A1 spuriously depends on pv chain")
+	}
+}
+
+func TestLevelsExposeConcurrency(t *testing.T) {
+	g := modelGraph(t)
+	levels := g.Levels()
+	if len(levels) == 0 {
+		t.Fatal("no levels")
+	}
+	// All nodes covered exactly once.
+	seen := map[int]bool{}
+	for _, lv := range levels {
+		for _, n := range lv {
+			if seen[n] {
+				t.Fatalf("node %d in two levels", n)
+			}
+			seen[n] = true
+		}
+	}
+	if len(seen) != len(g.Nodes) {
+		t.Errorf("levels cover %d of %d nodes", len(seen), len(g.Nodes))
+	}
+	// Some level must contain more than one node (inherent parallelism
+	// exists — the paper's premise).
+	concurrent := false
+	for _, lv := range levels {
+		if len(lv) > 1 {
+			concurrent = true
+		}
+	}
+	if !concurrent {
+		t.Error("no concurrency found in model graph")
+	}
+	// No dependency inside a level.
+	levelOf := map[int]int{}
+	for li, lv := range levels {
+		for _, n := range lv {
+			levelOf[n] = li
+		}
+	}
+	for _, e := range g.Edges {
+		if levelOf[e.From] >= levelOf[e.To] {
+			t.Errorf("edge %s->%s not level-increasing", g.Nodes[e.From].ID, g.Nodes[e.To].ID)
+		}
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	g := modelGraph(t)
+	path, cost := g.CriticalPath(func(int) float64 { return 1 })
+	if len(path) == 0 || cost != float64(len(path)) {
+		t.Fatalf("unit critical path: len %d cost %v", len(path), cost)
+	}
+	// Path must follow dependency edges.
+	idx := map[string]int{}
+	for i, n := range g.Nodes {
+		idx[n.ID] = i
+	}
+	for i := 0; i+1 < len(path); i++ {
+		found := false
+		for _, s := range g.Succs(path[i]) {
+			if s == path[i+1] {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("path step %s -> %s is not an edge",
+				g.Nodes[path[i]].ID, g.Nodes[path[i+1]].ID)
+		}
+	}
+	// The path must be at least as long as the pv chain (5 nodes to B1).
+	if cost < 5 {
+		t.Errorf("critical path %v suspiciously short", cost)
+	}
+}
+
+func TestPredsSuccs(t *testing.T) {
+	g := Build([]pattern.Instance{
+		{ID: "w", Reads: []string{"a"}, Writes: []string{"b"}},
+		{ID: "r1", Reads: []string{"b"}, Writes: []string{"c"}},
+		{ID: "r2", Reads: []string{"b"}, Writes: []string{"d"}},
+	})
+	if s := g.Succs(0); len(s) != 2 {
+		t.Errorf("succs(0) = %v", s)
+	}
+	if p := g.Preds(1); len(p) != 1 || p[0] != 0 {
+		t.Errorf("preds(1) = %v", p)
+	}
+	if p := g.Preds(0); len(p) != 0 {
+		t.Errorf("preds(0) = %v", p)
+	}
+}
+
+func TestWARWAWEdges(t *testing.T) {
+	g := Build([]pattern.Instance{
+		{ID: "p1", Reads: []string{"x"}, Writes: []string{"y"}},
+		{ID: "p2", Reads: []string{"y"}, Writes: []string{"z"}},
+		{ID: "p3", Reads: []string{"q"}, Writes: []string{"y"}}, // WAW with p1, WAR with p2
+	})
+	var kinds []string
+	for _, e := range g.Edges {
+		kinds = append(kinds, e.Kind.String()+":"+g.Nodes[e.From].ID+"->"+g.Nodes[e.To].ID)
+	}
+	joined := strings.Join(kinds, " ")
+	for _, want := range []string{"RAW:p1->p2", "WAW:p1->p3", "WAR:p2->p3"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing edge %s in %s", want, joined)
+		}
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	g := modelGraph(t)
+	dot := g.DOT()
+	for _, want := range []string{"digraph dataflow", "compute_tend", "B1", "pv_edge", "subgraph"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q", want)
+		}
+	}
+}
+
+func TestDepKindString(t *testing.T) {
+	if RAW.String() != "RAW" || WAR.String() != "WAR" || WAW.String() != "WAW" {
+		t.Error("DepKind strings")
+	}
+	if DepKind(9).String() != "?" {
+		t.Error("unknown DepKind")
+	}
+}

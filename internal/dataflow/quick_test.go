@@ -1,0 +1,93 @@
+package dataflow
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pattern"
+)
+
+// randomProgram builds an arbitrary sequence of instances over a small
+// variable alphabet.
+func randomProgram(rng *rand.Rand, n int) []pattern.Instance {
+	vars := []string{"a", "b", "c", "d", "e", "f"}
+	pick := func() []string {
+		k := rng.Intn(3) + 1
+		out := make([]string, k)
+		for i := range out {
+			out[i] = vars[rng.Intn(len(vars))]
+		}
+		return out
+	}
+	prog := make([]pattern.Instance, n)
+	for i := range prog {
+		prog[i] = pattern.Instance{
+			ID:     fmt.Sprintf("n%d", i),
+			Kernel: "k",
+			Reads:  pick(),
+			Writes: pick(),
+		}
+	}
+	return prog
+}
+
+// TestQuickGraphProperties: for arbitrary programs, the graph is acyclic
+// with edges oriented forward in program order, program order validates,
+// topological order validates, and levels partition the nodes.
+func TestQuickGraphProperties(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(sz)%24 + 1
+		g := Build(randomProgram(rng, n))
+		for _, e := range g.Edges {
+			if e.From >= e.To {
+				return false // must be forward in program order
+			}
+		}
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		if g.ValidateOrder(order) != nil {
+			return false
+		}
+		topo, err := g.TopoOrder()
+		if err != nil || g.ValidateOrder(topo) != nil {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, lv := range g.Levels() {
+			for _, v := range lv {
+				if seen[v] {
+					return false
+				}
+				seen[v] = true
+			}
+		}
+		return len(seen) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCriticalPathBounds: the unit-weight critical path length is
+// between 1 and n, and a flattened level schedule has exactly as many
+// levels as the critical path has nodes.
+func TestQuickCriticalPathBounds(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(sz)%24 + 1
+		g := Build(randomProgram(rng, n))
+		path, cost := g.CriticalPath(func(int) float64 { return 1 })
+		if len(path) < 1 || len(path) > n || cost != float64(len(path)) {
+			return false
+		}
+		return len(g.Levels()) == len(path)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,406 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const tol = 1e-12
+
+func almostEqual(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps*(1+math.Abs(a)+math.Abs(b))
+}
+
+func randUnit(rng *rand.Rand) Vec3 {
+	for {
+		v := Vec3{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		if n := v.Norm(); n > 1e-3 {
+			return v.Scale(1 / n)
+		}
+	}
+}
+
+func TestVecBasicOps(t *testing.T) {
+	a := Vec3{1, 2, 3}
+	b := Vec3{-4, 5, 0.5}
+	if got := a.Add(b); got != (Vec3{-3, 7, 3.5}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != (Vec3{5, -3, 2.5}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(2); got != (Vec3{2, 4, 6}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Dot(b); got != -4+10+1.5 {
+		t.Errorf("Dot = %v", got)
+	}
+}
+
+func TestCrossOrthogonality(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		a, b := randUnit(rng), randUnit(rng)
+		c := a.Cross(b)
+		if math.Abs(c.Dot(a)) > 1e-12 || math.Abs(c.Dot(b)) > 1e-12 {
+			t.Fatalf("cross not orthogonal: %v", c)
+		}
+	}
+}
+
+func TestCrossAnticommutative(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		// Keep magnitudes bounded so products cannot overflow to Inf.
+		trim := func(x float64) float64 {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return 0
+			}
+			return math.Mod(x, 1e6)
+		}
+		a := Vec3{trim(ax), trim(ay), trim(az)}
+		b := Vec3{trim(bx), trim(by), trim(bz)}
+		c1 := a.Cross(b)
+		c2 := b.Cross(a).Scale(-1)
+		return almostEqual(c1.X, c2.X, tol) && almostEqual(c1.Y, c2.Y, tol) && almostEqual(c1.Z, c2.Z, tol)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 100; i++ {
+		v := Vec3{rng.NormFloat64() * 10, rng.NormFloat64() * 10, rng.NormFloat64() * 10}
+		if v.Norm() == 0 {
+			continue
+		}
+		n := v.Normalize()
+		if !almostEqual(n.Norm(), 1, tol) {
+			t.Fatalf("|normalize| = %v", n.Norm())
+		}
+	}
+	z := Vec3{}
+	if z.Normalize() != (Vec3{}) {
+		t.Error("normalize(0) should be 0")
+	}
+}
+
+func TestLatLonRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		lat := (rng.Float64() - 0.5) * math.Pi * 0.999
+		lon := rng.Float64() * 2 * math.Pi
+		p := FromLatLon(lat, lon)
+		if !almostEqual(p.Norm(), 1, tol) {
+			t.Fatalf("FromLatLon not unit: %v", p.Norm())
+		}
+		if !almostEqual(p.Lat(), lat, 1e-10) {
+			t.Fatalf("lat round trip: want %v got %v", lat, p.Lat())
+		}
+		if math.Abs(math.Mod(p.Lon()-lon+3*math.Pi, 2*math.Pi)-math.Pi) > 1e-10 {
+			t.Fatalf("lon round trip: want %v got %v", lon, p.Lon())
+		}
+	}
+}
+
+func TestArcLengthKnownValues(t *testing.T) {
+	np := Vec3{0, 0, 1}
+	eq := Vec3{1, 0, 0}
+	if !almostEqual(ArcLength(np, eq), math.Pi/2, tol) {
+		t.Errorf("pole-equator arc = %v", ArcLength(np, eq))
+	}
+	if !almostEqual(ArcLength(np, Vec3{0, 0, -1}), math.Pi, tol) {
+		t.Errorf("antipodal arc = %v", ArcLength(np, Vec3{0, 0, -1}))
+	}
+	if ArcLength(eq, eq) != 0 {
+		t.Errorf("self arc = %v", ArcLength(eq, eq))
+	}
+}
+
+func TestArcLengthSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 300; i++ {
+		a, b := randUnit(rng), randUnit(rng)
+		if !almostEqual(ArcLength(a, b), ArcLength(b, a), tol) {
+			t.Fatal("arc length not symmetric")
+		}
+	}
+}
+
+func TestArcLengthTriangleInequality(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 300; i++ {
+		a, b, c := randUnit(rng), randUnit(rng), randUnit(rng)
+		if ArcLength(a, c) > ArcLength(a, b)+ArcLength(b, c)+1e-12 {
+			t.Fatal("triangle inequality violated")
+		}
+	}
+}
+
+func TestOctantTriangleArea(t *testing.T) {
+	// One octant of the sphere has area 4*pi/8 = pi/2.
+	a := Vec3{1, 0, 0}
+	b := Vec3{0, 1, 0}
+	c := Vec3{0, 0, 1}
+	if got := SphericalTriangleArea(a, b, c); !almostEqual(got, math.Pi/2, 1e-10) {
+		t.Errorf("octant area = %v want %v", got, math.Pi/2)
+	}
+}
+
+func TestSmallTriangleAreaMatchesPlanar(t *testing.T) {
+	// For a tiny triangle, the spherical area approaches the planar area.
+	eps := 1e-4
+	a := FromLatLon(0, 0)
+	b := FromLatLon(0, eps)
+	c := FromLatLon(eps, 0)
+	planar := eps * eps / 2
+	got := SphericalTriangleArea(a, b, c)
+	if math.Abs(got-planar)/planar > 1e-4 {
+		t.Errorf("small triangle area = %v want ~%v", got, planar)
+	}
+}
+
+func TestDegenerateTriangleArea(t *testing.T) {
+	a := Vec3{1, 0, 0}
+	if got := SphericalTriangleArea(a, a, a); got != 0 {
+		t.Errorf("degenerate area = %v", got)
+	}
+	b := FromLatLon(0, 0.5)
+	c := FromLatLon(0, 1.0) // collinear along equator
+	if got := SphericalTriangleArea(a, b, c); got > 1e-12 {
+		t.Errorf("collinear area = %v", got)
+	}
+}
+
+func TestPolygonAreaOctantSquare(t *testing.T) {
+	// A "square" covering a quarter of the northern hemisphere:
+	// vertices at equator lon 0, pi/2 and the north pole fan.
+	verts := []Vec3{
+		FromLatLon(0, 0),
+		FromLatLon(0, math.Pi/2),
+		FromLatLon(math.Pi/2, 0),
+	}
+	if got := SphericalPolygonArea(verts); !almostEqual(got, math.Pi/2, 1e-10) {
+		t.Errorf("octant polygon area = %v", got)
+	}
+}
+
+func TestPolygonAreaOrientationInvariant(t *testing.T) {
+	verts := []Vec3{
+		FromLatLon(0.1, 0.1),
+		FromLatLon(0.1, 0.4),
+		FromLatLon(0.4, 0.45),
+		FromLatLon(0.45, 0.1),
+	}
+	fwd := SphericalPolygonArea(verts)
+	rev := SphericalPolygonArea([]Vec3{verts[3], verts[2], verts[1], verts[0]})
+	if !almostEqual(fwd, rev, 1e-10) {
+		t.Errorf("area depends on orientation: %v vs %v", fwd, rev)
+	}
+	if fwd <= 0 {
+		t.Errorf("area not positive: %v", fwd)
+	}
+}
+
+func TestCircumcenterEquidistant(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 200; i++ {
+		// Build a moderately sized triangle around a random point.
+		p := randUnit(rng)
+		e := East(p)
+		n := North(p)
+		mk := func(dx, dy float64) Vec3 {
+			return p.Add(e.Scale(dx)).Add(n.Scale(dy)).Normalize()
+		}
+		a := mk(0.1*rng.Float64()+0.02, 0.1*rng.Float64()+0.02)
+		b := mk(-0.1*rng.Float64()-0.02, 0.1*rng.Float64()+0.02)
+		c := mk(0.05*(rng.Float64()-0.5), -0.1*rng.Float64()-0.02)
+		cc := Circumcenter(a, b, c)
+		da, db, dc := ArcLength(cc, a), ArcLength(cc, b), ArcLength(cc, c)
+		if !almostEqual(da, db, 1e-10) || !almostEqual(db, dc, 1e-10) {
+			t.Fatalf("circumcenter not equidistant: %v %v %v", da, db, dc)
+		}
+		if !almostEqual(cc.Norm(), 1, tol) {
+			t.Fatalf("circumcenter not unit: %v", cc.Norm())
+		}
+	}
+}
+
+func TestCircumcenterHemisphere(t *testing.T) {
+	// The circumcenter must be on the triangle's side of the sphere.
+	a := FromLatLon(0.2, 0.1)
+	b := FromLatLon(0.25, 0.3)
+	c := FromLatLon(0.4, 0.2)
+	cc := Circumcenter(a, b, c)
+	if cc.Dot(a) < 0 {
+		t.Errorf("circumcenter on wrong hemisphere: %v", cc)
+	}
+}
+
+func TestEastNorthOrthonormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		p := randUnit(rng)
+		if math.Abs(p.Lat()) > 1.5 {
+			continue // skip near-pole where east is ill-defined
+		}
+		e, n := East(p), North(p)
+		if !almostEqual(e.Norm(), 1, tol) || !almostEqual(n.Norm(), 1, tol) {
+			t.Fatal("east/north not unit")
+		}
+		if math.Abs(e.Dot(n)) > 1e-12 || math.Abs(e.Dot(p)) > 1e-12 || math.Abs(n.Dot(p)) > 1e-12 {
+			t.Fatal("east/north/up not orthogonal")
+		}
+		// Right-handed: east x north = up.
+		up := e.Cross(n)
+		if up.Sub(p).Norm() > 1e-10 {
+			t.Fatalf("east x north != up: %v vs %v", up, p)
+		}
+	}
+}
+
+func TestNorthPointsNorth(t *testing.T) {
+	p := FromLatLon(0.3, 1.2)
+	n := North(p)
+	// Moving slightly along n must increase latitude.
+	q := p.Add(n.Scale(1e-4)).Normalize()
+	if q.Lat() <= p.Lat() {
+		t.Errorf("north does not increase latitude: %v -> %v", p.Lat(), q.Lat())
+	}
+	e := East(p)
+	q = p.Add(e.Scale(1e-4)).Normalize()
+	if q.Lon() <= p.Lon() {
+		t.Errorf("east does not increase longitude")
+	}
+}
+
+func TestTangentComponentsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 200; i++ {
+		p := FromLatLon((rng.Float64()-0.5)*2.8, rng.Float64()*2*math.Pi)
+		ze, me := rng.NormFloat64(), rng.NormFloat64()
+		w := East(p).Scale(ze).Add(North(p).Scale(me))
+		gz, gm := TangentComponents(p, w)
+		if !almostEqual(gz, ze, 1e-10) || !almostEqual(gm, me, 1e-10) {
+			t.Fatalf("components: want (%v,%v) got (%v,%v)", ze, me, gz, gm)
+		}
+	}
+}
+
+func TestProjectToTangent(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 200; i++ {
+		p := randUnit(rng)
+		w := Vec3{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		tw := ProjectToTangent(p, w)
+		if math.Abs(tw.Dot(p)) > 1e-12 {
+			t.Fatal("projection not tangent")
+		}
+		// Projecting twice is idempotent.
+		tw2 := ProjectToTangent(p, tw)
+		if tw2.Sub(tw).Norm() > 1e-12 {
+			t.Fatal("projection not idempotent")
+		}
+	}
+}
+
+func TestPolygonCentroidSymmetric(t *testing.T) {
+	// A regular polygon centered at a point should have its centroid there.
+	p := FromLatLon(0.4, 0.7)
+	e, n := East(p), North(p)
+	var verts []Vec3
+	r := 0.05
+	for k := 0; k < 6; k++ {
+		th := 2 * math.Pi * float64(k) / 6
+		verts = append(verts, p.Add(e.Scale(r*math.Cos(th))).Add(n.Scale(r*math.Sin(th))).Normalize())
+	}
+	c := PolygonCentroid(verts)
+	if ArcLength(c, p) > 1e-6 {
+		t.Errorf("centroid off center by %v", ArcLength(c, p))
+	}
+}
+
+func TestCCW(t *testing.T) {
+	a := Vec3{1, 0, 0}
+	b := Vec3{0, 1, 0}
+	c := Vec3{0, 0, 1}
+	if !CCW(a, b, c) {
+		t.Error("octant triangle should be CCW")
+	}
+	if CCW(a, c, b) {
+		t.Error("reversed triangle should be CW")
+	}
+}
+
+func TestTriangleCentroidInside(t *testing.T) {
+	a := FromLatLon(0.1, 0.1)
+	b := FromLatLon(0.1, 0.2)
+	c := FromLatLon(0.2, 0.15)
+	g := TriangleCentroid(a, b, c)
+	if !almostEqual(g.Norm(), 1, tol) {
+		t.Error("centroid not unit")
+	}
+	// Centroid should be close to all three vertices.
+	for _, v := range []Vec3{a, b, c} {
+		if ArcLength(g, v) > ArcLength(a, b)+ArcLength(b, c) {
+			t.Error("centroid far from triangle")
+		}
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if clamp(2, -1, 1) != 1 || clamp(-2, -1, 1) != -1 || clamp(0.5, -1, 1) != 0.5 {
+		t.Error("clamp wrong")
+	}
+}
+
+func TestWeightedPolygonCentroidUniformMatchesPlain(t *testing.T) {
+	p := FromLatLon(0.3, 1.0)
+	e, n := East(p), North(p)
+	var verts []Vec3
+	for k := 0; k < 5; k++ {
+		th := 2 * math.Pi * float64(k) / 5
+		verts = append(verts, p.Add(e.Scale(0.07*math.Cos(th))).Add(n.Scale(0.07*math.Sin(th))).Normalize())
+	}
+	plain := PolygonCentroid(verts)
+	uniform := WeightedPolygonCentroid(verts, func(Vec3) float64 { return 3.7 })
+	if ArcLength(plain, uniform) > 1e-12 {
+		t.Errorf("uniform density shifts centroid by %v", ArcLength(plain, uniform))
+	}
+	if WeightedPolygonCentroid(verts, nil) != plain {
+		t.Error("nil density must reduce to PolygonCentroid")
+	}
+}
+
+func TestWeightedPolygonCentroidPullsTowardDensity(t *testing.T) {
+	p := FromLatLon(0.0, 0.0)
+	e, n := East(p), North(p)
+	var verts []Vec3
+	for k := 0; k < 6; k++ {
+		th := 2 * math.Pi * float64(k) / 6
+		verts = append(verts, p.Add(e.Scale(0.1*math.Cos(th))).Add(n.Scale(0.1*math.Sin(th))).Normalize())
+	}
+	// Density increasing eastward pulls the centroid east.
+	dens := func(q Vec3) float64 { return math.Exp(20 * q.Dot(e)) }
+	c := WeightedPolygonCentroid(verts, dens)
+	if c.Sub(p).Dot(e) <= 0 {
+		t.Error("centroid not pulled toward high density")
+	}
+	if math.Abs(c.Norm()-1) > 1e-12 {
+		t.Error("weighted centroid not on sphere")
+	}
+}
+
+func TestWeightedPolygonCentroidDegenerate(t *testing.T) {
+	if (WeightedPolygonCentroid(nil, func(Vec3) float64 { return 1 }) != Vec3{}) {
+		t.Error("empty polygon should give zero vector")
+	}
+	two := []Vec3{FromLatLon(0, 0), FromLatLon(0, 0.1)}
+	c := WeightedPolygonCentroid(two, func(Vec3) float64 { return 1 })
+	if math.Abs(c.Norm()-1) > 1e-12 {
+		t.Error("2-vertex fallback not unit")
+	}
+}

@@ -1,0 +1,148 @@
+package geom
+
+import "math"
+
+// SphericalTriangleArea returns the area of the spherical triangle with unit
+// vertices a, b, c on the unit sphere, using L'Huilier's theorem. The result
+// is non-negative and independent of vertex orientation.
+func SphericalTriangleArea(a, b, c Vec3) float64 {
+	ta := ArcLength(b, c)
+	tb := ArcLength(c, a)
+	tc := ArcLength(a, b)
+	s := (ta + tb + tc) / 2
+	inner := math.Tan(s/2) * math.Tan((s-ta)/2) * math.Tan((s-tb)/2) * math.Tan((s-tc)/2)
+	if inner <= 0 {
+		// Degenerate (collinear) triangle; area is zero to roundoff.
+		return 0
+	}
+	return 4 * math.Atan(math.Sqrt(inner))
+}
+
+// SphericalPolygonArea returns the area of the spherical polygon with unit
+// vertices verts (in order, either orientation) on the unit sphere. The
+// polygon is assumed star-shaped about its vertex centroid, which holds for
+// Voronoi cells and kites on quasi-uniform meshes; the polygon is fanned into
+// triangles about that centroid.
+func SphericalPolygonArea(verts []Vec3) float64 {
+	n := len(verts)
+	if n < 3 {
+		return 0
+	}
+	var c Vec3
+	for _, v := range verts {
+		c = c.Add(v)
+	}
+	c = c.Normalize()
+	area := 0.0
+	for i := 0; i < n; i++ {
+		area += SphericalTriangleArea(c, verts[i], verts[(i+1)%n])
+	}
+	return area
+}
+
+// Circumcenter returns the spherical circumcenter of the triangle with unit
+// vertices a, b, c: the unit vector equidistant from all three, on the same
+// side of the plane abc as the triangle's orientation. For a
+// counterclockwise-ordered triangle (seen from outside the sphere) the
+// returned center lies inside the triangle for well-shaped meshes.
+func Circumcenter(a, b, c Vec3) Vec3 {
+	// The circumcenter direction is normal to the plane through the three
+	// points: (b-a) x (c-a).
+	n := b.Sub(a).Cross(c.Sub(a))
+	if n.Norm() < 1e-30 {
+		// Degenerate; fall back to the vertex centroid.
+		return a.Add(b).Add(c).Normalize()
+	}
+	n = n.Normalize()
+	// Pick the hemisphere containing the triangle.
+	if n.Dot(a.Add(b).Add(c)) < 0 {
+		n = n.Scale(-1)
+	}
+	return n
+}
+
+// TriangleCentroid returns the normalized vertex centroid of a spherical
+// triangle — adequate as an approximation of the spherical centroid for the
+// small, well-shaped triangles arising in SCVT construction.
+func TriangleCentroid(a, b, c Vec3) Vec3 {
+	return a.Add(b).Add(c).Normalize()
+}
+
+// PolygonCentroid returns the (approximate) spherical centroid of the polygon
+// with unit vertices verts: the area-weighted average of the centroids of the
+// triangles of the fan about the vertex centroid, projected back to the
+// sphere. This is the update step used by Lloyd iteration when relaxing a
+// Voronoi mesh toward a centroidal (SCVT) one.
+func PolygonCentroid(verts []Vec3) Vec3 {
+	n := len(verts)
+	if n == 0 {
+		return Vec3{}
+	}
+	var c Vec3
+	for _, v := range verts {
+		c = c.Add(v)
+	}
+	c = c.Normalize()
+	if n < 3 {
+		return c
+	}
+	var acc Vec3
+	for i := 0; i < n; i++ {
+		v1, v2 := verts[i], verts[(i+1)%n]
+		w := SphericalTriangleArea(c, v1, v2)
+		acc = acc.Add(TriangleCentroid(c, v1, v2).Scale(w))
+	}
+	if acc.Norm() < 1e-30 {
+		return c
+	}
+	return acc.Normalize()
+}
+
+// WeightedPolygonCentroid returns the density-weighted spherical centroid of
+// the polygon: the mass centroid under surface density rho, projected back
+// to the sphere. With rho == nil it reduces to PolygonCentroid. This is the
+// generator update of a *variable-resolution* SCVT: Lloyd iteration under a
+// density function concentrates cells where rho is large (cell spacing
+// scales as rho^(-1/4) in the continuum limit).
+func WeightedPolygonCentroid(verts []Vec3, rho func(Vec3) float64) Vec3 {
+	if rho == nil {
+		return PolygonCentroid(verts)
+	}
+	n := len(verts)
+	if n == 0 {
+		return Vec3{}
+	}
+	var c Vec3
+	for _, v := range verts {
+		c = c.Add(v)
+	}
+	c = c.Normalize()
+	if n < 3 {
+		return c
+	}
+	var acc Vec3
+	for i := 0; i < n; i++ {
+		v1, v2 := verts[i], verts[(i+1)%n]
+		g := TriangleCentroid(c, v1, v2)
+		w := SphericalTriangleArea(c, v1, v2) * rho(g)
+		acc = acc.Add(g.Scale(w))
+	}
+	if acc.Norm() < 1e-30 {
+		return c
+	}
+	return acc.Normalize()
+}
+
+// CCW reports whether the spherical triangle (a, b, c) is counterclockwise
+// when viewed from outside the sphere, i.e. its vertices wind positively
+// about the outward normal.
+func CCW(a, b, c Vec3) bool {
+	return a.Dot(b.Cross(c)) > 0
+}
+
+// SphereArea is the surface area of the unit sphere.
+const SphereArea = 4 * math.Pi
+
+// EarthRadius is the mean Earth radius in meters, matching the value used by
+// the MPAS shallow-water test cases.
+const EarthRadius = 6371220.0

@@ -1,0 +1,116 @@
+// Package geom provides the spherical geometry primitives used to build and
+// measure SCVT (spherical centroidal Voronoi tessellation) meshes: unit
+// vectors on the sphere, great-circle arcs, spherical triangle and polygon
+// areas, circumcenters and centroids.
+//
+// All positions are represented as unit vectors in R^3 (type Vec3). Distances
+// are geodesic (great-circle) distances on a sphere of configurable radius;
+// most routines work on the unit sphere and scale by radius at the call site.
+package geom
+
+import "math"
+
+// Vec3 is a vector in R^3. Mesh points are unit vectors on the sphere.
+type Vec3 struct {
+	X, Y, Z float64
+}
+
+// V is a convenience constructor for Vec3.
+func V(x, y, z float64) Vec3 { return Vec3{X: x, Y: y, Z: z} }
+
+// Add returns v + w.
+func (v Vec3) Add(w Vec3) Vec3 { return Vec3{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v - w.
+func (v Vec3) Sub(w Vec3) Vec3 { return Vec3{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Scale returns s*v.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{s * v.X, s * v.Y, s * v.Z} }
+
+// Dot returns the inner product v·w.
+func (v Vec3) Dot(w Vec3) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
+
+// Cross returns the cross product v×w.
+func (v Vec3) Cross(w Vec3) Vec3 {
+	return Vec3{
+		v.Y*w.Z - v.Z*w.Y,
+		v.Z*w.X - v.X*w.Z,
+		v.X*w.Y - v.Y*w.X,
+	}
+}
+
+// Norm returns the Euclidean length |v|.
+func (v Vec3) Norm() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Normalize returns v/|v|. The zero vector is returned unchanged.
+func (v Vec3) Normalize() Vec3 {
+	n := v.Norm()
+	if n == 0 {
+		return v
+	}
+	return v.Scale(1 / n)
+}
+
+// Lat returns the latitude of the unit vector v in radians, in [-pi/2, pi/2].
+func (v Vec3) Lat() float64 { return math.Asin(clamp(v.Z, -1, 1)) }
+
+// Lon returns the longitude of the unit vector v in radians, in [0, 2*pi).
+func (v Vec3) Lon() float64 {
+	l := math.Atan2(v.Y, v.X)
+	if l < 0 {
+		l += 2 * math.Pi
+	}
+	return l
+}
+
+// FromLatLon returns the unit vector at the given latitude and longitude
+// (radians).
+func FromLatLon(lat, lon float64) Vec3 {
+	cl := math.Cos(lat)
+	return Vec3{cl * math.Cos(lon), cl * math.Sin(lon), math.Sin(lat)}
+}
+
+// ArcLength returns the great-circle distance between unit vectors a and b on
+// the unit sphere. It is robust for nearly identical and nearly antipodal
+// points (uses atan2 of chord components rather than acos of the dot
+// product).
+func ArcLength(a, b Vec3) float64 {
+	return math.Atan2(a.Cross(b).Norm(), a.Dot(b))
+}
+
+// East returns the local unit vector pointing east at unit vector p.
+// At the poles the result is arbitrary but still unit length.
+func East(p Vec3) Vec3 {
+	e := Vec3{-p.Y, p.X, 0}
+	if e.Norm() < 1e-14 {
+		return Vec3{1, 0, 0}
+	}
+	return e.Normalize()
+}
+
+// North returns the local unit vector pointing north at unit vector p.
+func North(p Vec3) Vec3 {
+	return p.Cross(East(p)).Normalize()
+}
+
+// TangentComponents decomposes a vector w (assumed tangent to the sphere at
+// unit point p) into its zonal (east) and meridional (north) components.
+func TangentComponents(p, w Vec3) (zonal, meridional float64) {
+	return w.Dot(East(p)), w.Dot(North(p))
+}
+
+// ProjectToTangent removes from w its component along p, returning the
+// projection of w onto the tangent plane at p.
+func ProjectToTangent(p, w Vec3) Vec3 {
+	return w.Sub(p.Scale(w.Dot(p)))
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

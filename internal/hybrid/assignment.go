@@ -1,0 +1,208 @@
+// Package hybrid implements the paper's hybrid CPU + many-core execution
+// designs:
+//
+//   - the kernel-level design (§2.C, Figure 2): whole kernels are placed on
+//     the host or the accelerator, with full arrays transferred at kernel
+//     boundaries;
+//   - the pattern-driven design (§3.C, Figure 4b): individual pattern
+//     instances — and, for the "adjustable" ones, fractions of their index
+//     ranges — are distributed between host and device, with data resident
+//     on the device and only split fractions exchanged, computation on the
+//     two processors running concurrently and transfers overlapped.
+//
+// Execution is real (host and device are two goroutine worker pools running
+// the actual pattern kernels on disjoint ranges, synchronized by data-flow
+// levels), while time is kept by the calibrated platform model of
+// internal/perfmodel — the substitution DESIGN.md documents for the absent
+// Xeon Phi hardware.
+package hybrid
+
+import (
+	"repro/internal/pattern"
+	"repro/internal/perfmodel"
+)
+
+// Side is a processor of the heterogeneous node.
+type Side uint8
+
+const (
+	// Host is the multi-core CPU.
+	Host Side = iota
+	// Dev is the many-core accelerator.
+	Dev
+)
+
+func (s Side) String() string {
+	if s == Host {
+		return "host"
+	}
+	return "device"
+}
+
+// Placement locates one pattern instance: HostFrac of its output range runs
+// on the host, the rest on the device. 0 and 1 place it wholly.
+type Placement struct {
+	HostFrac float64
+}
+
+// Assignment maps Table I pattern IDs to placements. Patterns not present
+// run wholly on the device.
+type Assignment map[string]Placement
+
+// HostFrac returns the host fraction for pattern id.
+func (a Assignment) HostFrac(id string) float64 {
+	if p, ok := a[id]; ok {
+		return clamp01(p.HostFrac)
+	}
+	return 0
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// SerialAssignment places everything on the host — the original code.
+func SerialAssignment() Assignment {
+	a := Assignment{}
+	for _, ins := range pattern.Table1 {
+		a[ins.ID] = Placement{HostFrac: 1}
+	}
+	return a
+}
+
+// KernelLevelAssignment reproduces Figure 2: the time-consuming kernels
+// (compute_tend, compute_solve_diagnostics, mpas_reconstruct) reside wholly
+// on the accelerator; the light local kernels stay on the CPU, which also
+// drives MPI. No pattern is split, so the host/device balance is whatever
+// the kernel granularity dictates.
+func KernelLevelAssignment() Assignment {
+	a := Assignment{}
+	hostKernels := map[string]bool{
+		pattern.KernelEnforceBoundaryEdge: true,
+		pattern.KernelNextSubstepState:    true,
+		pattern.KernelAccumulativeUpdate:  true,
+	}
+	for _, ins := range pattern.Table1 {
+		if hostKernels[ins.Kernel] {
+			a[ins.ID] = Placement{HostFrac: 1}
+		} else {
+			a[ins.ID] = Placement{HostFrac: 0}
+		}
+	}
+	return a
+}
+
+// PatternDrivenAssignment reproduces Figure 4(b): the wide edge stencils
+// (B1, F, B2, D1/D2, H1, X3, X5) and vertex patterns (E, G) stay on the
+// device; tend_h (A1) and the reconstruction (A4, X6) run on the CPU
+// together with the CPU halves of the local updates; and the cell-based
+// diagnostics (A2, A3, C2, H2 — the light-yellow "adjustable part") are
+// split with the given host fraction, which the auto-tuner chooses per mesh
+// size to balance load.
+func PatternDrivenAssignment(adjustable float64) Assignment {
+	f := clamp01(adjustable)
+	a := Assignment{
+		// compute_tend: A1 on the CPU, B1 on the device.
+		"A1": {HostFrac: 1},
+		"B1": {HostFrac: 0},
+		// enforce_boundary_edge handled with the host's MPI duties.
+		"X1": {HostFrac: 1},
+		// Local substep/accumulate updates split evenly: both sides advance
+		// the portions of the state they own.
+		"X2": {HostFrac: f},
+		"X3": {HostFrac: 0},
+		"X4": {HostFrac: f},
+		"X5": {HostFrac: 0},
+		// solve_diagnostics: adjustable cell patterns split; edge/vertex
+		// patterns on the device.
+		"A2": {HostFrac: f},
+		"A3": {HostFrac: f},
+		"C2": {HostFrac: f},
+		"H2": {HostFrac: f},
+		"C1": {HostFrac: f},
+		"D1": {HostFrac: 0},
+		"D2": {HostFrac: 0},
+		"E":  {HostFrac: 0},
+		"F":  {HostFrac: 0},
+		"G":  {HostFrac: 0},
+		"H1": {HostFrac: 0},
+		"B2": {HostFrac: 0},
+		// mpas_reconstruct on the CPU (its products feed host-side output).
+		"A4": {HostFrac: 1},
+		"X6": {HostFrac: 1},
+	}
+	return a
+}
+
+// DeviceOnlyAssignment offloads every pattern to the accelerator, leaving
+// the CPU to drive communication — the "port everything" alternative of
+// §2.C.
+func DeviceOnlyAssignment() Assignment {
+	a := Assignment{}
+	for _, ins := range pattern.Table1 {
+		a[ins.ID] = Placement{HostFrac: 0}
+	}
+	return a
+}
+
+// Node is the heterogeneous platform: one host CPU socket plus one
+// accelerator, joined by PCIe (Table II).
+type Node struct {
+	Host    perfmodel.Device
+	Dev     perfmodel.Device
+	Link    perfmodel.PCIe
+	HostOpt perfmodel.Opt
+	DevOpt  perfmodel.Opt
+	// HostComputeFraction is the share of the host socket available for
+	// pattern computation: the remaining cores drive the offload engine,
+	// progress MPI and stage PCIe transfers (the paper's CPU side owns all
+	// "Exchange halo" work in Figures 2 and 4).
+	HostComputeFraction float64
+	// DevCount is the number of identical accelerators attached to the
+	// host (the paper's nodes carry two Phi 5110P each, though its runs
+	// group one CPU with one Phi per MPI process). The device share of
+	// every pattern is split evenly across them; the PCIe link is shared.
+	// Zero means 1.
+	DevCount int
+}
+
+// DefaultNode returns the paper's platform with all §4 optimizations.
+func DefaultNode() Node {
+	return Node{
+		Host:                perfmodel.XeonE5_2680v2(),
+		Dev:                 perfmodel.XeonPhi5110P(),
+		Link:                perfmodel.DefaultPCIe(),
+		HostOpt:             perfmodel.AllOpt,
+		DevOpt:              perfmodel.AllOpt,
+		HostComputeFraction: 0.35,
+	}
+}
+
+// HostPatternTime is the host-side pattern cost including the availability
+// derating.
+func (n Node) HostPatternTime(count int, flops, bytes float64) float64 {
+	return n.Host.PatternTime(count, flops, bytes, false, n.HostOpt) / n.HostComputeFraction
+}
+
+// devCount returns the accelerator count (at least 1).
+func (n Node) devCount() int {
+	if n.DevCount < 1 {
+		return 1
+	}
+	return n.DevCount
+}
+
+// DevPatternTime is the device-side cost of computing count output elements
+// split evenly across the node's accelerators (each pays its own
+// granularity floor, so small patterns do not scale).
+func (n Node) DevPatternTime(count int, flops, bytes float64) float64 {
+	k := n.devCount()
+	per := (count + k - 1) / k
+	return n.Dev.PatternTime(per, flops, bytes, false, n.DevOpt)
+}

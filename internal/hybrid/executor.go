@@ -1,0 +1,162 @@
+package hybrid
+
+import (
+	"sync"
+
+	"repro/internal/dataflow"
+	"repro/internal/par"
+	"repro/internal/pattern"
+	"repro/internal/perfmodel"
+	"repro/internal/sw"
+)
+
+// Executor is the real hybrid runtime: an sw.Runner that executes every
+// kernel's patterns across two worker pools standing in for the CPU and the
+// accelerator, split according to the schedule's assignment and synchronized
+// at data-flow levels — the concurrency structure of Figure 4(b). Results
+// are exactly those of a serial run (each output element is computed by one
+// iteration with identical arithmetic); the simulated platform clock
+// advances through the attached Sim.
+type Executor struct {
+	Sched    *Schedule
+	HostPool *par.Pool
+	// DevPools holds one worker pool per accelerator (Node.DevCount); the
+	// device share of every pattern range is split contiguously across
+	// them, all running concurrently with the host pool.
+	DevPools []*par.Pool
+	Sim      *Sim
+
+	levels     map[string][][]int
+	ownedPools bool
+}
+
+// NewExecutor creates an executor with its own worker pools (hostWorkers and
+// devWorkers goroutines per pool; <=0 selects GOMAXPROCS). One device pool
+// is created per accelerator in the schedule's node.
+func NewExecutor(sched *Schedule, mc perfmodel.MeshCounts, hostWorkers, devWorkers int) *Executor {
+	devPools := make([]*par.Pool, sched.Node.devCount())
+	for i := range devPools {
+		devPools[i] = par.NewPool(devWorkers)
+	}
+	return &Executor{
+		Sched:      sched,
+		HostPool:   par.NewPool(hostWorkers),
+		DevPools:   devPools,
+		Sim:        NewSim(sched, mc),
+		levels:     map[string][][]int{},
+		ownedPools: true,
+	}
+}
+
+// Close releases the executor's worker pools.
+func (e *Executor) Close() {
+	if e.ownedPools {
+		e.HostPool.Close()
+		for _, p := range e.DevPools {
+			p.Close()
+		}
+	}
+}
+
+// SimTime returns the accumulated simulated platform seconds.
+func (e *Executor) SimTime() float64 { return e.Sim.Time }
+
+// kernelLevels caches the intra-kernel data-flow levels.
+func (e *Executor) kernelLevels(k *sw.Kernel) [][]int {
+	if lv, ok := e.levels[k.Name]; ok {
+		return lv
+	}
+	insts := make([]pattern.Instance, len(k.Patterns))
+	for i, p := range k.Patterns {
+		insts[i] = p.Info
+	}
+	lv := dataflow.Build(insts).Levels()
+	e.levels[k.Name] = lv
+	return lv
+}
+
+// RunKernel implements sw.Runner: level by level, the host pool runs each
+// pattern's leading HostFrac of the output range while the device pool runs
+// the rest, concurrently.
+func (e *Executor) RunKernel(k *sw.Kernel) {
+	nDev := len(e.DevPools)
+	for _, level := range e.kernelLevels(k) {
+		type task struct {
+			run    func(lo, hi int)
+			lo, hi int
+		}
+		var hostTasks []task
+		devTasks := make([][]task, nDev)
+		for _, pi := range level {
+			p := k.Patterns[pi]
+			f := e.Sched.Assign.HostFrac(p.Info.ID)
+			nH := int(f * float64(p.N))
+			if nH > 0 {
+				hostTasks = append(hostTasks, task{p.Run, 0, nH})
+			}
+			// Split the device share contiguously across the accelerators.
+			rem := p.N - nH
+			lo := nH
+			for d := 0; d < nDev && rem > 0; d++ {
+				chunk := rem / (nDev - d)
+				if d == nDev-1 || chunk == 0 {
+					chunk = rem
+				}
+				devTasks[d] = append(devTasks[d], task{p.Run, lo, lo + chunk})
+				lo += chunk
+				rem -= chunk
+			}
+		}
+		var wg sync.WaitGroup
+		runOn := func(pool *par.Pool, tasks []task) {
+			for _, t := range tasks {
+				pool.ForRange(t.lo, t.hi, t.run)
+			}
+		}
+		// The last non-empty worker runs inline; the rest on goroutines.
+		type unit struct {
+			pool  *par.Pool
+			tasks []task
+		}
+		var units []unit
+		if len(hostTasks) > 0 {
+			units = append(units, unit{e.HostPool, hostTasks})
+		}
+		for d := 0; d < nDev; d++ {
+			if len(devTasks[d]) > 0 {
+				units = append(units, unit{e.DevPools[d], devTasks[d]})
+			}
+		}
+		for i := 0; i+1 < len(units); i++ {
+			wg.Add(1)
+			go func(u unit) {
+				defer wg.Done()
+				runOn(u.pool, u.tasks)
+			}(units[i])
+		}
+		if len(units) > 0 {
+			runOn(units[len(units)-1].pool, units[len(units)-1].tasks)
+		}
+		wg.Wait()
+	}
+	// Advance the simulated platform clock for this kernel.
+	works := make([]perfmodel.PatternWork, len(k.Patterns))
+	for i, p := range k.Patterns {
+		works[i] = perfmodel.PatternWork{
+			Inst: p.Info, N: p.N, Flops: p.FlopsPerElem, Bytes: p.BytesPerElem,
+		}
+	}
+	e.Sim.RunKernel(k.Name, works)
+}
+
+// NewHybridSolver wires a solver to a hybrid executor on its mesh.
+func NewHybridSolver(s *sw.Solver, sched *Schedule, hostWorkers, devWorkers int) *Executor {
+	mc := perfmodel.MeshCounts{
+		Cells:    s.M.NCells,
+		Edges:    s.M.NEdges,
+		Vertices: s.M.NVertices,
+	}
+	e := NewExecutor(sched, mc, hostWorkers, devWorkers)
+	s.Runner = e
+	return e
+}

@@ -1,0 +1,65 @@
+package hybrid
+
+import "repro/internal/perfmodel"
+
+// TunePatternDriven searches the adjustable host fraction of the
+// pattern-driven design (the light-yellow boxes of Figure 4b) for the value
+// minimizing the simulated step time on a mesh of the given size — the
+// paper's "operations can be adaptively controlled according to the
+// configuration of the heterogeneous system, so that the load balance is
+// improved".
+func TunePatternDriven(mc perfmodel.MeshCounts) (best float64, bestTime float64) {
+	bestTime = -1
+	for f := 0.0; f <= 0.9001; f += 0.05 {
+		t := SimulateStep(PatternDrivenSchedule(f), mc, false).Time
+		if bestTime < 0 || t < bestTime {
+			best, bestTime = f, t
+		}
+	}
+	return best, bestTime
+}
+
+// Figure7Row is one mesh size of the paper's Figure 7.
+type Figure7Row struct {
+	Cells          int
+	CPUSerial      float64 // seconds/step, original single-process code
+	KernelLevel    float64
+	PatternDriven  float64
+	KernelSpeedup  float64
+	PatternSpeedup float64
+	TunedFraction  float64
+}
+
+// Figure7 computes the Figure 7 comparison for the given mesh sizes (the
+// paper uses 40962, 163842, 655362 and 2621442 cells).
+func Figure7(cellCounts []int) []Figure7Row {
+	var rows []Figure7Row
+	for _, n := range cellCounts {
+		mc := perfmodel.CountsForCells(n)
+		cpu := CPUSerialStep(mc)
+		kl := SimulateStep(KernelLevelSchedule(), mc, false).Time
+		frac, pd := TunePatternDriven(mc)
+		rows = append(rows, Figure7Row{
+			Cells:          n,
+			CPUSerial:      cpu,
+			KernelLevel:    kl,
+			PatternDriven:  pd,
+			KernelSpeedup:  cpu / kl,
+			PatternSpeedup: cpu / pd,
+			TunedFraction:  frac,
+		})
+	}
+	return rows
+}
+
+// CPUSerialStep returns the modeled per-step time of the original code: one
+// CPU core per MPI process, no threading, scatter-form loops.
+func CPUSerialStep(mc perfmodel.MeshCounts) float64 {
+	return perfmodel.StepTime(perfmodel.XeonE5_2680v2(), mc, perfmodel.Opt{})
+}
+
+// DeviceLadder reproduces Figure 6 (single-device optimization ladder) — a
+// thin re-export so harness binaries depend only on this package.
+func DeviceLadder(cells int) (labels []string, speedups []float64) {
+	return perfmodel.Figure6Ladder(perfmodel.CountsForCells(cells))
+}

@@ -1,0 +1,82 @@
+package hybrid
+
+import (
+	"testing"
+
+	"repro/internal/perfmodel"
+	"repro/internal/sw"
+	"repro/internal/testcases"
+)
+
+// twoPhiSchedule is the full-node configuration of the paper's platform:
+// one CPU socket driving both Xeon Phis.
+func twoPhiSchedule(frac float64) *Schedule {
+	node := DefaultNode()
+	node.DevCount = 2
+	return &Schedule{
+		Node:             node,
+		Assign:           PatternDrivenAssignment(frac),
+		OverlapTransfers: true,
+		ResidentData:     true,
+	}
+}
+
+func TestTwoDevicesFasterButSublinear(t *testing.T) {
+	mc := perfmodel.CountsForCells(655362)
+	one := SimulateStep(PatternDrivenSchedule(0.2), mc, false).Time
+	two := SimulateStep(twoPhiSchedule(0.2), mc, false).Time
+	if two >= one {
+		t.Errorf("second accelerator did not help: %v vs %v", two, one)
+	}
+	if one/two > 2 {
+		t.Errorf("super-linear device scaling: %v", one/two)
+	}
+	// On a tiny mesh the granularity floor eats the second device's gain.
+	mcSmall := perfmodel.CountsForCells(2562)
+	oneS := SimulateStep(PatternDrivenSchedule(0.2), mcSmall, false).Time
+	twoS := SimulateStep(twoPhiSchedule(0.2), mcSmall, false).Time
+	gainLarge := one / two
+	gainSmall := oneS / twoS
+	if gainSmall >= gainLarge {
+		t.Errorf("small-mesh device scaling (%v) should trail large-mesh (%v)", gainSmall, gainLarge)
+	}
+}
+
+func TestTwoDeviceExecutorBitwiseMatchesSerial(t *testing.T) {
+	m := mesh3(t)
+	serial, _ := sw.NewSolver(m, sw.DefaultConfig(m))
+	testcases.SetupTC5(serial)
+	serial.Run(4)
+
+	hyb, _ := sw.NewSolver(m, sw.DefaultConfig(m))
+	e := NewHybridSolver(hyb, twoPhiSchedule(0.3), 2, 2)
+	defer e.Close()
+	if len(e.DevPools) != 2 {
+		t.Fatalf("%d device pools, want 2", len(e.DevPools))
+	}
+	testcases.SetupTC5(hyb)
+	hyb.Run(4)
+	for c := range serial.State.H {
+		if serial.State.H[c] != hyb.State.H[c] {
+			t.Fatalf("two-device run diverges at cell %d", c)
+		}
+	}
+	for ed := range serial.State.U {
+		if serial.State.U[ed] != hyb.State.U[ed] {
+			t.Fatalf("two-device run diverges at edge %d", ed)
+		}
+	}
+}
+
+func TestDevCountDefaultsToOne(t *testing.T) {
+	n := Node{Dev: perfmodel.XeonPhi5110P(), DevOpt: perfmodel.AllOpt}
+	if n.devCount() != 1 {
+		t.Error("zero DevCount should mean 1")
+	}
+	t1 := n.DevPatternTime(100000, 10, 100)
+	n.DevCount = 4
+	t4 := n.DevPatternTime(100000, 10, 100)
+	if t4 >= t1 {
+		t.Error("4 devices not faster than 1")
+	}
+}

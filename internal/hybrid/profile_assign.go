@@ -1,0 +1,43 @@
+package hybrid
+
+import (
+	"repro/internal/pattern"
+	"repro/internal/sw"
+)
+
+// AssignmentFromProfile builds a kernel-level assignment the way the paper
+// describes the method being practiced (§2.C): "a profiling of the code is
+// done to examine the cost of each kernel ... the more time-consuming
+// kernels will reside on [the device]". Kernels whose measured share of the
+// step time is at least threshold go to the device whole; the rest stay on
+// the host.
+func AssignmentFromProfile(entries []sw.ProfileEntry, threshold float64) Assignment {
+	kernelShare := map[string]float64{}
+	for _, e := range entries {
+		kernelShare[e.Kernel] += e.Share
+	}
+	a := Assignment{}
+	for _, ins := range pattern.Table1 {
+		if kernelShare[ins.Kernel] >= threshold {
+			a[ins.ID] = Placement{HostFrac: 0} // offload the heavy kernel
+		} else {
+			a[ins.ID] = Placement{HostFrac: 1}
+		}
+	}
+	return a
+}
+
+// ProfileGuidedSchedule profiles real execution of the solver for the given
+// number of steps (serially, through a ProfilingRunner), derives the
+// kernel-level assignment, and restores the solver's original runner.
+func ProfileGuidedSchedule(s *sw.Solver, steps int, threshold float64) *Schedule {
+	orig := s.Runner
+	prof := sw.NewProfilingRunner(orig)
+	s.Runner = prof
+	s.Run(steps)
+	s.Runner = orig
+	return &Schedule{
+		Node:   DefaultNode(),
+		Assign: AssignmentFromProfile(prof.Report(), threshold),
+	}
+}

@@ -1,0 +1,71 @@
+package hybrid
+
+import (
+	"testing"
+
+	"repro/internal/pattern"
+	"repro/internal/sw"
+	"repro/internal/testcases"
+)
+
+func TestAssignmentFromProfile(t *testing.T) {
+	entries := []sw.ProfileEntry{
+		{ID: "B1", Kernel: pattern.KernelComputeTend, Share: 0.5},
+		{ID: "A1", Kernel: pattern.KernelComputeTend, Share: 0.1},
+		{ID: "F", Kernel: pattern.KernelSolveDiagnostics, Share: 0.3},
+		{ID: "X2", Kernel: pattern.KernelNextSubstepState, Share: 0.01},
+	}
+	a := AssignmentFromProfile(entries, 0.2)
+	if a.HostFrac("B1") != 0 || a.HostFrac("A1") != 0 {
+		t.Error("compute_tend (60% share) should be offloaded whole")
+	}
+	if a.HostFrac("F") != 0 {
+		t.Error("solve_diagnostics (30%) should be offloaded")
+	}
+	if a.HostFrac("X2") != 1 {
+		t.Error("cheap substep kernel should stay on host")
+	}
+	// All Table I instances placed.
+	for _, ins := range pattern.Table1 {
+		if _, ok := a[ins.ID]; !ok {
+			t.Errorf("%s unplaced", ins.ID)
+		}
+	}
+}
+
+func TestProfileGuidedScheduleEndToEnd(t *testing.T) {
+	m := mesh3(t)
+	s, _ := sw.NewSolver(m, sw.DefaultConfig(m))
+	testcases.SetupTC5(s)
+	sched := ProfileGuidedSchedule(s, 8, 0.05)
+	// Real profiling must find the same heavy kernels the paper's Figure 2
+	// places on the MIC: compute_tend and compute_solve_diagnostics.
+	for _, id := range []string{"B1", "F", "A2", "E"} {
+		if sched.Assign.HostFrac(id) != 0 {
+			t.Errorf("profile-guided schedule keeps heavy pattern %s on host", id)
+		}
+	}
+	for _, id := range []string{"X2", "X4"} {
+		if sched.Assign.HostFrac(id) != 1 {
+			t.Errorf("profile-guided schedule offloads cheap pattern %s", id)
+		}
+	}
+	// The runner was restored.
+	if _, ok := s.Runner.(*sw.ProfilingRunner); ok {
+		t.Error("profiling runner left installed")
+	}
+	// The derived schedule executes correctly.
+	hyb, _ := sw.NewSolver(m, sw.DefaultConfig(m))
+	e := NewHybridSolver(hyb, sched, 2, 2)
+	defer e.Close()
+	testcases.SetupTC5(hyb)
+	hyb.Run(2)
+	ref, _ := sw.NewSolver(m, sw.DefaultConfig(m))
+	testcases.SetupTC5(ref)
+	ref.Run(2)
+	for c := range ref.State.H {
+		if ref.State.H[c] != hyb.State.H[c] {
+			t.Fatalf("profile-guided run diverges at cell %d", c)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package hybrid
+
+import (
+	"repro/internal/dataflow"
+	"repro/internal/pattern"
+	"repro/internal/perfmodel"
+)
+
+// AutoAssign derives a pattern placement automatically from the platform
+// performance model and the data-flow graph — the paper's §6 future work
+// ("building performance models for the pattern-driven design"), made
+// concrete: per data-flow level, the divisible patterns are split between
+// host and device with the fraction that equalizes the two finish times,
+// given the work already pinned to each side.
+//
+// Wide edge stencils (shapes B and F) stay on the device: splitting them
+// would move their large gather neighborhoods across PCIe every stage,
+// which the transfer model (and the paper's design) rules out.
+func AutoAssign(node Node, mc perfmodel.MeshCounts, highOrder bool) Assignment {
+	w := perfmodel.Workload(mc, highOrder)
+	byKernel := map[string][]perfmodel.PatternWork{}
+	for _, pw := range w {
+		byKernel[pw.Inst.Kernel] = append(byKernel[pw.Inst.Kernel], pw)
+	}
+	assign := Assignment{}
+	for _, kernel := range pattern.Kernels() {
+		pats := byKernel[kernel]
+		if len(pats) == 0 {
+			continue
+		}
+		insts := make([]pattern.Instance, len(pats))
+		for i, p := range pats {
+			insts[i] = p.Inst
+		}
+		for _, level := range dataflow.Build(insts).Levels() {
+			assignLevel(node, assign, pats, level)
+		}
+	}
+	return assign
+}
+
+// divisible reports whether a pattern's range may be split across devices.
+func divisible(sh pattern.Shape) bool {
+	return sh != pattern.ShapeB && sh != pattern.ShapeF
+}
+
+// assignLevel chooses placements for the patterns of one concurrency level.
+func assignLevel(node Node, assign Assignment, pats []perfmodel.PatternWork, level []int) {
+	// Fixed device work: indivisible patterns. Divisible work measured in
+	// seconds on each side.
+	var fixedDev, divHost, divDev float64
+	for _, pi := range level {
+		p := pats[pi]
+		tH := node.HostPatternTime(p.N, p.Flops, p.Bytes)
+		tD := node.DevPatternTime(p.N, p.Flops, p.Bytes)
+		if !divisible(p.Inst.Shape) {
+			fixedDev += tD
+			assign[p.Inst.ID] = Placement{HostFrac: 0}
+			continue
+		}
+		divHost += tH
+		divDev += tD
+	}
+	if divHost+divDev == 0 {
+		return
+	}
+	// Level finish time with host fraction f applied to all divisible
+	// patterns: max(f*divHost, fixedDev + (1-f)*divDev). Equalize.
+	f := (fixedDev + divDev) / (divHost + divDev)
+	f = clamp01(f)
+	for _, pi := range level {
+		p := pats[pi]
+		if divisible(p.Inst.Shape) {
+			assign[p.Inst.ID] = Placement{HostFrac: f}
+		}
+	}
+}
+
+// AutoSchedule wraps AutoAssign into a runnable schedule with resident data
+// and overlapped transfers (the pattern-driven execution machinery).
+func AutoSchedule(mc perfmodel.MeshCounts) *Schedule {
+	node := DefaultNode()
+	return &Schedule{
+		Node:             node,
+		Assign:           AutoAssign(node, mc, false),
+		OverlapTransfers: true,
+		ResidentData:     true,
+	}
+}

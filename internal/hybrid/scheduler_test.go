@@ -1,0 +1,83 @@
+package hybrid
+
+import (
+	"testing"
+
+	"repro/internal/pattern"
+	"repro/internal/perfmodel"
+	"repro/internal/sw"
+	"repro/internal/testcases"
+)
+
+func TestAutoAssignCoversAllDefaultPatterns(t *testing.T) {
+	mc := perfmodel.CountsForCells(163842)
+	a := AutoAssign(DefaultNode(), mc, false)
+	for _, ins := range pattern.Table1 {
+		if ins.Optional {
+			continue
+		}
+		if _, ok := a[ins.ID]; !ok {
+			t.Errorf("auto assignment misses %s", ins.ID)
+		}
+	}
+	// Wide stencils pinned to the device.
+	for _, id := range []string{"B1", "B2", "F"} {
+		if a.HostFrac(id) != 0 {
+			t.Errorf("auto assignment splits wide stencil %s", id)
+		}
+	}
+	// Fractions are sane.
+	for id, p := range a {
+		if p.HostFrac < 0 || p.HostFrac > 1 {
+			t.Errorf("%s fraction %v", id, p.HostFrac)
+		}
+	}
+	// High-order workload also covered.
+	aHO := AutoAssign(DefaultNode(), mc, true)
+	if _, ok := aHO["C1"]; !ok {
+		t.Error("high-order auto assignment misses C1")
+	}
+}
+
+func TestAutoScheduleCompetitiveWithTunedHandSchedule(t *testing.T) {
+	// The model-derived schedule must be at least as good as the paper's
+	// hand schedule with a tuned adjustable fraction (it has strictly more
+	// freedom), and clearly better than device-only.
+	for _, cells := range []int{40962, 655362, 2621442} {
+		mc := perfmodel.CountsForCells(cells)
+		_, tuned := TunePatternDriven(mc)
+		auto := SimulateStep(AutoSchedule(mc), mc, false).Time
+		devOnly := SimulateStep(&Schedule{
+			Node: DefaultNode(), Assign: DeviceOnlyAssignment(),
+			OverlapTransfers: true, ResidentData: true,
+		}, mc, false).Time
+		if auto > tuned*1.05 {
+			t.Errorf("cells %d: auto %v worse than tuned hand schedule %v", cells, auto, tuned)
+		}
+		if auto >= devOnly {
+			t.Errorf("cells %d: auto %v no better than device-only %v", cells, auto, devOnly)
+		}
+	}
+}
+
+func TestAutoScheduleExecutesCorrectly(t *testing.T) {
+	m := mesh3(t)
+	mc := perfmodel.MeshCounts{Cells: m.NCells, Edges: m.NEdges, Vertices: m.NVertices}
+	run := func(sched *Schedule) *sw.Solver {
+		s, _ := sw.NewSolver(m, sw.DefaultConfig(m))
+		if sched != nil {
+			e := NewHybridSolver(s, sched, 2, 2)
+			defer e.Close()
+		}
+		testcases.SetupTC5(s)
+		s.Run(3)
+		return s
+	}
+	serial := run(nil)
+	auto := run(AutoSchedule(mc))
+	for c := range serial.State.H {
+		if serial.State.H[c] != auto.State.H[c] {
+			t.Fatalf("auto schedule diverges at cell %d", c)
+		}
+	}
+}

@@ -1,0 +1,317 @@
+package hybrid
+
+import (
+	"repro/internal/dataflow"
+	"repro/internal/pattern"
+	"repro/internal/perfmodel"
+)
+
+// Schedule is a complete hybrid execution policy: the platform, the pattern
+// assignment, and whether host-device transfers overlap with computation
+// (the pattern-driven design overlaps; the kernel-level design does not).
+type Schedule struct {
+	Node             Node
+	Assign           Assignment
+	OverlapTransfers bool
+	// ResidentData keeps model arrays resident on the device, transferring
+	// only the fractions a split moves (§4.A) — the pattern-driven
+	// behaviour. When false, every offloaded kernel ships its inputs in and
+	// its outputs back, the "repeated data transfer" drawback the paper
+	// ascribes to the kernel-level design (§2.C).
+	ResidentData bool
+}
+
+// KernelLevelSchedule returns the Figure 2 design on the default platform.
+func KernelLevelSchedule() *Schedule {
+	return &Schedule{Node: DefaultNode(), Assign: KernelLevelAssignment()}
+}
+
+// PatternDrivenSchedule returns the Figure 4(b) design with the given
+// adjustable host fraction.
+func PatternDrivenSchedule(adjustable float64) *Schedule {
+	return &Schedule{
+		Node:             DefaultNode(),
+		Assign:           PatternDrivenAssignment(adjustable),
+		OverlapTransfers: true,
+		ResidentData:     true,
+	}
+}
+
+// varState tracks which leading fraction of a variable's array the host
+// holds and which trailing fraction the device holds. Splits are spatially
+// aligned (the host always owns the leading chunk), so a side that wrote its
+// fraction needs no transfer to read it back.
+type varState struct {
+	hostHas float64 // host holds the first hostHas of the array
+	devHas  float64 // device holds the last devHas
+}
+
+// Sim accumulates simulated time for a sequence of kernel executions under a
+// schedule — the clock of the hybrid run.
+type Sim struct {
+	Sched *Schedule
+	MC    perfmodel.MeshCounts
+
+	Time          float64 // simulated wall time, seconds
+	HostBusy      float64 // total host compute seconds
+	DevBusy       float64 // total device compute seconds
+	TransferTime  float64
+	TransferBytes float64
+	Transfers     int
+
+	vars   map[string]*varState
+	levels map[string][][]int // kernel name -> pattern index levels
+	kinds  map[string]perfmodel.PointKind
+}
+
+// NewSim starts a simulation with all model data resident on both sides (the
+// paper's §4.A: everything is offloaded once at startup and the mesh stays
+// on the device).
+func NewSim(sched *Schedule, mc perfmodel.MeshCounts) *Sim {
+	return &Sim{
+		Sched:  sched,
+		MC:     mc,
+		vars:   map[string]*varState{},
+		levels: map[string][][]int{},
+		kinds:  variableKinds(),
+	}
+}
+
+// variableKinds maps every model variable to the mesh point set sizing it.
+func variableKinds() map[string]perfmodel.PointKind {
+	kinds := map[string]perfmodel.PointKind{
+		"h0": perfmodel.PerCell, "h_new": perfmodel.PerCell,
+		"u0": perfmodel.PerEdge, "u_new": perfmodel.PerEdge,
+		"h_vertex": perfmodel.PerVertex,
+	}
+	toKind := func(p pattern.PointType) perfmodel.PointKind {
+		switch p {
+		case pattern.Mass:
+			return perfmodel.PerCell
+		case pattern.Velocity:
+			return perfmodel.PerEdge
+		default:
+			return perfmodel.PerVertex
+		}
+	}
+	for _, ins := range pattern.Table1 {
+		for _, v := range ins.Writes {
+			kinds[v] = toKind(ins.Out)
+		}
+	}
+	return kinds
+}
+
+func (s *Sim) state(v string) *varState {
+	st, ok := s.vars[v]
+	if !ok {
+		st = &varState{hostHas: 1, devHas: 1}
+		s.vars[v] = st
+	}
+	return st
+}
+
+func (s *Sim) varBytes(v string) float64 {
+	kind, ok := s.kinds[v]
+	if !ok {
+		return 0 // static mesh data: resident on both (setup transfer)
+	}
+	return float64(s.MC.Elements(kind)) * 8
+}
+
+// need charges a transfer making fraction f of variable v available on the
+// given side, and returns the transfer seconds charged.
+func (s *Sim) need(v string, side Side, f float64) float64 {
+	if f <= 0 {
+		return 0
+	}
+	bytes := s.varBytes(v)
+	if bytes == 0 {
+		return 0
+	}
+	st := s.state(v)
+	var missing float64
+	if side == Host {
+		missing = f - st.hostHas
+	} else {
+		missing = f - st.devHas
+	}
+	if missing <= 0 {
+		return 0
+	}
+	moved := missing * bytes
+	t := s.Sched.Node.Link.TransferTime(moved)
+	s.TransferBytes += moved
+	s.TransferTime += t
+	s.Transfers++
+	if side == Host {
+		st.hostHas = f
+	} else {
+		st.devHas = f
+	}
+	return t
+}
+
+// kernelLevels returns (cached) the data-flow levels of the kernel's
+// pattern list — the intra-kernel concurrency sets.
+func (s *Sim) kernelLevels(name string, pats []perfmodel.PatternWork) [][]int {
+	if lv, ok := s.levels[name]; ok {
+		return lv
+	}
+	insts := make([]pattern.Instance, len(pats))
+	for i, p := range pats {
+		insts[i] = p.Inst
+	}
+	lv := dataflow.Build(insts).Levels()
+	s.levels[name] = lv
+	return lv
+}
+
+// RunKernel advances the simulated clock over one kernel execution.
+func (s *Sim) RunKernel(name string, pats []perfmodel.PatternWork) {
+	if len(pats) == 0 {
+		return
+	}
+	node := s.Sched.Node
+	assign := s.Sched.Assign
+
+	nHostPats, nDevPats := 0, 0
+	for _, p := range pats {
+		f := assign.HostFrac(p.Inst.ID)
+		if f > 0 {
+			nHostPats++
+		}
+		if f < 1 {
+			nDevPats++
+		}
+	}
+	kernelTime := 0.0
+	if nHostPats > 0 {
+		kernelTime = node.Host.RegionCost(nHostPats, node.HostOpt)
+	}
+	if nDevPats > 0 {
+		if rc := node.Dev.RegionCost(nDevPats, node.DevOpt); rc > kernelTime {
+			kernelTime = rc
+		}
+	}
+
+	// Without device-resident data (kernel-level design), every offloaded
+	// kernel ships its distinct inputs in and its outputs back.
+	if !s.Sched.ResidentData {
+		kernelTime += s.chargeKernelTransfers(pats)
+	}
+
+	for _, level := range s.kernelLevels(name, pats) {
+		var hostT, devT, xferT float64
+		for _, pi := range level {
+			p := pats[pi]
+			f := assign.HostFrac(p.Inst.ID)
+			nH := int(f * float64(p.N))
+			nD := p.N - nH
+			if s.Sched.ResidentData {
+				// Input movement: each side needs its fraction of every
+				// read variable (plus a stencil halo, negligible here).
+				for _, v := range p.Inst.Reads {
+					if nH > 0 {
+						xferT += s.need(v, Host, f)
+					}
+					if nD > 0 {
+						xferT += s.need(v, Dev, 1-f)
+					}
+				}
+				// Outputs become split-resident.
+				for _, v := range p.Inst.Writes {
+					st := s.state(v)
+					st.hostHas = f
+					st.devHas = 1 - f
+				}
+			}
+			if nH > 0 {
+				hostT += node.HostPatternTime(nH, p.Flops, p.Bytes)
+			}
+			if nD > 0 {
+				devT += node.DevPatternTime(nD, p.Flops, p.Bytes)
+			}
+		}
+		s.HostBusy += hostT
+		s.DevBusy += devT
+		levelT := hostT
+		if devT > levelT {
+			levelT = devT
+		}
+		if s.Sched.OverlapTransfers {
+			if xferT > levelT {
+				levelT = xferT
+			}
+		} else {
+			levelT += xferT
+		}
+		kernelTime += levelT
+	}
+	s.Time += kernelTime
+}
+
+// chargeKernelTransfers bills the in/out transfers of one offloaded kernel
+// when data is not device-resident, returning the transfer seconds.
+func (s *Sim) chargeKernelTransfers(pats []perfmodel.PatternWork) float64 {
+	seen := map[string]bool{}
+	total := 0.0
+	charge := func(v string, frac float64) {
+		if seen[v] || frac <= 0 {
+			return
+		}
+		seen[v] = true
+		bytes := s.varBytes(v) * frac
+		if bytes == 0 {
+			return
+		}
+		t := s.Sched.Node.Link.TransferTime(bytes)
+		s.TransferBytes += bytes
+		s.TransferTime += t
+		s.Transfers++
+		total += t
+	}
+	for _, p := range pats {
+		devFrac := 1 - s.Sched.Assign.HostFrac(p.Inst.ID)
+		for _, v := range p.Inst.Reads {
+			charge(v, devFrac)
+		}
+		for _, v := range p.Inst.Writes {
+			charge(v, devFrac)
+		}
+	}
+	return total
+}
+
+// StateCopies charges the RK driver's per-step state copies (provisional
+// state and accumulator initialization): each side copies the portion it
+// holds through its own memory system.
+func (s *Sim) StateCopies() {
+	bytes := float64(s.MC.Cells+s.MC.Edges) * 8 * 2 * 2
+	node := s.Sched.Node
+	tH := bytes / node.Host.Bandwidth(node.HostOpt)
+	tD := bytes / node.Dev.Bandwidth(node.DevOpt)
+	t := tH
+	if tD > t {
+		t = tD
+	}
+	s.Time += t
+}
+
+// SimulateStep returns the simulated cost of one full RK-4 step of the model
+// on mesh counts mc under the schedule.
+func SimulateStep(sched *Schedule, mc perfmodel.MeshCounts, highOrder bool) *Sim {
+	sim := NewSim(sched, mc)
+	w := perfmodel.Workload(mc, highOrder)
+	byKernel := map[string][]perfmodel.PatternWork{}
+	for _, pw := range w {
+		byKernel[pw.Inst.Kernel] = append(byKernel[pw.Inst.Kernel], pw)
+	}
+	sim.StateCopies()
+	for stage := 0; stage < 4; stage++ {
+		for _, k := range perfmodel.StageKernels(stage) {
+			sim.RunKernel(k, byKernel[k])
+		}
+	}
+	return sim
+}

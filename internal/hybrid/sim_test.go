@@ -1,0 +1,86 @@
+package hybrid
+
+import (
+	"testing"
+
+	"repro/internal/pattern"
+	"repro/internal/perfmodel"
+)
+
+func TestLedgerAlignedSplitsNeedNoTransfer(t *testing.T) {
+	sched := PatternDrivenSchedule(0.4)
+	sim := NewSim(sched, perfmodel.CountsForCells(2562))
+	// A writer splits h 40/60; a reader with the same split reads for free.
+	st := sim.state("h")
+	st.hostHas, st.devHas = 0.4, 0.6
+	if tr := sim.need("h", Host, 0.4); tr != 0 {
+		t.Errorf("aligned host read charged %v", tr)
+	}
+	if tr := sim.need("h", Dev, 0.6); tr != 0 {
+		t.Errorf("aligned dev read charged %v", tr)
+	}
+	// Reading MORE than the resident fraction transfers only the excess.
+	bytesBefore := sim.TransferBytes
+	if tr := sim.need("h", Host, 0.5); tr <= 0 {
+		t.Error("widened host read was free")
+	}
+	moved := sim.TransferBytes - bytesBefore
+	want := 0.1 * float64(2562) * 8
+	if moved < want*0.99 || moved > want*1.01 {
+		t.Errorf("moved %v bytes, want ~%v", moved, want)
+	}
+	// And now it is resident: a repeat read is free.
+	if tr := sim.need("h", Host, 0.5); tr != 0 {
+		t.Error("repeat read charged again")
+	}
+}
+
+func TestLedgerUnknownVariableIsFree(t *testing.T) {
+	sim := NewSim(PatternDrivenSchedule(0.3), perfmodel.CountsForCells(2562))
+	// Static mesh data (not in the variable-kind table) never transfers.
+	if tr := sim.need("dcEdge-not-a-model-var", Host, 1); tr != 0 {
+		t.Error("static data charged")
+	}
+}
+
+func TestVariableKindsComplete(t *testing.T) {
+	kinds := variableKinds()
+	// Every variable read or written by any Table I instance must have a
+	// size class, except none — verify exhaustively.
+	for _, ins := range pattern.Table1 {
+		for _, v := range append(append([]string{}, ins.Reads...), ins.Writes...) {
+			if _, ok := kinds[v]; !ok {
+				t.Errorf("variable %q (used by %s) has no size class", v, ins.ID)
+			}
+		}
+	}
+}
+
+func TestRunKernelEmptyNoop(t *testing.T) {
+	sim := NewSim(PatternDrivenSchedule(0.3), perfmodel.CountsForCells(2562))
+	before := sim.Time
+	sim.RunKernel("empty", nil)
+	if sim.Time != before {
+		t.Error("empty kernel advanced the clock")
+	}
+}
+
+func TestStateCopiesAdvanceClock(t *testing.T) {
+	sim := NewSim(PatternDrivenSchedule(0.3), perfmodel.CountsForCells(40962))
+	sim.StateCopies()
+	if sim.Time <= 0 {
+		t.Error("state copies free")
+	}
+}
+
+func TestHostAvailabilityDeratesHostTime(t *testing.T) {
+	full := DefaultNode()
+	full.HostComputeFraction = 1
+	half := DefaultNode()
+	half.HostComputeFraction = 0.5
+	tFull := full.HostPatternTime(100000, 10, 100)
+	tHalf := half.HostPatternTime(100000, 10, 100)
+	if tHalf < tFull*1.9 || tHalf > tFull*2.1 {
+		t.Errorf("derating wrong: %v vs %v", tFull, tHalf)
+	}
+}

@@ -1,0 +1,173 @@
+// Package icosa generates spherical triangulations by recursive subdivision
+// of the regular icosahedron. The nodes of the level-n triangulation are the
+// generator points of a quasi-uniform spherical centroidal Voronoi
+// tessellation with 10*4^n + 2 cells — exactly the mesh family used by the
+// MPAS shallow-water experiments (Table III of the paper: levels 6..9 give
+// 40962, 163842, 655362 and 2621442 cells).
+package icosa
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Triangulation is a triangulated closed surface on the unit sphere. Nodes
+// become Voronoi generators (mesh cells); triangles become Voronoi corners
+// (dual-mesh vertices).
+type Triangulation struct {
+	Nodes     []geom.Vec3 // unit vectors
+	Triangles [][3]int32  // node indices, counterclockwise seen from outside
+	Level     int
+}
+
+// NumCells returns the number of Voronoi cells a level-n subdivision
+// produces: 10*4^n + 2.
+func NumCells(level int) int {
+	return 10*(1<<(2*uint(level))) + 2
+}
+
+// LevelForCells returns the subdivision level whose cell count is n, or an
+// error if n is not of the form 10*4^level + 2.
+func LevelForCells(n int) (int, error) {
+	for level := 0; level <= 12; level++ {
+		if NumCells(level) == n {
+			return level, nil
+		}
+	}
+	return 0, fmt.Errorf("icosa: %d is not 10*4^n+2 for any n<=12", n)
+}
+
+// Base returns the regular icosahedron: 12 nodes, 20 triangles.
+func Base() *Triangulation {
+	phi := (1 + math.Sqrt(5)) / 2
+	raw := []geom.Vec3{
+		geom.V(-1, phi, 0), geom.V(1, phi, 0), geom.V(-1, -phi, 0), geom.V(1, -phi, 0),
+		geom.V(0, -1, phi), geom.V(0, 1, phi), geom.V(0, -1, -phi), geom.V(0, 1, -phi),
+		geom.V(phi, 0, -1), geom.V(phi, 0, 1), geom.V(-phi, 0, -1), geom.V(-phi, 0, 1),
+	}
+	nodes := make([]geom.Vec3, len(raw))
+	for i, v := range raw {
+		nodes[i] = v.Normalize()
+	}
+	tris := [][3]int32{
+		{0, 11, 5}, {0, 5, 1}, {0, 1, 7}, {0, 7, 10}, {0, 10, 11},
+		{1, 5, 9}, {5, 11, 4}, {11, 10, 2}, {10, 7, 6}, {7, 1, 8},
+		{3, 9, 4}, {3, 4, 2}, {3, 2, 6}, {3, 6, 8}, {3, 8, 9},
+		{4, 9, 5}, {2, 4, 11}, {6, 2, 10}, {8, 6, 7}, {9, 8, 1},
+	}
+	tr := &Triangulation{Nodes: nodes, Triangles: tris, Level: 0}
+	tr.orientCCW()
+	return tr
+}
+
+// Subdivide returns a new triangulation with each triangle split into four,
+// midpoints projected onto the sphere.
+func (t *Triangulation) Subdivide() *Triangulation {
+	type edgeKey struct{ a, b int32 }
+	mid := make(map[edgeKey]int32, len(t.Triangles)*3/2)
+	nodes := make([]geom.Vec3, len(t.Nodes), len(t.Nodes)+len(t.Triangles)*3/2)
+	copy(nodes, t.Nodes)
+
+	midpoint := func(a, b int32) int32 {
+		k := edgeKey{a, b}
+		if a > b {
+			k = edgeKey{b, a}
+		}
+		if idx, ok := mid[k]; ok {
+			return idx
+		}
+		p := nodes[a].Add(nodes[b]).Normalize()
+		idx := int32(len(nodes))
+		nodes = append(nodes, p)
+		mid[k] = idx
+		return idx
+	}
+
+	tris := make([][3]int32, 0, len(t.Triangles)*4)
+	for _, tri := range t.Triangles {
+		a, b, c := tri[0], tri[1], tri[2]
+		ab := midpoint(a, b)
+		bc := midpoint(b, c)
+		ca := midpoint(c, a)
+		tris = append(tris,
+			[3]int32{a, ab, ca},
+			[3]int32{b, bc, ab},
+			[3]int32{c, ca, bc},
+			[3]int32{ab, bc, ca},
+		)
+	}
+	nt := &Triangulation{Nodes: nodes, Triangles: tris, Level: t.Level + 1}
+	nt.orientCCW()
+	return nt
+}
+
+// Generate returns the level-n subdivision of the icosahedron.
+func Generate(level int) *Triangulation {
+	if level < 0 {
+		level = 0
+	}
+	t := Base()
+	for i := 0; i < level; i++ {
+		t = t.Subdivide()
+	}
+	return t
+}
+
+// orientCCW flips any triangle whose winding is clockwise as seen from
+// outside the sphere, so all triangles wind counterclockwise.
+func (t *Triangulation) orientCCW() {
+	for i, tri := range t.Triangles {
+		a, b, c := t.Nodes[tri[0]], t.Nodes[tri[1]], t.Nodes[tri[2]]
+		if !geom.CCW(a, b, c) {
+			t.Triangles[i][1], t.Triangles[i][2] = tri[2], tri[1]
+		}
+	}
+}
+
+// Validate checks structural invariants: node/triangle counts for the level,
+// the Euler characteristic of a sphere (V - E + F = 2), unit nodes, and CCW
+// winding. It returns the first violation found.
+func (t *Triangulation) Validate() error {
+	if len(t.Nodes) != NumCells(t.Level) {
+		return fmt.Errorf("icosa: level %d has %d nodes, want %d", t.Level, len(t.Nodes), NumCells(t.Level))
+	}
+	wantTris := 20 * (1 << (2 * uint(t.Level)))
+	if len(t.Triangles) != wantTris {
+		return fmt.Errorf("icosa: level %d has %d triangles, want %d", t.Level, len(t.Triangles), wantTris)
+	}
+	edges := make(map[[2]int32]int)
+	for ti, tri := range t.Triangles {
+		for k := 0; k < 3; k++ {
+			a, b := tri[k], tri[(k+1)%3]
+			if a == b {
+				return fmt.Errorf("icosa: triangle %d repeats node %d", ti, a)
+			}
+			key := [2]int32{a, b}
+			if a > b {
+				key = [2]int32{b, a}
+			}
+			edges[key]++
+		}
+		va, vb, vc := t.Nodes[tri[0]], t.Nodes[tri[1]], t.Nodes[tri[2]]
+		if !geom.CCW(va, vb, vc) {
+			return fmt.Errorf("icosa: triangle %d not CCW", ti)
+		}
+	}
+	for key, n := range edges {
+		if n != 2 {
+			return fmt.Errorf("icosa: edge %v used by %d triangles, want 2 (closed surface)", key, n)
+		}
+	}
+	v, e, f := len(t.Nodes), len(edges), len(t.Triangles)
+	if v-e+f != 2 {
+		return fmt.Errorf("icosa: Euler characteristic %d != 2", v-e+f)
+	}
+	for i, p := range t.Nodes {
+		if math.Abs(p.Norm()-1) > 1e-12 {
+			return fmt.Errorf("icosa: node %d not on unit sphere (|p|=%v)", i, p.Norm())
+		}
+	}
+	return nil
+}

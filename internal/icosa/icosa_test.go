@@ -1,0 +1,140 @@
+package icosa
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestNumCells(t *testing.T) {
+	want := map[int]int{0: 12, 1: 42, 2: 162, 3: 642, 4: 2562, 5: 10242, 6: 40962, 7: 163842, 8: 655362, 9: 2621442}
+	for level, n := range want {
+		if got := NumCells(level); got != n {
+			t.Errorf("NumCells(%d) = %d, want %d", level, got, n)
+		}
+	}
+}
+
+func TestLevelForCells(t *testing.T) {
+	for _, n := range []int{40962, 163842, 655362, 2621442} {
+		level, err := LevelForCells(n)
+		if err != nil {
+			t.Fatalf("LevelForCells(%d): %v", n, err)
+		}
+		if NumCells(level) != n {
+			t.Errorf("round trip failed for %d", n)
+		}
+	}
+	if _, err := LevelForCells(1000); err == nil {
+		t.Error("expected error for non-icosahedral count")
+	}
+}
+
+func TestBaseIcosahedron(t *testing.T) {
+	b := Base()
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Nodes) != 12 || len(b.Triangles) != 20 {
+		t.Fatalf("base: %d nodes %d triangles", len(b.Nodes), len(b.Triangles))
+	}
+	// All base edges should have the same arc length (regular polyhedron).
+	ref := geom.ArcLength(b.Nodes[b.Triangles[0][0]], b.Nodes[b.Triangles[0][1]])
+	for _, tri := range b.Triangles {
+		for k := 0; k < 3; k++ {
+			d := geom.ArcLength(b.Nodes[tri[k]], b.Nodes[tri[(k+1)%3]])
+			if math.Abs(d-ref) > 1e-12 {
+				t.Fatalf("irregular base edge: %v vs %v", d, ref)
+			}
+		}
+	}
+}
+
+func TestSubdivisionLevels(t *testing.T) {
+	for level := 0; level <= 4; level++ {
+		tr := Generate(level)
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("level %d: %v", level, err)
+		}
+	}
+}
+
+func TestTriangleAreasCoverSphere(t *testing.T) {
+	tr := Generate(3)
+	sum := 0.0
+	for _, tri := range tr.Triangles {
+		sum += geom.SphericalTriangleArea(tr.Nodes[tri[0]], tr.Nodes[tri[1]], tr.Nodes[tri[2]])
+	}
+	if math.Abs(sum-geom.SphereArea)/geom.SphereArea > 1e-10 {
+		t.Errorf("triangles cover %v, want %v", sum, geom.SphereArea)
+	}
+}
+
+func TestNodeDegrees(t *testing.T) {
+	// Exactly 12 nodes (the original icosahedron vertices) have degree 5;
+	// all others have degree 6.
+	tr := Generate(3)
+	deg := make([]int, len(tr.Nodes))
+	for _, tri := range tr.Triangles {
+		for _, n := range tri {
+			deg[n]++
+		}
+	}
+	five, six := 0, 0
+	for _, d := range deg {
+		switch d {
+		case 5:
+			five++
+		case 6:
+			six++
+		default:
+			t.Fatalf("unexpected node degree %d", d)
+		}
+	}
+	if five != 12 {
+		t.Errorf("%d pentagonal nodes, want 12", five)
+	}
+	if six != len(tr.Nodes)-12 {
+		t.Errorf("%d hexagonal nodes, want %d", six, len(tr.Nodes)-12)
+	}
+}
+
+func TestQuasiUniformity(t *testing.T) {
+	// Edge lengths should vary by no more than ~40% across the mesh
+	// (icosahedral grids are quasi-uniform).
+	tr := Generate(4)
+	minD, maxD := math.Inf(1), 0.0
+	for _, tri := range tr.Triangles {
+		for k := 0; k < 3; k++ {
+			d := geom.ArcLength(tr.Nodes[tri[k]], tr.Nodes[tri[(k+1)%3]])
+			minD = math.Min(minD, d)
+			maxD = math.Max(maxD, d)
+		}
+	}
+	if maxD/minD > 1.5 {
+		t.Errorf("edge length ratio %v too large", maxD/minD)
+	}
+}
+
+func TestGenerateNegativeLevel(t *testing.T) {
+	tr := Generate(-3)
+	if tr.Level != 0 || len(tr.Nodes) != 12 {
+		t.Error("negative level should yield the base icosahedron")
+	}
+}
+
+func TestSubdivideSharedMidpoints(t *testing.T) {
+	// Subdivision must not duplicate midpoints: node count must match the
+	// closed-form formula, which only holds if shared edges share midpoints.
+	tr := Base().Subdivide().Subdivide()
+	if len(tr.Nodes) != NumCells(2) {
+		t.Errorf("got %d nodes, want %d (midpoints duplicated?)", len(tr.Nodes), NumCells(2))
+	}
+}
+
+func BenchmarkGenerateLevel5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Generate(5)
+	}
+}

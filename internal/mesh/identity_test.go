@@ -1,0 +1,93 @@
+package mesh
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickGlobalDivergenceZeroAnyField: the telescoping-sum identity
+// sum_c A_c*div_c = 0 holds exactly for ARBITRARY edge fields, not just
+// smooth ones — this is the discrete mass-conservation mechanism.
+func TestQuickGlobalDivergenceZeroAnyField(t *testing.T) {
+	m := testMesh(t, 3)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		u := make([]float64, m.NEdges)
+		for i := range u {
+			u[i] = rng.NormFloat64() * 100
+		}
+		total, mag := 0.0, 0.0
+		for c := int32(0); c < int32(m.NCells); c++ {
+			for j, e := range m.CellEdges(c) {
+				term := float64(m.EdgeSignOnCell[int(c)*MaxEdges+j]) * m.DvEdge[e] * u[e]
+				total += term
+				mag += math.Abs(term)
+			}
+		}
+		return math.Abs(total)/mag < 1e-11
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickGlobalCirculationZeroAnyField: the same telescoping identity for
+// the vertex circulation operator (potential-vorticity bookkeeping).
+func TestQuickGlobalCirculationZeroAnyField(t *testing.T) {
+	m := testMesh(t, 3)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		u := make([]float64, m.NEdges)
+		for i := range u {
+			u[i] = rng.NormFloat64() * 100
+		}
+		total, mag := 0.0, 0.0
+		for v := int32(0); v < int32(m.NVertices); v++ {
+			for j, e := range m.VertexEdges(v) {
+				term := float64(m.EdgeSignOnVertex[int(v)*VertexDegree+j]) * m.DcEdge[e] * u[e]
+				total += term
+				mag += math.Abs(term)
+			}
+		}
+		return math.Abs(total)/mag < 1e-11
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCurlGradZeroAnyField: curl(grad(psi)) = 0 to roundoff for
+// arbitrary (not merely smooth) cell fields — a purely combinatorial
+// mimetic identity.
+func TestQuickCurlGradZeroAnyField(t *testing.T) {
+	m := testMesh(t, 2)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		psi := make([]float64, m.NCells)
+		for i := range psi {
+			psi[i] = rng.NormFloat64() * 1e4
+		}
+		grad := make([]float64, m.NEdges)
+		for e := int32(0); e < int32(m.NEdges); e++ {
+			c1, c2 := m.CellsOnEdge[2*e], m.CellsOnEdge[2*e+1]
+			grad[e] = (psi[c2] - psi[c1]) / m.DcEdge[e]
+		}
+		for v := int32(0); v < int32(m.NVertices); v++ {
+			circ, mag := 0.0, 0.0
+			for j, e := range m.VertexEdges(v) {
+				term := float64(m.EdgeSignOnVertex[int(v)*VertexDegree+j]) * m.DcEdge[e] * grad[e]
+				circ += term
+				mag += math.Abs(term)
+			}
+			if mag > 0 && math.Abs(circ)/mag > 1e-11 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

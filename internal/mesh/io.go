@@ -1,0 +1,290 @@
+package mesh
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/geom"
+)
+
+// Binary mesh serialization: building the 15-km paper mesh takes minutes,
+// so tools build once and reload. The format is a fixed little-endian
+// layout — magic, version, counts, then every array in declaration order —
+// with no reflection on the hot path.
+
+const (
+	meshMagic   = 0x53435654 // "SCVT"
+	meshVersion = 1
+)
+
+type meshWriter struct {
+	w   *bufio.Writer
+	err error
+}
+
+func (mw *meshWriter) u64(v uint64) {
+	if mw.err != nil {
+		return
+	}
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	_, mw.err = mw.w.Write(b[:])
+}
+
+func (mw *meshWriter) f64(v float64) { mw.u64(math.Float64bits(v)) }
+func (mw *meshWriter) i64(v int)     { mw.u64(uint64(v)) }
+
+func (mw *meshWriter) f64s(v []float64) {
+	mw.i64(len(v))
+	for _, x := range v {
+		mw.f64(x)
+	}
+}
+
+func (mw *meshWriter) i32s(v []int32) {
+	mw.i64(len(v))
+	if mw.err != nil {
+		return
+	}
+	var b [4]byte
+	for _, x := range v {
+		binary.LittleEndian.PutUint32(b[:], uint32(x))
+		if _, mw.err = mw.w.Write(b[:]); mw.err != nil {
+			return
+		}
+	}
+}
+
+func (mw *meshWriter) i8s(v []int8) {
+	mw.i64(len(v))
+	if mw.err != nil {
+		return
+	}
+	for _, x := range v {
+		if mw.err = mw.w.WriteByte(byte(x)); mw.err != nil {
+			return
+		}
+	}
+}
+
+func (mw *meshWriter) vecs(v []geom.Vec3) {
+	mw.i64(len(v))
+	for _, x := range v {
+		mw.f64(x.X)
+		mw.f64(x.Y)
+		mw.f64(x.Z)
+	}
+}
+
+// Write serializes the mesh to w.
+func (m *Mesh) Write(w io.Writer) error {
+	mw := &meshWriter{w: bufio.NewWriterSize(w, 1<<20)}
+	mw.u64(meshMagic)
+	mw.u64(meshVersion)
+	mw.f64(m.Radius)
+	mw.i64(m.NCells)
+	mw.i64(m.NEdges)
+	mw.i64(m.NVertices)
+	mw.i64(m.Level)
+	mw.vecs(m.XCell)
+	mw.vecs(m.XEdge)
+	mw.vecs(m.XVertex)
+	mw.f64s(m.LatCell)
+	mw.f64s(m.LonCell)
+	mw.f64s(m.LatEdge)
+	mw.f64s(m.LonEdge)
+	mw.f64s(m.LatVertex)
+	mw.vecs(m.EdgeNormal)
+	mw.vecs(m.EdgeTangent)
+	mw.f64s(m.AngleEdge)
+	mw.i32s(m.CellsOnEdge)
+	mw.i32s(m.VerticesOnEdge)
+	mw.i32s(m.NEdgesOnCell)
+	mw.i32s(m.EdgesOnCell)
+	mw.i32s(m.VerticesOnCell)
+	mw.i32s(m.CellsOnCell)
+	mw.i32s(m.CellsOnVertex)
+	mw.i32s(m.EdgesOnVertex)
+	mw.i32s(m.NEdgesOnEdge)
+	mw.i32s(m.EdgesOnEdge)
+	mw.f64s(m.WeightsOnEdge)
+	mw.f64s(m.DcEdge)
+	mw.f64s(m.DvEdge)
+	mw.f64s(m.AreaCell)
+	mw.f64s(m.AreaTriangle)
+	mw.f64s(m.KiteAreasOnVertex)
+	mw.i8s(m.EdgeSignOnCell)
+	mw.i8s(m.EdgeSignOnVertex)
+	if mw.err != nil {
+		return mw.err
+	}
+	return mw.w.Flush()
+}
+
+type meshReader struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (mr *meshReader) u64() uint64 {
+	if mr.err != nil {
+		return 0
+	}
+	var b [8]byte
+	_, mr.err = io.ReadFull(mr.r, b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+func (mr *meshReader) f64() float64 { return math.Float64frombits(mr.u64()) }
+func (mr *meshReader) i64() int     { return int(mr.u64()) }
+
+func (mr *meshReader) length(max int) int {
+	n := mr.i64()
+	if n < 0 || n > max {
+		mr.fail(fmt.Errorf("mesh: corrupt array length %d", n))
+		return 0
+	}
+	return n
+}
+
+func (mr *meshReader) fail(err error) {
+	if mr.err == nil {
+		mr.err = err
+	}
+}
+
+const maxArray = 1 << 28 // sanity bound on array lengths (268M entries)
+
+func (mr *meshReader) f64s() []float64 {
+	n := mr.length(maxArray)
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = mr.f64()
+	}
+	return v
+}
+
+func (mr *meshReader) i32s() []int32 {
+	n := mr.length(maxArray)
+	v := make([]int32, n)
+	if mr.err != nil {
+		return v
+	}
+	var b [4]byte
+	for i := range v {
+		if _, mr.err = io.ReadFull(mr.r, b[:]); mr.err != nil {
+			return v
+		}
+		v[i] = int32(binary.LittleEndian.Uint32(b[:]))
+	}
+	return v
+}
+
+func (mr *meshReader) i8s() []int8 {
+	n := mr.length(maxArray)
+	v := make([]int8, n)
+	for i := range v {
+		c, err := mr.r.ReadByte()
+		if err != nil {
+			mr.fail(err)
+			return v
+		}
+		v[i] = int8(c)
+	}
+	return v
+}
+
+func (mr *meshReader) vecs() []geom.Vec3 {
+	n := mr.length(maxArray)
+	v := make([]geom.Vec3, n)
+	for i := range v {
+		v[i] = geom.V(mr.f64(), mr.f64(), mr.f64())
+	}
+	return v
+}
+
+// ReadFrom deserializes a mesh written by Write.
+func ReadFrom(r io.Reader) (*Mesh, error) {
+	mr := &meshReader{r: bufio.NewReaderSize(r, 1<<20)}
+	if magic := mr.u64(); mr.err == nil && magic != meshMagic {
+		return nil, fmt.Errorf("mesh: bad magic %#x", magic)
+	}
+	if ver := mr.u64(); mr.err == nil && ver != meshVersion {
+		return nil, fmt.Errorf("mesh: unsupported version %d", ver)
+	}
+	m := &Mesh{}
+	m.Radius = mr.f64()
+	m.NCells = mr.i64()
+	m.NEdges = mr.i64()
+	m.NVertices = mr.i64()
+	m.Level = mr.i64()
+	m.XCell = mr.vecs()
+	m.XEdge = mr.vecs()
+	m.XVertex = mr.vecs()
+	m.LatCell = mr.f64s()
+	m.LonCell = mr.f64s()
+	m.LatEdge = mr.f64s()
+	m.LonEdge = mr.f64s()
+	m.LatVertex = mr.f64s()
+	m.EdgeNormal = mr.vecs()
+	m.EdgeTangent = mr.vecs()
+	m.AngleEdge = mr.f64s()
+	m.CellsOnEdge = mr.i32s()
+	m.VerticesOnEdge = mr.i32s()
+	m.NEdgesOnCell = mr.i32s()
+	m.EdgesOnCell = mr.i32s()
+	m.VerticesOnCell = mr.i32s()
+	m.CellsOnCell = mr.i32s()
+	m.CellsOnVertex = mr.i32s()
+	m.EdgesOnVertex = mr.i32s()
+	m.NEdgesOnEdge = mr.i32s()
+	m.EdgesOnEdge = mr.i32s()
+	m.WeightsOnEdge = mr.f64s()
+	m.DcEdge = mr.f64s()
+	m.DvEdge = mr.f64s()
+	m.AreaCell = mr.f64s()
+	m.AreaTriangle = mr.f64s()
+	m.KiteAreasOnVertex = mr.f64s()
+	m.EdgeSignOnCell = mr.i8s()
+	m.EdgeSignOnVertex = mr.i8s()
+	if mr.err != nil {
+		return nil, mr.err
+	}
+	if len(m.XCell) != m.NCells || len(m.XEdge) != m.NEdges || len(m.XVertex) != m.NVertices {
+		return nil, fmt.Errorf("mesh: counts disagree with arrays")
+	}
+	// Coriolis arrays are derived; allocate fresh.
+	m.FCell = make([]float64, m.NCells)
+	m.FEdge = make([]float64, m.NEdges)
+	m.FVertex = make([]float64, m.NVertices)
+	return m, nil
+}
+
+// SaveFile writes the mesh to path.
+func (m *Mesh) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a mesh from path.
+func LoadFile(path string) (*Mesh, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadFrom(f)
+}
+
+func newBufWriter(w io.Writer) *bufio.Writer { return bufio.NewWriter(w) }

@@ -1,0 +1,93 @@
+package mesh
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func TestMeshRoundTrip(t *testing.T) {
+	m := testMesh(t, 3)
+	var buf bytes.Buffer
+	if err := m.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NCells != m.NCells || got.NEdges != m.NEdges || got.NVertices != m.NVertices || got.Level != m.Level {
+		t.Fatalf("counts differ: %v vs %v", got, m)
+	}
+	// Bitwise identical geometry and connectivity.
+	for i := range m.XCell {
+		if got.XCell[i] != m.XCell[i] {
+			t.Fatal("XCell differs")
+		}
+	}
+	for i := range m.WeightsOnEdge {
+		if got.WeightsOnEdge[i] != m.WeightsOnEdge[i] {
+			t.Fatal("weights differ")
+		}
+	}
+	for i := range m.EdgesOnCell {
+		if got.EdgesOnCell[i] != m.EdgesOnCell[i] {
+			t.Fatal("EdgesOnCell differs")
+		}
+	}
+	for i := range m.EdgeSignOnCell {
+		if got.EdgeSignOnCell[i] != m.EdgeSignOnCell[i] {
+			t.Fatal("signs differ")
+		}
+	}
+	// And the loaded mesh passes the full invariant suite.
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeshFileRoundTrip(t *testing.T) {
+	m := testMesh(t, 2)
+	path := filepath.Join(t.TempDir(), "mesh.scvt")
+	if err := m.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NCells != m.NCells {
+		t.Fatal("file round trip lost cells")
+	}
+}
+
+func TestReadFromRejectsGarbage(t *testing.T) {
+	if _, err := ReadFrom(bytes.NewReader([]byte("not a mesh at all........"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	// Valid magic, wrong version.
+	var buf bytes.Buffer
+	mw := &meshWriter{w: newBufWriter(&buf)}
+	mw.u64(meshMagic)
+	mw.u64(999)
+	mw.w.Flush()
+	if _, err := ReadFrom(&buf); err == nil {
+		t.Error("bad version accepted")
+	}
+	// Truncated stream.
+	var buf2 bytes.Buffer
+	m := testMesh(t, 2)
+	if err := m.Write(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf2.Bytes()[:buf2.Len()/2]
+	if _, err := ReadFrom(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated stream accepted")
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "nope.scvt")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

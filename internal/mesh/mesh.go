@@ -1,0 +1,217 @@
+// Package mesh builds and represents spherical centroidal Voronoi
+// tessellation (SCVT) meshes with the full MPAS connectivity: Voronoi cells
+// (mass points), dual Delaunay triangle corners (vorticity points) and edges
+// (velocity points), exactly the C-grid staggering of Figure 1 of the paper.
+//
+// Index conventions (all 0-based, int32):
+//
+//   - CellsOnEdge[2e], CellsOnEdge[2e+1]: the two cells adjacent to edge e.
+//     The positive normal direction of edge e points from the first cell to
+//     the second.
+//   - VerticesOnEdge[2e], VerticesOnEdge[2e+1]: the two vertices of edge e,
+//     ordered so the direction from the first to the second is k x n (90°
+//     counterclockwise from the positive normal, seen from outside).
+//   - EdgesOnCell/VerticesOnCell/CellsOnCell: stride MaxEdges rows, the first
+//     NEdgesOnCell[c] entries valid, in counterclockwise order around the
+//     cell; VerticesOnCell[c][j] is the vertex shared by EdgesOnCell[c][j]
+//     and EdgesOnCell[c][j+1 mod n].
+//   - CellsOnVertex/EdgesOnVertex: stride VertexDegree (= 3) rows,
+//     counterclockwise; EdgesOnVertex[v][j] joins CellsOnVertex[v][j] and
+//     CellsOnVertex[v][j+1 mod 3].
+//   - EdgesOnEdge/WeightsOnEdge: stride MaxEdgesOnEdge rows with
+//     NEdgesOnEdge[e] valid entries — the TRiSK tangential-reconstruction
+//     stencil (pattern F of the paper).
+//
+// All lengths and areas are in physical units on a sphere of radius Radius.
+package mesh
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+const (
+	// MaxEdges is the maximum number of edges (and vertices) of a Voronoi
+	// cell on an icosahedral SCVT mesh: hexagons everywhere except the 12
+	// pentagons.
+	MaxEdges = 6
+	// VertexDegree is the number of cells meeting at a dual-mesh vertex;
+	// the dual of a Voronoi tessellation is a triangulation, so always 3.
+	VertexDegree = 3
+	// MaxEdgesOnEdge is the maximum size of the TRiSK edge stencil: all
+	// edges of the two cells adjacent to an edge, excluding the edge
+	// itself.
+	MaxEdgesOnEdge = 2*MaxEdges - 2
+)
+
+// Mesh is a complete SCVT mesh on the sphere.
+type Mesh struct {
+	Radius float64 // sphere radius in meters
+
+	NCells    int
+	NEdges    int
+	NVertices int
+
+	// Positions as unit vectors; scale by Radius for physical positions.
+	XCell   []geom.Vec3
+	XEdge   []geom.Vec3
+	XVertex []geom.Vec3
+
+	// Precomputed spherical coordinates of cell centers (radians).
+	LatCell, LonCell []float64
+	LatEdge, LonEdge []float64
+	LatVertex        []float64
+
+	// Edge-local orthonormal frame: EdgeNormal points from the first to the
+	// second cell of the edge; EdgeTangent = k x EdgeNormal.
+	EdgeNormal  []geom.Vec3
+	EdgeTangent []geom.Vec3
+
+	// AngleEdge is the angle between the edge normal and local east, so an
+	// analytic wind (zonal, meridional) has normal component
+	// zonal*cos(AngleEdge) + meridional*sin(AngleEdge).
+	AngleEdge []float64
+
+	// Connectivity (see package comment for conventions).
+	CellsOnEdge    []int32 // 2 per edge
+	VerticesOnEdge []int32 // 2 per edge
+	NEdgesOnCell   []int32
+	EdgesOnCell    []int32 // stride MaxEdges
+	VerticesOnCell []int32 // stride MaxEdges
+	CellsOnCell    []int32 // stride MaxEdges
+	CellsOnVertex  []int32 // stride VertexDegree
+	EdgesOnVertex  []int32 // stride VertexDegree
+
+	// TRiSK tangential reconstruction stencil.
+	NEdgesOnEdge  []int32
+	EdgesOnEdge   []int32   // stride MaxEdgesOnEdge
+	WeightsOnEdge []float64 // stride MaxEdgesOnEdge
+
+	// Metrics.
+	DcEdge            []float64 // distance between the two cells of an edge
+	DvEdge            []float64 // distance between the two vertices of an edge
+	AreaCell          []float64
+	AreaTriangle      []float64
+	KiteAreasOnVertex []float64 // stride VertexDegree, paired with CellsOnVertex
+
+	// Orientation signs.
+	//
+	// EdgeSignOnCell[c*MaxEdges+j] is +1 when the positive normal of
+	// EdgesOnCell[c][j] points out of cell c, else -1.
+	//
+	// EdgeSignOnVertex[v*VertexDegree+j] is +1 when traversing
+	// EdgesOnVertex[v][j] along its positive normal circulates
+	// counterclockwise around vertex v, else -1.
+	EdgeSignOnCell   []int8
+	EdgeSignOnVertex []int8
+
+	// Coriolis parameter at each point type (set by SetRotation).
+	FCell   []float64
+	FEdge   []float64
+	FVertex []float64
+
+	// Level is the icosahedral subdivision level this mesh was built from
+	// (-1 if unknown).
+	Level int
+}
+
+// CellEdges returns the valid slice of edges of cell c, counterclockwise.
+func (m *Mesh) CellEdges(c int32) []int32 {
+	n := m.NEdgesOnCell[c]
+	return m.EdgesOnCell[int(c)*MaxEdges : int(c)*MaxEdges+int(n)]
+}
+
+// CellVertices returns the valid slice of vertices of cell c,
+// counterclockwise.
+func (m *Mesh) CellVertices(c int32) []int32 {
+	n := m.NEdgesOnCell[c]
+	return m.VerticesOnCell[int(c)*MaxEdges : int(c)*MaxEdges+int(n)]
+}
+
+// CellNeighbors returns the valid slice of cells adjacent to cell c.
+func (m *Mesh) CellNeighbors(c int32) []int32 {
+	n := m.NEdgesOnCell[c]
+	return m.CellsOnCell[int(c)*MaxEdges : int(c)*MaxEdges+int(n)]
+}
+
+// VertexCells returns the three cells meeting at vertex v.
+func (m *Mesh) VertexCells(v int32) []int32 {
+	return m.CellsOnVertex[v*VertexDegree : v*VertexDegree+VertexDegree]
+}
+
+// VertexEdges returns the three edges meeting at vertex v.
+func (m *Mesh) VertexEdges(v int32) []int32 {
+	return m.EdgesOnVertex[v*VertexDegree : v*VertexDegree+VertexDegree]
+}
+
+// EdgeStencil returns the TRiSK stencil (edges, weights) of edge e.
+func (m *Mesh) EdgeStencil(e int32) ([]int32, []float64) {
+	n := int(m.NEdgesOnEdge[e])
+	base := int(e) * MaxEdgesOnEdge
+	return m.EdgesOnEdge[base : base+n], m.WeightsOnEdge[base : base+n]
+}
+
+// SetRotation fills FCell/FEdge/FVertex with the Coriolis parameter
+// f = 2*omega*sin(lat) for planetary rotation rate omega (rad/s).
+func (m *Mesh) SetRotation(omega float64) {
+	for i := 0; i < m.NCells; i++ {
+		m.FCell[i] = 2 * omega * m.XCell[i].Z
+	}
+	for i := 0; i < m.NEdges; i++ {
+		m.FEdge[i] = 2 * omega * m.XEdge[i].Z
+	}
+	for i := 0; i < m.NVertices; i++ {
+		m.FVertex[i] = 2 * omega * m.XVertex[i].Z
+	}
+}
+
+// String summarizes the mesh.
+func (m *Mesh) String() string {
+	return fmt.Sprintf("SCVT mesh level %d: %d cells, %d edges, %d vertices, R=%.0f m",
+		m.Level, m.NCells, m.NEdges, m.NVertices, m.Radius)
+}
+
+// NewEmpty allocates a mesh with the given entity counts and zeroed arrays.
+// It is used by the partitioner to assemble per-process local meshes; such
+// meshes are not closed surfaces and must not be passed to Validate.
+func NewEmpty(radius float64, ncells, nedges, nvertices, level int) *Mesh {
+	m := &Mesh{Radius: radius, NCells: ncells, NEdges: nedges, NVertices: nvertices, Level: level}
+	m.alloc()
+	return m
+}
+
+func (m *Mesh) alloc() {
+	m.XCell = make([]geom.Vec3, m.NCells)
+	m.XEdge = make([]geom.Vec3, m.NEdges)
+	m.XVertex = make([]geom.Vec3, m.NVertices)
+	m.LatCell = make([]float64, m.NCells)
+	m.LonCell = make([]float64, m.NCells)
+	m.LatEdge = make([]float64, m.NEdges)
+	m.LonEdge = make([]float64, m.NEdges)
+	m.LatVertex = make([]float64, m.NVertices)
+	m.EdgeNormal = make([]geom.Vec3, m.NEdges)
+	m.EdgeTangent = make([]geom.Vec3, m.NEdges)
+	m.AngleEdge = make([]float64, m.NEdges)
+	m.CellsOnEdge = make([]int32, 2*m.NEdges)
+	m.VerticesOnEdge = make([]int32, 2*m.NEdges)
+	m.NEdgesOnCell = make([]int32, m.NCells)
+	m.EdgesOnCell = make([]int32, m.NCells*MaxEdges)
+	m.VerticesOnCell = make([]int32, m.NCells*MaxEdges)
+	m.CellsOnCell = make([]int32, m.NCells*MaxEdges)
+	m.CellsOnVertex = make([]int32, m.NVertices*VertexDegree)
+	m.EdgesOnVertex = make([]int32, m.NVertices*VertexDegree)
+	m.NEdgesOnEdge = make([]int32, m.NEdges)
+	m.EdgesOnEdge = make([]int32, m.NEdges*MaxEdgesOnEdge)
+	m.WeightsOnEdge = make([]float64, m.NEdges*MaxEdgesOnEdge)
+	m.DcEdge = make([]float64, m.NEdges)
+	m.DvEdge = make([]float64, m.NEdges)
+	m.AreaCell = make([]float64, m.NCells)
+	m.AreaTriangle = make([]float64, m.NVertices)
+	m.KiteAreasOnVertex = make([]float64, m.NVertices*VertexDegree)
+	m.EdgeSignOnCell = make([]int8, m.NCells*MaxEdges)
+	m.EdgeSignOnVertex = make([]int8, m.NVertices*VertexDegree)
+	m.FCell = make([]float64, m.NCells)
+	m.FEdge = make([]float64, m.NEdges)
+	m.FVertex = make([]float64, m.NVertices)
+}

@@ -1,0 +1,105 @@
+package mesh
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Quality summarizes the geometric health of an SCVT mesh. The C-grid TRiSK
+// scheme relies on Voronoi-Delaunay duality: the primal edge (between cell
+// generators) and the dual edge (between triangle circumcenters) must be
+// orthogonal and mutually bisecting; departures degrade the truncation
+// error, which is why these are worth monitoring — especially on
+// variable-resolution meshes.
+type Quality struct {
+	// MaxOrthogonality is the worst deviation (radians) of the angle
+	// between an edge's primal and dual directions from pi/2.
+	MaxOrthogonality float64
+	// MeanOrthogonality is the mean deviation (radians).
+	MeanOrthogonality float64
+	// MaxOffCentering is the worst distance between the primal-edge
+	// midpoint and the dual-edge crossing, as a fraction of the edge
+	// length dc.
+	MaxOffCentering float64
+	// MinDistortion/MaxDistortion bound the cell distortion ratio
+	// (shortest/longest vertex distance from the generator).
+	MinDistortion float64
+	// AreaRatio is max cell area over min cell area (1 for perfectly
+	// uniform meshes; ~ (spacing contrast)^2 for variable resolution).
+	AreaRatio float64
+	// MaxCentroidDrift is the worst distance between a generator and its
+	// Voronoi cell centroid, as a fraction of the mean cell spacing — the
+	// "how centroidal is this SCVT" number Lloyd iteration drives down.
+	MaxCentroidDrift float64
+}
+
+// ComputeQuality evaluates the quality metrics.
+func (m *Mesh) ComputeQuality() Quality {
+	q := Quality{MinDistortion: 1}
+	var orthoSum float64
+	for e := 0; e < m.NEdges; e++ {
+		c1, c2 := m.CellsOnEdge[2*e], m.CellsOnEdge[2*e+1]
+		v1, v2 := m.VerticesOnEdge[2*e], m.VerticesOnEdge[2*e+1]
+		// Primal direction (between generators) and dual direction
+		// (between circumcenters), both projected at the edge point.
+		xe := m.XEdge[e]
+		dp := geom.ProjectToTangent(xe, m.XCell[c2].Sub(m.XCell[c1])).Normalize()
+		dd := geom.ProjectToTangent(xe, m.XVertex[v2].Sub(m.XVertex[v1])).Normalize()
+		dev := math.Abs(math.Asin(clampQ(dp.Dot(dd)))) // 0 when orthogonal
+		orthoSum += dev
+		if dev > q.MaxOrthogonality {
+			q.MaxOrthogonality = dev
+		}
+		// Off-centering: distance from the primal midpoint to the dual
+		// great circle through v1,v2 (approximated by the distance from
+		// xe to the closest point on the chord).
+		mid := m.XCell[c1].Add(m.XCell[c2]).Normalize()
+		chord := m.XVertex[v2].Sub(m.XVertex[v1])
+		if n := chord.Norm(); n > 0 {
+			chord = chord.Scale(1 / n)
+			off := geom.ProjectToTangent(mid, m.XVertex[v1].Sub(mid))
+			perp := off.Sub(chord.Scale(off.Dot(chord))).Norm() * m.Radius
+			if frac := perp / m.DcEdge[e]; frac > q.MaxOffCentering {
+				q.MaxOffCentering = frac
+			}
+		}
+	}
+	q.MeanOrthogonality = orthoSum / float64(m.NEdges)
+
+	minArea, maxArea := math.Inf(1), 0.0
+	var poly [MaxEdges]geom.Vec3
+	stats := m.ComputeStats()
+	for c := 0; c < m.NCells; c++ {
+		minArea = math.Min(minArea, m.AreaCell[c])
+		maxArea = math.Max(maxArea, m.AreaCell[c])
+		// Distortion: min/max generator-to-vertex distance.
+		minD, maxD := math.Inf(1), 0.0
+		vs := m.CellVertices(int32(c))
+		for j, v := range vs {
+			poly[j] = m.XVertex[v]
+			d := geom.ArcLength(m.XCell[c], m.XVertex[v])
+			minD = math.Min(minD, d)
+			maxD = math.Max(maxD, d)
+		}
+		if r := minD / maxD; r < q.MinDistortion {
+			q.MinDistortion = r
+		}
+		drift := geom.ArcLength(m.XCell[c], geom.PolygonCentroid(poly[:len(vs)])) * m.Radius
+		if frac := drift / stats.MeanDc; frac > q.MaxCentroidDrift {
+			q.MaxCentroidDrift = frac
+		}
+	}
+	q.AreaRatio = maxArea / minArea
+	return q
+}
+
+func clampQ(x float64) float64 {
+	if x > 1 {
+		return 1
+	}
+	if x < -1 {
+		return -1
+	}
+	return x
+}

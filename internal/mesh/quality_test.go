@@ -1,0 +1,57 @@
+package mesh
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestQualityUniformMesh(t *testing.T) {
+	q := testMesh(t, 4).ComputeQuality()
+	// Voronoi-Delaunay duality makes primal and dual edges orthogonal by
+	// construction (up to the edge-midpoint approximation).
+	if q.MaxOrthogonality > 0.06 {
+		t.Errorf("max orthogonality deviation %v rad", q.MaxOrthogonality)
+	}
+	if q.MeanOrthogonality > 0.01 {
+		t.Errorf("mean orthogonality deviation %v rad", q.MeanOrthogonality)
+	}
+	if q.MaxOffCentering > 0.25 {
+		t.Errorf("off-centering %v", q.MaxOffCentering)
+	}
+	if q.AreaRatio > 1.9 {
+		t.Errorf("area ratio %v on quasi-uniform mesh", q.AreaRatio)
+	}
+	if q.MinDistortion < 0.7 {
+		t.Errorf("distortion %v", q.MinDistortion)
+	}
+	if q.MaxCentroidDrift > 0.12 {
+		t.Errorf("centroid drift %v after Lloyd", q.MaxCentroidDrift)
+	}
+}
+
+func TestQualityLloydReducesCentroidDrift(t *testing.T) {
+	q0 := MustBuild(3, Options{}).ComputeQuality()
+	q4 := MustBuild(3, Options{LloydIterations: 6}).ComputeQuality()
+	if q4.MaxCentroidDrift >= q0.MaxCentroidDrift {
+		t.Errorf("Lloyd did not reduce centroid drift: %v -> %v",
+			q0.MaxCentroidDrift, q4.MaxCentroidDrift)
+	}
+}
+
+func TestQualityVariableResolutionAreaRatio(t *testing.T) {
+	center := geom.FromLatLon(math.Pi/6, 3*math.Pi/2)
+	vr := MustBuild(3, Options{LloydIterations: 60, LloydRelaxation: 1.5,
+		Density: refinementDensity(center, 0.5)})
+	qv := vr.ComputeQuality()
+	qu := testMesh(t, 3).ComputeQuality()
+	if qv.AreaRatio <= qu.AreaRatio {
+		t.Errorf("variable-resolution area ratio %v not above uniform %v",
+			qv.AreaRatio, qu.AreaRatio)
+	}
+	// Orthogonality must survive the deformation (TRiSK stays valid).
+	if qv.MaxOrthogonality > 0.25 {
+		t.Errorf("variable-resolution orthogonality %v too degraded", qv.MaxOrthogonality)
+	}
+}

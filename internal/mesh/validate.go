@@ -1,0 +1,224 @@
+package mesh
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Validate checks the structural and geometric invariants of the mesh and
+// returns the first violation found. It is O(N) and intended for tests and
+// tools, not inner loops.
+func (m *Mesh) Validate() error {
+	if err := m.validateCounts(); err != nil {
+		return err
+	}
+	if err := m.validateConnectivity(); err != nil {
+		return err
+	}
+	if err := m.validateAreas(); err != nil {
+		return err
+	}
+	if err := m.validateOrientation(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (m *Mesh) validateCounts() error {
+	// Euler characteristic of the sphere.
+	if m.NCells-m.NEdges+m.NVertices != 2 {
+		return fmt.Errorf("mesh: Euler characteristic %d != 2", m.NCells-m.NEdges+m.NVertices)
+	}
+	// Every vertex has degree 3, so 3*NVertices = 2*NEdges.
+	if 3*m.NVertices != 2*m.NEdges {
+		return fmt.Errorf("mesh: 3V=%d != 2E=%d", 3*m.NVertices, 2*m.NEdges)
+	}
+	return nil
+}
+
+func (m *Mesh) validateConnectivity() error {
+	for e := int32(0); e < int32(m.NEdges); e++ {
+		c1, c2 := m.CellsOnEdge[2*e], m.CellsOnEdge[2*e+1]
+		if c1 == c2 {
+			return fmt.Errorf("mesh: edge %d joins cell %d to itself", e, c1)
+		}
+		v1, v2 := m.VerticesOnEdge[2*e], m.VerticesOnEdge[2*e+1]
+		if v1 == v2 {
+			return fmt.Errorf("mesh: edge %d has equal vertices", e)
+		}
+		// Both cells of the edge must be on both vertices of the edge? No:
+		// each vertex of the edge must contain both cells of the edge.
+		for _, v := range []int32{v1, v2} {
+			found1, found2 := false, false
+			for _, c := range m.VertexCells(v) {
+				if c == c1 {
+					found1 = true
+				}
+				if c == c2 {
+					found2 = true
+				}
+			}
+			if !found1 || !found2 {
+				return fmt.Errorf("mesh: edge %d cells not on vertex %d", e, v)
+			}
+		}
+	}
+	for c := int32(0); c < int32(m.NCells); c++ {
+		n := int(m.NEdgesOnCell[c])
+		if n < 5 || n > MaxEdges {
+			return fmt.Errorf("mesh: cell %d has %d edges", c, n)
+		}
+		es := m.CellEdges(c)
+		vs := m.CellVertices(c)
+		for j := 0; j < n; j++ {
+			e := es[j]
+			if m.CellsOnEdge[2*e] != c && m.CellsOnEdge[2*e+1] != c {
+				return fmt.Errorf("mesh: cell %d lists edge %d not adjacent to it", c, e)
+			}
+			// VerticesOnCell[j] must be shared by edges j and j+1.
+			v, ok := sharedVertex(m, es[j], es[(j+1)%n])
+			if !ok || v != vs[j] {
+				return fmt.Errorf("mesh: cell %d vertex %d not between edges %d,%d", c, vs[j], es[j], es[(j+1)%n])
+			}
+		}
+	}
+	for v := int32(0); v < int32(m.NVertices); v++ {
+		cs := m.VertexCells(v)
+		es := m.VertexEdges(v)
+		for j := 0; j < VertexDegree; j++ {
+			e := es[j]
+			a, b := m.CellsOnEdge[2*e], m.CellsOnEdge[2*e+1]
+			want1, want2 := cs[j], cs[(j+1)%VertexDegree]
+			if !((a == want1 && b == want2) || (a == want2 && b == want1)) {
+				return fmt.Errorf("mesh: vertex %d edge %d does not join cells %d,%d", v, e, want1, want2)
+			}
+		}
+	}
+	return nil
+}
+
+func (m *Mesh) validateAreas() error {
+	sphere := geom.SphereArea * m.Radius * m.Radius
+	sumCells, sumTris := 0.0, 0.0
+	for c := 0; c < m.NCells; c++ {
+		if m.AreaCell[c] <= 0 {
+			return fmt.Errorf("mesh: cell %d non-positive area", c)
+		}
+		sumCells += m.AreaCell[c]
+	}
+	for v := 0; v < m.NVertices; v++ {
+		if m.AreaTriangle[v] <= 0 {
+			return fmt.Errorf("mesh: vertex %d non-positive triangle area", v)
+		}
+		sumTris += m.AreaTriangle[v]
+		// Kites partition the triangle.
+		ks := 0.0
+		for j := 0; j < VertexDegree; j++ {
+			k := m.KiteAreasOnVertex[v*VertexDegree+j]
+			if k <= 0 {
+				return fmt.Errorf("mesh: vertex %d kite %d non-positive", v, j)
+			}
+			ks += k
+		}
+		if rel := math.Abs(ks-m.AreaTriangle[v]) / m.AreaTriangle[v]; rel > 1e-9 {
+			return fmt.Errorf("mesh: vertex %d kites sum to %g, triangle area %g", v, ks, m.AreaTriangle[v])
+		}
+	}
+	if rel := math.Abs(sumCells-sphere) / sphere; rel > 1e-9 {
+		return fmt.Errorf("mesh: cell areas cover %g of sphere %g", sumCells, sphere)
+	}
+	if rel := math.Abs(sumTris-sphere) / sphere; rel > 1e-9 {
+		return fmt.Errorf("mesh: triangle areas cover %g of sphere %g", sumTris, sphere)
+	}
+	// Kites grouped by cell partition the cell.
+	kiteByCell := make([]float64, m.NCells)
+	for v := 0; v < m.NVertices; v++ {
+		for j := 0; j < VertexDegree; j++ {
+			kiteByCell[m.CellsOnVertex[v*VertexDegree+j]] += m.KiteAreasOnVertex[v*VertexDegree+j]
+		}
+	}
+	for c := 0; c < m.NCells; c++ {
+		if rel := math.Abs(kiteByCell[c]-m.AreaCell[c]) / m.AreaCell[c]; rel > 1e-9 {
+			return fmt.Errorf("mesh: cell %d kites sum to %g, cell area %g", c, kiteByCell[c], m.AreaCell[c])
+		}
+	}
+	return nil
+}
+
+func (m *Mesh) validateOrientation() error {
+	// Edge signs on a cell must mark the normal as outward exactly when the
+	// cell is first on the edge, and every edge contributes +1 to one cell
+	// and -1 to the other.
+	sign := make([]int, m.NEdges)
+	for c := int32(0); c < int32(m.NCells); c++ {
+		for j, e := range m.CellEdges(c) {
+			s := m.EdgeSignOnCell[int(c)*MaxEdges+j]
+			if s != 1 && s != -1 {
+				return fmt.Errorf("mesh: cell %d edge slot %d sign %d", c, j, s)
+			}
+			sign[e] += int(s)
+		}
+	}
+	for e, s := range sign {
+		if s != 0 {
+			return fmt.Errorf("mesh: edge %d cell signs do not cancel (%d)", e, s)
+		}
+	}
+	// Same for vertices.
+	vsign := make([]int, m.NEdges)
+	for v := int32(0); v < int32(m.NVertices); v++ {
+		for j, e := range m.VertexEdges(v) {
+			s := m.EdgeSignOnVertex[int(v)*VertexDegree+j]
+			if s != 1 && s != -1 {
+				return fmt.Errorf("mesh: vertex %d edge slot %d sign %d", v, j, s)
+			}
+			vsign[e] += int(s)
+		}
+	}
+	for e, s := range vsign {
+		if s != 0 {
+			return fmt.Errorf("mesh: edge %d vertex signs do not cancel (%d)", e, s)
+		}
+	}
+	// Edge frames are orthonormal right-handed.
+	for e := 0; e < m.NEdges; e++ {
+		n, t := m.EdgeNormal[e], m.EdgeTangent[e]
+		if math.Abs(n.Norm()-1) > 1e-10 || math.Abs(t.Norm()-1) > 1e-10 {
+			return fmt.Errorf("mesh: edge %d frame not unit", e)
+		}
+		if math.Abs(n.Dot(t)) > 1e-10 {
+			return fmt.Errorf("mesh: edge %d frame not orthogonal", e)
+		}
+	}
+	return nil
+}
+
+// Stats summarizes mesh resolution.
+type Stats struct {
+	NCells, NEdges, NVertices int
+	MinDc, MaxDc, MeanDc      float64 // meters
+	MinArea, MaxArea          float64 // m^2
+	ResolutionKm              float64 // mean cell spacing in km
+}
+
+// ComputeStats returns summary statistics of the mesh.
+func (m *Mesh) ComputeStats() Stats {
+	s := Stats{NCells: m.NCells, NEdges: m.NEdges, NVertices: m.NVertices,
+		MinDc: math.Inf(1), MinArea: math.Inf(1)}
+	sum := 0.0
+	for e := 0; e < m.NEdges; e++ {
+		d := m.DcEdge[e]
+		s.MinDc = math.Min(s.MinDc, d)
+		s.MaxDc = math.Max(s.MaxDc, d)
+		sum += d
+	}
+	s.MeanDc = sum / float64(m.NEdges)
+	for c := 0; c < m.NCells; c++ {
+		s.MinArea = math.Min(s.MinArea, m.AreaCell[c])
+		s.MaxArea = math.Max(s.MaxArea, m.AreaCell[c])
+	}
+	s.ResolutionKm = s.MeanDc / 1000
+	return s
+}

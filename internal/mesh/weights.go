@@ -1,0 +1,67 @@
+package mesh
+
+// computeWeightsOnEdge fills the TRiSK tangential-reconstruction stencil
+// (EdgesOnEdge, WeightsOnEdge) following Thuburn et al. (2009) / Ringler et
+// al. (2010): for each edge e, the tangential velocity is reconstructed from
+// the normal velocities on all other edges of the two adjacent cells,
+//
+//	v_e = sum_j WeightsOnEdge[e][j] * u[EdgesOnEdge[e][j]],
+//
+// with weights built from accumulated kite-area fractions so that the
+// resulting discrete Coriolis operator conserves energy and the scheme
+// recovers uniform flow consistently.
+func (m *Mesh) computeWeightsOnEdge() {
+	for e := int32(0); e < int32(m.NEdges); e++ {
+		ne := 0
+		base := int(e) * MaxEdgesOnEdge
+		for side := 0; side < 2; side++ {
+			cell := m.CellsOnEdge[2*e+int32(side)]
+			// s encodes which side of e the cell lies on; the two walks
+			// contribute with opposite orientation.
+			s := 1.0
+			if side == 1 {
+				s = -1.0
+			}
+			n := int(m.NEdgesOnCell[cell])
+			cbase := int(cell) * MaxEdges
+			j0 := -1
+			for j := 0; j < n; j++ {
+				if m.EdgesOnCell[cbase+j] == e {
+					j0 = j
+					break
+				}
+			}
+			if j0 < 0 {
+				panic("mesh: edge not found on its own cell")
+			}
+			r := 0.0
+			for i := 1; i < n; i++ {
+				j := (j0 + i) % n
+				eoe := m.EdgesOnCell[cbase+j]
+				// Vertex crossed between the previous edge and this one.
+				vprev := m.VerticesOnCell[cbase+(j0+i-1)%n]
+				r += m.kiteArea(vprev, cell) / m.AreaCell[cell]
+				de := 1.0
+				if m.CellsOnEdge[2*eoe] != cell {
+					de = -1.0
+				}
+				m.EdgesOnEdge[base+ne] = eoe
+				m.WeightsOnEdge[base+ne] = s * (0.5 - r) * de * m.DvEdge[eoe] / m.DcEdge[e]
+				ne++
+			}
+		}
+		m.NEdgesOnEdge[e] = int32(ne)
+	}
+}
+
+// kiteArea returns the kite area associated with (vertex v, cell c). The cell
+// must be one of the three cells on the vertex.
+func (m *Mesh) kiteArea(v, c int32) float64 {
+	base := int(v) * VertexDegree
+	for j := 0; j < VertexDegree; j++ {
+		if m.CellsOnVertex[base+j] == c {
+			return m.KiteAreasOnVertex[base+j]
+		}
+	}
+	panic("mesh: cell not on vertex")
+}

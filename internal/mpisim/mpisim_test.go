@@ -1,0 +1,351 @@
+package mpisim
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/mesh"
+	"repro/internal/sw"
+	"repro/internal/testcases"
+)
+
+var cachedMesh *mesh.Mesh
+
+func mesh4(t testing.TB) *mesh.Mesh {
+	if cachedMesh == nil {
+		var err error
+		cachedMesh, err = mesh.Build(4, mesh.Options{LloydIterations: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return cachedMesh
+}
+
+func TestSendRecvOrdering(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		if c.Rank == 0 {
+			c.Send(1, []float64{1})
+			c.Send(1, []float64{2})
+			c.Send(1, []float64{3})
+		} else {
+			for want := 1.0; want <= 3; want++ {
+				if got := c.Recv(0)[0]; got != want {
+					t.Errorf("got %v want %v", got, want)
+				}
+			}
+		}
+	})
+}
+
+func TestSendCopiesData(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		if c.Rank == 0 {
+			buf := []float64{42}
+			c.Send(1, buf)
+			buf[0] = -1 // must not affect the message
+		} else {
+			if got := c.Recv(0)[0]; got != 42 {
+				t.Errorf("message aliased sender buffer: %v", got)
+			}
+		}
+	})
+}
+
+func TestAllreduce(t *testing.T) {
+	for _, size := range []int{1, 2, 5, 8} {
+		w := NewWorld(size)
+		var mu sync.Mutex
+		sums := map[int]float64{}
+		maxes := map[int]float64{}
+		w.Run(func(c *Comm) {
+			s := c.AllreduceSum(float64(c.Rank + 1))
+			m := c.AllreduceMax(float64(c.Rank + 1))
+			mu.Lock()
+			sums[c.Rank] = s
+			maxes[c.Rank] = m
+			mu.Unlock()
+		})
+		want := float64(size*(size+1)) / 2
+		for r, s := range sums {
+			if s != want {
+				t.Errorf("size %d rank %d sum %v want %v", size, r, s, want)
+			}
+			if maxes[r] != float64(size) {
+				t.Errorf("size %d rank %d max %v want %v", size, r, maxes[r], size)
+			}
+		}
+	}
+}
+
+func TestDecomposePlansConsistent(t *testing.T) {
+	m := mesh4(t)
+	d, err := Decompose(m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, plan := range d.Plans {
+		for _, peer := range plan.Peers {
+			if peer == r {
+				t.Fatal("self in peers")
+			}
+			// My recv list from peer must match peer's send list to me, in
+			// length and referenced global entities.
+			mine := plan.RecvCells[peer]
+			theirs := d.Plans[peer].SendCells[r]
+			if len(mine) != len(theirs) {
+				t.Fatalf("cell list length mismatch %d<-%d", r, peer)
+			}
+			for i := range mine {
+				gMine := d.Locals[r].CellL2G[mine[i]]
+				gTheirs := d.Locals[peer].CellL2G[theirs[i]]
+				if gMine != gTheirs {
+					t.Fatalf("cell exchange order mismatch %d<-%d at %d", r, peer, i)
+				}
+			}
+			me := plan.RecvEdges[peer]
+			them := d.Plans[peer].SendEdges[r]
+			if len(me) != len(them) {
+				t.Fatalf("edge list length mismatch %d<-%d", r, peer)
+			}
+			for i := range me {
+				if d.Locals[r].EdgeL2G[me[i]] != d.Locals[peer].EdgeL2G[them[i]] {
+					t.Fatalf("edge exchange order mismatch %d<-%d at %d", r, peer, i)
+				}
+			}
+		}
+		if plan.HaloBytes() <= 0 {
+			t.Errorf("rank %d has empty halo", r)
+		}
+	}
+}
+
+func TestHaloExchangeDeliversOwnerValues(t *testing.T) {
+	m := mesh4(t)
+	d, err := Decompose(m, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWorld(3)
+	w.Run(func(c *Comm) {
+		l := d.Locals[c.Rank]
+		// Cell field = global index where owned, -1 in halo.
+		hc := make([]float64, l.M.NCells)
+		he := make([]float64, l.M.NEdges)
+		for lc := range hc {
+			if lc < l.NOwnedCells {
+				hc[lc] = float64(l.CellL2G[lc])
+			} else {
+				hc[lc] = -1
+			}
+		}
+		for le := range he {
+			if l.EdgeOwner[le] == int32(c.Rank) {
+				he[le] = float64(l.EdgeL2G[le])
+			} else {
+				he[le] = -1
+			}
+		}
+		c.exchange(d.Plans[c.Rank], hc, he)
+		for lc, v := range hc {
+			if v != float64(l.CellL2G[lc]) {
+				t.Errorf("rank %d: cell %d got %v want %d", c.Rank, lc, v, l.CellL2G[lc])
+				return
+			}
+		}
+		for le, v := range he {
+			if v != float64(l.EdgeL2G[le]) {
+				t.Errorf("rank %d: edge %d got %v want %d", c.Rank, le, v, l.EdgeL2G[le])
+				return
+			}
+		}
+	})
+}
+
+// TestDistributedBitwiseMatchesSerial is the gold correctness test of the
+// whole distributed layer: a 4-rank run with halo exchanges must reproduce
+// the serial trajectory bitwise on every owned cell and edge.
+func TestDistributedBitwiseMatchesSerial(t *testing.T) {
+	m := mesh4(t)
+	cfg := sw.DefaultConfig(m)
+	steps := 4
+
+	serial, err := sw.NewSolver(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testcases.SetupTC5(serial)
+	serial.Run(steps)
+
+	const P = 4
+	d, err := Decompose(m, P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWorld(P)
+	var mu sync.Mutex
+	mismatch := ""
+	w.Run(func(c *Comm) {
+		rs, err := NewRankSolver(c, d, cfg, testcases.SetupTC5)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		rs.Run(steps)
+		l := rs.Local
+		for lc := 0; lc < l.NOwnedCells; lc++ {
+			if rs.S.State.H[lc] != serial.State.H[l.CellL2G[lc]] {
+				mu.Lock()
+				mismatch = "H mismatch"
+				mu.Unlock()
+				return
+			}
+		}
+		for le := range l.EdgeL2G {
+			if l.EdgeOwner[le] != int32(c.Rank) {
+				continue
+			}
+			if rs.S.State.U[le] != serial.State.U[l.EdgeL2G[le]] {
+				mu.Lock()
+				mismatch = "U mismatch"
+				mu.Unlock()
+				return
+			}
+		}
+		if rs.ExchangeCount != ExchangesPerStep*steps {
+			mu.Lock()
+			mismatch = "unexpected exchange count"
+			mu.Unlock()
+		}
+	})
+	if mismatch != "" {
+		t.Fatal(mismatch)
+	}
+}
+
+func TestDistributedMassConserved(t *testing.T) {
+	m := mesh4(t)
+	cfg := sw.DefaultConfig(m)
+	const P = 3
+	d, err := Decompose(m, P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWorld(P)
+	w.Run(func(c *Comm) {
+		rs, err := NewRankSolver(c, d, cfg, testcases.SetupTC2)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		m0 := rs.GlobalMass()
+		rs.Run(5)
+		m1 := rs.GlobalMass()
+		if rel := math.Abs(m1-m0) / m0; rel > 1e-13 {
+			t.Errorf("rank %d sees mass drift %v", c.Rank, rel)
+		}
+	})
+}
+
+func TestGatherCellField(t *testing.T) {
+	m := mesh4(t)
+	cfg := sw.DefaultConfig(m)
+	const P = 3
+	d, _ := Decompose(m, P)
+	w := NewWorld(P)
+	var got []float64
+	var mu sync.Mutex
+	w.Run(func(c *Comm) {
+		rs, err := NewRankSolver(c, d, cfg, testcases.SetupTC2)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		g := rs.GatherCellField(rs.S.State.H)
+		if c.Rank == 0 {
+			mu.Lock()
+			got = g
+			mu.Unlock()
+		} else if g != nil {
+			t.Error("non-root rank returned gathered field")
+		}
+	})
+	if len(got) != m.NCells {
+		t.Fatalf("gathered %d cells", len(got))
+	}
+	ref, _ := sw.NewSolver(m, cfg)
+	testcases.SetupTC2(ref)
+	for c := range got {
+		if got[c] != ref.State.H[c] {
+			t.Fatalf("gathered field differs at %d", c)
+		}
+	}
+}
+
+func TestStrongScalingModelShape(t *testing.T) {
+	// Figure 8: near-ideal CPU scaling; hybrid faster everywhere but with
+	// degrading efficiency on the small mesh at high process counts.
+	procs := []int{1, 2, 4, 8, 16, 32, 64}
+	small := StrongScaling(655362, procs)
+	for i, pt := range small {
+		if pt.HybridTime >= pt.CPUTime {
+			t.Errorf("P=%d: hybrid %v not faster than CPU %v", pt.Procs, pt.HybridTime, pt.CPUTime)
+		}
+		if i > 0 {
+			if pt.CPUTime >= small[i-1].CPUTime {
+				t.Errorf("CPU time not decreasing at P=%d", pt.Procs)
+			}
+		}
+	}
+	cpuEff := ParallelEfficiency(small, func(p ScalingPoint) float64 { return p.CPUTime })
+	hybEff := ParallelEfficiency(small, func(p ScalingPoint) float64 { return p.HybridTime })
+	if cpuEff[len(cpuEff)-1] < 0.8 {
+		t.Errorf("CPU efficiency at 64 procs %v, paper shows near-ideal", cpuEff[len(cpuEff)-1])
+	}
+	// The paper: "parallel efficiency degrades severely when scaling to
+	// larger numbers of MPI processes" for the hybrid on the 30-km mesh.
+	if hybEff[len(hybEff)-1] > 0.75 {
+		t.Errorf("hybrid efficiency at 64 procs %v; paper shows degradation on 30-km mesh", hybEff[len(hybEff)-1])
+	}
+	// On the large mesh the hybrid keeps much better efficiency (Fig 8b).
+	large := StrongScaling(2621442, procs)
+	hybEffLarge := ParallelEfficiency(large, func(p ScalingPoint) float64 { return p.HybridTime })
+	if hybEffLarge[len(hybEffLarge)-1] <= hybEff[len(hybEff)-1] {
+		t.Error("hybrid efficiency not better on the larger mesh")
+	}
+}
+
+func TestWeakScalingModelFlat(t *testing.T) {
+	// Figure 9: both codes nearly flat at 40962 cells/process.
+	procs := []int{1, 4, 16, 64}
+	pts := WeakScaling(40962, procs)
+	cpu1, hyb1 := pts[0].CPUTime, pts[0].HybridTime
+	for _, pt := range pts[1:] {
+		if pt.CPUTime > cpu1*1.15 {
+			t.Errorf("CPU weak scaling not flat: %v vs %v", pt.CPUTime, cpu1)
+		}
+		if pt.HybridTime > hyb1*1.35 {
+			t.Errorf("hybrid weak scaling not flat: %v vs %v", pt.HybridTime, hyb1)
+		}
+		if pt.HybridTime >= pt.CPUTime {
+			t.Error("hybrid slower than CPU in weak scaling")
+		}
+	}
+	// Paper anchors: CPU ~0.27 s, hybrid ~0.045-0.05 s per step.
+	if cpu1 < 0.2 || cpu1 > 0.36 {
+		t.Errorf("weak-scaling CPU anchor %v, paper 0.271", cpu1)
+	}
+	if hyb1 < 0.03 || hyb1 > 0.08 {
+		t.Errorf("weak-scaling hybrid anchor %v, paper 0.045", hyb1)
+	}
+}
+
+func TestNewWorldMinimumSize(t *testing.T) {
+	w := NewWorld(0)
+	if w.Size != 1 {
+		t.Error("world size floor")
+	}
+}

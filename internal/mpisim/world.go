@@ -1,0 +1,115 @@
+// Package mpisim is the message-passing substrate standing in for MPI: ranks
+// are goroutines connected by buffered channels, with the halo-exchange,
+// reduction and barrier collectives the distributed shallow-water runs need.
+// Correctness-path communication is real (values actually move between rank
+// memories and distributed runs reproduce serial runs bitwise on owned
+// points); reported times for the paper's scaling figures come from the FDR
+// InfiniBand alpha-beta model in internal/perfmodel.
+package mpisim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// World is a set of communicating ranks.
+type World struct {
+	Size int
+	ch   [][]chan []float64
+}
+
+// NewWorld creates a world of size ranks.
+func NewWorld(size int) *World {
+	if size < 1 {
+		size = 1
+	}
+	w := &World{Size: size, ch: make([][]chan []float64, size)}
+	for i := range w.ch {
+		w.ch[i] = make([]chan []float64, size)
+		for j := range w.ch[i] {
+			// Buffer a handful of in-flight messages per pair so the
+			// send-all-then-receive-all exchange pattern cannot deadlock.
+			w.ch[i][j] = make(chan []float64, 8)
+		}
+	}
+	return w
+}
+
+// Run spawns one goroutine per rank and waits for all of them to return.
+func (w *World) Run(fn func(c *Comm)) {
+	var wg sync.WaitGroup
+	for r := 0; r < w.Size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			fn(&Comm{w: w, Rank: rank})
+		}(r)
+	}
+	wg.Wait()
+}
+
+// Comm is one rank's communicator.
+type Comm struct {
+	w    *World
+	Rank int
+}
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return c.w.Size }
+
+// Send delivers a copy of data to rank `to`. Messages between a fixed pair
+// of ranks arrive in order.
+func (c *Comm) Send(to int, data []float64) {
+	if to < 0 || to >= c.w.Size {
+		panic(fmt.Sprintf("mpisim: send to invalid rank %d", to))
+	}
+	buf := make([]float64, len(data))
+	copy(buf, data)
+	c.w.ch[c.Rank][to] <- buf
+}
+
+// Recv blocks for the next message from rank `from`.
+func (c *Comm) Recv(from int) []float64 {
+	if from < 0 || from >= c.w.Size {
+		panic(fmt.Sprintf("mpisim: recv from invalid rank %d", from))
+	}
+	return <-c.w.ch[from][c.Rank]
+}
+
+// AllreduceSum returns the sum of x over all ranks, on every rank.
+func (c *Comm) AllreduceSum(x float64) float64 {
+	// Gather to rank 0, then broadcast.
+	if c.Rank == 0 {
+		sum := x
+		for r := 1; r < c.w.Size; r++ {
+			sum += c.Recv(r)[0]
+		}
+		for r := 1; r < c.w.Size; r++ {
+			c.Send(r, []float64{sum})
+		}
+		return sum
+	}
+	c.Send(0, []float64{x})
+	return c.Recv(0)[0]
+}
+
+// AllreduceMax returns the maximum of x over all ranks, on every rank.
+func (c *Comm) AllreduceMax(x float64) float64 {
+	if c.Rank == 0 {
+		m := x
+		for r := 1; r < c.w.Size; r++ {
+			if v := c.Recv(r)[0]; v > m {
+				m = v
+			}
+		}
+		for r := 1; r < c.w.Size; r++ {
+			c.Send(r, []float64{m})
+		}
+		return m
+	}
+	c.Send(0, []float64{x})
+	return c.Recv(0)[0]
+}
+
+// Barrier blocks until every rank has entered it.
+func (c *Comm) Barrier() { c.AllreduceSum(0) }

@@ -1,0 +1,11 @@
+package par
+
+import (
+	"math"
+	"unsafe"
+)
+
+func atomicPtr(f *float64) unsafe.Pointer { return unsafe.Pointer(f) }
+
+func float64bits(f float64) uint64     { return math.Float64bits(f) }
+func float64frombits(b uint64) float64 { return math.Float64frombits(b) }

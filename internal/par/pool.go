@@ -1,0 +1,241 @@
+// Package par is the thread-level parallel runtime used in place of OpenMP
+// (paper §4.B): a persistent worker pool with fork-join parallel loops and —
+// crucial for the paper's "one parallel region per kernel" optimization —
+// long-lived parallel regions inside which several loops run back to back
+// with explicit barriers only where the data flow requires one.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a team of persistent worker goroutines, the analogue of an OpenMP
+// thread team. A Pool with Workers()==1 degenerates to serial execution with
+// no goroutine dispatch at all.
+type Pool struct {
+	nw   int
+	work []chan func(id int)
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewPool creates a pool with n workers. n <= 0 selects GOMAXPROCS.
+func NewPool(n int) *Pool {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{nw: n, done: make(chan struct{})}
+	if n > 1 {
+		p.work = make([]chan func(id int), n-1)
+		for i := range p.work {
+			p.work[i] = make(chan func(id int))
+			go p.worker(i)
+		}
+	}
+	return p
+}
+
+func (p *Pool) worker(i int) {
+	for {
+		select {
+		case fn := <-p.work[i]:
+			fn(i + 1)
+			p.wg.Done()
+		case <-p.done:
+			return
+		}
+	}
+}
+
+// Workers returns the team size.
+func (p *Pool) Workers() int { return p.nw }
+
+// Close shuts the worker goroutines down. The pool must be idle.
+func (p *Pool) Close() {
+	if p.work != nil {
+		close(p.done)
+	}
+}
+
+// run executes fn(id) on every worker (ids 0..nw-1, id 0 being the caller)
+// and waits for all of them.
+func (p *Pool) run(fn func(id int)) {
+	if p.nw == 1 {
+		fn(0)
+		return
+	}
+	p.wg.Add(p.nw - 1)
+	for i := range p.work {
+		p.work[i] <- fn
+	}
+	fn(0)
+	p.wg.Wait()
+}
+
+// chunk returns the static half-open range of worker id over n iterations.
+func chunk(n, nw, id int) (lo, hi int) {
+	q, r := n/nw, n%nw
+	lo = id*q + min(id, r)
+	hi = lo + q
+	if id < r {
+		hi++
+	}
+	return lo, hi
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// For runs body over [0,n) split statically across the team, and waits for
+// completion (a self-contained parallel region: fork + implicit barrier).
+func (p *Pool) For(n int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if p.nw == 1 || n < 2*p.nw {
+		body(0, n)
+		return
+	}
+	p.run(func(id int) {
+		lo, hi := chunk(n, p.nw, id)
+		if lo < hi {
+			body(lo, hi)
+		}
+	})
+}
+
+// ForDynamic runs body over [0,n) in fixed-size chunks claimed dynamically
+// from a shared atomic counter — OpenMP's schedule(dynamic, chunk). Static
+// chunking (For) is the paper's choice for uniform patterns; dynamic
+// scheduling wins when per-element cost varies (e.g. variable-resolution
+// meshes, where pentagon/hexagon and refined/coarse regions differ).
+func (p *Pool) ForDynamic(n, chunk int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	if p.nw == 1 || n <= chunk {
+		body(0, n)
+		return
+	}
+	var next int64
+	p.run(func(int) {
+		for {
+			lo := int(atomic.AddInt64(&next, int64(chunk))) - chunk
+			if lo >= n {
+				return
+			}
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			body(lo, hi)
+		}
+	})
+}
+
+// ForRange is For over the half-open interval [lo, hi).
+func (p *Pool) ForRange(lo, hi int, body func(lo, hi int)) {
+	if hi <= lo {
+		return
+	}
+	p.For(hi-lo, func(l, h int) { body(l+lo, h+lo) })
+}
+
+// Team is the per-worker view inside a Region: it exposes barrier-free
+// statically-chunked loops plus an explicit Barrier, so a kernel can run many
+// loops in one region and synchronize only where the data flow demands it —
+// the paper's "remove all unnecessary implicit synchronizations".
+type Team struct {
+	ID      int // worker id, 0..Size-1
+	Size    int
+	barrier *Barrier
+}
+
+// For runs body on this worker's static chunk of [0,n). No synchronization:
+// back-to-back Team.For loops over the same index space that only touch the
+// worker's own chunk compose without barriers.
+func (t *Team) For(n int, body func(lo, hi int)) {
+	lo, hi := chunk(n, t.Size, t.ID)
+	if lo < hi {
+		body(lo, hi)
+	}
+}
+
+// Barrier blocks until every worker in the region has reached it.
+func (t *Team) Barrier() { t.barrier.Wait() }
+
+// ForBarrier is For followed by Barrier — the shape of an OpenMP loop with
+// its implicit barrier kept.
+func (t *Team) ForBarrier(n int, body func(lo, hi int)) {
+	t.For(n, body)
+	t.Barrier()
+}
+
+// Region runs fn once per worker as a single long-lived parallel region.
+func (p *Pool) Region(fn func(t *Team)) {
+	b := NewBarrier(p.nw)
+	p.run(func(id int) {
+		fn(&Team{ID: id, Size: p.nw, barrier: b})
+	})
+}
+
+// Barrier is a reusable counting barrier for a fixed-size team.
+type Barrier struct {
+	size int
+	mu   sync.Mutex
+	cnt  int
+	gen  uint64
+	cond *sync.Cond
+}
+
+// NewBarrier creates a barrier for size participants.
+func NewBarrier(size int) *Barrier {
+	b := &Barrier{size: size}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Wait blocks until size goroutines have called Wait, then releases them all
+// and resets for reuse.
+func (b *Barrier) Wait() {
+	if b.size == 1 {
+		return
+	}
+	b.mu.Lock()
+	gen := b.gen
+	b.cnt++
+	if b.cnt == b.size {
+		b.cnt = 0
+		b.gen++
+		b.mu.Unlock()
+		b.cond.Broadcast()
+		return
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}
+
+// AtomicAddFloat64 adds delta to *addr atomically via a compare-and-swap
+// loop. It is the building block of the "scatter with atomics" irregular
+// reduction variant that the regularity-aware refactoring replaces.
+func AtomicAddFloat64(addr *float64, delta float64) {
+	p := (*uint64)(atomicPtr(addr))
+	for {
+		old := atomic.LoadUint64(p)
+		next := float64frombits(old) + delta
+		if atomic.CompareAndSwapUint64(p, old, float64bits(next)) {
+			return
+		}
+	}
+}

@@ -1,0 +1,418 @@
+package par
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestChunkCoversExactly(t *testing.T) {
+	f := func(n uint16, nw uint8) bool {
+		N := int(n)
+		W := int(nw)%16 + 1
+		covered := 0
+		prevHi := 0
+		for id := 0; id < W; id++ {
+			lo, hi := chunk(N, W, id)
+			if lo != prevHi {
+				return false
+			}
+			if hi < lo {
+				return false
+			}
+			covered += hi - lo
+			prevHi = hi
+		}
+		return covered == N && prevHi == N
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChunkBalanced(t *testing.T) {
+	// Chunks differ in size by at most one.
+	for _, n := range []int{0, 1, 7, 100, 101, 1023} {
+		for _, w := range []int{1, 2, 3, 7, 16} {
+			minSz, maxSz := n+1, -1
+			for id := 0; id < w; id++ {
+				lo, hi := chunk(n, w, id)
+				sz := hi - lo
+				if sz < minSz {
+					minSz = sz
+				}
+				if sz > maxSz {
+					maxSz = sz
+				}
+			}
+			if maxSz-minSz > 1 {
+				t.Errorf("n=%d w=%d: chunk sizes %d..%d", n, w, minSz, maxSz)
+			}
+		}
+	}
+}
+
+func TestPoolForCoversAllIndices(t *testing.T) {
+	for _, nw := range []int{1, 2, 4, 8} {
+		p := NewPool(nw)
+		n := 10007
+		marks := make([]int32, n)
+		p.For(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&marks[i], 1)
+			}
+		})
+		for i, m := range marks {
+			if m != 1 {
+				t.Fatalf("nw=%d: index %d visited %d times", nw, i, m)
+			}
+		}
+		p.Close()
+	}
+}
+
+func TestPoolForEmpty(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	called := false
+	p.For(0, func(lo, hi int) { called = true })
+	if called {
+		t.Error("body called for n=0")
+	}
+	p.For(-5, func(lo, hi int) { called = true })
+	if called {
+		t.Error("body called for n<0")
+	}
+}
+
+func TestPoolForSmallN(t *testing.T) {
+	// n smaller than team size must still cover all indices.
+	p := NewPool(8)
+	defer p.Close()
+	var sum int64
+	p.For(3, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt64(&sum, int64(i))
+		}
+	})
+	if sum != 0+1+2 {
+		t.Errorf("sum = %d", sum)
+	}
+}
+
+func TestPoolMatchesSerialSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	x := make([]float64, 5000)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	serial := 0.0
+	for _, v := range x {
+		serial += v
+	}
+	p := NewPool(4)
+	defer p.Close()
+	partial := make([]float64, p.Workers())
+	var mu sync.Mutex
+	next := 0
+	p.For(len(x), func(lo, hi int) {
+		mu.Lock()
+		slot := next
+		next++
+		mu.Unlock()
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			s += x[i]
+		}
+		partial[slot] = s
+	})
+	got := 0.0
+	for _, v := range partial {
+		got += v
+	}
+	if d := got - serial; d > 1e-9 || d < -1e-9 {
+		t.Errorf("parallel sum %v != serial %v", got, serial)
+	}
+}
+
+func TestRegionTeamForNoBarrierSameChunks(t *testing.T) {
+	// Two back-to-back Team.For loops see the same static chunks, so a
+	// worker may read in loop 2 what it wrote in loop 1 without a barrier.
+	p := NewPool(4)
+	defer p.Close()
+	n := 1000
+	a := make([]float64, n)
+	b := make([]float64, n)
+	p.Region(func(tm *Team) {
+		tm.For(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				a[i] = float64(i)
+			}
+		})
+		tm.For(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				b[i] = 2 * a[i]
+			}
+		})
+	})
+	for i := 0; i < n; i++ {
+		if b[i] != 2*float64(i) {
+			t.Fatalf("b[%d] = %v", i, b[i])
+		}
+	}
+}
+
+func TestRegionBarrierOrdering(t *testing.T) {
+	// With a barrier, a worker can safely read another worker's writes.
+	p := NewPool(4)
+	defer p.Close()
+	n := 64
+	a := make([]int64, n)
+	ok := int32(1)
+	p.Region(func(tm *Team) {
+		tm.For(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				a[i] = 1
+			}
+		})
+		tm.Barrier()
+		// Every worker now checks the whole array.
+		var sum int64
+		for i := 0; i < n; i++ {
+			sum += a[i]
+		}
+		if sum != int64(n) {
+			atomic.StoreInt32(&ok, 0)
+		}
+	})
+	if ok != 1 {
+		t.Fatal("barrier did not order writes")
+	}
+}
+
+func TestForBarrier(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	n := 100
+	a := make([]int64, n)
+	var total int64
+	p.Region(func(tm *Team) {
+		tm.ForBarrier(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				a[i] = int64(i)
+			}
+		})
+		tm.For(n, func(lo, hi int) {
+			var s int64
+			for i := lo; i < hi; i++ {
+				s += a[i]
+			}
+			atomic.AddInt64(&total, s)
+		})
+	})
+	want := int64(n*(n-1)) / 2
+	if total != want {
+		t.Errorf("total = %d want %d", total, want)
+	}
+}
+
+func TestBarrierReusable(t *testing.T) {
+	const workers, rounds = 4, 50
+	b := NewBarrier(workers)
+	var counter int32
+	var wg sync.WaitGroup
+	errs := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 1; round <= rounds; round++ {
+				atomic.AddInt32(&counter, 1)
+				b.Wait()
+				// After the barrier, all workers of this round have
+				// incremented.
+				if got := atomic.LoadInt32(&counter); got < int32(workers*round) {
+					errs <- "barrier released early"
+					return
+				}
+				b.Wait() // second barrier keeps rounds from overlapping
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	if counter != workers*rounds {
+		t.Errorf("counter = %d", counter)
+	}
+}
+
+func TestBarrierSizeOne(t *testing.T) {
+	b := NewBarrier(1)
+	for i := 0; i < 10; i++ {
+		b.Wait() // must not block
+	}
+}
+
+func TestAtomicAddFloat64(t *testing.T) {
+	var x float64
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				AtomicAddFloat64(&x, 0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if x != 4000 {
+		t.Errorf("x = %v want 4000", x)
+	}
+}
+
+func TestNewPoolDefaults(t *testing.T) {
+	p := NewPool(0)
+	if p.Workers() < 1 {
+		t.Error("no workers")
+	}
+	p.Close()
+	p1 := NewPool(1)
+	if p1.Workers() != 1 {
+		t.Error("want 1 worker")
+	}
+	p1.Close() // Close on serial pool must be safe
+}
+
+func BenchmarkPoolForOverhead(b *testing.B) {
+	p := NewPool(4)
+	defer p.Close()
+	x := make([]float64, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.For(len(x), func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				x[j]++
+			}
+		})
+	}
+}
+
+// BenchmarkRegionFusion measures the paper's §4.B claim: one parallel region
+// per kernel (many loops inside one Region) vs one region per loop.
+func BenchmarkRegionFusion(b *testing.B) {
+	p := NewPool(4)
+	defer p.Close()
+	n := 4096
+	a := make([]float64, n)
+	const loops = 8
+	b.Run("RegionPerLoop", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for l := 0; l < loops; l++ {
+				p.For(n, func(lo, hi int) {
+					for j := lo; j < hi; j++ {
+						a[j] += 1
+					}
+				})
+			}
+		}
+	})
+	b.Run("FusedRegion", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p.Region(func(tm *Team) {
+				for l := 0; l < loops; l++ {
+					tm.For(n, func(lo, hi int) {
+						for j := lo; j < hi; j++ {
+							a[j] += 1
+						}
+					})
+				}
+			})
+		}
+	})
+}
+
+func TestForDynamicCoversAllIndices(t *testing.T) {
+	for _, nw := range []int{1, 2, 4} {
+		for _, chunk := range []int{1, 7, 64} {
+			p := NewPool(nw)
+			n := 1009
+			marks := make([]int32, n)
+			p.ForDynamic(n, chunk, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&marks[i], 1)
+				}
+			})
+			for i, m := range marks {
+				if m != 1 {
+					t.Fatalf("nw=%d chunk=%d: index %d visited %d times", nw, chunk, i, m)
+				}
+			}
+			p.Close()
+		}
+	}
+}
+
+func TestForDynamicEdgeCases(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	called := false
+	p.ForDynamic(0, 4, func(lo, hi int) { called = true })
+	if called {
+		t.Error("body called for n=0")
+	}
+	// chunk < 1 is clamped.
+	sum := int64(0)
+	p.ForDynamic(5, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt64(&sum, int64(i))
+		}
+	})
+	if sum != 10 {
+		t.Errorf("sum = %d", sum)
+	}
+}
+
+// BenchmarkDynamicVsStaticImbalanced shows dynamic scheduling absorbing an
+// artificial load imbalance that static chunking cannot.
+func BenchmarkDynamicVsStaticImbalanced(b *testing.B) {
+	p := NewPool(4)
+	defer p.Close()
+	n := 4096
+	work := func(i int) float64 {
+		// The last quarter of the range is 8x more expensive.
+		iters := 10
+		if i > 3*n/4 {
+			iters = 80
+		}
+		s := 0.0
+		for k := 0; k < iters; k++ {
+			s += float64(k * i)
+		}
+		return s
+	}
+	sink := make([]float64, n)
+	b.Run("Static", func(b *testing.B) {
+		for r := 0; r < b.N; r++ {
+			p.For(n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					sink[i] = work(i)
+				}
+			})
+		}
+	})
+	b.Run("Dynamic", func(b *testing.B) {
+		for r := 0; r < b.N; r++ {
+			p.ForDynamic(n, 64, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					sink[i] = work(i)
+				}
+			})
+		}
+	})
+}

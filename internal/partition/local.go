@@ -1,0 +1,178 @@
+package partition
+
+import (
+	"repro/internal/mesh"
+)
+
+// Local is one process's view of the global mesh: its owned cells followed
+// by halo layers, with all connectivity remapped to local indices.
+// References that leave the local set are clamped to safe local indices (or
+// zero-weight stencil slots); the resulting garbage is confined to the
+// outermost halo layer, which is overwritten by halo exchange before any
+// owned value can consume it (the halo is deeper than the per-substage
+// dependency radius of the RK-4 kernels).
+type Local struct {
+	Part int
+	M    *mesh.Mesh
+
+	NOwnedCells int // local cells [0, NOwnedCells) are owned
+
+	CellL2G []int32
+	EdgeL2G []int32
+	VertL2G []int32
+	CellG2L map[int32]int32
+	EdgeG2L map[int32]int32
+
+	// EdgeOwner[le] is the part owning local edge le (the owner of the
+	// first global cell of the edge).
+	EdgeOwner []int32
+	// CellOwner[lc] is the part owning local cell lc.
+	CellOwner []int32
+}
+
+// Extract builds the local view of part with the given halo depth.
+func Extract(g *mesh.Mesh, p *Partition, part, layers int) *Local {
+	l := &Local{
+		Part:    part,
+		CellG2L: map[int32]int32{},
+		EdgeG2L: map[int32]int32{},
+	}
+
+	// --- cells: owned, then halo layers ----------------------------------
+	owned := p.Cells[part]
+	l.NOwnedCells = len(owned)
+	l.CellL2G = append(l.CellL2G, owned...)
+	for _, layer := range p.Halo(g, part, layers) {
+		l.CellL2G = append(l.CellL2G, layer...)
+	}
+	for lc, gc := range l.CellL2G {
+		l.CellG2L[gc] = int32(lc)
+	}
+
+	// --- edges: every global edge with both cells local ------------------
+	for _, gc := range l.CellL2G {
+		for _, ge := range g.CellEdges(gc) {
+			if _, done := l.EdgeG2L[ge]; done {
+				continue
+			}
+			c1, c2 := g.CellsOnEdge[2*ge], g.CellsOnEdge[2*ge+1]
+			_, ok1 := l.CellG2L[c1]
+			_, ok2 := l.CellG2L[c2]
+			if ok1 && ok2 {
+				l.EdgeG2L[ge] = int32(len(l.EdgeL2G))
+				l.EdgeL2G = append(l.EdgeL2G, ge)
+			}
+		}
+	}
+
+	// --- vertices: every vertex of a local edge --------------------------
+	vertG2L := map[int32]int32{}
+	for _, ge := range l.EdgeL2G {
+		for k := int32(0); k < 2; k++ {
+			gv := g.VerticesOnEdge[2*ge+k]
+			if _, done := vertG2L[gv]; !done {
+				vertG2L[gv] = int32(len(l.VertL2G))
+				l.VertL2G = append(l.VertL2G, gv)
+			}
+		}
+	}
+
+	l.M = l.buildLocalMesh(g, vertG2L)
+
+	l.CellOwner = make([]int32, len(l.CellL2G))
+	for lc, gc := range l.CellL2G {
+		l.CellOwner[lc] = p.Owner[gc]
+	}
+	l.EdgeOwner = make([]int32, len(l.EdgeL2G))
+	for le, ge := range l.EdgeL2G {
+		l.EdgeOwner[le] = p.Owner[g.CellsOnEdge[2*ge]]
+	}
+	return l
+}
+
+// buildLocalMesh assembles the local mesh arrays from the global mesh.
+func (l *Local) buildLocalMesh(g *mesh.Mesh, vertG2L map[int32]int32) *mesh.Mesh {
+	nc, ne, nv := len(l.CellL2G), len(l.EdgeL2G), len(l.VertL2G)
+	m := mesh.NewEmpty(g.Radius, nc, ne, nv, g.Level)
+
+	for lc, gc := range l.CellL2G {
+		m.XCell[lc] = g.XCell[gc]
+		m.LatCell[lc] = g.LatCell[gc]
+		m.LonCell[lc] = g.LonCell[gc]
+		m.AreaCell[lc] = g.AreaCell[gc]
+		m.NEdgesOnCell[lc] = g.NEdgesOnCell[gc]
+		gbase := int(gc) * mesh.MaxEdges
+		lbase := lc * mesh.MaxEdges
+		for j := 0; j < int(g.NEdgesOnCell[gc]); j++ {
+			// Edges of the cell: clamp missing edges to slot-self with the
+			// convention edge 0 (garbage confined to outer halo).
+			if le, ok := l.EdgeG2L[g.EdgesOnCell[gbase+j]]; ok {
+				m.EdgesOnCell[lbase+j] = le
+			} else {
+				m.EdgesOnCell[lbase+j] = 0
+			}
+			if lcc, ok := l.CellG2L[g.CellsOnCell[gbase+j]]; ok {
+				m.CellsOnCell[lbase+j] = lcc
+			} else {
+				m.CellsOnCell[lbase+j] = int32(lc)
+			}
+			if lv, ok := vertG2L[g.VerticesOnCell[gbase+j]]; ok {
+				m.VerticesOnCell[lbase+j] = lv
+			} else {
+				m.VerticesOnCell[lbase+j] = 0
+			}
+			m.EdgeSignOnCell[lbase+j] = g.EdgeSignOnCell[gbase+j]
+		}
+	}
+
+	for le, ge := range l.EdgeL2G {
+		m.XEdge[le] = g.XEdge[ge]
+		m.LatEdge[le] = g.LatEdge[ge]
+		m.LonEdge[le] = g.LonEdge[ge]
+		m.DcEdge[le] = g.DcEdge[ge]
+		m.DvEdge[le] = g.DvEdge[ge]
+		m.AngleEdge[le] = g.AngleEdge[ge]
+		m.EdgeNormal[le] = g.EdgeNormal[ge]
+		m.EdgeTangent[le] = g.EdgeTangent[ge]
+		m.CellsOnEdge[2*le] = l.CellG2L[g.CellsOnEdge[2*ge]]
+		m.CellsOnEdge[2*le+1] = l.CellG2L[g.CellsOnEdge[2*ge+1]]
+		m.VerticesOnEdge[2*le] = vertG2L[g.VerticesOnEdge[2*ge]]
+		m.VerticesOnEdge[2*le+1] = vertG2L[g.VerticesOnEdge[2*ge+1]]
+		gbase := int(ge) * mesh.MaxEdgesOnEdge
+		lbase := le * mesh.MaxEdgesOnEdge
+		m.NEdgesOnEdge[le] = g.NEdgesOnEdge[ge]
+		for j := 0; j < int(g.NEdgesOnEdge[ge]); j++ {
+			if leoe, ok := l.EdgeG2L[g.EdgesOnEdge[gbase+j]]; ok {
+				m.EdgesOnEdge[lbase+j] = leoe
+				m.WeightsOnEdge[lbase+j] = g.WeightsOnEdge[gbase+j]
+			} else {
+				// Missing stencil member: zero weight, safe index.
+				m.EdgesOnEdge[lbase+j] = 0
+				m.WeightsOnEdge[lbase+j] = 0
+			}
+		}
+	}
+
+	for lv, gv := range l.VertL2G {
+		m.XVertex[lv] = g.XVertex[gv]
+		m.LatVertex[lv] = g.LatVertex[gv]
+		m.AreaTriangle[lv] = g.AreaTriangle[gv]
+		gbase := int(gv) * mesh.VertexDegree
+		lbase := lv * mesh.VertexDegree
+		for j := 0; j < mesh.VertexDegree; j++ {
+			if lc, ok := l.CellG2L[g.CellsOnVertex[gbase+j]]; ok {
+				m.CellsOnVertex[lbase+j] = lc
+			} else {
+				m.CellsOnVertex[lbase+j] = 0
+			}
+			if le, ok := l.EdgeG2L[g.EdgesOnVertex[gbase+j]]; ok {
+				m.EdgesOnVertex[lbase+j] = le
+			} else {
+				m.EdgesOnVertex[lbase+j] = 0
+			}
+			m.KiteAreasOnVertex[lbase+j] = g.KiteAreasOnVertex[gbase+j]
+			m.EdgeSignOnVertex[lbase+j] = g.EdgeSignOnVertex[gbase+j]
+		}
+	}
+	return m
+}

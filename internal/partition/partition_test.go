@@ -1,0 +1,213 @@
+package partition
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mesh"
+)
+
+var cached *mesh.Mesh
+
+func mesh4(t testing.TB) *mesh.Mesh {
+	if cached == nil {
+		var err error
+		cached, err = mesh.Build(4, mesh.Options{LloydIterations: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return cached
+}
+
+func TestBisectPartitionsValid(t *testing.T) {
+	m := mesh4(t)
+	for _, p := range []int{1, 2, 3, 4, 7, 8, 16} {
+		part, err := Bisect(m, p)
+		if err != nil {
+			t.Fatalf("Bisect(%d): %v", p, err)
+		}
+		if err := part.Validate(m); err != nil {
+			t.Fatalf("Bisect(%d): %v", p, err)
+		}
+		if imb := part.Imbalance(); imb > 1.05 {
+			t.Errorf("Bisect(%d): imbalance %v", p, imb)
+		}
+	}
+}
+
+func TestBisectErrors(t *testing.T) {
+	m := mesh4(t)
+	if _, err := Bisect(m, 0); err == nil {
+		t.Error("nparts=0 accepted")
+	}
+	if _, err := Bisect(m, m.NCells+1); err == nil {
+		t.Error("nparts>ncells accepted")
+	}
+}
+
+func TestHaloLayersDisjointAndAdjacent(t *testing.T) {
+	m := mesh4(t)
+	part, _ := Bisect(m, 8)
+	halos := part.Halo(m, 3, 3)
+	if len(halos) != 3 {
+		t.Fatalf("%d layers", len(halos))
+	}
+	seen := map[int32]bool{}
+	for _, c := range part.Cells[3] {
+		seen[c] = true
+	}
+	for li, layer := range halos {
+		if len(layer) == 0 {
+			t.Fatalf("layer %d empty", li)
+		}
+		for _, c := range layer {
+			if seen[c] {
+				t.Fatalf("cell %d repeated across layers", c)
+			}
+			seen[c] = true
+			if part.Owner[c] == 3 {
+				t.Fatalf("owned cell %d in halo", c)
+			}
+		}
+	}
+	// Layer 1 cells must neighbor an owned cell.
+	owned := map[int32]bool{}
+	for _, c := range part.Cells[3] {
+		owned[c] = true
+	}
+	for _, c := range halos[0] {
+		touches := false
+		for _, nb := range m.CellNeighbors(c) {
+			if owned[nb] {
+				touches = true
+			}
+		}
+		if !touches {
+			t.Fatalf("layer-1 cell %d not adjacent to owned set", c)
+		}
+	}
+}
+
+func TestHaloCellsModelMatchesReality(t *testing.T) {
+	// The analytic halo estimate used at paper scale must be within 2x of
+	// measured halos on a real partition.
+	m := mesh4(t)
+	for _, p := range []int{4, 8} {
+		part, _ := Bisect(m, p)
+		perPart := m.NCells / p
+		for r := 0; r < p; r++ {
+			halos := part.Halo(m, r, 1)
+			model := HaloCellsModel(perPart, 1)
+			real := len(halos[0])
+			if ratio := float64(model) / float64(real); ratio < 0.5 || ratio > 2.5 {
+				t.Errorf("p=%d rank=%d: model %d vs real %d halo cells", p, r, model, real)
+			}
+		}
+	}
+}
+
+func TestExtractLocalStructure(t *testing.T) {
+	m := mesh4(t)
+	part, _ := Bisect(m, 4)
+	for r := 0; r < 4; r++ {
+		l := Extract(m, part, r, 3)
+		if l.NOwnedCells != len(part.Cells[r]) {
+			t.Fatalf("rank %d: owned %d want %d", r, l.NOwnedCells, len(part.Cells[r]))
+		}
+		if l.M.NCells != len(l.CellL2G) || l.M.NEdges != len(l.EdgeL2G) || l.M.NVertices != len(l.VertL2G) {
+			t.Fatal("local mesh counts inconsistent")
+		}
+		// Round trip of the maps.
+		for lc, gc := range l.CellL2G {
+			if l.CellG2L[gc] != int32(lc) {
+				t.Fatal("cell map not a bijection")
+			}
+		}
+		for le, ge := range l.EdgeL2G {
+			if l.EdgeG2L[ge] != int32(le) {
+				t.Fatal("edge map not a bijection")
+			}
+		}
+		// Owned cells come first and belong to r.
+		for lc := 0; lc < l.NOwnedCells; lc++ {
+			if l.CellOwner[lc] != int32(r) {
+				t.Fatal("owned cell not owned")
+			}
+		}
+		for lc := l.NOwnedCells; lc < l.M.NCells; lc++ {
+			if l.CellOwner[lc] == int32(r) {
+				t.Fatal("halo cell owned by self")
+			}
+		}
+	}
+}
+
+func TestExtractGeometryMatchesGlobal(t *testing.T) {
+	m := mesh4(t)
+	part, _ := Bisect(m, 4)
+	l := Extract(m, part, 1, 3)
+	for lc, gc := range l.CellL2G {
+		if l.M.AreaCell[lc] != m.AreaCell[gc] || l.M.XCell[lc] != m.XCell[gc] {
+			t.Fatal("cell geometry not copied")
+		}
+		if l.M.NEdgesOnCell[lc] != m.NEdgesOnCell[gc] {
+			t.Fatal("cell degree changed")
+		}
+	}
+	for le, ge := range l.EdgeL2G {
+		if l.M.DcEdge[le] != m.DcEdge[ge] || l.M.DvEdge[le] != m.DvEdge[ge] {
+			t.Fatal("edge metrics not copied")
+		}
+		if l.M.AngleEdge[le] != m.AngleEdge[ge] {
+			t.Fatal("angle not copied")
+		}
+	}
+}
+
+func TestExtractInteriorConnectivityExact(t *testing.T) {
+	// For owned cells, every connectivity slot must map exactly to the
+	// global mesh (no clamping in the interior).
+	m := mesh4(t)
+	part, _ := Bisect(m, 4)
+	l := Extract(m, part, 2, 3)
+	for lc := 0; lc < l.NOwnedCells; lc++ {
+		gc := l.CellL2G[lc]
+		n := int(m.NEdgesOnCell[gc])
+		for j := 0; j < n; j++ {
+			ge := m.EdgesOnCell[int(gc)*mesh.MaxEdges+j]
+			le := l.M.EdgesOnCell[lc*mesh.MaxEdges+j]
+			if l.EdgeL2G[le] != ge {
+				t.Fatalf("owned cell %d edge slot %d clamped", lc, j)
+			}
+			gnb := m.CellsOnCell[int(gc)*mesh.MaxEdges+j]
+			lnb := l.M.CellsOnCell[lc*mesh.MaxEdges+j]
+			if l.CellL2G[lnb] != gnb {
+				t.Fatalf("owned cell %d neighbor slot %d clamped", lc, j)
+			}
+		}
+	}
+	// Owned edges keep full TRiSK stencils with original weights.
+	for le := 0; le < l.M.NEdges; le++ {
+		if l.EdgeOwner[le] != 2 {
+			continue
+		}
+		ge := l.EdgeL2G[le]
+		n := int(m.NEdgesOnEdge[ge])
+		for j := 0; j < n; j++ {
+			gw := m.WeightsOnEdge[int(ge)*mesh.MaxEdgesOnEdge+j]
+			lw := l.M.WeightsOnEdge[le*mesh.MaxEdgesOnEdge+j]
+			if lw != gw {
+				t.Fatalf("owned edge %d stencil weight %d clamped (%v vs %v)", le, j, lw, gw)
+			}
+		}
+	}
+}
+
+func TestImbalanceSinglePart(t *testing.T) {
+	m := mesh4(t)
+	part, _ := Bisect(m, 1)
+	if math.Abs(part.Imbalance()-1) > 1e-12 {
+		t.Error("single part imbalance != 1")
+	}
+}

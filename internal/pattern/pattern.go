@@ -1,0 +1,196 @@
+// Package pattern defines the paper's basic computation patterns (§3.A,
+// Figure 3): the three C-grid point types of the SCVT mesh, the eight
+// stencil pattern shapes A–H between them, the local pattern shape X, and
+// the Table I registry of every pattern instance in the shallow-water model
+// together with its input and output variables.
+//
+// Pattern instances are the scheduling unit of the whole reproduction: the
+// data-flow graph (package dataflow) connects them by variable def/use, and
+// the hybrid executors (package hybrid) place them on host or device.
+package pattern
+
+import "fmt"
+
+// PointType is a mesh point class of the C-grid staggering (paper Fig. 1).
+type PointType uint8
+
+const (
+	// Mass points: Voronoi cell centers (h, ke, divergence, pv_cell ...).
+	Mass PointType = iota
+	// Velocity points: edge midpoints (u, v, h_edge, pv_edge ...).
+	Velocity
+	// Vorticity points: Delaunay triangle corners (vorticity, pv_vertex).
+	Vorticity
+)
+
+func (p PointType) String() string {
+	switch p {
+	case Mass:
+		return "mass"
+	case Velocity:
+		return "velocity"
+	case Vorticity:
+		return "vorticity"
+	}
+	return fmt.Sprintf("PointType(%d)", uint8(p))
+}
+
+// Shape identifies one of the eight stencil pattern shapes of Figure 3, or
+// the local (pointwise) shape X. A shape is characterized by the point type
+// of the output variable and the point type(s) gathered as input.
+type Shape uint8
+
+const (
+	// ShapeA : mass point from the surrounding velocity points
+	// (divergence, kinetic energy, flux divergence, reconstruction).
+	ShapeA Shape = iota
+	// ShapeB : velocity point from a wide mixed neighborhood (velocity,
+	// mass and vorticity points) — the momentum tendency and APVM stencils.
+	ShapeB
+	// ShapeC : mass point from the neighboring mass points (second
+	// derivative fit) or from the surrounding vorticity points.
+	ShapeC
+	// ShapeD : velocity point from its two adjacent mass points.
+	ShapeD
+	// ShapeE : vorticity point from its three velocity points.
+	ShapeE
+	// ShapeF : velocity point from the velocity points on the two adjacent
+	// cells (the TRiSK edgesOnEdge stencil).
+	ShapeF
+	// ShapeG : vorticity point from its three mass points.
+	ShapeG
+	// ShapeH : velocity or mass point from adjacent vorticity points.
+	ShapeH
+	// ShapeX : local (pointwise) computation, embarrassingly parallel.
+	ShapeX
+)
+
+func (s Shape) String() string {
+	if s > ShapeX {
+		return fmt.Sprintf("Shape(%d)", uint8(s))
+	}
+	return string("ABCDEFGHX"[s])
+}
+
+// Instance is one pattern instance of Table I: a concrete computation with a
+// fixed output variable, input variables, shape and kernel membership.
+type Instance struct {
+	// ID is the Table I label: "A1", "B2", "X4", ...
+	ID string
+	// Kernel is the original MPAS kernel the instance belongs to.
+	Kernel string
+	// Shape of the stencil.
+	Shape Shape
+	// Out is the point type of the output variable.
+	Out PointType
+	// Reads and Writes are the model variable names consumed/produced.
+	Reads  []string
+	Writes []string
+	// Optional marks instances that run only under non-default
+	// configuration (high-order thickness, Rayleigh friction).
+	Optional bool
+}
+
+// Kernel names, in the execution order of Algorithm 1.
+const (
+	KernelComputeTend         = "compute_tend"
+	KernelEnforceBoundaryEdge = "enforce_boundary_edge"
+	KernelNextSubstepState    = "compute_next_substep_state"
+	KernelSolveDiagnostics    = "compute_solve_diagnostics"
+	KernelAccumulativeUpdate  = "accumulative_update"
+	KernelReconstruct         = "mpas_reconstruct"
+)
+
+// Table1 is the registry of all pattern instances of the shallow-water
+// model, the reproduction of Table I of the paper. Order within a kernel is
+// a valid sequential execution order.
+var Table1 = []Instance{
+	// --- compute_solve_diagnostics ---------------------------------------
+	{ID: "C1", Kernel: KernelSolveDiagnostics, Shape: ShapeC, Out: Mass,
+		Reads: []string{"h"}, Writes: []string{"d2fdx2_cell"}, Optional: true},
+	{ID: "D1", Kernel: KernelSolveDiagnostics, Shape: ShapeD, Out: Velocity,
+		Reads: []string{"h"}, Writes: []string{"h_edge"}},
+	{ID: "D2", Kernel: KernelSolveDiagnostics, Shape: ShapeD, Out: Velocity,
+		Reads: []string{"h", "d2fdx2_cell"}, Writes: []string{"h_edge"}, Optional: true},
+	{ID: "E", Kernel: KernelSolveDiagnostics, Shape: ShapeE, Out: Vorticity,
+		Reads: []string{"u"}, Writes: []string{"vorticity"}},
+	{ID: "A2", Kernel: KernelSolveDiagnostics, Shape: ShapeA, Out: Mass,
+		Reads: []string{"u"}, Writes: []string{"divergence"}},
+	{ID: "A3", Kernel: KernelSolveDiagnostics, Shape: ShapeA, Out: Mass,
+		Reads: []string{"u"}, Writes: []string{"ke"}},
+	{ID: "F", Kernel: KernelSolveDiagnostics, Shape: ShapeF, Out: Velocity,
+		Reads: []string{"u"}, Writes: []string{"v"}},
+	{ID: "G", Kernel: KernelSolveDiagnostics, Shape: ShapeG, Out: Vorticity,
+		Reads: []string{"h", "vorticity"}, Writes: []string{"h_vertex", "pv_vertex"}},
+	{ID: "C2", Kernel: KernelSolveDiagnostics, Shape: ShapeC, Out: Mass,
+		Reads: []string{"pv_vertex"}, Writes: []string{"pv_cell"}},
+	{ID: "H2", Kernel: KernelSolveDiagnostics, Shape: ShapeH, Out: Mass,
+		Reads: []string{"vorticity"}, Writes: []string{"vorticity_cell"}},
+	{ID: "H1", Kernel: KernelSolveDiagnostics, Shape: ShapeH, Out: Velocity,
+		Reads: []string{"pv_vertex"}, Writes: []string{"pv_edge"}},
+	{ID: "B2", Kernel: KernelSolveDiagnostics, Shape: ShapeB, Out: Velocity,
+		Reads: []string{"pv_vertex", "pv_cell", "u", "v", "pv_edge"}, Writes: []string{"pv_edge"}},
+
+	// --- compute_tend -----------------------------------------------------
+	{ID: "A1", Kernel: KernelComputeTend, Shape: ShapeA, Out: Mass,
+		Reads: []string{"u", "h_edge"}, Writes: []string{"tend_h"}},
+	{ID: "B1", Kernel: KernelComputeTend, Shape: ShapeB, Out: Velocity,
+		Reads:  []string{"pv_edge", "u", "h_edge", "ke", "h", "divergence", "vorticity"},
+		Writes: []string{"tend_u"}},
+
+	// --- enforce_boundary_edge ---------------------------------------------
+	{ID: "X1", Kernel: KernelEnforceBoundaryEdge, Shape: ShapeX, Out: Velocity,
+		Reads: []string{"tend_u", "u"}, Writes: []string{"tend_u"}},
+
+	// --- compute_next_substep_state -----------------------------------------
+	{ID: "X2", Kernel: KernelNextSubstepState, Shape: ShapeX, Out: Mass,
+		Reads: []string{"h0", "tend_h"}, Writes: []string{"h"}},
+	{ID: "X3", Kernel: KernelNextSubstepState, Shape: ShapeX, Out: Velocity,
+		Reads: []string{"u0", "tend_u"}, Writes: []string{"u"}},
+
+	// --- accumulative_update -------------------------------------------------
+	{ID: "X4", Kernel: KernelAccumulativeUpdate, Shape: ShapeX, Out: Mass,
+		Reads: []string{"tend_h"}, Writes: []string{"h_new"}},
+	{ID: "X5", Kernel: KernelAccumulativeUpdate, Shape: ShapeX, Out: Velocity,
+		Reads: []string{"tend_u"}, Writes: []string{"u_new"}},
+
+	// --- mpas_reconstruct ------------------------------------------------------
+	{ID: "A4", Kernel: KernelReconstruct, Shape: ShapeA, Out: Mass,
+		Reads: []string{"u"}, Writes: []string{"uReconstructX", "uReconstructY", "uReconstructZ"}},
+	{ID: "X6", Kernel: KernelReconstruct, Shape: ShapeX, Out: Mass,
+		Reads:  []string{"uReconstructX", "uReconstructY", "uReconstructZ"},
+		Writes: []string{"uReconstructZonal", "uReconstructMeridional"}},
+}
+
+// ByID returns the Table I instance with the given label, or nil.
+func ByID(id string) *Instance {
+	for i := range Table1 {
+		if Table1[i].ID == id {
+			return &Table1[i]
+		}
+	}
+	return nil
+}
+
+// KernelInstances returns the instances of a kernel in execution order.
+func KernelInstances(kernel string) []Instance {
+	var out []Instance
+	for _, ins := range Table1 {
+		if ins.Kernel == kernel {
+			out = append(out, ins)
+		}
+	}
+	return out
+}
+
+// Kernels returns the kernel names in Algorithm 1 execution order.
+func Kernels() []string {
+	return []string{
+		KernelComputeTend,
+		KernelEnforceBoundaryEdge,
+		KernelNextSubstepState,
+		KernelSolveDiagnostics,
+		KernelAccumulativeUpdate,
+		KernelReconstruct,
+	}
+}

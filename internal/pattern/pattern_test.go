@@ -1,0 +1,133 @@
+package pattern
+
+import "testing"
+
+func TestTable1Complete(t *testing.T) {
+	// The paper identifies 8 stencil shapes and 6 local computations.
+	ids := map[string]bool{}
+	shapes := map[Shape]bool{}
+	locals := 0
+	for _, ins := range Table1 {
+		if ids[ins.ID] {
+			t.Errorf("duplicate instance %s", ins.ID)
+		}
+		ids[ins.ID] = true
+		shapes[ins.Shape] = true
+		if ins.Shape == ShapeX {
+			locals++
+		}
+	}
+	for _, want := range []Shape{ShapeA, ShapeB, ShapeC, ShapeD, ShapeE, ShapeF, ShapeG, ShapeH} {
+		if !shapes[want] {
+			t.Errorf("stencil shape %s unused", want)
+		}
+	}
+	if locals != 6 {
+		t.Errorf("%d local (X) patterns, want 6 (X1..X6)", locals)
+	}
+	// Paper Table I instances all present.
+	for _, id := range []string{"A1", "A2", "A3", "A4", "B1", "B2", "C1", "C2",
+		"D1", "D2", "E", "F", "G", "H1", "H2", "X1", "X2", "X3", "X4", "X5", "X6"} {
+		if !ids[id] {
+			t.Errorf("missing Table I instance %s", id)
+		}
+	}
+}
+
+func TestInstancesHaveReadsWrites(t *testing.T) {
+	for _, ins := range Table1 {
+		if len(ins.Writes) == 0 {
+			t.Errorf("%s writes nothing", ins.ID)
+		}
+		if len(ins.Reads) == 0 {
+			t.Errorf("%s reads nothing", ins.ID)
+		}
+		if ins.Kernel == "" {
+			t.Errorf("%s has no kernel", ins.ID)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if ByID("B1") == nil {
+		t.Fatal("B1 missing")
+	}
+	if ByID("B1").Kernel != KernelComputeTend {
+		t.Error("B1 kernel wrong")
+	}
+	if ByID("nope") != nil {
+		t.Error("bogus ID found")
+	}
+}
+
+func TestKernelInstancesOrder(t *testing.T) {
+	sd := KernelInstances(KernelSolveDiagnostics)
+	if len(sd) != 12 {
+		t.Fatalf("%d solve_diagnostics instances, want 12", len(sd))
+	}
+	// E (vorticity) must come before G (pv_vertex) which reads it.
+	pos := map[string]int{}
+	for i, ins := range sd {
+		pos[ins.ID] = i
+	}
+	if pos["E"] > pos["G"] {
+		t.Error("E after G")
+	}
+	if pos["G"] > pos["H1"] || pos["H1"] > pos["B2"] || pos["C2"] > pos["B2"] {
+		t.Error("pv chain out of order")
+	}
+}
+
+func TestKernelsOrderMatchesAlgorithm1(t *testing.T) {
+	ks := Kernels()
+	want := []string{"compute_tend", "enforce_boundary_edge",
+		"compute_next_substep_state", "compute_solve_diagnostics",
+		"accumulative_update", "mpas_reconstruct"}
+	if len(ks) != len(want) {
+		t.Fatalf("kernels: %v", ks)
+	}
+	for i := range want {
+		if ks[i] != want[i] {
+			t.Errorf("kernel %d = %s, want %s", i, ks[i], want[i])
+		}
+	}
+}
+
+func TestPointTypeStrings(t *testing.T) {
+	if Mass.String() != "mass" || Velocity.String() != "velocity" || Vorticity.String() != "vorticity" {
+		t.Error("PointType strings")
+	}
+	if PointType(9).String() == "" {
+		t.Error("unknown PointType empty")
+	}
+}
+
+func TestShapeStrings(t *testing.T) {
+	if ShapeA.String() != "A" || ShapeH.String() != "H" || ShapeX.String() != "X" {
+		t.Error("Shape strings")
+	}
+	if Shape(42).String() == "" {
+		t.Error("unknown shape empty")
+	}
+}
+
+func TestShapeOutputTypes(t *testing.T) {
+	// Shape semantics: A and C produce mass points, D/F/B produce velocity
+	// points, E/G produce vorticity points.
+	for _, ins := range Table1 {
+		switch ins.Shape {
+		case ShapeA, ShapeC:
+			if ins.Out != Mass {
+				t.Errorf("%s: shape %s output %s", ins.ID, ins.Shape, ins.Out)
+			}
+		case ShapeD, ShapeF, ShapeB:
+			if ins.Out != Velocity {
+				t.Errorf("%s: shape %s output %s", ins.ID, ins.Shape, ins.Out)
+			}
+		case ShapeE, ShapeG:
+			if ins.Out != Vorticity {
+				t.Errorf("%s: shape %s output %s", ins.ID, ins.Shape, ins.Out)
+			}
+		}
+	}
+}

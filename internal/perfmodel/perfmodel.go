@@ -1,0 +1,218 @@
+// Package perfmodel is the calibrated performance model of the paper's test
+// platform (Table II): Intel Xeon E5-2680 v2 CPUs and Intel Xeon Phi 5110P
+// coprocessors connected by PCIe, with nodes joined by 56 Gb FDR InfiniBand.
+// Go has no accelerator offload, so — per the substitution rule in DESIGN.md
+// — the platform is simulated: pattern kernels really execute (on
+// goroutines) for correctness, while this model supplies the clock that the
+// paper's wall-clock measurements supplied.
+//
+// The model is a roofline over EFFECTIVE (not peak) rates, because the
+// shallow-water patterns are irregular: indexed gathers over unstructured
+// connectivity. The controlling quantities, calibrated against the paper's
+// own measurements (Fig. 6 ladder, Fig. 7 execution times), are
+//
+//   - the effective single-thread bandwidth of latency-bound irregular
+//     access (what a serial run sustains),
+//   - the effective fully-threaded irregular bandwidth (threading hides
+//     memory latency — the main reason the 60-core Phi wins),
+//   - multiplicative bandwidth factors for manual SIMD (on the in-order Phi,
+//     VGATHER keeps many more cache-line requests in flight than scalar
+//     loads), streaming stores (no read-for-ownership) and
+//     prefetch/2MB-pages/loop-fusion,
+//   - a contended-update cost for un-refactored scatter reductions run with
+//     atomics, which is what caps the "OpenMP only" bar of Figure 6 below
+//     20x and is removed by the regularity-aware refactoring.
+package perfmodel
+
+// Device is one processor of the heterogeneous node with calibrated
+// effective rates for the shallow-water pattern workload.
+type Device struct {
+	Name           string
+	Cores          int
+	ThreadsPerCore int
+	FreqGHz        float64
+
+	// SerialBW/ParallelBW: effective irregular-access bandwidth (GB/s) of
+	// one thread (latency-bound) and of the fully threaded device
+	// (latency-hidden), before SIMD/streaming/prefetch factors.
+	SerialBW   float64
+	ParallelBW float64
+
+	// Bandwidth factors for the §4 optimizations.
+	SIMDBWBoost float64
+	StreamBoost float64
+	OthersBoost float64
+
+	// Effective compute rates (GFlop/s) serial and fully threaded, and the
+	// factor manual SIMD contributes on top of the threaded rate.
+	SerialGF      float64
+	ParallelGF    float64
+	SIMDFlopBoost float64
+
+	// RegionOverhead is the fork/join cost of one parallel region.
+	RegionOverhead float64
+	// GrainElements models the per-thread granularity floor: with T
+	// hardware threads, a pattern of n elements runs at efficiency
+	// n/(n + T*GrainElements) — small arrays cannot amortize fork, load
+	// imbalance and sync across hundreds of threads, which is what erodes
+	// the Phi's advantage on the 40962-cell mesh in Figure 7.
+	GrainElements float64
+	// ContendedUpdateCost is the average cost per output element of an
+	// un-refactored scatter reduction executed with atomic updates under
+	// full threading (coherence-serialized).
+	ContendedUpdateCost float64
+}
+
+// XeonE5_2680v2 returns the host CPU model (one 10-core socket, as the paper
+// groups one CPU with one Phi per MPI process). SerialBW is calibrated so a
+// serial step on the 30-km mesh costs ~4.4 s (Fig. 7).
+func XeonE5_2680v2() Device {
+	return Device{
+		Name:                "Intel Xeon E5-2680 v2",
+		Cores:               10,
+		ThreadsPerCore:      1,
+		FreqGHz:             2.8,
+		SerialBW:            2.8,
+		ParallelBW:          20,
+		SIMDBWBoost:         1.05,
+		StreamBoost:         1.03,
+		OthersBoost:         1.05,
+		SerialGF:            2.2,
+		ParallelGF:          30,
+		SIMDFlopBoost:       2.5,
+		RegionOverhead:      4e-6,
+		GrainElements:       300,
+		ContendedUpdateCost: 3.0e-8,
+	}
+}
+
+// XeonPhi5110P returns the coprocessor model (59 compute cores; one core is
+// reserved for the offload engine, §4.B). Calibrated to reproduce the
+// Figure 6 ladder: ~15x with naive OpenMP, >60x after refactoring, ~+20%
+// from SIMD, ~100x with everything.
+func XeonPhi5110P() Device {
+	return Device{
+		Name:                "Intel Xeon Phi 5110P",
+		Cores:               59,
+		ThreadsPerCore:      4,
+		FreqGHz:             1.053,
+		SerialBW:            0.24,
+		ParallelBW:          16,
+		SIMDBWBoost:         1.22,
+		StreamBoost:         1.17,
+		OthersBoost:         1.15,
+		SerialGF:            0.4,
+		ParallelGF:          55,
+		SIMDFlopBoost:       6,
+		RegionOverhead:      2.4e-5,
+		GrainElements:       300,
+		ContendedUpdateCost: 1.6e-7,
+	}
+}
+
+// PCIe is the host-device transfer link model.
+type PCIe struct {
+	Latency   float64 // seconds per transfer
+	Bandwidth float64 // GB/s
+}
+
+// DefaultPCIe returns a PCIe gen2 x16 link as on the paper's platform.
+func DefaultPCIe() PCIe {
+	return PCIe{Latency: 1.2e-5, Bandwidth: 6.0}
+}
+
+// TransferTime returns the time to move bytes across the link.
+func (p PCIe) TransferTime(bytes float64) float64 {
+	return p.Latency + bytes/(p.Bandwidth*1e9)
+}
+
+// Interconnect is the inter-node network model (FDR InfiniBand).
+type Interconnect struct {
+	Latency   float64 // seconds
+	Bandwidth float64 // GB/s
+}
+
+// FDRInfiniBand returns the 56 Gb/s FDR model.
+func FDRInfiniBand() Interconnect {
+	return Interconnect{Latency: 1.8e-6, Bandwidth: 6.2}
+}
+
+// MessageTime returns the alpha-beta cost of one message.
+func (ic Interconnect) MessageTime(bytes float64) float64 {
+	return ic.Latency + bytes/(ic.Bandwidth*1e9)
+}
+
+// Opt is the set of §4 optimizations applied to a device.
+type Opt struct {
+	Threads    bool // OpenMP multithreading (§4.B)
+	Refactored bool // regularity-aware loop refactoring (§4.C)
+	SIMD       bool // manual vectorization (§4.D)
+	Streaming  bool // streaming stores (§4.E)
+	Others     bool // prefetch, 2MB pages, loop fusion (§4.F)
+}
+
+// AllOpt is the fully optimized configuration.
+var AllOpt = Opt{Threads: true, Refactored: true, SIMD: true, Streaming: true, Others: true}
+
+// Bandwidth returns the effective bandwidth in bytes/s under opt.
+func (d Device) Bandwidth(opt Opt) float64 {
+	bw := d.SerialBW
+	if opt.Threads {
+		bw = d.ParallelBW
+	}
+	if opt.SIMD {
+		bw *= d.SIMDBWBoost
+	}
+	if opt.Streaming {
+		bw *= d.StreamBoost
+	}
+	if opt.Others {
+		bw *= d.OthersBoost
+	}
+	return bw * 1e9
+}
+
+// FlopRate returns the effective compute rate in flops/s under opt.
+func (d Device) FlopRate(opt Opt) float64 {
+	gf := d.SerialGF
+	if opt.Threads {
+		gf = d.ParallelGF
+	}
+	if opt.SIMD {
+		gf *= d.SIMDFlopBoost
+	}
+	return gf * 1e9
+}
+
+// PatternTime returns the modeled execution time of one pattern instance:
+// n output elements, f flops and b bytes per element. scatter marks patterns
+// whose original loop shape is an irregular reduction requiring atomics
+// when threaded without refactoring.
+func (d Device) PatternTime(n int, f, b float64, scatter bool, opt Opt) float64 {
+	work := float64(n)
+	t := work * f / d.FlopRate(opt)
+	if tm := work * b / d.Bandwidth(opt); tm > t {
+		t = tm
+	}
+	if opt.Threads {
+		threads := float64(d.Cores * d.ThreadsPerCore)
+		t *= (work + threads*d.GrainElements) / work
+	}
+	if scatter && opt.Threads && !opt.Refactored {
+		t += work * d.ContendedUpdateCost
+	}
+	return t
+}
+
+// RegionCost returns the fork/join overhead charged per kernel execution.
+// With the "Others" optimizations (loop fusion, one region per kernel) a
+// kernel pays one region; without them every pattern pays its own.
+func (d Device) RegionCost(patternsInKernel int, opt Opt) float64 {
+	if !opt.Threads {
+		return 0
+	}
+	if opt.Others {
+		return d.RegionOverhead
+	}
+	return d.RegionOverhead * float64(patternsInKernel)
+}

@@ -1,0 +1,176 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFigure6LadderShape(t *testing.T) {
+	// Paper Figure 6 on the 30-km mesh: OpenMP alone < 20x, refactoring
+	// > 60x, SIMD adds ~20%, everything together ~100x.
+	mc := CountsForCells(655362)
+	labels, sp := Figure6Ladder(mc)
+	if len(labels) != 6 || len(sp) != 6 {
+		t.Fatalf("ladder has %d rungs", len(sp))
+	}
+	get := func(name string) float64 {
+		for i, l := range labels {
+			if l == name {
+				return sp[i]
+			}
+		}
+		t.Fatalf("missing rung %q", name)
+		return 0
+	}
+	if v := get("Baseline"); v != 1 {
+		t.Errorf("baseline %v != 1", v)
+	}
+	if v := get("OpenMP"); v >= 20 || v < 8 {
+		t.Errorf("OpenMP rung %v, paper band <20x", v)
+	}
+	if v := get("Refactoring"); v <= 55 || v > 72 {
+		t.Errorf("Refactoring rung %v, paper band >60x", v)
+	}
+	simdGain := get("SIMD") / get("Refactoring")
+	if simdGain < 1.1 || simdGain > 1.35 {
+		t.Errorf("SIMD gain %v, paper ~+20%%", simdGain)
+	}
+	if v := get("Others"); v < 85 || v > 120 {
+		t.Errorf("final rung %v, paper ~100x", v)
+	}
+	// Monotone non-decreasing ladder.
+	for i := 1; i < len(sp); i++ {
+		if sp[i] < sp[i-1] {
+			t.Errorf("ladder decreases at %s: %v -> %v", labels[i], sp[i-1], sp[i])
+		}
+	}
+}
+
+func TestSerialCPUStepAnchor(t *testing.T) {
+	// Fig. 7 anchors: ~0.27 s/step at 40962 cells, ~4.4 s at 655362 cells
+	// for the original serial code.
+	cpu := XeonE5_2680v2()
+	if v := StepTime(cpu, CountsForCells(40962), Opt{}); v < 0.2 || v > 0.36 {
+		t.Errorf("serial step at 40962 cells: %v s, paper 0.271", v)
+	}
+	if v := StepTime(cpu, CountsForCells(655362), Opt{}); v < 3.5 || v > 5.3 {
+		t.Errorf("serial step at 655362 cells: %v s, paper 4.434", v)
+	}
+}
+
+func TestStepTimeScalesLinearly(t *testing.T) {
+	d := XeonPhi5110P()
+	t1 := StepTime(d, CountsForCells(655362), AllOpt)
+	t2 := StepTime(d, CountsForCells(2621442), AllOpt)
+	if r := t2 / t1; r < 3.5 || r > 4.5 {
+		t.Errorf("4x cells -> %vx time, want ~4x", r)
+	}
+}
+
+func TestOptimizationsNeverHurt(t *testing.T) {
+	mc := CountsForCells(163842)
+	for _, d := range []Device{XeonE5_2680v2(), XeonPhi5110P()} {
+		base := StepTime(d, mc, Opt{Threads: true, Refactored: true})
+		for _, opt := range []Opt{
+			{Threads: true, Refactored: true, SIMD: true},
+			{Threads: true, Refactored: true, Streaming: true},
+			{Threads: true, Refactored: true, Others: true},
+			AllOpt,
+		} {
+			if v := StepTime(d, mc, opt); v > base*1.0001 {
+				t.Errorf("%s: opt %+v slower than base: %v > %v", d.Name, opt, v, base)
+			}
+		}
+	}
+}
+
+func TestScatterPenaltyOnlyWhenUnrefactored(t *testing.T) {
+	d := XeonPhi5110P()
+	n := 1_000_000
+	threaded := Opt{Threads: true}
+	refactored := Opt{Threads: true, Refactored: true}
+	tScatter := d.PatternTime(n, 10, 100, true, threaded)
+	tGather := d.PatternTime(n, 10, 100, false, threaded)
+	if tScatter <= tGather {
+		t.Error("no atomic penalty for threaded scatter")
+	}
+	tRef := d.PatternTime(n, 10, 100, true, refactored)
+	tRefGather := d.PatternTime(n, 10, 100, false, refactored)
+	if tRef != tRefGather {
+		t.Error("refactored scatter still penalized")
+	}
+	// Serial scatter pays no atomic penalty either.
+	s1 := d.PatternTime(n, 10, 100, true, Opt{})
+	s2 := d.PatternTime(n, 10, 100, false, Opt{})
+	if s1 != s2 {
+		t.Error("serial scatter penalized")
+	}
+}
+
+func TestGranularityPenalty(t *testing.T) {
+	d := XeonPhi5110P()
+	// Throughput (elements/s) should be much worse for tiny arrays.
+	tpt := func(n int) float64 {
+		return float64(n) / d.PatternTime(n, 10, 100, false, AllOpt)
+	}
+	if tpt(10_000) > 0.5*tpt(10_000_000) {
+		t.Error("no granularity penalty for small arrays on 236 threads")
+	}
+}
+
+func TestTransferModels(t *testing.T) {
+	link := DefaultPCIe()
+	small := link.TransferTime(8)
+	big := link.TransferTime(64e6)
+	if small <= 0 || big <= small {
+		t.Error("PCIe transfer times not monotone")
+	}
+	if lat := link.TransferTime(0); math.Abs(lat-link.Latency) > 1e-15 {
+		t.Error("zero-byte transfer should cost latency")
+	}
+	ib := FDRInfiniBand()
+	if ib.MessageTime(1e6) <= ib.MessageTime(0) {
+		t.Error("IB message time not monotone")
+	}
+}
+
+func TestCountsForCells(t *testing.T) {
+	mc := CountsForCells(40962)
+	if mc.Edges != 3*40962-6 || mc.Vertices != 2*40962-4 {
+		t.Errorf("counts: %+v", mc)
+	}
+	if mc.Elements(PerCell) != mc.Cells || mc.Elements(PerEdge) != mc.Edges || mc.Elements(PerVertex) != mc.Vertices {
+		t.Error("Elements dispatch wrong")
+	}
+}
+
+func TestWorkloadCoversTable1(t *testing.T) {
+	mc := CountsForCells(2562)
+	w := Workload(mc, true)
+	if len(w) != len(WorkTable) {
+		t.Errorf("workload has %d entries, table %d", len(w), len(WorkTable))
+	}
+	for _, pw := range w {
+		if pw.N <= 0 || pw.Flops <= 0 || pw.Bytes <= 0 {
+			t.Errorf("bad workload for %s: %+v", pw.Inst.ID, pw)
+		}
+	}
+	// Without optional patterns, C1 and D2 drop out.
+	wDef := Workload(mc, false)
+	if len(wDef) != len(w)-2 {
+		t.Errorf("default workload %d entries, want %d (C1 and D2 excluded)", len(wDef), len(w)-2)
+	}
+}
+
+func TestStageKernels(t *testing.T) {
+	for stage := 0; stage < 3; stage++ {
+		ks := StageKernels(stage)
+		if len(ks) != 5 || ks[len(ks)-1] != "accumulative_update" {
+			t.Errorf("stage %d kernels: %v", stage, ks)
+		}
+	}
+	last := StageKernels(3)
+	if last[len(last)-1] != "mpas_reconstruct" {
+		t.Errorf("final stage kernels: %v", last)
+	}
+}

@@ -1,0 +1,73 @@
+package perfmodel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickPatternTimeMonotoneInWork: more elements never cost less, on
+// either device, under any optimization combination.
+func TestQuickPatternTimeMonotoneInWork(t *testing.T) {
+	devs := []Device{XeonE5_2680v2(), XeonPhi5110P()}
+	f := func(n1, n2 uint16, fl, by uint8, o uint8, scatter bool) bool {
+		a, b := int(n1)+1, int(n2)+1
+		if a > b {
+			a, b = b, a
+		}
+		opt := Opt{
+			Threads:    o&1 != 0,
+			Refactored: o&2 != 0,
+			SIMD:       o&4 != 0,
+			Streaming:  o&8 != 0,
+			Others:     o&16 != 0,
+		}
+		flops := float64(fl%50) + 1
+		bytes := float64(by%200) + 8
+		for _, d := range devs {
+			ta := d.PatternTime(a, flops, bytes, scatter, opt)
+			tb := d.PatternTime(b, flops, bytes, scatter, opt)
+			if ta <= 0 || tb < ta*0.999 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRefactoringNeverHurts: for any workload, the refactored form is
+// never slower than the atomic scatter under threading.
+func TestQuickRefactoringNeverHurts(t *testing.T) {
+	d := XeonPhi5110P()
+	f := func(n uint16, fl, by uint8) bool {
+		opt := Opt{Threads: true}
+		optR := Opt{Threads: true, Refactored: true}
+		flops := float64(fl%50) + 1
+		bytes := float64(by%200) + 8
+		work := int(n) + 1
+		return d.PatternTime(work, flops, bytes, true, optR) <=
+			d.PatternTime(work, flops, bytes, true, opt)*1.0001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTransferTimesAdditive: transfer cost of a+b bytes in one message
+// never exceeds two messages (latency amortization).
+func TestQuickTransferTimesAdditive(t *testing.T) {
+	link := DefaultPCIe()
+	ib := FDRInfiniBand()
+	f := func(a, b uint32) bool {
+		x, y := float64(a%1_000_000), float64(b%1_000_000)
+		if link.TransferTime(x+y) > link.TransferTime(x)+link.TransferTime(y)+1e-15 {
+			return false
+		}
+		return ib.MessageTime(x+y) <= ib.MessageTime(x)+ib.MessageTime(y)+1e-15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,182 @@
+package perfmodel
+
+import "repro/internal/pattern"
+
+// PointKind selects which mesh count a pattern's output is proportional to.
+type PointKind uint8
+
+// Output element counts of a pattern are proportional to one of these.
+const (
+	PerCell PointKind = iota
+	PerEdge
+	PerVertex
+)
+
+// WorkSpec is the per-output-element workload of one pattern instance, plus
+// whether its ORIGINAL (pre-refactoring) loop shape is an irregular scatter
+// reduction (paper Algorithm 2).
+type WorkSpec struct {
+	Per     PointKind
+	Flops   float64 // floating-point operations per output element
+	Bytes   float64 // bytes moved per output element (incl. index loads)
+	Scatter bool
+}
+
+// WorkTable is the single source of truth for pattern workloads, keyed by
+// Table I instance ID. The sw solver attaches these to its executable
+// patterns; the platform model uses them directly for paper-scale meshes
+// that are too large to build in tests.
+var WorkTable = map[string]WorkSpec{
+	// compute_solve_diagnostics
+	"C1": {Per: PerCell, Flops: 30, Bytes: 170},
+	"D1": {Per: PerEdge, Flops: 2, Bytes: 48},
+	"D2": {Per: PerEdge, Flops: 9, Bytes: 80},
+	"E":  {Per: PerVertex, Flops: 7, Bytes: 100, Scatter: true},
+	"A2": {Per: PerCell, Flops: 13, Bytes: 150, Scatter: true},
+	"A3": {Per: PerCell, Flops: 25, Bytes: 170, Scatter: true},
+	"F":  {Per: PerEdge, Flops: 20, Bytes: 250},
+	"G":  {Per: PerVertex, Flops: 10, Bytes: 120},
+	"C2": {Per: PerCell, Flops: 12, Bytes: 140, Scatter: true},
+	"H2": {Per: PerCell, Flops: 12, Bytes: 140, Scatter: true},
+	"H1": {Per: PerEdge, Flops: 3, Bytes: 60},
+	"B2": {Per: PerEdge, Flops: 14, Bytes: 150},
+	// compute_tend
+	"A1": {Per: PerCell, Flops: 19, Bytes: 170, Scatter: true},
+	"B1": {Per: PerEdge, Flops: 62, Bytes: 520},
+	// enforce_boundary_edge
+	"X1": {Per: PerEdge, Flops: 2, Bytes: 32},
+	// compute_next_substep_state
+	"X2": {Per: PerCell, Flops: 2, Bytes: 32},
+	"X3": {Per: PerEdge, Flops: 2, Bytes: 32},
+	// accumulative_update
+	"X4": {Per: PerCell, Flops: 2, Bytes: 32},
+	"X5": {Per: PerEdge, Flops: 2, Bytes: 32},
+	// mpas_reconstruct
+	"A4": {Per: PerCell, Flops: 42, Bytes: 300, Scatter: true},
+	"X6": {Per: PerCell, Flops: 12, Bytes: 120},
+}
+
+// MeshCounts are the point counts a workload is scaled by.
+type MeshCounts struct {
+	Cells, Edges, Vertices int
+}
+
+// CountsForCells derives edge and vertex counts from the cell count using
+// the closed sphere identities (E = 3C-6, V = 2C-4).
+func CountsForCells(ncells int) MeshCounts {
+	return MeshCounts{Cells: ncells, Edges: 3*ncells - 6, Vertices: 2*ncells - 4}
+}
+
+// PatternWork is one pattern instance's total workload.
+type PatternWork struct {
+	Inst    pattern.Instance
+	N       int
+	Flops   float64 // per element
+	Bytes   float64 // per element
+	Scatter bool
+}
+
+// Elements returns the output count for kind k under counts mc.
+func (mc MeshCounts) Elements(k PointKind) int {
+	switch k {
+	case PerCell:
+		return mc.Cells
+	case PerEdge:
+		return mc.Edges
+	default:
+		return mc.Vertices
+	}
+}
+
+// Workload expands Table I (optionally with the optional instances) into
+// per-pattern workloads for a mesh of the given counts.
+func Workload(mc MeshCounts, includeOptional bool) []PatternWork {
+	var out []PatternWork
+	for _, ins := range pattern.Table1 {
+		if ins.Optional && !includeOptional {
+			continue
+		}
+		spec, ok := WorkTable[ins.ID]
+		if !ok {
+			continue
+		}
+		out = append(out, PatternWork{
+			Inst:    ins,
+			N:       mc.Elements(spec.Per),
+			Flops:   spec.Flops,
+			Bytes:   spec.Bytes,
+			Scatter: spec.Scatter,
+		})
+	}
+	return out
+}
+
+// StageKernels lists the kernels executed in RK substage k (0..3),
+// following Algorithm 1.
+func StageKernels(stage int) []string {
+	if stage < 3 {
+		return []string{
+			pattern.KernelComputeTend,
+			pattern.KernelEnforceBoundaryEdge,
+			pattern.KernelNextSubstepState,
+			pattern.KernelSolveDiagnostics,
+			pattern.KernelAccumulativeUpdate,
+		}
+	}
+	return []string{
+		pattern.KernelComputeTend,
+		pattern.KernelEnforceBoundaryEdge,
+		pattern.KernelAccumulativeUpdate,
+		pattern.KernelSolveDiagnostics,
+		pattern.KernelReconstruct,
+	}
+}
+
+// StepTime returns the modeled time of one full RK-4 step of the whole
+// model executed entirely on device d under optimizations opt — the
+// quantity behind Figure 6's single-device ladder.
+func StepTime(d Device, mc MeshCounts, opt Opt) float64 {
+	w := Workload(mc, false)
+	byKernel := map[string][]PatternWork{}
+	for _, pw := range w {
+		byKernel[pw.Inst.Kernel] = append(byKernel[pw.Inst.Kernel], pw)
+	}
+	total := 0.0
+	for stage := 0; stage < 4; stage++ {
+		for _, k := range StageKernels(stage) {
+			pats := byKernel[k]
+			total += d.RegionCost(len(pats), opt)
+			for _, pw := range pats {
+				total += d.PatternTime(pw.N, pw.Flops, pw.Bytes, pw.Scatter, opt)
+			}
+		}
+	}
+	// The RK driver's two state copies (provis, accumulator) per step.
+	stateBytes := float64(mc.Cells+mc.Edges) * 8 * 2 * 2
+	total += stateBytes / d.Bandwidth(opt)
+	return total
+}
+
+// Figure6Ladder returns the cumulative-optimization speedups of Figure 6 on
+// the Phi: Baseline, +OpenMP, +Refactoring, +SIMD, +Streaming, +Others,
+// normalized to the serial baseline.
+func Figure6Ladder(mc MeshCounts) (labels []string, speedups []float64) {
+	d := XeonPhi5110P()
+	steps := []struct {
+		label string
+		opt   Opt
+	}{
+		{"Baseline", Opt{}},
+		{"OpenMP", Opt{Threads: true}},
+		{"Refactoring", Opt{Threads: true, Refactored: true}},
+		{"SIMD", Opt{Threads: true, Refactored: true, SIMD: true}},
+		{"Streaming", Opt{Threads: true, Refactored: true, SIMD: true, Streaming: true}},
+		{"Others", AllOpt},
+	}
+	base := StepTime(d, mc, steps[0].opt)
+	for _, s := range steps {
+		labels = append(labels, s.label)
+		speedups = append(speedups, base/StepTime(d, mc, s.opt))
+	}
+	return labels, speedups
+}

@@ -1,0 +1,58 @@
+package raster
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// WritePGM renders the grid as a binary PGM (portable graymap) image, north
+// at the top, values linearly mapped to 0..255 between the grid extrema —
+// an actual image artifact for the Figure 5 field, viewable by any image
+// tool. Empty bins render black.
+func (g *Grid) WritePGM(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P5\n%d %d\n255\n", g.NLon, g.NLat); err != nil {
+		return err
+	}
+	min, max := g.MinMax()
+	span := max - min
+	if span <= 0 {
+		span = 1
+	}
+	for i := g.NLat - 1; i >= 0; i-- {
+		for j := 0; j < g.NLon; j++ {
+			v := g.At(i, j)
+			b := byte(0)
+			if !math.IsNaN(v) {
+				x := (v - min) / span * 255
+				if x < 0 {
+					x = 0
+				}
+				if x > 255 {
+					x = 255
+				}
+				b = byte(x)
+			}
+			if err := bw.WriteByte(b); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// SavePGM writes the PGM to a file.
+func (g *Grid) SavePGM(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := g.WritePGM(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

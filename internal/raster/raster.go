@@ -1,0 +1,135 @@
+// Package raster bins unstructured cell fields onto regular latitude-
+// longitude grids for inspection — the reproduction's substitute for the
+// contour plots of the paper's Figure 5 — and renders them as ASCII maps.
+package raster
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/mesh"
+)
+
+// Grid is a regular lat-lon raster of a cell field.
+type Grid struct {
+	NLat, NLon int
+	// Values[i*NLon+j] is the area-weighted mean of the field over cells
+	// whose centers fall in bin (i, j); NaN when the bin is empty.
+	Values []float64
+}
+
+// FromCellField bins the field (one value per mesh cell).
+func FromCellField(m *mesh.Mesh, field []float64, nlat, nlon int) *Grid {
+	if nlat < 1 || nlon < 1 {
+		nlat, nlon = 1, 1
+	}
+	g := &Grid{NLat: nlat, NLon: nlon, Values: make([]float64, nlat*nlon)}
+	wsum := make([]float64, nlat*nlon)
+	for c := 0; c < m.NCells; c++ {
+		i := int((m.LatCell[c] + math.Pi/2) / math.Pi * float64(nlat))
+		if i >= nlat {
+			i = nlat - 1
+		}
+		if i < 0 {
+			i = 0
+		}
+		j := int(m.LonCell[c] / (2 * math.Pi) * float64(nlon))
+		if j >= nlon {
+			j = nlon - 1
+		}
+		if j < 0 {
+			j = 0
+		}
+		w := m.AreaCell[c]
+		g.Values[i*nlon+j] += w * field[c]
+		wsum[i*nlon+j] += w
+	}
+	for k := range g.Values {
+		if wsum[k] > 0 {
+			g.Values[k] /= wsum[k]
+		} else {
+			g.Values[k] = math.NaN()
+		}
+	}
+	return g
+}
+
+// At returns the bin value at (lat row i from south, lon column j).
+func (g *Grid) At(i, j int) float64 { return g.Values[i*g.NLon+j] }
+
+// MinMax returns the extrema over non-empty bins.
+func (g *Grid) MinMax() (min, max float64) {
+	min, max = math.Inf(1), math.Inf(-1)
+	for _, v := range g.Values {
+		if math.IsNaN(v) {
+			continue
+		}
+		min = math.Min(min, v)
+		max = math.Max(max, v)
+	}
+	return min, max
+}
+
+// FillEmpty replaces empty bins with the nearest non-empty value on the same
+// latitude row (wrapping in longitude), so coarse meshes still render as a
+// full map.
+func (g *Grid) FillEmpty() {
+	for i := 0; i < g.NLat; i++ {
+		row := g.Values[i*g.NLon : (i+1)*g.NLon]
+		for j, v := range row {
+			if !math.IsNaN(v) {
+				continue
+			}
+			for d := 1; d <= g.NLon/2; d++ {
+				l := row[(j+d)%g.NLon]
+				r := row[(j-d+g.NLon)%g.NLon]
+				if !math.IsNaN(l) {
+					row[j] = l
+					break
+				}
+				if !math.IsNaN(r) {
+					row[j] = r
+					break
+				}
+			}
+		}
+	}
+}
+
+// ASCII renders the grid (north at the top) with a 10-glyph ramp scaled to
+// the grid extrema. Empty bins render as spaces.
+func (g *Grid) ASCII() string {
+	min, max := g.MinMax()
+	span := max - min
+	if span <= 0 {
+		span = 1
+	}
+	const ramp = " .:-=+*#%@"
+	var b strings.Builder
+	for i := g.NLat - 1; i >= 0; i-- {
+		for j := 0; j < g.NLon; j++ {
+			v := g.At(i, j)
+			if math.IsNaN(v) {
+				b.WriteByte(' ')
+				continue
+			}
+			k := int((v - min) / span * float64(len(ramp)-1))
+			if k < 0 {
+				k = 0
+			}
+			if k >= len(ramp) {
+				k = len(ramp) - 1
+			}
+			b.WriteByte(ramp[k])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Legend returns a one-line description of the ramp scaling.
+func (g *Grid) Legend(unit string) string {
+	min, max := g.MinMax()
+	return fmt.Sprintf("[' '=%.1f %s .. '@'=%.1f %s]", min, unit, max, unit)
+}

@@ -1,0 +1,161 @@
+package raster
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/mesh"
+)
+
+var m4 *mesh.Mesh
+
+func mesh4(t testing.TB) *mesh.Mesh {
+	if m4 == nil {
+		var err error
+		m4, err = mesh.Build(4, mesh.Options{LloydIterations: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m4
+}
+
+func TestConstantFieldRastersConstant(t *testing.T) {
+	m := mesh4(t)
+	f := make([]float64, m.NCells)
+	for i := range f {
+		f[i] = 42
+	}
+	g := FromCellField(m, f, 18, 36)
+	min, max := g.MinMax()
+	if math.Abs(min-42) > 1e-12 || math.Abs(max-42) > 1e-12 {
+		t.Errorf("constant field rasters to [%v, %v]", min, max)
+	}
+}
+
+func TestLatitudeFieldOrdering(t *testing.T) {
+	// A field equal to latitude must increase from the bottom row to the
+	// top row of the raster.
+	m := mesh4(t)
+	f := make([]float64, m.NCells)
+	for c := range f {
+		f[c] = m.LatCell[c]
+	}
+	g := FromCellField(m, f, 12, 24)
+	g.FillEmpty()
+	for j := 0; j < g.NLon; j++ {
+		bottom, top := g.At(0, j), g.At(g.NLat-1, j)
+		if math.IsNaN(bottom) || math.IsNaN(top) {
+			continue
+		}
+		if top <= bottom {
+			t.Fatalf("column %d: top %v <= bottom %v", j, top, bottom)
+		}
+	}
+}
+
+func TestFillEmpty(t *testing.T) {
+	m := mesh4(t)
+	f := make([]float64, m.NCells)
+	// A fine raster guarantees empty bins on a 2562-cell mesh.
+	g := FromCellField(m, f, 60, 120)
+	empty := 0
+	for _, v := range g.Values {
+		if math.IsNaN(v) {
+			empty++
+		}
+	}
+	if empty == 0 {
+		t.Skip("no empty bins at this resolution")
+	}
+	g.FillEmpty()
+	for _, v := range g.Values {
+		if math.IsNaN(v) {
+			t.Fatal("empty bin survived FillEmpty")
+		}
+	}
+}
+
+func TestASCIIShape(t *testing.T) {
+	m := mesh4(t)
+	f := make([]float64, m.NCells)
+	for c := range f {
+		f[c] = math.Sin(2 * m.LonCell[c])
+	}
+	g := FromCellField(m, f, 10, 40)
+	g.FillEmpty()
+	art := g.ASCII()
+	lines := strings.Split(strings.TrimRight(art, "\n"), "\n")
+	if len(lines) != 10 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	for _, l := range lines {
+		if len(l) != 40 {
+			t.Fatalf("line width %d", len(l))
+		}
+	}
+	if !strings.Contains(g.Legend("m"), "m") {
+		t.Error("legend missing unit")
+	}
+}
+
+func TestDegenerateGrid(t *testing.T) {
+	m := mesh4(t)
+	f := make([]float64, m.NCells)
+	g := FromCellField(m, f, 0, 0) // clamped to 1x1
+	if g.NLat != 1 || g.NLon != 1 {
+		t.Fatal("degenerate grid not clamped")
+	}
+	if math.IsNaN(g.At(0, 0)) {
+		t.Fatal("1x1 grid empty")
+	}
+}
+
+func TestWritePGM(t *testing.T) {
+	m := mesh4(t)
+	f := make([]float64, m.NCells)
+	for c := range f {
+		f[c] = m.LatCell[c]
+	}
+	g := FromCellField(m, f, 8, 16)
+	g.FillEmpty()
+	var buf bytes.Buffer
+	if err := g.WritePGM(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	wantHeader := "P5\n16 8\n255\n"
+	if !bytes.HasPrefix(b, []byte(wantHeader)) {
+		t.Fatalf("header %q", b[:len(wantHeader)])
+	}
+	pix := b[len(wantHeader):]
+	if len(pix) != 8*16 {
+		t.Fatalf("%d pixels", len(pix))
+	}
+	// Top row (north) must be brighter than bottom row for a latitude field.
+	var top, bottom int
+	for j := 0; j < 16; j++ {
+		top += int(pix[j])
+		bottom += int(pix[7*16+j])
+	}
+	if top <= bottom {
+		t.Errorf("north (%d) not brighter than south (%d)", top, bottom)
+	}
+}
+
+func TestSavePGM(t *testing.T) {
+	m := mesh4(t)
+	f := make([]float64, m.NCells)
+	g := FromCellField(m, f, 4, 8)
+	path := filepath.Join(t.TempDir(), "x.pgm")
+	if err := g.SavePGM(path); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := os.Stat(path); err != nil || st.Size() == 0 {
+		t.Fatal("PGM not written")
+	}
+}

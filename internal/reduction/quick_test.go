@@ -1,0 +1,112 @@
+package reduction
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/par"
+)
+
+// randomTopology generates an arbitrary edge->cell incidence (no geometric
+// meaning) together with its exact transpose, so the gather forms are
+// well-defined for any input the generator produces.
+func randomTopology(rng *rand.Rand, ncells, nedges int) *Topology {
+	if ncells < 2 {
+		ncells = 2
+	}
+	if nedges < 1 {
+		nedges = 1
+	}
+	tp := &Topology{
+		NCells:      ncells,
+		NEdges:      nedges,
+		CellsOnEdge: make([]int32, 2*nedges),
+	}
+	deg := make([]int, ncells)
+	for e := 0; e < nedges; e++ {
+		c1 := rng.Intn(ncells)
+		c2 := rng.Intn(ncells - 1)
+		if c2 >= c1 {
+			c2++
+		}
+		tp.CellsOnEdge[2*e] = int32(c1)
+		tp.CellsOnEdge[2*e+1] = int32(c2)
+		deg[c1]++
+		deg[c2]++
+	}
+	maxDeg := 1
+	for _, d := range deg {
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	tp.MaxEdgesPerCell = maxDeg
+	tp.NEdgesOnCell = make([]int32, ncells)
+	tp.EdgesOnCell = make([]int32, ncells*maxDeg)
+	for e := 0; e < nedges; e++ {
+		for k := 0; k < 2; k++ {
+			c := tp.CellsOnEdge[2*e+k]
+			tp.EdgesOnCell[int(c)*maxDeg+int(tp.NEdgesOnCell[c])] = int32(e)
+			tp.NEdgesOnCell[c]++
+		}
+	}
+	return tp
+}
+
+// TestQuickGatherEqualsScatter is the property-based version of the
+// refactoring correctness claim: for ARBITRARY incidence structures and
+// inputs, the gather forms agree with the serial scatter.
+func TestQuickGatherEqualsScatter(t *testing.T) {
+	p := par.NewPool(3)
+	defer p.Close()
+	f := func(seed int64, nc, ne uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tp := randomTopology(rng, int(nc)%64+2, int(ne)%256+1)
+		x := make([]float64, tp.NEdges)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		ref := make([]float64, tp.NCells)
+		ScatterSerial(tp, ref, x)
+		y := make([]float64, tp.NCells)
+		GatherBranchy(p, tp, y, x)
+		l := BuildLabels(tp)
+		z := make([]float64, tp.NCells)
+		GatherBranchFree(p, tp, l, z, x)
+		for c := range ref {
+			if math.Abs(ref[c]-y[c]) > 1e-12 || y[c] != z[c] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickGlobalSumZero: the +/- structure cancels globally for any
+// topology and input.
+func TestQuickGlobalSumZero(t *testing.T) {
+	f := func(seed int64, nc, ne uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tp := randomTopology(rng, int(nc)%64+2, int(ne)%256+1)
+		x := make([]float64, tp.NEdges)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		y := make([]float64, tp.NCells)
+		ScatterSerial(tp, y, x)
+		sum, mag := 0.0, 0.0
+		for _, v := range y {
+			sum += v
+			mag += math.Abs(v)
+		}
+		return mag == 0 || math.Abs(sum)/(mag+1) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,149 @@
+// Package reduction implements the irregular-reduction forms at the heart of
+// the paper's regularity-aware loop refactoring (§3.D, §4.C, §4.D):
+//
+//   - Algorithm 2: the original edge-order scatter loop, which traverses
+//     edges and accumulates ± contributions into the two adjacent cells. It
+//     races under thread parallelism.
+//   - A scatter variant with atomic adds — race-free but contended, the
+//     naive "just add OpenMP" port whose poor speedup Figure 6 shows.
+//   - Algorithm 3: the refactored cell-order gather loop, race-free by
+//     construction, with a conditional branch per incident edge.
+//   - Algorithm 4: the branch-free gather using a precomputed ±1 label
+//     matrix, which is what the SIMD lanes of the accelerator want.
+//
+// The functions all compute, for every cell c,
+//
+//	y[c] = sum over incident edges e of sign(c,e) * x[e],
+//
+// where sign(c,e) is +1 when c is the first cell of e. All variants must
+// agree; the tests verify gather forms agree bitwise with each other and
+// with scatter up to roundoff reordering.
+package reduction
+
+import (
+	"repro/internal/par"
+)
+
+// Topology is the minimal mesh slice needed by the reduction kernels: the
+// edge->cell incidence and its cell->edge transpose.
+type Topology struct {
+	NCells      int
+	NEdges      int
+	CellsOnEdge []int32 // 2 per edge: [2e], [2e+1]
+	// Transpose, stride MaxEdgesPerCell:
+	NEdgesOnCell    []int32
+	EdgesOnCell     []int32
+	MaxEdgesPerCell int
+}
+
+// Labels is the precomputed ±1 label matrix of Algorithm 4, parallel to
+// EdgesOnCell.
+type Labels []float64
+
+// BuildLabels precomputes L[c][j] = +1 if cell c is the first cell of its
+// j-th incident edge, else -1 (paper §4.D).
+func BuildLabels(tp *Topology) Labels {
+	l := make(Labels, len(tp.EdgesOnCell))
+	for c := 0; c < tp.NCells; c++ {
+		base := c * tp.MaxEdgesPerCell
+		for j := 0; j < int(tp.NEdgesOnCell[c]); j++ {
+			e := tp.EdgesOnCell[base+j]
+			if tp.CellsOnEdge[2*e] == int32(c) {
+				l[base+j] = 1
+			} else {
+				l[base+j] = -1
+			}
+		}
+	}
+	return l
+}
+
+// ScatterSerial is Algorithm 2 run serially: the original MPAS loop shape.
+func ScatterSerial(tp *Topology, y, x []float64) {
+	for i := range y {
+		y[i] = 0
+	}
+	for e := 0; e < tp.NEdges; e++ {
+		c1 := tp.CellsOnEdge[2*e]
+		c2 := tp.CellsOnEdge[2*e+1]
+		y[c1] += x[e]
+		y[c2] -= x[e]
+	}
+}
+
+// ScatterRacy is Algorithm 2 parallelized directly over edges. It is
+// INTENTIONALLY data-racy — multiple workers read-modify-write the same cell
+// — and exists only to demonstrate (in tests, with results compared against
+// the serial form) why the refactoring is needed. Do not use with a pool of
+// more than one worker except to observe the race.
+func ScatterRacy(p *par.Pool, tp *Topology, y, x []float64) {
+	p.For(tp.NCells, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			y[i] = 0
+		}
+	})
+	p.For(tp.NEdges, func(lo, hi int) {
+		for e := lo; e < hi; e++ {
+			c1 := tp.CellsOnEdge[2*e]
+			c2 := tp.CellsOnEdge[2*e+1]
+			y[c1] += x[e]
+			y[c2] -= x[e]
+		}
+	})
+}
+
+// ScatterAtomic is Algorithm 2 parallelized over edges with atomic
+// accumulation: race-free but heavily contended and unvectorizable — the
+// performance trap the refactoring removes.
+func ScatterAtomic(p *par.Pool, tp *Topology, y, x []float64) {
+	p.For(tp.NCells, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			y[i] = 0
+		}
+	})
+	p.For(tp.NEdges, func(lo, hi int) {
+		for e := lo; e < hi; e++ {
+			c1 := tp.CellsOnEdge[2*e]
+			c2 := tp.CellsOnEdge[2*e+1]
+			par.AtomicAddFloat64(&y[c1], x[e])
+			par.AtomicAddFloat64(&y[c2], -x[e])
+		}
+	})
+}
+
+// GatherBranchy is Algorithm 3: loop over cells, gather incident edge values,
+// resolving the sign with a conditional. Race-free under cell-parallel
+// execution because each worker writes only its own cells.
+func GatherBranchy(p *par.Pool, tp *Topology, y, x []float64) {
+	p.For(tp.NCells, func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			base := c * tp.MaxEdgesPerCell
+			acc := 0.0
+			for j := 0; j < int(tp.NEdgesOnCell[c]); j++ {
+				e := tp.EdgesOnCell[base+j]
+				if tp.CellsOnEdge[2*e] == int32(c) {
+					acc += x[e]
+				} else {
+					acc -= x[e]
+				}
+			}
+			y[c] = acc
+		}
+	})
+}
+
+// GatherBranchFree is Algorithm 4: the gather loop with the conditional
+// replaced by a multiply against the precomputed label matrix, leaving a
+// pure multiply-accumulate body.
+func GatherBranchFree(p *par.Pool, tp *Topology, l Labels, y, x []float64) {
+	p.For(tp.NCells, func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			base := c * tp.MaxEdgesPerCell
+			acc := 0.0
+			for j := 0; j < int(tp.NEdgesOnCell[c]); j++ {
+				acc += l[base+j] * x[tp.EdgesOnCell[base+j]]
+			}
+			y[c] = acc
+		}
+	})
+}

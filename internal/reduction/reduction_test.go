@@ -1,0 +1,216 @@
+package reduction
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mesh"
+	"repro/internal/par"
+)
+
+// topoFromMesh adapts a real SCVT mesh to the reduction Topology.
+func topoFromMesh(m *mesh.Mesh) *Topology {
+	return &Topology{
+		NCells:          m.NCells,
+		NEdges:          m.NEdges,
+		CellsOnEdge:     m.CellsOnEdge,
+		NEdgesOnCell:    m.NEdgesOnCell,
+		EdgesOnCell:     m.EdgesOnCell,
+		MaxEdgesPerCell: mesh.MaxEdges,
+	}
+}
+
+// ringTopology builds a synthetic 1-D periodic topology: cell i has edges
+// i (to i+1) and i-1 (from i-1); edge e joins cells (e, e+1 mod n).
+func ringTopology(n int) *Topology {
+	tp := &Topology{
+		NCells:          n,
+		NEdges:          n,
+		CellsOnEdge:     make([]int32, 2*n),
+		NEdgesOnCell:    make([]int32, n),
+		EdgesOnCell:     make([]int32, 2*n),
+		MaxEdgesPerCell: 2,
+	}
+	for e := 0; e < n; e++ {
+		tp.CellsOnEdge[2*e] = int32(e)
+		tp.CellsOnEdge[2*e+1] = int32((e + 1) % n)
+	}
+	for c := 0; c < n; c++ {
+		tp.NEdgesOnCell[c] = 2
+		tp.EdgesOnCell[2*c] = int32(c)
+		tp.EdgesOnCell[2*c+1] = int32((c + n - 1) % n)
+	}
+	return tp
+}
+
+func randomX(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+func maxAbsDiff(a, b []float64) float64 {
+	d := 0.0
+	for i := range a {
+		if v := math.Abs(a[i] - b[i]); v > d {
+			d = v
+		}
+	}
+	return d
+}
+
+func TestRingAllVariantsAgree(t *testing.T) {
+	tp := ringTopology(257)
+	x := randomX(tp.NEdges, 1)
+	l := BuildLabels(tp)
+	p := par.NewPool(4)
+	defer p.Close()
+
+	ref := make([]float64, tp.NCells)
+	ScatterSerial(tp, ref, x)
+
+	for name, run := range map[string]func(y []float64){
+		"atomic":     func(y []float64) { ScatterAtomic(p, tp, y, x) },
+		"branchy":    func(y []float64) { GatherBranchy(p, tp, y, x) },
+		"branchfree": func(y []float64) { GatherBranchFree(p, tp, l, y, x) },
+	} {
+		y := make([]float64, tp.NCells)
+		run(y)
+		if d := maxAbsDiff(ref, y); d > 1e-12 {
+			t.Errorf("%s differs from serial scatter by %v", name, d)
+		}
+	}
+}
+
+func TestMeshAllVariantsAgree(t *testing.T) {
+	m, err := mesh.Build(3, mesh.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := topoFromMesh(m)
+	x := randomX(tp.NEdges, 2)
+	l := BuildLabels(tp)
+	p := par.NewPool(4)
+	defer p.Close()
+
+	ref := make([]float64, tp.NCells)
+	ScatterSerial(tp, ref, x)
+
+	y1 := make([]float64, tp.NCells)
+	ScatterAtomic(p, tp, y1, x)
+	y2 := make([]float64, tp.NCells)
+	GatherBranchy(p, tp, y2, x)
+	y3 := make([]float64, tp.NCells)
+	GatherBranchFree(p, tp, l, y3, x)
+
+	if d := maxAbsDiff(ref, y1); d > 1e-12 {
+		t.Errorf("atomic scatter off by %v", d)
+	}
+	if d := maxAbsDiff(ref, y2); d > 1e-12 {
+		t.Errorf("branchy gather off by %v", d)
+	}
+	// The two gather forms traverse identically, so they agree bitwise.
+	for c := range y2 {
+		if y2[c] != y3[c] {
+			t.Fatalf("gather forms differ at cell %d: %v vs %v", c, y2[c], y3[c])
+		}
+	}
+}
+
+func TestLabelsAreSigns(t *testing.T) {
+	m, err := mesh.Build(2, mesh.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := topoFromMesh(m)
+	l := BuildLabels(tp)
+	for c := 0; c < tp.NCells; c++ {
+		base := c * tp.MaxEdgesPerCell
+		for j := 0; j < int(tp.NEdgesOnCell[c]); j++ {
+			if v := l[base+j]; v != 1 && v != -1 {
+				t.Fatalf("label[%d][%d] = %v", c, j, v)
+			}
+			// Label must match the mesh's own edge sign.
+			if got, want := l[base+j], float64(m.EdgeSignOnCell[base+j]); got != want {
+				t.Fatalf("label disagrees with EdgeSignOnCell at cell %d slot %d", c, j)
+			}
+		}
+	}
+}
+
+func TestGlobalSumIsZero(t *testing.T) {
+	// Every edge contributes +x to one cell and -x to another, so the sum of
+	// y over cells vanishes identically — the discrete mass-conservation
+	// property the solver relies on.
+	tp := ringTopology(1000)
+	x := randomX(tp.NEdges, 3)
+	y := make([]float64, tp.NCells)
+	ScatterSerial(tp, y, x)
+	sum := 0.0
+	for _, v := range y {
+		sum += v
+	}
+	if math.Abs(sum) > 1e-10 {
+		t.Errorf("global sum %v", sum)
+	}
+}
+
+func TestScatterRacySerialPoolCorrect(t *testing.T) {
+	// With a 1-worker pool the racy form is well-defined and must equal the
+	// serial scatter exactly.
+	tp := ringTopology(100)
+	x := randomX(tp.NEdges, 4)
+	p := par.NewPool(1)
+	defer p.Close()
+	ref := make([]float64, tp.NCells)
+	ScatterSerial(tp, ref, x)
+	y := make([]float64, tp.NCells)
+	ScatterRacy(p, tp, y, x)
+	for i := range ref {
+		if ref[i] != y[i] {
+			t.Fatalf("racy scatter on 1 worker differs at %d", i)
+		}
+	}
+}
+
+func benchTopo(b *testing.B) (*Topology, []float64, Labels) {
+	m, err := mesh.Build(5, mesh.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tp := topoFromMesh(m)
+	return tp, randomX(tp.NEdges, 5), BuildLabels(tp)
+}
+
+// BenchmarkReduction is the §4.C/§4.D ablation: the four reduction forms on
+// a real SCVT mesh (10242 cells).
+func BenchmarkReduction(b *testing.B) {
+	tp, x, l := benchTopo(b)
+	y := make([]float64, tp.NCells)
+	p := par.NewPool(0)
+	defer p.Close()
+	b.Run("ScatterSerial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ScatterSerial(tp, y, x)
+		}
+	})
+	b.Run("ScatterAtomic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ScatterAtomic(p, tp, y, x)
+		}
+	})
+	b.Run("GatherBranchy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			GatherBranchy(p, tp, y, x)
+		}
+	})
+	b.Run("GatherBranchFree", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			GatherBranchFree(p, tp, l, y, x)
+		}
+	})
+}

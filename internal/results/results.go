@@ -1,0 +1,114 @@
+// Package results renders experiment outputs as aligned text tables and CSV
+// — the harness-side plumbing every figure/table reproduction shares.
+package results
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple column-oriented results table.
+type Table struct {
+	Title   string
+	Columns []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; values are formatted with %v, floats compactly.
+func (t *Table) AddRow(values ...interface{}) {
+	row := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			row[i] = formatFloat(x)
+		case float32:
+			row[i] = formatFloat(float64(x))
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+func formatFloat(x float64) string {
+	ax := x
+	if ax < 0 {
+		ax = -ax
+	}
+	switch {
+	case x == 0:
+		return "0"
+	case ax >= 1e6 || ax < 1e-4:
+		return fmt.Sprintf("%.3e", x)
+	case ax >= 100:
+		return fmt.Sprintf("%.1f", x)
+	case ax >= 1:
+		return fmt.Sprintf("%.3f", x)
+	default:
+		return fmt.Sprintf("%.4f", x)
+	}
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// WriteText renders the table with aligned columns.
+func (t *Table) WriteText(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	for i, c := range t.Columns {
+		fmt.Fprintf(&b, "%-*s", widths[i]+2, c)
+	}
+	b.WriteByte('\n')
+	for i := range t.Columns {
+		fmt.Fprintf(&b, "%-*s", widths[i]+2, strings.Repeat("-", widths[i]))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		for i, cell := range row {
+			fmt.Fprintf(&b, "%-*s", widths[i]+2, cell)
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteCSV renders the table as CSV (no quoting needed for our content).
+func (t *Table) WriteCSV(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Columns, ","))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders the text form.
+func (t *Table) String() string {
+	var b strings.Builder
+	_ = t.WriteText(&b)
+	return b.String()
+}

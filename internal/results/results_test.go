@@ -1,0 +1,77 @@
+package results
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableText(t *testing.T) {
+	tab := NewTable("title", "a", "bb", "ccc")
+	tab.AddRow(1, 2.5, "x")
+	tab.AddRow("long-cell", 0.00001, -3)
+	s := tab.String()
+	if !strings.HasPrefix(s, "title\n") {
+		t.Errorf("missing title: %q", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 4+1 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), s)
+	}
+	// All data lines align: header width equals each row width.
+	if len(lines[1]) != len(lines[3]) || len(lines[1]) != len(lines[4]) {
+		t.Errorf("columns not aligned:\n%s", s)
+	}
+	if tab.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tab.NumRows())
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := NewTable("", "x", "y")
+	tab.AddRow(1, 2)
+	tab.AddRow(3, 4)
+	var b strings.Builder
+	if err := tab.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "x,y\n1,2\n3,4\n"
+	if b.String() != want {
+		t.Errorf("CSV = %q want %q", b.String(), want)
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		1e7:     "1.000e+07",
+		1e-5:    "1.000e-05",
+		123.456: "123.5",
+		1.23456: "1.235",
+		0.5:     "0.5000",
+		-123.4:  "-123.4",
+	}
+	for in, want := range cases {
+		if got := formatFloat(in); got != want {
+			t.Errorf("formatFloat(%v) = %q want %q", in, got, want)
+		}
+	}
+}
+
+func TestFloat32Row(t *testing.T) {
+	tab := NewTable("", "v")
+	tab.AddRow(float32(2.5))
+	if !strings.Contains(tab.String(), "2.500") {
+		t.Errorf("float32 not formatted: %s", tab.String())
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tab := NewTable("t", "only")
+	s := tab.String()
+	if !strings.Contains(s, "only") {
+		t.Error("header missing")
+	}
+	if tab.NumRows() != 0 {
+		t.Error("phantom rows")
+	}
+}

@@ -1,0 +1,73 @@
+package sw_test
+
+import (
+	"testing"
+
+	"repro/internal/sw"
+	"repro/internal/testcases"
+)
+
+func TestHighOrderGatherMatchesScatterReference(t *testing.T) {
+	m := testMesh(t, 3)
+	cfg := sw.DefaultConfig(m)
+	cfg.HighOrderThickness = true
+	s, err := sw.NewSolver(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testcases.SetupTC5(s)
+	s.Run(3)
+	ref := sw.NewDiagnostics(m)
+	s.ReferenceDiagnostics(s.State, ref)
+	if r := relDiff(s.Diag.D2fdx2Cell, ref.D2fdx2Cell); r > 1e-11 {
+		t.Errorf("d2fdx2: gather vs scatter %v", r)
+	}
+	if r := relDiff(s.Diag.HEdge, ref.HEdge); r > 1e-11 {
+		t.Errorf("high-order h_edge: gather vs scatter %v", r)
+	}
+}
+
+func TestHighOrderChangesHEdge(t *testing.T) {
+	m := testMesh(t, 3)
+	run := func(high bool) []float64 {
+		cfg := sw.DefaultConfig(m)
+		cfg.HighOrderThickness = high
+		s, _ := sw.NewSolver(m, cfg)
+		testcases.SetupTC5(s)
+		s.Run(2)
+		return append([]float64(nil), s.Diag.HEdge...)
+	}
+	lo := run(false)
+	hi := run(true)
+	if relDiff(lo, hi) == 0 {
+		t.Error("high-order interpolation identical to second-order")
+	}
+	// But close: it is a correction term, not a different field. (On the
+	// coarse 960-km test mesh the dc^2/12 term reaches a couple of percent
+	// on the mountain slope.)
+	if relDiff(lo, hi) > 0.05 {
+		t.Errorf("high-order correction implausibly large: %v", relDiff(lo, hi))
+	}
+}
+
+func TestHighOrderHybridBitwise(t *testing.T) {
+	// The optional C1/D2 patterns must also schedule correctly in the
+	// threaded runner (they enter the kernel list and its level analysis).
+	m := testMesh(t, 3)
+	cfg := sw.DefaultConfig(m)
+	cfg.HighOrderThickness = true
+	serial, _ := sw.NewSolver(m, cfg)
+	testcases.SetupTC5(serial)
+	serial.Run(3)
+
+	threaded, _ := sw.NewSolver(m, cfg)
+	pool := newTestPool(t)
+	threaded.Runner = sw.PoolRunner{Pool: pool}
+	testcases.SetupTC5(threaded)
+	threaded.Run(3)
+	for c := range serial.State.H {
+		if serial.State.H[c] != threaded.State.H[c] {
+			t.Fatalf("high-order threaded run diverges at cell %d", c)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package sw
+
+import (
+	"fmt"
+	"io"
+)
+
+// History records a time series of the model invariants — the standard way
+// long shallow-water integrations are monitored (mass/energy/enstrophy
+// budgets).
+type History struct {
+	Times   []float64 // seconds
+	Records []Invariants
+}
+
+// Sample appends the solver's current invariants.
+func (h *History) Sample(s *Solver) {
+	h.Times = append(h.Times, s.Time)
+	h.Records = append(h.Records, s.ComputeInvariants())
+}
+
+// Len returns the number of samples.
+func (h *History) Len() int { return len(h.Times) }
+
+// MaxRelDrift returns the maximum relative drift of mass, total energy and
+// potential enstrophy against the first sample.
+func (h *History) MaxRelDrift() (mass, energy, enstrophy float64) {
+	if len(h.Records) == 0 {
+		return 0, 0, 0
+	}
+	r0 := h.Records[0]
+	abs := func(x float64) float64 {
+		if x < 0 {
+			return -x
+		}
+		return x
+	}
+	for _, r := range h.Records[1:] {
+		if d := abs(r.Mass-r0.Mass) / r0.Mass; d > mass {
+			mass = d
+		}
+		if d := abs(r.TotalEnergy-r0.TotalEnergy) / r0.TotalEnergy; d > energy {
+			energy = d
+		}
+		if d := abs(r.PotentialEnstrophy-r0.PotentialEnstrophy) / r0.PotentialEnstrophy; d > enstrophy {
+			enstrophy = d
+		}
+	}
+	return mass, energy, enstrophy
+}
+
+// WriteCSV writes the series as CSV.
+func (h *History) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "time_s,mass,total_energy,potential_enstrophy,min_h,max_h,max_speed"); err != nil {
+		return err
+	}
+	for i, t := range h.Times {
+		r := h.Records[i]
+		if _, err := fmt.Fprintf(w, "%.6g,%.17g,%.17g,%.17g,%.6g,%.6g,%.6g\n",
+			t, r.Mass, r.TotalEnergy, r.PotentialEnstrophy, r.MinH, r.MaxH, r.MaxSpeed); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunWithHistory advances n steps, sampling the history every interval
+// steps (and once before the first step if the history is empty).
+func (s *Solver) RunWithHistory(n, interval int, h *History) {
+	if interval < 1 {
+		interval = 1
+	}
+	if h.Len() == 0 {
+		h.Sample(s)
+	}
+	for i := 0; i < n; i++ {
+		s.Step()
+		if (i+1)%interval == 0 || i == n-1 {
+			h.Sample(s)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package sw_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sw"
+	"repro/internal/testcases"
+)
+
+func TestHistoryRecordsAndDrift(t *testing.T) {
+	s := newTC2Solver(t, 3)
+	var h sw.History
+	s.RunWithHistory(10, 2, &h)
+	if h.Len() != 6 { // initial + 5 samples
+		t.Fatalf("history length %d", h.Len())
+	}
+	mass, energy, enstrophy := h.MaxRelDrift()
+	if mass > 1e-13 {
+		t.Errorf("mass drift %v", mass)
+	}
+	if energy > 1e-7 || enstrophy > 1e-4 {
+		t.Errorf("drifts: energy %v enstrophy %v", energy, enstrophy)
+	}
+	if h.Times[0] != 0 || h.Times[5] <= h.Times[1] {
+		t.Errorf("times not increasing: %v", h.Times)
+	}
+}
+
+func TestHistoryCSV(t *testing.T) {
+	s := newTC2Solver(t, 2)
+	var h sw.History
+	s.RunWithHistory(2, 1, &h)
+	var b strings.Builder
+	if err := h.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 1+h.Len() {
+		t.Errorf("CSV lines %d, want %d", len(lines), 1+h.Len())
+	}
+	if !strings.HasPrefix(lines[0], "time_s,mass") {
+		t.Errorf("header %q", lines[0])
+	}
+}
+
+func TestHistoryEmptyDrift(t *testing.T) {
+	var h sw.History
+	m, e, z := h.MaxRelDrift()
+	if m != 0 || e != 0 || z != 0 {
+		t.Error("empty history has drift")
+	}
+}
+
+func TestHistoryIntervalClamped(t *testing.T) {
+	s := newTC2Solver(t, 2)
+	var h sw.History
+	s.RunWithHistory(3, 0, &h) // interval 0 -> 1
+	if h.Len() != 4 {
+		t.Errorf("history length %d", h.Len())
+	}
+}
+
+func TestProfilingRunner(t *testing.T) {
+	m := testMesh(t, 3)
+	s, _ := sw.NewSolver(m, sw.DefaultConfig(m))
+	prof := sw.NewProfilingRunner(sw.SerialRunner{})
+	s.Runner = prof
+	testcases.SetupTC5(s)
+	s.Run(10)
+	report := prof.Report()
+	if len(report) != 19 { // all default pattern instances
+		t.Fatalf("%d profile entries, want 19", len(report))
+	}
+	// Sorted descending, shares sum to ~1, the wide B1 stencil dominates.
+	sum := 0.0
+	for i, e := range report {
+		if e.Calls <= 0 || e.Total < 0 {
+			t.Errorf("entry %s has no data: %+v", e.ID, e)
+		}
+		if i > 0 && e.Total > report[i-1].Total {
+			t.Error("report not sorted")
+		}
+		sum += e.Share
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("shares sum to %v", sum)
+	}
+	// A stencil pattern dominates; which one wins can vary with timer
+	// noise and scheduler preemption on small meshes, but the trivial
+	// local (X) patterns must never be on top.
+	if top := report[0].ID; top[0] == 'X' {
+		t.Errorf("most expensive pattern is local %s", top)
+	}
+	// The profiled solver still computes the right physics.
+	ref := sw.NewDiagnostics(m)
+	s.ReferenceDiagnostics(s.State, ref)
+	if r := relDiff(s.Diag.KE, ref.KE); r > 1e-11 {
+		t.Errorf("profiled run wrong: %v", r)
+	}
+}

@@ -1,0 +1,56 @@
+package sw
+
+import "repro/internal/mesh"
+
+// Invariants are the globally conserved (or nearly conserved) quantities of
+// the shallow-water system, used to validate long integrations: RK-4 with
+// the TRiSK scheme conserves mass to roundoff and bounds the drift of total
+// energy and potential enstrophy.
+type Invariants struct {
+	Mass               float64 // integral of h
+	TotalEnergy        float64 // kinetic + potential
+	PotentialEnstrophy float64 // integral of h q^2 / 2
+	MinH, MaxH         float64
+	MaxSpeed           float64 // max |u| over edges
+}
+
+// ComputeInvariants evaluates the invariants for the solver's current state
+// using its current diagnostics (call after Init or Step).
+func (s *Solver) ComputeInvariants() Invariants {
+	m := s.M
+	st := s.State
+	d := s.Diag
+	var inv Invariants
+	inv.MinH = st.H[0]
+	inv.MaxH = st.H[0]
+	g := s.Cfg.Gravity
+	for c := 0; c < m.NCells; c++ {
+		a := m.AreaCell[c]
+		h := st.H[c]
+		inv.Mass += a * h
+		inv.TotalEnergy += a * (h*d.KE[c] + 0.5*g*h*h + g*h*s.B[c])
+		if h < inv.MinH {
+			inv.MinH = h
+		}
+		if h > inv.MaxH {
+			inv.MaxH = h
+		}
+	}
+	for v := 0; v < m.NVertices; v++ {
+		q := d.PVVertex[v]
+		inv.PotentialEnstrophy += m.AreaTriangle[v] * d.HVertex[v] * q * q / 2
+	}
+	for e := 0; e < m.NEdges; e++ {
+		sp := st.U[e]
+		if sp < 0 {
+			sp = -sp
+		}
+		if sp > inv.MaxSpeed {
+			inv.MaxSpeed = sp
+		}
+	}
+	return inv
+}
+
+// MeshOf exposes the solver mesh (convenience for harness code).
+func (s *Solver) MeshOf() *mesh.Mesh { return s.M }

@@ -1,0 +1,378 @@
+package sw
+
+import (
+	"repro/internal/mesh"
+)
+
+// This file contains the gather-form (regularity-aware, paper Algorithm 3/4)
+// range kernels for every pattern instance. Each method computes output
+// elements [lo,hi) and is race-free when different workers receive disjoint
+// ranges, because each output element is written by exactly one iteration.
+
+// patC1 (cell <- neighboring cells): least-squares-style second-derivative
+// estimate of the thickness field used by the high-order edge interpolation,
+// the role MPAS's deriv_two coefficients play (see DESIGN.md substitutions).
+func (s *Solver) patC1(lo, hi int) {
+	m := s.M
+	h := s.cur.H
+	d2 := s.Diag.D2fdx2Cell
+	for c := lo; c < hi; c++ {
+		base := c * mesh.MaxEdges
+		n := int(m.NEdgesOnCell[c])
+		acc := 0.0
+		for j := 0; j < n; j++ {
+			e := m.EdgesOnCell[base+j]
+			nb := m.CellsOnCell[base+j]
+			d := m.DcEdge[e]
+			acc += 2 * (h[nb] - h[c]) / (d * d)
+		}
+		// Average of directional second derivatives; the factor 1/2 maps
+		// the Laplacian-like estimate onto a one-dimensional d2/dx2 along
+		// an edge, which is how D2 consumes it.
+		d2[c] = acc / float64(n)
+	}
+}
+
+// patD1 (edge <- 2 cells): second-order midpoint thickness.
+func (s *Solver) patD1(lo, hi int) {
+	m := s.M
+	h := s.cur.H
+	he := s.Diag.HEdge
+	for e := lo; e < hi; e++ {
+		c1 := m.CellsOnEdge[2*e]
+		c2 := m.CellsOnEdge[2*e+1]
+		he[e] = 0.5 * (h[c1] + h[c2])
+	}
+}
+
+// patD2 (edge <- cells + second derivatives): fourth-order-style blended
+// thickness interpolation.
+func (s *Solver) patD2(lo, hi int) {
+	m := s.M
+	h := s.cur.H
+	d2 := s.Diag.D2fdx2Cell
+	he := s.Diag.HEdge
+	for e := lo; e < hi; e++ {
+		c1 := m.CellsOnEdge[2*e]
+		c2 := m.CellsOnEdge[2*e+1]
+		dc := m.DcEdge[e]
+		he[e] = 0.5*(h[c1]+h[c2]) - dc*dc/12*0.5*(d2[c1]+d2[c2])
+	}
+}
+
+// patE (vertex <- 3 edges): relative vorticity, the circulation around the
+// dual cell divided by its area.
+func (s *Solver) patE(lo, hi int) {
+	m := s.M
+	u := s.cur.U
+	vort := s.Diag.Vorticity
+	for v := lo; v < hi; v++ {
+		base := v * mesh.VertexDegree
+		circ := 0.0
+		for j := 0; j < mesh.VertexDegree; j++ {
+			e := m.EdgesOnVertex[base+j]
+			circ += s.signVertex[base+j] * m.DcEdge[e] * u[e]
+		}
+		vort[v] = circ / m.AreaTriangle[v]
+	}
+}
+
+// patA2 (cell <- edges): velocity divergence.
+func (s *Solver) patA2(lo, hi int) {
+	m := s.M
+	u := s.cur.U
+	div := s.Diag.Divergence
+	for c := lo; c < hi; c++ {
+		base := c * mesh.MaxEdges
+		n := int(m.NEdgesOnCell[c])
+		acc := 0.0
+		for j := 0; j < n; j++ {
+			e := m.EdgesOnCell[base+j]
+			acc += s.signCell[base+j] * m.DvEdge[e] * u[e]
+		}
+		div[c] = acc / m.AreaCell[c]
+	}
+}
+
+// patA3 (cell <- edges): kinetic energy from the TRiSK edge quadrature.
+func (s *Solver) patA3(lo, hi int) {
+	m := s.M
+	u := s.cur.U
+	ke := s.Diag.KE
+	for c := lo; c < hi; c++ {
+		base := c * mesh.MaxEdges
+		n := int(m.NEdgesOnCell[c])
+		acc := 0.0
+		for j := 0; j < n; j++ {
+			e := m.EdgesOnCell[base+j]
+			acc += 0.25 * m.DcEdge[e] * m.DvEdge[e] * u[e] * u[e]
+		}
+		ke[c] = acc / m.AreaCell[c]
+	}
+}
+
+// patF (edge <- edgesOnEdge): TRiSK tangential velocity reconstruction.
+func (s *Solver) patF(lo, hi int) {
+	m := s.M
+	u := s.cur.U
+	v := s.Diag.V
+	for e := lo; e < hi; e++ {
+		base := e * mesh.MaxEdgesOnEdge
+		n := int(m.NEdgesOnEdge[e])
+		acc := 0.0
+		for j := 0; j < n; j++ {
+			acc += m.WeightsOnEdge[base+j] * u[m.EdgesOnEdge[base+j]]
+		}
+		v[e] = acc
+	}
+}
+
+// patG (vertex <- 3 cells): kite-area-weighted thickness at vertices and the
+// potential vorticity q = (f + zeta)/h there.
+func (s *Solver) patG(lo, hi int) {
+	m := s.M
+	h := s.cur.H
+	hv := s.Diag.HVertex
+	pv := s.Diag.PVVertex
+	vort := s.Diag.Vorticity
+	for v := lo; v < hi; v++ {
+		base := v * mesh.VertexDegree
+		acc := 0.0
+		for j := 0; j < mesh.VertexDegree; j++ {
+			acc += m.KiteAreasOnVertex[base+j] * h[m.CellsOnVertex[base+j]]
+		}
+		hv[v] = acc / m.AreaTriangle[v]
+		pv[v] = (m.FVertex[v] + vort[v]) / hv[v]
+	}
+}
+
+// patC2 (cell <- vertices): potential vorticity averaged back to cells.
+func (s *Solver) patC2(lo, hi int) {
+	m := s.M
+	pvc := s.Diag.PVCell
+	pvv := s.Diag.PVVertex
+	for c := lo; c < hi; c++ {
+		base := c * mesh.MaxEdges
+		n := int(m.NEdgesOnCell[c])
+		acc := 0.0
+		for j := 0; j < n; j++ {
+			acc += s.kiteOnCell[base+j] * pvv[m.VerticesOnCell[base+j]]
+		}
+		pvc[c] = acc
+	}
+}
+
+// patH2 (cell <- vertices): relative vorticity averaged to cells.
+func (s *Solver) patH2(lo, hi int) {
+	m := s.M
+	vc := s.Diag.VorticityCell
+	vv := s.Diag.Vorticity
+	for c := lo; c < hi; c++ {
+		base := c * mesh.MaxEdges
+		n := int(m.NEdgesOnCell[c])
+		acc := 0.0
+		for j := 0; j < n; j++ {
+			acc += s.kiteOnCell[base+j] * vv[m.VerticesOnCell[base+j]]
+		}
+		vc[c] = acc
+	}
+}
+
+// patH1 (edge <- 2 vertices): potential vorticity at edges.
+func (s *Solver) patH1(lo, hi int) {
+	m := s.M
+	pve := s.Diag.PVEdge
+	pvv := s.Diag.PVVertex
+	for e := lo; e < hi; e++ {
+		v1 := m.VerticesOnEdge[2*e]
+		v2 := m.VerticesOnEdge[2*e+1]
+		pve[e] = 0.5 * (pvv[v1] + pvv[v2])
+	}
+}
+
+// patB2 (edge <- vertices + cells): anticipated potential vorticity method
+// (APVM) upwinding correction of pv_edge.
+func (s *Solver) patB2(lo, hi int) {
+	if s.Cfg.APVM == 0 {
+		return
+	}
+	m := s.M
+	pve := s.Diag.PVEdge
+	pvv := s.Diag.PVVertex
+	pvc := s.Diag.PVCell
+	u := s.cur.U
+	v := s.Diag.V
+	coef := s.Cfg.APVM * s.Cfg.Dt
+	for e := lo; e < hi; e++ {
+		v1 := m.VerticesOnEdge[2*e]
+		v2 := m.VerticesOnEdge[2*e+1]
+		c1 := m.CellsOnEdge[2*e]
+		c2 := m.CellsOnEdge[2*e+1]
+		gradPVt := (pvv[v2] - pvv[v1]) / m.DvEdge[e]
+		gradPVn := (pvc[c2] - pvc[c1]) / m.DcEdge[e]
+		pve[e] -= coef * (v[e]*gradPVt + u[e]*gradPVn)
+	}
+}
+
+// patA1 (cell <- edges): thickness tendency, minus the divergence of the
+// thickness flux F = h_edge * u.
+func (s *Solver) patA1(lo, hi int) {
+	m := s.M
+	u := s.cur.U
+	he := s.Diag.HEdge
+	th := s.Tend.H
+	for c := lo; c < hi; c++ {
+		base := c * mesh.MaxEdges
+		n := int(m.NEdgesOnCell[c])
+		acc := 0.0
+		for j := 0; j < n; j++ {
+			e := m.EdgesOnCell[base+j]
+			acc += s.signCell[base+j] * m.DvEdge[e] * he[e] * u[e]
+		}
+		th[c] = -acc / m.AreaCell[c]
+	}
+}
+
+// patB1 (edge <- wide mixed stencil): momentum tendency in vector-invariant
+// form, tend_u = q F_perp - grad(K + g(h+b)).
+func (s *Solver) patB1(lo, hi int) {
+	if s.Cfg.AdvectionOnly {
+		tu := s.Tend.U
+		for e := lo; e < hi; e++ {
+			tu[e] = 0
+		}
+		return
+	}
+	m := s.M
+	u := s.cur.U
+	h := s.cur.H
+	he := s.Diag.HEdge
+	ke := s.Diag.KE
+	pve := s.Diag.PVEdge
+	tu := s.Tend.U
+	g := s.Cfg.Gravity
+	b := s.B
+	for e := lo; e < hi; e++ {
+		base := e * mesh.MaxEdgesOnEdge
+		n := int(m.NEdgesOnEdge[e])
+		q := 0.0
+		for j := 0; j < n; j++ {
+			eoe := m.EdgesOnEdge[base+j]
+			workPV := 0.5 * (pve[e] + pve[eoe])
+			q += m.WeightsOnEdge[base+j] * u[eoe] * he[eoe] * workPV
+		}
+		c1 := m.CellsOnEdge[2*e]
+		c2 := m.CellsOnEdge[2*e+1]
+		grad := (ke[c2] - ke[c1] + g*(h[c2]+b[c2]-h[c1]-b[c1])) / m.DcEdge[e]
+		tu[e] = q - grad
+	}
+	if nu := s.Cfg.Viscosity; nu != 0 {
+		div := s.Diag.Divergence
+		vort := s.Diag.Vorticity
+		for e := lo; e < hi; e++ {
+			c1 := m.CellsOnEdge[2*e]
+			c2 := m.CellsOnEdge[2*e+1]
+			v1 := m.VerticesOnEdge[2*e]
+			v2 := m.VerticesOnEdge[2*e+1]
+			tu[e] += nu * ((div[c2]-div[c1])/m.DcEdge[e] - (vort[v2]-vort[v1])/m.DvEdge[e])
+		}
+	}
+}
+
+// patX1 (local, edges): the enforce_boundary_edge slot. The global sphere
+// has no boundary edges, so the MPAS masking is the identity; the optional
+// Rayleigh friction extension damps u locally here.
+func (s *Solver) patX1(lo, hi int) {
+	r := s.Cfg.RayleighFriction
+	if r == 0 {
+		return
+	}
+	u := s.cur.U
+	tu := s.Tend.U
+	for e := lo; e < hi; e++ {
+		tu[e] -= r * u[e]
+	}
+}
+
+// patX2/patX3 (local): provisional substep state, provis = state + a_k*tend.
+func (s *Solver) patX2(lo, hi int) {
+	a := s.rkA[s.stage]
+	h0 := s.State.H
+	th := s.Tend.H
+	hp := s.Provis.H
+	for c := lo; c < hi; c++ {
+		hp[c] = h0[c] + a*th[c]
+	}
+}
+
+func (s *Solver) patX3(lo, hi int) {
+	a := s.rkA[s.stage]
+	u0 := s.State.U
+	tu := s.Tend.U
+	up := s.Provis.U
+	for e := lo; e < hi; e++ {
+		up[e] = u0[e] + a*tu[e]
+	}
+}
+
+// patX4/patX5 (local): accumulate the RK-4 weighted tendency sum.
+func (s *Solver) patX4(lo, hi int) {
+	b := s.rkB[s.stage]
+	th := s.Tend.H
+	hn := s.next.H
+	for c := lo; c < hi; c++ {
+		hn[c] += b * th[c]
+	}
+}
+
+func (s *Solver) patX5(lo, hi int) {
+	b := s.rkB[s.stage]
+	tu := s.Tend.U
+	un := s.next.U
+	for e := lo; e < hi; e++ {
+		un[e] += b * tu[e]
+	}
+}
+
+// patA4 (cell <- edges): Perot reconstruction of the cell-centered velocity
+// vector from edge normal velocities,
+//
+//	V_c = (1/A_c) * sum_e dv_e * u_out_e * (x_e - x_c),
+//
+// with u_out the outward normal component and positions in physical meters.
+func (s *Solver) patA4(lo, hi int) {
+	m := s.M
+	u := s.cur.U
+	r := m.Radius
+	rx, ry, rz := s.Recon.X, s.Recon.Y, s.Recon.Z
+	for c := lo; c < hi; c++ {
+		base := c * mesh.MaxEdges
+		n := int(m.NEdgesOnCell[c])
+		xc := m.XCell[c]
+		var ax, ay, az float64
+		for j := 0; j < n; j++ {
+			e := m.EdgesOnCell[base+j]
+			w := s.signCell[base+j] * m.DvEdge[e] * u[e] * r
+			ax += w * (m.XEdge[e].X - xc.X)
+			ay += w * (m.XEdge[e].Y - xc.Y)
+			az += w * (m.XEdge[e].Z - xc.Z)
+		}
+		inv := 1 / m.AreaCell[c]
+		rx[c] = ax * inv
+		ry[c] = ay * inv
+		rz[c] = az * inv
+	}
+}
+
+// patX6 (local, cells): project the Cartesian reconstruction onto local
+// east/north to obtain zonal and meridional winds.
+func (s *Solver) patX6(lo, hi int) {
+	rx, ry, rz := s.Recon.X, s.Recon.Y, s.Recon.Z
+	zo, me := s.Recon.Zonal, s.Recon.Meridional
+	for c := lo; c < hi; c++ {
+		e := s.eastCell[c]
+		n := s.northCell[c]
+		zo[c] = rx[c]*e.X + ry[c]*e.Y + rz[c]*e.Z
+		me[c] = rx[c]*n.X + ry[c]*n.Y + rz[c]*n.Z
+	}
+}

@@ -1,0 +1,72 @@
+package sw
+
+import (
+	"sort"
+	"time"
+)
+
+// ProfilingRunner wraps another Runner and measures real wall time per
+// pattern instance — the profiling step that precedes a kernel-level design
+// ("one usually profiles the code to identify the most time-consuming
+// kernels", paper §2.C), here at the pattern granularity the paper's own
+// design needs.
+type ProfilingRunner struct {
+	Inner   Runner
+	elapsed map[string]time.Duration
+	calls   map[string]int
+	kernels map[string]string
+}
+
+// NewProfilingRunner wraps inner.
+func NewProfilingRunner(inner Runner) *ProfilingRunner {
+	return &ProfilingRunner{
+		Inner:   inner,
+		elapsed: map[string]time.Duration{},
+		calls:   map[string]int{},
+		kernels: map[string]string{},
+	}
+}
+
+// RunKernel implements Runner: each pattern is executed through the inner
+// runner individually so its time can be attributed.
+func (p *ProfilingRunner) RunKernel(k *Kernel) {
+	for _, pat := range k.Patterns {
+		single := &Kernel{Name: k.Name, Patterns: []*Pattern{pat}}
+		start := time.Now()
+		p.Inner.RunKernel(single)
+		p.elapsed[pat.Info.ID] += time.Since(start)
+		p.calls[pat.Info.ID]++
+		p.kernels[pat.Info.ID] = k.Name
+	}
+}
+
+// ProfileEntry is one pattern's accumulated cost.
+type ProfileEntry struct {
+	ID      string
+	Kernel  string
+	Calls   int
+	Total   time.Duration
+	PerCall time.Duration
+	Share   float64 // fraction of total profiled time
+}
+
+// Report returns per-pattern entries sorted by descending total time.
+func (p *ProfilingRunner) Report() []ProfileEntry {
+	var total time.Duration
+	for _, d := range p.elapsed {
+		total += d
+	}
+	var out []ProfileEntry
+	for id, d := range p.elapsed {
+		e := ProfileEntry{ID: id, Kernel: p.kernels[id], Calls: p.calls[id], Total: d}
+		if e.Calls > 0 {
+			e.PerCall = d / time.Duration(e.Calls)
+		}
+		if total > 0 {
+			e.Share = float64(d) / float64(total)
+		}
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Total > out[j].Total })
+	return out
+}

@@ -1,0 +1,65 @@
+package sw
+
+import "repro/internal/pattern"
+
+// This file is the RK-4 time-stepping driver — the literal transcription of
+// Algorithm 1 of the paper into kernel invocations. Which processor(s)
+// execute the kernels is entirely the Runner's business.
+
+// Init computes the diagnostics and reconstruction for the current state.
+// Call once after setting initial conditions, before the first Step.
+func (s *Solver) Init() {
+	s.cur = s.State
+	s.runKernel(pattern.KernelSolveDiagnostics)
+	s.runKernel(pattern.KernelReconstruct)
+}
+
+// Step advances the model by one RK-4 time step (Algorithm 1).
+func (s *Solver) Step() {
+	s.Provis.CopyFrom(s.State)
+	s.next.CopyFrom(s.State)
+	s.tracerStepBegin()
+	s.cur = s.Provis
+	for s.stage = 0; s.stage < 4; s.stage++ {
+		s.runKernel(pattern.KernelComputeTend)
+		if len(s.Tracers) > 0 {
+			// Tracer flux divergence uses the same provisional state and
+			// edge thickness the thickness tendency just consumed.
+			s.tracerTend()
+		}
+		s.runKernel(pattern.KernelEnforceBoundaryEdge)
+		if s.stage < 3 {
+			s.runKernel(pattern.KernelNextSubstepState)
+			s.tracerSubstep()
+			if s.PostSubstep != nil {
+				s.PostSubstep(s.stage, s.Provis)
+			}
+			s.runKernel(pattern.KernelSolveDiagnostics)
+			s.runKernel(pattern.KernelAccumulativeUpdate)
+		} else {
+			s.runKernel(pattern.KernelAccumulativeUpdate)
+			s.tracerSubstep()
+			s.State.CopyFrom(s.next)
+			s.tracerStepEnd()
+			s.cur = s.State
+			if s.PostSubstep != nil {
+				s.PostSubstep(s.stage, s.State)
+			}
+			s.runKernel(pattern.KernelSolveDiagnostics)
+			s.runKernel(pattern.KernelReconstruct)
+		}
+	}
+	s.StepCount++
+	s.Time += s.Cfg.Dt
+}
+
+// Run advances n steps.
+func (s *Solver) Run(n int) {
+	for i := 0; i < n; i++ {
+		s.Step()
+	}
+}
+
+func (s *Solver) runKernel(name string) {
+	s.Runner.RunKernel(s.kernels[name])
+}

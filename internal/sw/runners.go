@@ -1,0 +1,43 @@
+package sw
+
+import "repro/internal/par"
+
+// PoolRunner executes each kernel as ONE parallel region (paper §4.B: "we
+// only set up one parallel region for each kernel, and remove all
+// unnecessary implicit synchronizations"): the worker team is forked once
+// per kernel and the member patterns run as statically-chunked loops with a
+// barrier between consecutive patterns, since stencil patterns read
+// neighbours written by other workers.
+type PoolRunner struct {
+	Pool *par.Pool
+}
+
+// RunKernel implements Runner.
+func (r PoolRunner) RunKernel(k *Kernel) {
+	if r.Pool.Workers() == 1 {
+		SerialRunner{}.RunKernel(k)
+		return
+	}
+	r.Pool.Region(func(t *par.Team) {
+		for i, p := range k.Patterns {
+			if i > 0 {
+				t.Barrier()
+			}
+			t.For(p.N, p.Run)
+		}
+	})
+}
+
+// PerLoopRunner executes every pattern as its own fork-join parallel loop —
+// the unfused baseline that PoolRunner's region fusion improves on. Used by
+// the ablation benchmarks.
+type PerLoopRunner struct {
+	Pool *par.Pool
+}
+
+// RunKernel implements Runner.
+func (r PerLoopRunner) RunKernel(k *Kernel) {
+	for _, p := range k.Patterns {
+		r.Pool.For(p.N, p.Run)
+	}
+}

@@ -1,0 +1,194 @@
+package sw
+
+import (
+	"repro/internal/mesh"
+)
+
+// This file is the serial reference implementation in the ORIGINAL loop
+// shapes of the MPAS code — edge-order scatter loops with irregular
+// reductions (paper Algorithm 2). It exists to prove, in tests, that the
+// regularity-aware gather refactoring (kernels.go) computes the same model:
+// the paper's own correctness argument ("the two results are not bit-wise
+// identical [but] consistent ... within the machine precision", Fig. 5).
+
+// ReferenceDiagnostics computes all compute_solve_diagnostics fields for
+// state st into d using scatter-form loops.
+func (s *Solver) ReferenceDiagnostics(st *State, d *Diagnostics) {
+	m := s.M
+	h, u := st.H, st.U
+
+	// h_edge (D1/D2 are already edge-order; same shape).
+	if s.Cfg.HighOrderThickness {
+		for c := 0; c < m.NCells; c++ {
+			base := c * mesh.MaxEdges
+			n := int(m.NEdgesOnCell[c])
+			acc := 0.0
+			for j := 0; j < n; j++ {
+				e := m.EdgesOnCell[base+j]
+				nb := m.CellsOnCell[base+j]
+				dc := m.DcEdge[e]
+				acc += 2 * (h[nb] - h[c]) / (dc * dc)
+			}
+			d.D2fdx2Cell[c] = acc / float64(n)
+		}
+		for e := 0; e < m.NEdges; e++ {
+			c1, c2 := m.CellsOnEdge[2*e], m.CellsOnEdge[2*e+1]
+			dc := m.DcEdge[e]
+			d.HEdge[e] = 0.5*(h[c1]+h[c2]) - dc*dc/12*0.5*(d.D2fdx2Cell[c1]+d.D2fdx2Cell[c2])
+		}
+	} else {
+		for e := 0; e < m.NEdges; e++ {
+			c1, c2 := m.CellsOnEdge[2*e], m.CellsOnEdge[2*e+1]
+			d.HEdge[e] = 0.5 * (h[c1] + h[c2])
+		}
+	}
+
+	// Vorticity: edge-order scatter into the two vertices (Algorithm 2
+	// shape: traverses edges, writes vertex-indexed data).
+	for v := 0; v < m.NVertices; v++ {
+		d.Vorticity[v] = 0
+	}
+	for e := 0; e < m.NEdges; e++ {
+		v1, v2 := m.VerticesOnEdge[2*e], m.VerticesOnEdge[2*e+1]
+		circ := m.DcEdge[e] * u[e]
+		d.Vorticity[v2] += circ // edge circulates CCW around its left vertex
+		d.Vorticity[v1] -= circ
+	}
+	for v := 0; v < m.NVertices; v++ {
+		d.Vorticity[v] /= m.AreaTriangle[v]
+	}
+
+	// Divergence: edge-order scatter into the two cells.
+	for c := 0; c < m.NCells; c++ {
+		d.Divergence[c] = 0
+	}
+	for e := 0; e < m.NEdges; e++ {
+		c1, c2 := m.CellsOnEdge[2*e], m.CellsOnEdge[2*e+1]
+		flux := m.DvEdge[e] * u[e]
+		d.Divergence[c1] += flux
+		d.Divergence[c2] -= flux
+	}
+	for c := 0; c < m.NCells; c++ {
+		d.Divergence[c] /= m.AreaCell[c]
+	}
+
+	// Kinetic energy: edge-order scatter.
+	for c := 0; c < m.NCells; c++ {
+		d.KE[c] = 0
+	}
+	for e := 0; e < m.NEdges; e++ {
+		c1, c2 := m.CellsOnEdge[2*e], m.CellsOnEdge[2*e+1]
+		q := 0.25 * m.DcEdge[e] * m.DvEdge[e] * u[e] * u[e]
+		d.KE[c1] += q
+		d.KE[c2] += q
+	}
+	for c := 0; c < m.NCells; c++ {
+		d.KE[c] /= m.AreaCell[c]
+	}
+
+	// Tangential velocity (edge-order, as in MPAS).
+	for e := 0; e < m.NEdges; e++ {
+		base := e * mesh.MaxEdgesOnEdge
+		acc := 0.0
+		for j := 0; j < int(m.NEdgesOnEdge[e]); j++ {
+			acc += m.WeightsOnEdge[base+j] * u[m.EdgesOnEdge[base+j]]
+		}
+		d.V[e] = acc
+	}
+
+	// h_vertex and pv_vertex.
+	for v := 0; v < m.NVertices; v++ {
+		base := v * mesh.VertexDegree
+		acc := 0.0
+		for j := 0; j < mesh.VertexDegree; j++ {
+			acc += m.KiteAreasOnVertex[base+j] * h[m.CellsOnVertex[base+j]]
+		}
+		d.HVertex[v] = acc / m.AreaTriangle[v]
+		d.PVVertex[v] = (m.FVertex[v] + d.Vorticity[v]) / d.HVertex[v]
+	}
+
+	// pv_cell, vorticity_cell: vertex-order scatter into cells.
+	for c := 0; c < m.NCells; c++ {
+		d.PVCell[c] = 0
+		d.VorticityCell[c] = 0
+	}
+	for v := 0; v < m.NVertices; v++ {
+		base := v * mesh.VertexDegree
+		for j := 0; j < mesh.VertexDegree; j++ {
+			c := m.CellsOnVertex[base+j]
+			k := m.KiteAreasOnVertex[base+j] / m.AreaCell[c]
+			d.PVCell[c] += k * d.PVVertex[v]
+			d.VorticityCell[c] += k * d.Vorticity[v]
+		}
+	}
+
+	// pv_edge with APVM.
+	for e := 0; e < m.NEdges; e++ {
+		v1, v2 := m.VerticesOnEdge[2*e], m.VerticesOnEdge[2*e+1]
+		d.PVEdge[e] = 0.5 * (d.PVVertex[v1] + d.PVVertex[v2])
+	}
+	if s.Cfg.APVM != 0 {
+		coef := s.Cfg.APVM * s.Cfg.Dt
+		for e := 0; e < m.NEdges; e++ {
+			v1, v2 := m.VerticesOnEdge[2*e], m.VerticesOnEdge[2*e+1]
+			c1, c2 := m.CellsOnEdge[2*e], m.CellsOnEdge[2*e+1]
+			gradPVt := (d.PVVertex[v2] - d.PVVertex[v1]) / m.DvEdge[e]
+			gradPVn := (d.PVCell[c2] - d.PVCell[c1]) / m.DcEdge[e]
+			d.PVEdge[e] -= coef * (d.V[e]*gradPVt + u[e]*gradPVn)
+		}
+	}
+}
+
+// ReferenceTend computes compute_tend for state st and diagnostics d into td
+// using the scatter form for the thickness flux divergence.
+func (s *Solver) ReferenceTend(st *State, d *Diagnostics, td *Tendencies) {
+	m := s.M
+	u, h := st.U, st.H
+	g := s.Cfg.Gravity
+
+	// tend_h: edge-order scatter of thickness fluxes.
+	for c := 0; c < m.NCells; c++ {
+		td.H[c] = 0
+	}
+	for e := 0; e < m.NEdges; e++ {
+		c1, c2 := m.CellsOnEdge[2*e], m.CellsOnEdge[2*e+1]
+		flux := m.DvEdge[e] * d.HEdge[e] * u[e]
+		td.H[c1] += flux
+		td.H[c2] -= flux
+	}
+	for c := 0; c < m.NCells; c++ {
+		td.H[c] = -td.H[c] / m.AreaCell[c]
+	}
+
+	// tend_u (edge-order in MPAS too).
+	if s.Cfg.AdvectionOnly {
+		for e := 0; e < m.NEdges; e++ {
+			td.U[e] = 0
+		}
+		return
+	}
+	for e := 0; e < m.NEdges; e++ {
+		base := e * mesh.MaxEdgesOnEdge
+		q := 0.0
+		for j := 0; j < int(m.NEdgesOnEdge[e]); j++ {
+			eoe := m.EdgesOnEdge[base+j]
+			q += m.WeightsOnEdge[base+j] * u[eoe] * d.HEdge[eoe] * 0.5 * (d.PVEdge[e] + d.PVEdge[eoe])
+		}
+		c1, c2 := m.CellsOnEdge[2*e], m.CellsOnEdge[2*e+1]
+		grad := (d.KE[c2] - d.KE[c1] + g*(h[c2]+s.B[c2]-h[c1]-s.B[c1])) / m.DcEdge[e]
+		td.U[e] = q - grad
+	}
+	if nu := s.Cfg.Viscosity; nu != 0 {
+		for e := 0; e < m.NEdges; e++ {
+			c1, c2 := m.CellsOnEdge[2*e], m.CellsOnEdge[2*e+1]
+			v1, v2 := m.VerticesOnEdge[2*e], m.VerticesOnEdge[2*e+1]
+			td.U[e] += nu * ((d.Divergence[c2]-d.Divergence[c1])/m.DcEdge[e] -
+				(d.Vorticity[v2]-d.Vorticity[v1])/m.DvEdge[e])
+		}
+	}
+	if r := s.Cfg.RayleighFriction; r != 0 {
+		for e := 0; e < m.NEdges; e++ {
+			td.U[e] -= r * u[e]
+		}
+	}
+}

@@ -1,0 +1,163 @@
+// Package sw implements the MPAS shallow-water model core: the TRiSK
+// C-grid finite-volume discretization of the spherical shallow-water
+// equations (paper Eq. 1) on an SCVT mesh, advanced with the RK-4 scheme of
+// Algorithm 1, organized — exactly as the paper's §3 prescribes — as a
+// sequence of named kernels, each composed of basic computation pattern
+// instances (local X patterns plus the eight stencil patterns A–H).
+//
+// Every stencil kernel is written in the regularity-aware gather form
+// (paper Algorithm 3/4), so each pattern parallelizes race-free over its
+// output point set. A serial scatter-form reference (the original MPAS loop
+// shapes, Algorithm 2) lives in scatter_ref.go and is used by tests to prove
+// the refactored kernels compute the same fields.
+package sw
+
+import (
+	"fmt"
+
+	"repro/internal/mesh"
+)
+
+// State holds the prognostic variables: fluid thickness h at mass points
+// (cells) and normal velocity u at velocity points (edges).
+type State struct {
+	H []float64 // thickness, one per cell [m]
+	U []float64 // normal velocity, one per edge [m/s]
+}
+
+// NewState allocates a zero state for mesh m.
+func NewState(m *mesh.Mesh) *State {
+	return &State{H: make([]float64, m.NCells), U: make([]float64, m.NEdges)}
+}
+
+// CopyFrom copies src into s.
+func (s *State) CopyFrom(src *State) {
+	copy(s.H, src.H)
+	copy(s.U, src.U)
+}
+
+// Clone returns a deep copy.
+func (s *State) Clone() *State {
+	c := &State{H: make([]float64, len(s.H)), U: make([]float64, len(s.U))}
+	c.CopyFrom(s)
+	return c
+}
+
+// Diagnostics holds every intermediate field of compute_solve_diagnostics
+// (Table I of the paper).
+type Diagnostics struct {
+	HEdge         []float64 // thickness interpolated to edges (D1/D2)
+	D2fdx2Cell    []float64 // second-derivative fit at cells (C1)
+	Vorticity     []float64 // relative vorticity at vertices (E)
+	Divergence    []float64 // divergence at cells (A2)
+	KE            []float64 // kinetic energy at cells (A3)
+	V             []float64 // tangential velocity at edges (F)
+	HVertex       []float64 // thickness at vertices (part of G)
+	PVVertex      []float64 // potential vorticity at vertices (G)
+	PVCell        []float64 // potential vorticity at cells (C2)
+	VorticityCell []float64 // relative vorticity at cells (H2)
+	PVEdge        []float64 // potential vorticity at edges (H1 + B2 APVM)
+}
+
+// NewDiagnostics allocates diagnostics for mesh m.
+func NewDiagnostics(m *mesh.Mesh) *Diagnostics {
+	return &Diagnostics{
+		HEdge:         make([]float64, m.NEdges),
+		D2fdx2Cell:    make([]float64, m.NCells),
+		Vorticity:     make([]float64, m.NVertices),
+		Divergence:    make([]float64, m.NCells),
+		KE:            make([]float64, m.NCells),
+		V:             make([]float64, m.NEdges),
+		HVertex:       make([]float64, m.NVertices),
+		PVVertex:      make([]float64, m.NVertices),
+		PVCell:        make([]float64, m.NCells),
+		VorticityCell: make([]float64, m.NCells),
+		PVEdge:        make([]float64, m.NEdges),
+	}
+}
+
+// Tendencies holds the right-hand sides of the prognostic equations.
+type Tendencies struct {
+	H []float64 // cells
+	U []float64 // edges
+}
+
+// NewTendencies allocates tendencies for mesh m.
+func NewTendencies(m *mesh.Mesh) *Tendencies {
+	return &Tendencies{H: make([]float64, m.NCells), U: make([]float64, m.NEdges)}
+}
+
+// Reconstructed holds the cell-centered velocity produced by
+// mpas_reconstruct (patterns A4 + X6).
+type Reconstructed struct {
+	X, Y, Z    []float64 // Cartesian components at cells
+	Zonal      []float64
+	Meridional []float64
+}
+
+// NewReconstructed allocates reconstruction output for mesh m.
+func NewReconstructed(m *mesh.Mesh) *Reconstructed {
+	n := m.NCells
+	return &Reconstructed{
+		X: make([]float64, n), Y: make([]float64, n), Z: make([]float64, n),
+		Zonal: make([]float64, n), Meridional: make([]float64, n),
+	}
+}
+
+// Config carries the physical and numerical constants of the model.
+type Config struct {
+	Gravity float64 // m/s^2
+	Omega   float64 // planetary rotation rate, rad/s
+	// APVM is the anticipated-potential-vorticity upwinding coefficient
+	// (pattern B2); MPAS default 0.5. Zero disables the correction.
+	APVM float64
+	// HighOrderThickness enables the C1+D2 high-order edge thickness
+	// interpolation; when false only D1 (midpoint average) runs.
+	HighOrderThickness bool
+	// RayleighFriction is the coefficient of the local damping applied by
+	// pattern X1 in enforce_boundary_edge's slot; zero disables it.
+	RayleighFriction float64
+	// AdvectionOnly freezes the velocity field (tend_u forced to zero), so
+	// the model advects thickness passively with the prescribed wind —
+	// Williamson test case 1.
+	AdvectionOnly bool
+	// Viscosity is the del^2 horizontal momentum diffusion coefficient
+	// (m^2/s), MPAS's config_visc: on the C-grid,
+	// nu*Lap(u) = nu*(grad(divergence) - k x grad(vorticity)) evaluated at
+	// edges. Zero disables it.
+	Viscosity float64
+	// Dt is the time step in seconds.
+	Dt float64
+}
+
+// DefaultConfig returns Earth-standard constants with a time step chosen for
+// mesh m by a conservative gravity-wave CFL bound.
+func DefaultConfig(m *mesh.Mesh) Config {
+	return Config{
+		Gravity: 9.80616,
+		Omega:   7.292e-5,
+		APVM:    0.5,
+		Dt:      StableDt(m),
+	}
+}
+
+// StableDt returns a conservative RK-4 time step for mesh m: a Courant
+// number of 0.4 against a 300 m/s combined gravity-wave + advection speed.
+func StableDt(m *mesh.Mesh) float64 {
+	s := m.ComputeStats()
+	return 0.4 * s.MinDc / 300.0
+}
+
+// Validate reports obviously invalid configuration.
+func (c Config) Validate() error {
+	if c.Gravity <= 0 {
+		return fmt.Errorf("sw: non-positive gravity %v", c.Gravity)
+	}
+	if c.Dt <= 0 {
+		return fmt.Errorf("sw: non-positive time step %v", c.Dt)
+	}
+	if c.APVM < 0 || c.APVM > 1 {
+		return fmt.Errorf("sw: APVM coefficient %v outside [0,1]", c.APVM)
+	}
+	return nil
+}

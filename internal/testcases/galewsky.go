@@ -1,0 +1,117 @@
+package testcases
+
+import (
+	"math"
+
+	"repro/internal/sw"
+)
+
+// Galewsky et al. (2004) barotropic instability: a balanced mid-latitude
+// zonal jet, optionally seeded with a small height perturbation whose
+// instability rolls the jet up into vortices within a few days. It is the
+// standard "hard" shallow-water test beyond the Williamson suite and
+// exercises exactly the sharp-gradient dynamics the paper's model targets.
+
+const (
+	galUMax = 80.0                // jet speed, m/s
+	galPhi0 = math.Pi / 7         // jet south edge
+	galPhi1 = math.Pi/2 - galPhi0 // jet north edge
+	galH0   = 10000.0             // mean layer depth, m
+	// Perturbation parameters.
+	galHHat  = 120.0
+	galAlpha = 1.0 / 3.0
+	galBeta  = 1.0 / 15.0
+	galPhi2  = math.Pi / 4
+)
+
+// galewskyU is the zonal jet profile.
+func galewskyU(phi float64) float64 {
+	if phi <= galPhi0 || phi >= galPhi1 {
+		return 0
+	}
+	en := math.Exp(-4 / ((galPhi1 - galPhi0) * (galPhi1 - galPhi0)))
+	return galUMax / en * math.Exp(1/((phi-galPhi0)*(phi-galPhi1)))
+}
+
+// galewskyBalance tabulates the geostrophically balanced height integral
+//
+//	h(phi) = -(a/g) * Int_{-pi/2}^{phi} u(f + u tan(phi')/a) dphi'
+//
+// on a uniform grid for later interpolation.
+type galewskyBalance struct {
+	dphi float64
+	tab  []float64
+}
+
+func newGalewskyBalance(a, g, omega float64, n int) *galewskyBalance {
+	b := &galewskyBalance{dphi: math.Pi / float64(n), tab: make([]float64, n+1)}
+	integrand := func(phi float64) float64 {
+		u := galewskyU(phi)
+		if u == 0 {
+			return 0
+		}
+		f := 2 * omega * math.Sin(phi)
+		return a / g * u * (f + math.Tan(phi)*u/a)
+	}
+	// Composite trapezoid from the south pole.
+	acc := 0.0
+	prev := integrand(-math.Pi / 2)
+	b.tab[0] = 0
+	for i := 1; i <= n; i++ {
+		phi := -math.Pi/2 + float64(i)*b.dphi
+		cur := integrand(phi)
+		acc += 0.5 * (prev + cur) * b.dphi
+		b.tab[i] = -acc
+		prev = cur
+	}
+	return b
+}
+
+// at interpolates the tabulated balance at latitude phi.
+func (b *galewskyBalance) at(phi float64) float64 {
+	x := (phi + math.Pi/2) / b.dphi
+	i := int(x)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(b.tab)-1 {
+		i = len(b.tab) - 2
+	}
+	fr := x - float64(i)
+	return b.tab[i]*(1-fr) + b.tab[i+1]*fr
+}
+
+// SetupGalewsky initializes the balanced jet; perturbed adds the height
+// bump that triggers the instability.
+func SetupGalewsky(s *sw.Solver, perturbed bool) {
+	m := s.M
+	bal := newGalewskyBalance(m.Radius, s.Cfg.Gravity, s.Cfg.Omega, 20000)
+
+	// Offset so the area-weighted mean depth is galH0.
+	var sumH, sumA float64
+	for c := 0; c < m.NCells; c++ {
+		sumH += bal.at(m.LatCell[c]) * m.AreaCell[c]
+		sumA += m.AreaCell[c]
+	}
+	offset := galH0 - sumH/sumA
+
+	for c := 0; c < m.NCells; c++ {
+		lat, lon := m.LatCell[c], m.LonCell[c]
+		h := offset + bal.at(lat)
+		if perturbed {
+			l := lon
+			if l > math.Pi {
+				l -= 2 * math.Pi
+			}
+			h += galHHat * math.Cos(lat) *
+				math.Exp(-(l/galAlpha)*(l/galAlpha)) *
+				math.Exp(-((galPhi2-lat)/galBeta)*((galPhi2-lat)/galBeta))
+		}
+		s.State.H[c] = h
+		s.B[c] = 0
+	}
+	zonalWind(s, func(lat, lon float64) (float64, float64) {
+		return galewskyU(lat), 0
+	})
+	s.Init()
+}

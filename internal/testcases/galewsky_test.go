@@ -1,0 +1,104 @@
+package testcases
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sw"
+)
+
+func TestGalewskyJetProfile(t *testing.T) {
+	// Zero outside the jet band, positive inside, peaked near the middle.
+	if galewskyU(0) != 0 || galewskyU(math.Pi/2) != 0 {
+		t.Error("jet not confined")
+	}
+	mid := (galPhi0 + galPhi1) / 2
+	if u := galewskyU(mid); math.Abs(u-galUMax) > 1 {
+		t.Errorf("jet peak %v, want ~%v", u, galUMax)
+	}
+	if galewskyU(galPhi0+0.01) >= galewskyU(mid) {
+		t.Error("jet not peaked in the middle")
+	}
+	// Continuous at the edges (smooth decay to zero).
+	if galewskyU(galPhi0+1e-6) > 1e-3 {
+		t.Error("jet discontinuous at south edge")
+	}
+}
+
+func TestGalewskyBalancedStateNearlySteady(t *testing.T) {
+	m := mesh4(t)
+	cfg := sw.DefaultConfig(m)
+	s, err := sw.NewSolver(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetupGalewsky(s, false)
+	h0 := append([]float64(nil), s.State.H...)
+	inv0 := s.ComputeInvariants()
+	s.Run(int(0.5 * Day / cfg.Dt))
+	inv := s.ComputeInvariants()
+	if rel := math.Abs(inv.Mass-inv0.Mass) / inv0.Mass; rel > 1e-13 {
+		t.Errorf("mass drift %v", rel)
+	}
+	n := HeightNorms(m, s.State.H, h0)
+	// The balanced jet is steady; discretization error on the sharp jet at
+	// ~480 km is visible but small.
+	if n.L2 > 5e-3 {
+		t.Errorf("balanced jet drifted: l2 %v", n.L2)
+	}
+	if inv.MaxSpeed > 100 {
+		t.Errorf("jet accelerated: max speed %v", inv.MaxSpeed)
+	}
+}
+
+func TestGalewskyPerturbationGrows(t *testing.T) {
+	// The height bump first disperses into gravity waves (days 1-2), then
+	// the barotropic instability amplifies it exponentially (days 3-5).
+	// We check for the growth phase: the perturbed-vs-balanced difference
+	// at day 4 must clearly exceed the day-2 minimum.
+	if testing.Short() {
+		t.Skip("4-day integration")
+	}
+	m := mesh4(t)
+	cfg := sw.DefaultConfig(m)
+	base, _ := sw.NewSolver(m, cfg)
+	SetupGalewsky(base, false)
+	pert, _ := sw.NewSolver(m, cfg)
+	SetupGalewsky(pert, true)
+	diff := func() float64 {
+		d := 0.0
+		for c := range base.State.H {
+			if v := math.Abs(pert.State.H[c] - base.State.H[c]); v > d {
+				d = v
+			}
+		}
+		return d
+	}
+	perDay := int(Day / cfg.Dt)
+	base.Run(2 * perDay)
+	pert.Run(2 * perDay)
+	d2 := diff()
+	base.Run(2 * perDay)
+	pert.Run(2 * perDay)
+	d4 := diff()
+	if d4 < 2*d2 {
+		t.Errorf("no instability growth: day 2 %.1f m -> day 4 %.1f m", d2, d4)
+	}
+	inv := pert.ComputeInvariants()
+	if math.IsNaN(inv.TotalEnergy) || inv.MinH <= 0 {
+		t.Fatalf("perturbed run unstable: %+v", inv)
+	}
+}
+
+func TestGalewskyBalanceTableMonotonicSouthOfJet(t *testing.T) {
+	b := newGalewskyBalance(6.371e6, 9.80616, Omega, 5000)
+	// South of the jet the integral is constant (integrand zero).
+	if math.Abs(b.at(-0.5)-b.at(-1.0)) > 1e-9 {
+		t.Error("balance integral changes where u=0")
+	}
+	// Across the jet the height must DROP from south to north (westerly
+	// geostrophic jet on a rotating sphere).
+	if !(b.at(galPhi1+0.05) < b.at(galPhi0-0.05)) {
+		t.Error("height does not drop across the jet")
+	}
+}

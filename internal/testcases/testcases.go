@@ -1,0 +1,184 @@
+// Package testcases implements the standard Williamson et al. (1992) test
+// suite for the spherical shallow-water equations, as used by the paper's
+// correctness validation (§5.A): test case 2 (steady zonal geostrophic
+// flow), test case 5 (zonal flow over an isolated mountain — Figure 5) and
+// test case 6 (Rossby–Haurwitz wave), plus the area-weighted error norms of
+// the Williamson suite.
+package testcases
+
+import (
+	"math"
+
+	"repro/internal/mesh"
+	"repro/internal/sw"
+)
+
+// Day is one day in seconds.
+const Day = 86400.0
+
+// Omega is Earth's rotation rate (rad/s), the Williamson standard value.
+const Omega = 7.292e-5
+
+// Gravity is the Williamson standard gravitational acceleration.
+const Gravity = 9.80616
+
+// zonalWind fills the edge normal velocities from an analytic wind given as
+// (zonal, meridional) components at a point.
+func zonalWind(s *sw.Solver, wind func(lat, lon float64) (zo, me float64)) {
+	m := s.M
+	for e := 0; e < m.NEdges; e++ {
+		zo, me := wind(m.LatEdge[e], m.LonEdge[e])
+		s.State.U[e] = zo*math.Cos(m.AngleEdge[e]) + me*math.Sin(m.AngleEdge[e])
+	}
+}
+
+// SetupTC2 initializes Williamson test case 2: a steady zonal geostrophic
+// flow. The exact solution is the initial condition, so any departure is
+// numerical error.
+func SetupTC2(s *sw.Solver) {
+	m := s.M
+	a := m.Radius
+	u0 := 2 * math.Pi * a / (12 * Day)
+	gh0 := 2.94e4
+	g := s.Cfg.Gravity
+	for c := 0; c < m.NCells; c++ {
+		sl := math.Sin(m.LatCell[c])
+		s.State.H[c] = (gh0 - (a*Omega*u0+u0*u0/2)*sl*sl) / g
+		s.B[c] = 0
+	}
+	zonalWind(s, func(lat, lon float64) (float64, float64) {
+		return u0 * math.Cos(lat), 0
+	})
+	s.Init()
+}
+
+// TC5MountainCenterLon and TC5MountainCenterLat locate the isolated
+// mountain of test case 5.
+const (
+	TC5MountainCenterLon = 3 * math.Pi / 2
+	TC5MountainCenterLat = math.Pi / 6
+	tc5MountainRadius    = math.Pi / 9
+	tc5MountainHeight    = 2000.0
+)
+
+// TC5Topography returns the mountain height at (lat, lon).
+func TC5Topography(lat, lon float64) float64 {
+	dlon := math.Abs(lon - TC5MountainCenterLon)
+	if dlon > math.Pi {
+		dlon = 2*math.Pi - dlon
+	}
+	dlat := lat - TC5MountainCenterLat
+	r := math.Min(tc5MountainRadius, math.Hypot(dlon, dlat))
+	return tc5MountainHeight * (1 - r/tc5MountainRadius)
+}
+
+// SetupTC5 initializes Williamson test case 5: zonal flow over an isolated
+// mountain (the paper's Figure 5 case; run to day 15).
+func SetupTC5(s *sw.Solver) {
+	m := s.M
+	a := m.Radius
+	u0 := 20.0
+	h0 := 5960.0
+	g := s.Cfg.Gravity
+	for c := 0; c < m.NCells; c++ {
+		lat, lon := m.LatCell[c], m.LonCell[c]
+		sl := math.Sin(lat)
+		s.B[c] = TC5Topography(lat, lon)
+		s.State.H[c] = h0 - (a*Omega*u0+u0*u0/2)*sl*sl/g - s.B[c]
+	}
+	zonalWind(s, func(lat, lon float64) (float64, float64) {
+		return u0 * math.Cos(lat), 0
+	})
+	s.Init()
+}
+
+// SetupTC6 initializes Williamson test case 6: the wavenumber-4
+// Rossby–Haurwitz wave.
+func SetupTC6(s *sw.Solver) {
+	m := s.M
+	a := m.Radius
+	const (
+		w  = 7.848e-6
+		kk = 7.848e-6
+		r  = 4.0
+		h0 = 8000.0
+	)
+	g := s.Cfg.Gravity
+	for c := 0; c < m.NCells; c++ {
+		lat, lon := m.LatCell[c], m.LonCell[c]
+		cphi := math.Cos(lat)
+		cr := math.Pow(cphi, r)
+		c2r := cr * cr
+		A := w/2*(2*Omega+w)*cphi*cphi +
+			kk*kk/4*c2r*((r+1)*cphi*cphi+(2*r*r-r-2)-2*r*r/(cphi*cphi))
+		B := 2 * (Omega + w) * kk / ((r + 1) * (r + 2)) * cr *
+			((r*r + 2*r + 2) - (r+1)*(r+1)*cphi*cphi)
+		C := kk * kk / 4 * c2r * ((r+1)*cphi*cphi - (r + 2))
+		s.State.H[c] = h0 + a*a/g*(A+B*math.Cos(r*lon)+C*math.Cos(2*r*lon))
+		s.B[c] = 0
+	}
+	zonalWind(s, func(lat, lon float64) (float64, float64) {
+		cphi := math.Cos(lat)
+		sphi := math.Sin(lat)
+		crm1 := math.Pow(cphi, r-1)
+		zo := a*w*cphi + a*kk*crm1*(r*sphi*sphi-cphi*cphi)*math.Cos(r*lon)
+		me := -a * kk * r * crm1 * sphi * math.Sin(r*lon)
+		return zo, me
+	})
+	s.Init()
+}
+
+// Norms are the Williamson area-weighted normalized error norms.
+type Norms struct {
+	L1, L2, LInf float64
+}
+
+// HeightNorms computes the normalized l1/l2/linf error of h against ref on
+// mesh m.
+func HeightNorms(m *mesh.Mesh, h, ref []float64) Norms {
+	var n Norms
+	var sum1, ref1, sum2, ref2, refInf float64
+	for c := 0; c < m.NCells; c++ {
+		a := m.AreaCell[c]
+		d := h[c] - ref[c]
+		sum1 += a * math.Abs(d)
+		ref1 += a * math.Abs(ref[c])
+		sum2 += a * d * d
+		ref2 += a * ref[c] * ref[c]
+		if v := math.Abs(d); v > n.LInf {
+			n.LInf = v
+		}
+		if v := math.Abs(ref[c]); v > refInf {
+			refInf = v
+		}
+	}
+	n.L1 = sum1 / ref1
+	n.L2 = math.Sqrt(sum2) / math.Sqrt(ref2)
+	n.LInf /= refInf
+	return n
+}
+
+// TotalHeight returns h+b per cell — the field plotted in the paper's
+// Figure 5.
+func TotalHeight(s *sw.Solver) []float64 {
+	out := make([]float64, s.M.NCells)
+	for c := range out {
+		out[c] = s.State.H[c] + s.B[c]
+	}
+	return out
+}
+
+// MaxAbsDiff returns the maximum absolute pointwise difference of two
+// fields, and the maximum absolute value of the first — the "difference vs
+// machine precision" comparison of Figure 5(c).
+func MaxAbsDiff(a, b []float64) (diff, scale float64) {
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > diff {
+			diff = d
+		}
+		if v := math.Abs(a[i]); v > scale {
+			scale = v
+		}
+	}
+	return diff, scale
+}

@@ -1,0 +1,239 @@
+// Package mpas is the public facade of the MPAS shallow-water
+// pattern-driven hybrid acceleration reproduction (Zhang et al., ICPP 2015).
+//
+// It wires together the substrates under internal/ — the SCVT mesh builder,
+// the TRiSK shallow-water core organized as Table-I pattern instances, the
+// data-flow graph, the thread runtime, the simulated CPU+Xeon-Phi platform,
+// and the hybrid executors — behind a small Model API:
+//
+//	model, err := mpas.New(mpas.Options{Level: 4, TestCase: mpas.TC5,
+//	    Mode: mpas.PatternDriven})
+//	model.RunDays(1)
+//	fmt.Println(model.Invariants())
+//
+// The experiment harness entry points (Figure5 ... Figure9, Table1, Table3)
+// regenerate every table and figure of the paper's evaluation; see
+// EXPERIMENTS.md for the recorded paper-vs-reproduction comparison.
+package mpas
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/hybrid"
+	"repro/internal/mesh"
+	"repro/internal/par"
+	"repro/internal/sw"
+	"repro/internal/testcases"
+)
+
+// TestCase selects a Williamson et al. (1992) initial condition.
+type TestCase int
+
+// The implemented test cases.
+const (
+	// TC1 is cosine-bell advection with the wind tilted 45 degrees from
+	// zonal (prescribed velocity; the solver runs advection-only).
+	TC1 TestCase = 1
+	// TC2 is the steady zonal geostrophic flow (exact solution known).
+	TC2 TestCase = 2
+	// TC5 is the zonal flow over an isolated mountain (the paper's
+	// correctness case, Figure 5).
+	TC5 TestCase = 5
+	// TC6 is the wavenumber-4 Rossby-Haurwitz wave.
+	TC6 TestCase = 6
+	// Galewsky is the Galewsky et al. (2004) barotropic instability:
+	// a balanced jet with a height perturbation that rolls up by day ~5.
+	Galewsky TestCase = 8
+)
+
+// Mode selects the execution design.
+type Mode int
+
+// Execution designs, in increasing order of sophistication.
+const (
+	// Serial runs every pattern on one goroutine — the original code.
+	Serial Mode = iota
+	// Threaded runs each kernel as one parallel region on a worker pool
+	// (the OpenMP analogue, §4.B).
+	Threaded
+	// KernelLevel is the Figure 2 hybrid: whole kernels placed on host or
+	// device.
+	KernelLevel
+	// PatternDriven is the Figure 4(b) hybrid: pattern instances split
+	// across host and device along the data-flow graph.
+	PatternDriven
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Serial:
+		return "serial"
+	case Threaded:
+		return "threaded"
+	case KernelLevel:
+		return "kernel-level"
+	case PatternDriven:
+		return "pattern-driven"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Options configures a Model.
+type Options struct {
+	// Level is the icosahedral subdivision level (cells = 10*4^level + 2).
+	// Paper meshes: 6 (120 km) through 9 (15 km). Default 4.
+	Level int
+	// LloydIterations relaxes the mesh toward centroidal; default 2.
+	LloydIterations int
+	// TestCase selects the initial condition; default TC5.
+	TestCase TestCase
+	// Mode selects the execution design; default Serial.
+	Mode Mode
+	// Workers sets the worker-pool size for Threaded mode (<=0 means
+	// GOMAXPROCS) and the host pool size for hybrid modes.
+	Workers int
+	// DeviceWorkers sets the device pool size for hybrid modes (<=0 means
+	// GOMAXPROCS).
+	DeviceWorkers int
+	// AdjustableFraction overrides the pattern-driven adjustable host
+	// fraction; negative means auto-tune on the platform model.
+	AdjustableFraction float64
+	// HighOrderThickness enables the C1+D2 high-order edge interpolation.
+	HighOrderThickness bool
+	// Dt overrides the time step (seconds); 0 means a stable default.
+	Dt float64
+	// Mesh reuses an existing mesh instead of building one (Level and
+	// LloydIterations are then ignored).
+	Mesh *mesh.Mesh
+}
+
+// Model is a runnable shallow-water model instance.
+type Model struct {
+	Mesh   *mesh.Mesh
+	Solver *sw.Solver
+	Config sw.Config
+	Mode   Mode
+
+	pool *par.Pool
+	exec *hybrid.Executor
+}
+
+// New builds a model.
+func New(opts Options) (*Model, error) {
+	if opts.Level == 0 {
+		opts.Level = 4
+	}
+	if opts.TestCase == 0 {
+		opts.TestCase = TC5
+	}
+	m := opts.Mesh
+	if m == nil {
+		lloyd := opts.LloydIterations
+		if lloyd == 0 {
+			lloyd = 2
+		}
+		var err error
+		m, err = mesh.Build(opts.Level, mesh.Options{LloydIterations: lloyd})
+		if err != nil {
+			return nil, err
+		}
+	}
+	cfg := sw.DefaultConfig(m)
+	cfg.HighOrderThickness = opts.HighOrderThickness
+	if opts.Dt > 0 {
+		cfg.Dt = opts.Dt
+	}
+	s, err := sw.NewSolver(m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	mod := &Model{Mesh: m, Solver: s, Config: cfg, Mode: opts.Mode}
+
+	switch opts.Mode {
+	case Serial:
+		s.Runner = sw.SerialRunner{}
+	case Threaded:
+		mod.pool = par.NewPool(opts.Workers)
+		s.Runner = sw.PoolRunner{Pool: mod.pool}
+	case KernelLevel:
+		mod.exec = hybrid.NewHybridSolver(s, hybrid.KernelLevelSchedule(),
+			opts.Workers, opts.DeviceWorkers)
+	case PatternDriven:
+		frac := opts.AdjustableFraction
+		if frac < 0 {
+			frac, _ = hybrid.TunePatternDriven(meshCounts(m))
+		}
+		mod.exec = hybrid.NewHybridSolver(s, hybrid.PatternDrivenSchedule(frac),
+			opts.Workers, opts.DeviceWorkers)
+	default:
+		return nil, fmt.Errorf("mpas: unknown mode %v", opts.Mode)
+	}
+
+	switch opts.TestCase {
+	case TC1:
+		testcases.SetupTC1(s, math.Pi/4)
+	case TC2:
+		testcases.SetupTC2(s)
+	case TC5:
+		testcases.SetupTC5(s)
+	case TC6:
+		testcases.SetupTC6(s)
+	case Galewsky:
+		testcases.SetupGalewsky(s, true)
+	default:
+		return nil, fmt.Errorf("mpas: unknown test case %d", opts.TestCase)
+	}
+	return mod, nil
+}
+
+// Close releases worker pools. Safe to call multiple times.
+func (m *Model) Close() {
+	if m.pool != nil {
+		m.pool.Close()
+		m.pool = nil
+	}
+	if m.exec != nil {
+		m.exec.Close()
+		m.exec = nil
+	}
+}
+
+// Step advances one RK-4 time step.
+func (m *Model) Step() { m.Solver.Step() }
+
+// Run advances n steps.
+func (m *Model) Run(n int) { m.Solver.Run(n) }
+
+// StepsPerDay returns the number of steps covering one simulated day.
+func (m *Model) StepsPerDay() int {
+	return int(testcases.Day/m.Config.Dt + 0.5)
+}
+
+// RunDays advances the model by the given number of simulated days.
+func (m *Model) RunDays(days float64) {
+	m.Run(int(days*testcases.Day/m.Config.Dt + 0.5))
+}
+
+// Time returns the simulated physical time in seconds.
+func (m *Model) Time() float64 { return m.Solver.Time }
+
+// Invariants returns the conserved-quantity diagnostics.
+func (m *Model) Invariants() sw.Invariants { return m.Solver.ComputeInvariants() }
+
+// TotalHeight returns h+b per cell (Figure 5's plotted field).
+func (m *Model) TotalHeight() []float64 { return testcases.TotalHeight(m.Solver) }
+
+// HeightError returns the Williamson error norms of h against ref.
+func (m *Model) HeightError(ref []float64) testcases.Norms {
+	return testcases.HeightNorms(m.Mesh, m.Solver.State.H, ref)
+}
+
+// SimulatedPlatformTime returns the modeled platform seconds accumulated by
+// a hybrid run (zero for Serial/Threaded modes, which are timed for real).
+func (m *Model) SimulatedPlatformTime() float64 {
+	if m.exec == nil {
+		return 0
+	}
+	return m.exec.SimTime()
+}

@@ -1,0 +1,222 @@
+package mpas
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/mesh"
+)
+
+func newModel(t testing.TB, opts Options) *Model {
+	t.Helper()
+	m, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	return m
+}
+
+func TestNewDefaults(t *testing.T) {
+	m := newModel(t, Options{Level: 3})
+	if m.Mesh.NCells != 642 {
+		t.Errorf("level 3 cells %d", m.Mesh.NCells)
+	}
+	if m.Mode != Serial {
+		t.Errorf("default mode %v", m.Mode)
+	}
+	if m.Config.Dt <= 0 {
+		t.Error("no default dt")
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(Options{Level: 3, TestCase: 99}); err == nil {
+		t.Error("bad test case accepted")
+	}
+	if _, err := New(Options{Level: 3, Mode: Mode(42)}); err == nil {
+		t.Error("bad mode accepted")
+	}
+}
+
+func TestModesProduceIdenticalTrajectories(t *testing.T) {
+	msh, err := mesh.Build(3, mesh.Options{LloydIterations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref []float64
+	for _, mode := range []Mode{Serial, Threaded, KernelLevel, PatternDriven} {
+		m := newModel(t, Options{Mesh: msh, TestCase: TC5, Mode: mode,
+			Workers: 2, DeviceWorkers: 2, AdjustableFraction: 0.25})
+		m.Run(4)
+		if ref == nil {
+			ref = append([]float64(nil), m.Solver.State.H...)
+			continue
+		}
+		for c := range ref {
+			if m.Solver.State.H[c] != ref[c] {
+				t.Fatalf("mode %v diverges from serial at cell %d", mode, c)
+			}
+		}
+	}
+}
+
+func TestRunDaysAndTime(t *testing.T) {
+	m := newModel(t, Options{Level: 2, TestCase: TC2})
+	m.RunDays(0.2)
+	if m.Time() <= 0 {
+		t.Error("time did not advance")
+	}
+	want := float64(m.StepsPerDay()) * m.Config.Dt
+	if math.Abs(want-86400) > m.Config.Dt {
+		t.Errorf("StepsPerDay covers %v s", want)
+	}
+}
+
+func TestHybridModelAccumulatesPlatformTime(t *testing.T) {
+	m := newModel(t, Options{Level: 2, TestCase: TC2, Mode: PatternDriven,
+		AdjustableFraction: -1, Workers: 2, DeviceWorkers: 2})
+	m.Run(2)
+	if m.SimulatedPlatformTime() <= 0 {
+		t.Error("no simulated platform time")
+	}
+	s := newModel(t, Options{Level: 2, TestCase: TC2})
+	s.Run(1)
+	if s.SimulatedPlatformTime() != 0 {
+		t.Error("serial mode should not accumulate platform time")
+	}
+}
+
+func TestHeightErrorAndTotalHeight(t *testing.T) {
+	m := newModel(t, Options{Level: 3, TestCase: TC2})
+	ref := append([]float64(nil), m.Solver.State.H...)
+	m.Run(5)
+	norms := m.HeightError(ref)
+	if norms.L2 <= 0 || norms.L2 > 1e-2 {
+		t.Errorf("unexpected TC2 error %v", norms.L2)
+	}
+	th := m.TotalHeight()
+	if len(th) != m.Mesh.NCells {
+		t.Error("TotalHeight length")
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	for m, want := range map[Mode]string{Serial: "serial", Threaded: "threaded",
+		KernelLevel: "kernel-level", PatternDriven: "pattern-driven"} {
+		if m.String() != want {
+			t.Errorf("%d -> %s", m, m.String())
+		}
+	}
+	if Mode(9).String() == "" {
+		t.Error("unknown mode string empty")
+	}
+}
+
+func TestTable1Rendering(t *testing.T) {
+	tab := Table1()
+	if tab.NumRows() != 21 {
+		t.Errorf("Table I rows %d, want 21 instances", tab.NumRows())
+	}
+	s := tab.String()
+	for _, want := range []string{"compute_tend", "B1", "pv_edge", "mass", "velocity"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table I missing %q", want)
+		}
+	}
+}
+
+func TestTable2Rendering(t *testing.T) {
+	s := Table2().String()
+	if !strings.Contains(s, "Xeon Phi 5110P") || !strings.Contains(s, "E5-2680") {
+		t.Error("Table II devices missing")
+	}
+}
+
+func TestTable3Rendering(t *testing.T) {
+	tab := Table3(0) // counts only, no mesh builds in unit tests
+	if tab.NumRows() != 4 {
+		t.Errorf("Table III rows %d", tab.NumRows())
+	}
+	s := tab.String()
+	for _, want := range []string{"40962", "163842", "655362", "2621442"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table III missing %s", want)
+		}
+	}
+}
+
+func TestFigure5SmallScale(t *testing.T) {
+	// A scaled-down Figure 5: level 3 mesh, a tenth of a day. The hybrid
+	// and serial totals must agree within machine precision.
+	res, err := Figure5(3, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxAbsDiff/res.FieldScale > 1e-12 {
+		t.Errorf("Figure 5 difference %v of field scale %v", res.MaxAbsDiff, res.FieldScale)
+	}
+	if len(res.SerialHeight) != len(res.HybridHeight) {
+		t.Error("field lengths differ")
+	}
+	// Total height stays in the physical band (roughly 4800..6000 m).
+	for _, h := range res.SerialHeight {
+		if h < 4000 || h > 7000 {
+			t.Fatalf("total height %v out of band", h)
+		}
+	}
+}
+
+func TestFigure6Rendering(t *testing.T) {
+	tab := Figure6(655362)
+	if tab.NumRows() != 6 {
+		t.Errorf("Figure 6 rows %d", tab.NumRows())
+	}
+	if !strings.Contains(tab.String(), "Refactoring") {
+		t.Error("Figure 6 missing refactoring rung")
+	}
+}
+
+func TestFigure7Rendering(t *testing.T) {
+	tab := Figure7()
+	if tab.NumRows() != 4 {
+		t.Errorf("Figure 7 rows %d", tab.NumRows())
+	}
+}
+
+func TestFigure8And9Rendering(t *testing.T) {
+	if rows := Figure8(655362).NumRows(); rows != 7 {
+		t.Errorf("Figure 8 rows %d", rows)
+	}
+	if rows := Figure9().NumRows(); rows != 4 {
+		t.Errorf("Figure 9 rows %d", rows)
+	}
+}
+
+func TestMeasuredStep(t *testing.T) {
+	m := newModel(t, Options{Level: 2, TestCase: TC2})
+	if d := MeasuredStep(m, 2); d <= 0 {
+		t.Error("non-positive measured step")
+	}
+	if d := MeasuredStep(m, 0); d <= 0 {
+		t.Error("n<1 not clamped")
+	}
+}
+
+func TestDistributedRunFacade(t *testing.T) {
+	msh, err := mesh.Build(3, mesh.Options{LloydIterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wall, err := DistributedRun(msh, 3, 2, TC5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wall <= 0 {
+		t.Error("non-positive distributed wall time")
+	}
+	if _, err := DistributedRun(msh, 2, 1, TestCase(77)); err == nil {
+		t.Error("bad test case accepted")
+	}
+}
