@@ -13,23 +13,30 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 
 	mpas "repro"
 	"repro/internal/mesh"
 	"repro/internal/results"
+	"repro/internal/telemetry"
 )
 
 func main() {
 	real := flag.Bool("real", false, "also measure real wall-clock on a built mesh")
 	level := flag.Int("level", 5, "mesh level for -real")
 	steps := flag.Int("steps", 5, "steps to average for -real")
+	traceOut := flag.String("trace", "", "with -real: write a Chrome trace of the pattern-driven run to this file")
+	metricsOut := flag.String("metrics", "", "with -real: write Prometheus metrics of the pattern-driven run to this file")
 	flag.Parse()
 
 	mpas.Figure7().WriteText(os.Stdout)
 
 	if !*real {
+		if *traceOut != "" || *metricsOut != "" {
+			fmt.Fprintln(os.Stderr, "note: -trace/-metrics apply to the -real run; pass -real to produce them")
+		}
 		return
 	}
 	fmt.Println()
@@ -40,14 +47,48 @@ func main() {
 	t := results.NewTable(
 		fmt.Sprintf("Real Go wall-clock per step (%d cells, %d steps averaged)", msh.NCells, *steps),
 		"Mode", "ms/step")
+	var tracer *telemetry.Tracer
+	var registry *telemetry.Registry
+	if *traceOut != "" {
+		tracer = telemetry.NewTracer()
+	}
+	if *metricsOut != "" {
+		registry = telemetry.NewRegistry()
+	}
 	for _, mode := range []mpas.Mode{mpas.Serial, mpas.Threaded, mpas.KernelLevel, mpas.PatternDriven} {
 		m, err := mpas.New(mpas.Options{Mesh: msh, TestCase: mpas.TC5, Mode: mode, AdjustableFraction: 0.3})
 		if err != nil {
 			log.Fatal(err)
+		}
+		// The observability artifacts cover the paper's flagship design.
+		if mode == mpas.PatternDriven && (tracer != nil || registry != nil) {
+			m.EnableTelemetry(tracer, registry)
 		}
 		d := mpas.MeasuredStep(m, *steps)
 		m.Close()
 		t.AddRow(mode.String(), float64(d.Microseconds())/1000)
 	}
 	t.WriteText(os.Stdout)
+	if tracer != nil {
+		writeArtifact(*traceOut, tracer.WriteChromeTrace)
+		fmt.Printf("wrote %d spans of the pattern-driven run to %s\n", tracer.NumSpans(), *traceOut)
+	}
+	if registry != nil {
+		writeArtifact(*metricsOut, registry.WritePrometheus)
+		fmt.Printf("wrote Prometheus metrics of the pattern-driven run to %s\n", *metricsOut)
+	}
+}
+
+// writeArtifact creates path and streams write into it.
+func writeArtifact(path string, write func(w io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := write(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -5,18 +5,21 @@
 // Usage:
 //
 //	swmodel -level 5 -tc 5 -days 1 -mode pattern -report 50
+//	swmodel -trace trace.json -metrics metrics.prom   # observability artifacts
 //	swmodel -info          # print the simulated platform (Table II)
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"time"
 
 	mpas "repro"
 	"repro/internal/sw"
+	"repro/internal/telemetry"
 	"repro/internal/testcases"
 )
 
@@ -24,7 +27,7 @@ func main() {
 	level := flag.Int("level", 4, "icosahedral subdivision level (cells = 10*4^n+2)")
 	tc := flag.Int("tc", 5, "test case: 1 (advection), 2, 5, 6 (Williamson), 8 (Galewsky jet)")
 	days := flag.Float64("days", 1, "simulated days to run")
-	mode := flag.String("mode", "serial", "execution design: serial|threaded|kernel|pattern")
+	mode := flag.String("mode", "pattern", "execution design: serial|threaded|kernel|pattern")
 	workers := flag.Int("workers", 0, "host worker count (0 = GOMAXPROCS)")
 	devWorkers := flag.Int("dev-workers", 0, "device worker count (0 = GOMAXPROCS)")
 	report := flag.Int("report", 100, "report invariants every N steps")
@@ -32,6 +35,8 @@ func main() {
 	info := flag.Bool("info", false, "print platform and pattern info and exit")
 	profile := flag.Bool("profile", false, "profile real per-pattern wall time and print the report")
 	history := flag.String("history", "", "write an invariant time series CSV to this file")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON (chrome://tracing, Perfetto) to this file")
+	metricsOut := flag.String("metrics", "", "write Prometheus text-format metrics to this file")
 	flag.Parse()
 
 	if *info {
@@ -63,6 +68,18 @@ func main() {
 		log.Fatal(err)
 	}
 	defer model.Close()
+
+	var tracer *telemetry.Tracer
+	var registry *telemetry.Registry
+	if *traceOut != "" {
+		tracer = telemetry.NewTracer()
+	}
+	if *metricsOut != "" {
+		registry = telemetry.NewRegistry()
+	}
+	if tracer != nil || registry != nil {
+		model.EnableTelemetry(tracer, registry)
+	}
 
 	var prof *sw.ProfilingRunner
 	if *profile {
@@ -125,5 +142,40 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %d history samples to %s\n", hist.Len(), *history)
+	}
+	if tracer != nil {
+		fmt.Println()
+		tracer.Summary().WriteText(os.Stdout)
+		writeArtifact(*traceOut, tracer.WriteChromeTrace)
+		fmt.Printf("wrote %d spans to %s (open in chrome://tracing or ui.perfetto.dev)\n",
+			tracer.NumSpans(), *traceOut)
+	}
+	if registry != nil {
+		writeArtifact(*metricsOut, func(w io.Writer) error {
+			if err := registry.WritePrometheus(w); err != nil {
+				return err
+			}
+			if prof != nil {
+				// The per-pattern profile timers live in the runner's own
+				// registry under disjoint names (sw_pattern_*); append them.
+				return prof.Registry().WritePrometheus(w)
+			}
+			return nil
+		})
+		fmt.Printf("wrote Prometheus metrics to %s\n", *metricsOut)
+	}
+}
+
+// writeArtifact creates path and streams write into it.
+func writeArtifact(path string, write func(w io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := write(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
 	}
 }

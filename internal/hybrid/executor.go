@@ -2,12 +2,14 @@ package hybrid
 
 import (
 	"sync"
+	"time"
 
 	"repro/internal/dataflow"
 	"repro/internal/par"
 	"repro/internal/pattern"
 	"repro/internal/perfmodel"
 	"repro/internal/sw"
+	"repro/internal/telemetry"
 )
 
 // Executor is the real hybrid runtime: an sw.Runner that executes every
@@ -28,6 +30,30 @@ type Executor struct {
 
 	levels     map[string][][]int
 	ownedPools bool
+
+	// Telemetry (all nil until EnableTelemetry): spans per data-flow level,
+	// counters of output elements placed on the host vs the accelerators,
+	// and a histogram of per-level unit imbalance (slowest unit's wall time
+	// over the mean — 1.0 is a perfectly balanced level).
+	trace     *telemetry.Tracer
+	metrics   *telemetry.Registry
+	hostElems *telemetry.Counter
+	devElems  *telemetry.Counter
+	imbalance *telemetry.Histogram
+}
+
+// levelSpanNames are fixed so tracing a level never formats a string; no
+// kernel has more data-flow levels than it has patterns (max 11).
+var levelSpanNames = [...]string{
+	"level_0", "level_1", "level_2", "level_3", "level_4", "level_5",
+	"level_6", "level_7", "level_8", "level_9", "level_10", "level_11",
+}
+
+func levelSpanName(i int) string {
+	if i < len(levelSpanNames) {
+		return levelSpanNames[i]
+	}
+	return "level_n"
 }
 
 // NewExecutor creates an executor with its own worker pools (hostWorkers and
@@ -61,10 +87,44 @@ func (e *Executor) Close() {
 // SimTime returns the accumulated simulated platform seconds.
 func (e *Executor) SimTime() float64 { return e.Sim.Time }
 
-// kernelLevels caches the intra-kernel data-flow levels.
+// EnableTelemetry attaches a tracer (spans per data-flow level, nesting
+// under the solver's kernel spans by time) and a registry (host/device
+// element-split counters, level-imbalance histogram, pool dispatch counters,
+// simulated-platform gauges) to the executor. Either argument may be nil.
+func (e *Executor) EnableTelemetry(tr *telemetry.Tracer, reg *telemetry.Registry) {
+	e.trace = tr
+	e.metrics = reg
+	e.hostElems = reg.Counter("hybrid_host_elements_total")
+	e.devElems = reg.Counter("hybrid_dev_elements_total")
+	e.imbalance = reg.Histogram("hybrid_level_imbalance_ratio")
+	e.HostPool.Instrument(reg, "host")
+	devNames := [...]string{"dev0", "dev1", "dev2", "dev3"}
+	for i, p := range e.DevPools {
+		name := "devn"
+		if i < len(devNames) {
+			name = devNames[i]
+		}
+		p.Instrument(reg, name)
+	}
+	e.Sim.EnableTelemetry(reg)
+}
+
+// kernelLevels caches the intra-kernel data-flow levels. The cache is keyed
+// by kernel name, so it must not be consulted for the single-pattern slices
+// a ProfilingRunner carves out of a kernel (same name, fewer patterns) —
+// those are trivially one level anyway.
 func (e *Executor) kernelLevels(k *sw.Kernel) [][]int {
-	if lv, ok := e.levels[k.Name]; ok {
-		return lv
+	if len(k.Patterns) == 1 {
+		return [][]int{{0}}
+	}
+	if lv, ok := e.levels[k.Name]; ok && len(lv) > 0 {
+		n := 0
+		for _, level := range lv {
+			n += len(level)
+		}
+		if n == len(k.Patterns) {
+			return lv
+		}
 	}
 	insts := make([]pattern.Instance, len(k.Patterns))
 	for i, p := range k.Patterns {
@@ -80,22 +140,26 @@ func (e *Executor) kernelLevels(k *sw.Kernel) [][]int {
 // the rest, concurrently.
 func (e *Executor) RunKernel(k *sw.Kernel) {
 	nDev := len(e.DevPools)
-	for _, level := range e.kernelLevels(k) {
+	for li, level := range e.kernelLevels(k) {
+		lsp := e.trace.StartSpan(levelSpanName(li))
 		type task struct {
 			run    func(lo, hi int)
 			lo, hi int
 		}
 		var hostTasks []task
 		devTasks := make([][]task, nDev)
+		hostN, devN := 0, 0
 		for _, pi := range level {
 			p := k.Patterns[pi]
 			f := e.Sched.Assign.HostFrac(p.Info.ID)
 			nH := int(f * float64(p.N))
 			if nH > 0 {
 				hostTasks = append(hostTasks, task{p.Run, 0, nH})
+				hostN += nH
 			}
 			// Split the device share contiguously across the accelerators.
 			rem := p.N - nH
+			devN += rem
 			lo := nH
 			for d := 0; d < nDev && rem > 0; d++ {
 				chunk := rem / (nDev - d)
@@ -107,6 +171,8 @@ func (e *Executor) RunKernel(k *sw.Kernel) {
 				rem -= chunk
 			}
 		}
+		e.hostElems.Add(int64(hostN))
+		e.devElems.Add(int64(devN))
 		var wg sync.WaitGroup
 		runOn := func(pool *par.Pool, tasks []task) {
 			for _, t := range tasks {
@@ -127,17 +193,50 @@ func (e *Executor) RunKernel(k *sw.Kernel) {
 				units = append(units, unit{e.DevPools[d], devTasks[d]})
 			}
 		}
+		// With metrics attached, time each concurrent unit so the level's
+		// load imbalance (slowest unit / mean) can be observed.
+		var durs []time.Duration
+		if e.metrics != nil && len(units) > 1 {
+			durs = make([]time.Duration, len(units))
+		}
+		runUnit := func(i int, u unit) {
+			if durs == nil {
+				runOn(u.pool, u.tasks)
+				return
+			}
+			t0 := time.Now()
+			runOn(u.pool, u.tasks)
+			durs[i] = time.Since(t0)
+		}
 		for i := 0; i+1 < len(units); i++ {
 			wg.Add(1)
-			go func(u unit) {
+			go func(i int, u unit) {
 				defer wg.Done()
-				runOn(u.pool, u.tasks)
-			}(units[i])
+				runUnit(i, u)
+			}(i, units[i])
 		}
 		if len(units) > 0 {
-			runOn(units[len(units)-1].pool, units[len(units)-1].tasks)
+			runUnit(len(units)-1, units[len(units)-1])
 		}
 		wg.Wait()
+		if durs != nil {
+			var sum, max time.Duration
+			for _, d := range durs {
+				sum += d
+				if d > max {
+					max = d
+				}
+			}
+			if sum > 0 {
+				mean := float64(sum) / float64(len(durs))
+				e.imbalance.Observe(float64(max) / mean)
+			}
+		}
+		if lsp != nil {
+			lsp.SetArg("host_elems", hostN)
+			lsp.SetArg("dev_elems", devN)
+			lsp.End()
+		}
 	}
 	// Advance the simulated platform clock for this kernel.
 	works := make([]perfmodel.PatternWork, len(k.Patterns))

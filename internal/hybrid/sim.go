@@ -4,6 +4,7 @@ import (
 	"repro/internal/dataflow"
 	"repro/internal/pattern"
 	"repro/internal/perfmodel"
+	"repro/internal/telemetry"
 )
 
 // Schedule is a complete hybrid execution policy: the platform, the pattern
@@ -62,6 +63,34 @@ type Sim struct {
 	vars   map[string]*varState
 	levels map[string][][]int // kernel name -> pattern index levels
 	kinds  map[string]perfmodel.PointKind
+
+	// Gauges mirroring the accumulators above (nil until EnableTelemetry;
+	// Set on a nil gauge is a no-op).
+	gTime, gHostBusy, gDevBusy *telemetry.Gauge
+	gTransferT, gTransferB     *telemetry.Gauge
+	gTransfers                 *telemetry.Gauge
+}
+
+// EnableTelemetry attaches gauges for the simulated platform clock: total
+// simulated seconds, host/device busy seconds, and transfer time/bytes/count.
+func (s *Sim) EnableTelemetry(reg *telemetry.Registry) {
+	s.gTime = reg.Gauge("sim_time_seconds")
+	s.gHostBusy = reg.Gauge("sim_host_busy_seconds")
+	s.gDevBusy = reg.Gauge("sim_dev_busy_seconds")
+	s.gTransferT = reg.Gauge("sim_transfer_seconds")
+	s.gTransferB = reg.Gauge("sim_transfer_bytes")
+	s.gTransfers = reg.Gauge("sim_transfers")
+	s.publish()
+}
+
+// publish refreshes the gauges from the accumulators.
+func (s *Sim) publish() {
+	s.gTime.Set(s.Time)
+	s.gHostBusy.Set(s.HostBusy)
+	s.gDevBusy.Set(s.DevBusy)
+	s.gTransferT.Set(s.TransferTime)
+	s.gTransferB.Set(s.TransferBytes)
+	s.gTransfers.Set(float64(s.Transfers))
 }
 
 // NewSim starts a simulation with all model data resident on both sides (the
@@ -154,9 +183,21 @@ func (s *Sim) need(v string, side Side, f float64) float64 {
 
 // kernelLevels returns (cached) the data-flow levels of the kernel's
 // pattern list — the intra-kernel concurrency sets.
+// The cache is keyed by kernel name, so it must not be consulted for the
+// single-pattern slices a ProfilingRunner carves out of a kernel (same name,
+// fewer patterns) — those are trivially one level anyway.
 func (s *Sim) kernelLevels(name string, pats []perfmodel.PatternWork) [][]int {
+	if len(pats) == 1 {
+		return [][]int{{0}}
+	}
 	if lv, ok := s.levels[name]; ok {
-		return lv
+		n := 0
+		for _, level := range lv {
+			n += len(level)
+		}
+		if n == len(pats) {
+			return lv
+		}
 	}
 	insts := make([]pattern.Instance, len(pats))
 	for i, p := range pats {
@@ -249,6 +290,7 @@ func (s *Sim) RunKernel(name string, pats []perfmodel.PatternWork) {
 		kernelTime += levelT
 	}
 	s.Time += kernelTime
+	s.publish()
 }
 
 // chargeKernelTransfers bills the in/out transfers of one offloaded kernel
@@ -296,6 +338,7 @@ func (s *Sim) StateCopies() {
 		t = tD
 	}
 	s.Time += t
+	s.publish()
 }
 
 // SimulateStep returns the simulated cost of one full RK-4 step of the model

@@ -1,0 +1,147 @@
+package hybrid
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sw"
+	"repro/internal/telemetry"
+	"repro/internal/testcases"
+)
+
+func TestExecutorTelemetry(t *testing.T) {
+	m := mesh3(t)
+	s, err := sw.NewSolver(m, sw.DefaultConfig(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewHybridSolver(s, PatternDrivenSchedule(0.3), 2, 2)
+	defer e.Close()
+	tr := telemetry.NewTracer()
+	reg := telemetry.NewRegistry()
+	s.EnableTelemetry(tr, reg)
+	e.EnableTelemetry(tr, reg)
+	// SetupTC5 runs Init itself — with telemetry already attached, so the
+	// init diagnostics/reconstruct pass is counted exactly once below.
+	testcases.SetupTC5(s)
+	steps := 2
+	s.Run(steps)
+
+	// Every output element of every pattern execution lands on exactly one
+	// side, so host + dev element counters must equal the serial total.
+	var want int64
+	countKernel := func(name string, times int64) {
+		for _, p := range s.KernelByName(name).Patterns {
+			want += int64(p.N) * times
+		}
+	}
+	// Init: diagnostics + reconstruct once. Per step: tend/enforce 4x,
+	// substep 3x, accum 4x, diagnostics 4x, reconstruct 1x.
+	countKernel("compute_solve_diagnostics", int64(1+4*steps))
+	countKernel("mpas_reconstruct", int64(1+steps))
+	countKernel("compute_tend", int64(4*steps))
+	countKernel("enforce_boundary_edge", int64(4*steps))
+	countKernel("compute_next_substep_state", int64(3*steps))
+	countKernel("accumulative_update", int64(4*steps))
+	host := reg.Counter("hybrid_host_elements_total").Value()
+	dev := reg.Counter("hybrid_dev_elements_total").Value()
+	if host+dev != want {
+		t.Errorf("host(%d) + dev(%d) = %d elements, want %d", host, dev, host+dev, want)
+	}
+	if host == 0 || dev == 0 {
+		t.Errorf("pattern-driven split should use both sides (host=%d dev=%d)", host, dev)
+	}
+
+	// The imbalance histogram sees every level that ran >1 concurrent unit,
+	// and its observations are ratios >= 1.
+	imb := reg.Histogram("hybrid_level_imbalance_ratio")
+	if imb.Count() == 0 {
+		t.Error("imbalance histogram recorded nothing")
+	}
+	if imb.Sum() < float64(imb.Count()) {
+		t.Errorf("imbalance mean < 1 (sum=%g over %d)", imb.Sum(), imb.Count())
+	}
+
+	// Pool dispatch counters ticked on both sides.
+	if reg.Counter("par_host_dispatches_total").Value() == 0 {
+		t.Error("host pool dispatches not counted")
+	}
+	if reg.Counter("par_dev0_dispatches_total").Value() == 0 {
+		t.Error("device pool dispatches not counted")
+	}
+
+	// Sim gauges mirror the accumulated simulated clock.
+	if got := reg.Gauge("sim_time_seconds").Value(); got != e.SimTime() {
+		t.Errorf("sim_time_seconds gauge = %g, want %g", got, e.SimTime())
+	}
+	if reg.Gauge("sim_host_busy_seconds").Value() <= 0 ||
+		reg.Gauge("sim_dev_busy_seconds").Value() <= 0 {
+		t.Error("busy gauges not populated")
+	}
+
+	// Level spans were emitted.
+	var b strings.Builder
+	if err := tr.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "level_0") {
+		t.Error("trace has no data-flow level spans")
+	}
+	if !strings.Contains(b.String(), "level_1") {
+		t.Error("trace has no second-level spans (diagnostics kernel has >1 level)")
+	}
+}
+
+// Telemetry must not change results: instrumented hybrid run stays bitwise
+// identical to serial.
+func TestExecutorTelemetryPreservesBitwiseResults(t *testing.T) {
+	m := mesh3(t)
+	run := func(instrument bool) *sw.Solver {
+		s, err := sw.NewSolver(m, sw.DefaultConfig(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := NewHybridSolver(s, PatternDrivenSchedule(0.3), 2, 2)
+		defer e.Close()
+		if instrument {
+			s.EnableTelemetry(telemetry.NewTracer(), telemetry.NewRegistry())
+			e.EnableTelemetry(telemetry.NewTracer(), telemetry.NewRegistry())
+		}
+		testcases.SetupTC5(s)
+		s.Run(3)
+		return s
+	}
+	plain := run(false)
+	instr := run(true)
+	for c := range plain.State.H {
+		if plain.State.H[c] != instr.State.H[c] {
+			t.Fatalf("H differs at cell %d under telemetry", c)
+		}
+	}
+	for e := range plain.State.U {
+		if plain.State.U[e] != instr.State.U[e] {
+			t.Fatalf("U differs at edge %d under telemetry", e)
+		}
+	}
+}
+
+// A ProfilingRunner wrapped around the executor feeds it single-pattern
+// kernels that share the full kernel's name. The executor's per-name level
+// cache (warmed by the full kernel during Init) must not be applied to those
+// slices — regression test for an index-out-of-range panic.
+func TestExecutorProfiledAfterFullKernels(t *testing.T) {
+	m := mesh3(t)
+	s, err := sw.NewSolver(m, sw.DefaultConfig(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewHybridSolver(s, PatternDrivenSchedule(0.3), 2, 2)
+	defer e.Close()
+	testcases.SetupTC5(s) // Init runs full kernels, warming the level cache
+	s.Runner = sw.NewProfilingRunner(e)
+	s.Run(2) // must not panic on cached multi-pattern levels
+	prof := s.Runner.(*sw.ProfilingRunner)
+	if len(prof.Report()) == 0 {
+		t.Error("profiling through the executor produced no entries")
+	}
+}

@@ -1,9 +1,12 @@
 package mpisim
 
 import (
+	"strconv"
+
 	"repro/internal/mesh"
 	"repro/internal/partition"
 	"repro/internal/sw"
+	"repro/internal/telemetry"
 )
 
 // HaloLayers is the halo depth of the distributed runs. Three layers cover
@@ -24,7 +27,25 @@ type RankSolver struct {
 	// ExchangeCount counts halo exchanges performed (4 per step).
 	ExchangeCount int
 
+	// HaloTimer, when set (EnableTelemetry), times every halo exchange of
+	// this rank — including the tracer-field exchanges riding on the same
+	// substep boundary. Nil means no timing overhead.
+	HaloTimer *telemetry.Timer
+
 	globalCells int
+}
+
+// EnableTelemetry attaches a per-rank halo-exchange timer
+// (mpisim_rank<N>_halo_seconds) and the rank solver's kernel metrics to the
+// registry. The registry is concurrency-safe, so all ranks of a World share
+// one (kernel timers then aggregate across ranks). A tracer, by contrast,
+// renders ranks interleaved on one track — pass tr non-nil on a single rank
+// of interest only.
+func (r *RankSolver) EnableTelemetry(tr *telemetry.Tracer, reg *telemetry.Registry) {
+	if reg != nil {
+		r.HaloTimer = reg.Timer("mpisim_rank" + strconv.Itoa(r.Comm.Rank) + "_halo_seconds")
+	}
+	r.S.EnableTelemetry(tr, reg)
 }
 
 // Decomposition is the rank-independent setup of a distributed run,
@@ -77,6 +98,7 @@ func NewRankSolver(c *Comm, d *Decomposition, cfg sw.Config, setup func(*sw.Solv
 	rs := &RankSolver{Comm: c, Local: l, Plan: d.Plans[c.Rank], S: s,
 		globalCells: d.Global.NCells}
 	s.PostSubstep = func(stage int, st *sw.State) {
+		ctx := rs.HaloTimer.Start()
 		c.exchange(rs.Plan, st.H, st.U)
 		// Tracers are cell fields advanced in lockstep with h; their
 		// provisional (stages 0-2) or accepted (stage 3) values cross with
@@ -85,6 +107,7 @@ func NewRankSolver(c *Comm, d *Decomposition, cfg sw.Config, setup func(*sw.Solv
 		for _, tr := range s.Tracers {
 			c.exchange(rs.Plan, tr.HaloField(stage), st.U)
 		}
+		ctx.Stop()
 		rs.ExchangeCount++
 	}
 	setup(s)

@@ -1,0 +1,54 @@
+package mpisim
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/sw"
+	"repro/internal/telemetry"
+	"repro/internal/testcases"
+)
+
+// Every rank's halo exchanges are timed individually on a shared registry.
+func TestRankSolverHaloTimers(t *testing.T) {
+	m := mesh4(t)
+	cfg := sw.DefaultConfig(m)
+	const P = 3
+	steps := 2
+	d, err := Decompose(m, P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	w := NewWorld(P)
+	w.Run(func(c *Comm) {
+		rs, err := NewRankSolver(c, d, cfg, testcases.SetupTC5)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		rs.EnableTelemetry(nil, reg)
+		rs.Run(steps)
+		// 4 substep exchanges per step, all after telemetry was enabled
+		// (the setup-time exchange in NewRankSolver predates the timer).
+		want := int64(4 * steps)
+		tm := reg.Timer("mpisim_rank" + strconv.Itoa(c.Rank) + "_halo_seconds")
+		if got := tm.Count(); got != want {
+			t.Errorf("rank %d halo timer count = %d, want %d", c.Rank, got, want)
+		}
+		if tm.Total() <= 0 {
+			t.Errorf("rank %d halo timer accumulated no time", c.Rank)
+		}
+	})
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < P; r++ {
+		if !strings.Contains(b.String(), "mpisim_rank"+strconv.Itoa(r)+"_halo_seconds_count") {
+			t.Errorf("prometheus output missing rank %d halo timer", r)
+		}
+	}
+}

@@ -9,6 +9,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/telemetry"
 )
 
 // Pool is a team of persistent worker goroutines, the analogue of an OpenMP
@@ -19,6 +21,21 @@ type Pool struct {
 	work []chan func(id int)
 	done chan struct{}
 	wg   sync.WaitGroup
+
+	// Telemetry counters (nil when uninstrumented — every call below is a
+	// nil-safe no-op): dispatches counts parallel-loop launches and regions,
+	// elements counts loop iterations handed out, so elements/dispatches is
+	// the mean grain size.
+	dispatches *telemetry.Counter
+	elements   *telemetry.Counter
+}
+
+// Instrument attaches dispatch and grain-size counters from reg, named
+// par_<name>_dispatches_total and par_<name>_elements_total. A nil registry
+// leaves the pool uninstrumented.
+func (p *Pool) Instrument(reg *telemetry.Registry, name string) {
+	p.dispatches = reg.Counter("par_" + name + "_dispatches_total")
+	p.elements = reg.Counter("par_" + name + "_elements_total")
 }
 
 // NewPool creates a pool with n workers. n <= 0 selects GOMAXPROCS.
@@ -98,6 +115,8 @@ func (p *Pool) For(n int, body func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
+	p.dispatches.Add(1)
+	p.elements.Add(int64(n))
 	if p.nw == 1 || n < 2*p.nw {
 		body(0, n)
 		return
@@ -119,6 +138,8 @@ func (p *Pool) ForDynamic(n, chunk int, body func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
+	p.dispatches.Add(1)
+	p.elements.Add(int64(n))
 	if chunk < 1 {
 		chunk = 1
 	}
@@ -182,6 +203,7 @@ func (t *Team) ForBarrier(n int, body func(lo, hi int)) {
 
 // Region runs fn once per worker as a single long-lived parallel region.
 func (p *Pool) Region(fn func(t *Team)) {
+	p.dispatches.Add(1)
 	b := NewBarrier(p.nw)
 	p.run(func(id int) {
 		fn(&Team{ID: id, Size: p.nw, barrier: b})

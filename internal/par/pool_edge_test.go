@@ -1,0 +1,151 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+func TestForRangeEmpty(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	called := false
+	p.ForRange(5, 5, func(lo, hi int) { called = true })
+	p.ForRange(7, 3, func(lo, hi int) { called = true })
+	if called {
+		t.Error("body called for empty or inverted range")
+	}
+}
+
+func TestForRangeOffsets(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	var hit [20]int32
+	p.ForRange(4, 17, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&hit[i], 1)
+		}
+	})
+	for i := range hit {
+		want := int32(0)
+		if i >= 4 && i < 17 {
+			want = 1
+		}
+		if hit[i] != want {
+			t.Errorf("index %d visited %d times, want %d", i, hit[i], want)
+		}
+	}
+}
+
+// A single-worker pool degenerates to serial execution: the body always sees
+// the full range, in the caller's goroutine, and Region runs exactly once.
+func TestSingleWorkerPool(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	if p.Workers() != 1 {
+		t.Fatalf("Workers() = %d, want 1", p.Workers())
+	}
+	var spans [][2]int
+	p.For(10, func(lo, hi int) { spans = append(spans, [2]int{lo, hi}) })
+	if len(spans) != 1 || spans[0] != [2]int{0, 10} {
+		t.Errorf("single-worker For spans = %v, want one [0,10)", spans)
+	}
+	regions := 0
+	p.Region(func(tm *Team) {
+		regions++
+		if tm.ID != 0 || tm.Size != 1 {
+			t.Errorf("team = id %d size %d, want 0/1", tm.ID, tm.Size)
+		}
+		tm.Barrier() // size-1 barrier must not block
+	})
+	if regions != 1 {
+		t.Errorf("region body ran %d times, want 1", regions)
+	}
+}
+
+// A range smaller than the team still covers every index exactly once and
+// leaves no worker running a degenerate (lo==hi) chunk.
+func TestRangeSmallerThanWorkers(t *testing.T) {
+	p := NewPool(8)
+	defer p.Close()
+	for _, n := range []int{1, 2, 3, 7} {
+		var hit = make([]int32, n)
+		p.For(n, func(lo, hi int) {
+			if lo >= hi {
+				t.Errorf("n=%d: degenerate chunk [%d,%d)", n, lo, hi)
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hit[i], 1)
+			}
+		})
+		for i, c := range hit {
+			if c != 1 {
+				t.Errorf("n=%d: index %d visited %d times", n, i, c)
+			}
+		}
+	}
+}
+
+// Independent pools may be driven concurrently from multiple goroutines
+// (e.g. the hybrid executor runs its host pool and device pools in
+// parallel). Run under -race this also checks dispatch accounting.
+func TestNestedPoolsFromMultipleGoroutines(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	const outer = 4
+	pools := make([]*Pool, outer)
+	for i := range pools {
+		pools[i] = NewPool(3)
+		pools[i].Instrument(reg, "edge"+string(rune('a'+i)))
+		defer pools[i].Close()
+	}
+	var total atomic.Int64
+	var wg sync.WaitGroup
+	for i := range pools {
+		wg.Add(1)
+		go func(p *Pool) {
+			defer wg.Done()
+			for rep := 0; rep < 5; rep++ {
+				p.For(100, func(lo, hi int) {
+					s := int64(0)
+					for j := lo; j < hi; j++ {
+						s += int64(j)
+					}
+					total.Add(s)
+				})
+			}
+		}(pools[i])
+	}
+	wg.Wait()
+	want := int64(outer * 5 * (99 * 100 / 2))
+	if total.Load() != want {
+		t.Errorf("total = %d, want %d", total.Load(), want)
+	}
+	for i := range pools {
+		name := "par_edge" + string(rune('a'+i))
+		if got := reg.Counter(name + "_dispatches_total").Value(); got != 5 {
+			t.Errorf("%s dispatches = %d, want 5", name, got)
+		}
+		if got := reg.Counter(name + "_elements_total").Value(); got != 500 {
+			t.Errorf("%s elements = %d, want 500", name, got)
+		}
+	}
+}
+
+// Instrument with a nil registry must leave the pool usable (nil-safe
+// counters), and an empty loop must not count a dispatch.
+func TestInstrumentNilAndEmptyLoop(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	p.Instrument(nil, "nil")
+	p.For(10, func(lo, hi int) {})
+
+	reg := telemetry.NewRegistry()
+	p.Instrument(reg, "real")
+	p.For(0, func(lo, hi int) {})
+	p.ForDynamic(-3, 4, func(lo, hi int) {})
+	if got := reg.Counter("par_real_dispatches_total").Value(); got != 0 {
+		t.Errorf("empty loops counted %d dispatches, want 0", got)
+	}
+}

@@ -93,14 +93,30 @@ func (t *Table) WriteText(w io.Writer) error {
 	return err
 }
 
-// WriteCSV renders the table as CSV (no quoting needed for our content).
+// csvEscape quotes a field per RFC 4180: fields containing a comma, quote,
+// CR or LF are wrapped in double quotes with embedded quotes doubled.
+func csvEscape(s string) string {
+	if !strings.ContainsAny(s, ",\"\n\r") {
+		return s
+	}
+	return "\"" + strings.ReplaceAll(s, "\"", "\"\"") + "\""
+}
+
+// WriteCSV renders the table as RFC 4180 CSV.
 func (t *Table) WriteCSV(w io.Writer) error {
 	var b strings.Builder
-	b.WriteString(strings.Join(t.Columns, ","))
-	b.WriteByte('\n')
-	for _, row := range t.rows {
-		b.WriteString(strings.Join(row, ","))
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(csvEscape(c))
+		}
 		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.rows {
+		writeRow(row)
 	}
 	_, err := io.WriteString(w, b.String())
 	return err

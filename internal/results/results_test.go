@@ -1,6 +1,7 @@
 package results
 
 import (
+	"encoding/csv"
 	"strings"
 	"testing"
 )
@@ -73,5 +74,53 @@ func TestEmptyTable(t *testing.T) {
 	}
 	if tab.NumRows() != 0 {
 		t.Error("phantom rows")
+	}
+}
+
+// RFC 4180: fields with commas, quotes, or newlines must be quoted, with
+// embedded quotes doubled; the whole file must round-trip through a
+// standard CSV reader.
+func TestCSVQuoting(t *testing.T) {
+	tab := NewTable("", "name", "note", "x")
+	tab.AddRow("plain", "a,b", 1)
+	tab.AddRow(`say "hi"`, "line1\nline2", 2.5)
+	tab.AddRow("crlf\r\nend", "ok", 3)
+	var b strings.Builder
+	if err := tab.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`"a,b"`,
+		`"say ""hi"""`,
+		"\"line1\nline2\"",
+		"\"crlf\r\nend\"",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("CSV missing %q:\n%s", want, out)
+		}
+	}
+	recs, err := csv.NewReader(strings.NewReader(out)).ReadAll()
+	if err != nil {
+		t.Fatalf("output does not parse as CSV: %v", err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("parsed %d records, want 4 (header + 3 rows)", len(recs))
+	}
+	if recs[1][1] != "a,b" || recs[2][0] != `say "hi"` || recs[2][1] != "line1\nline2" {
+		t.Errorf("round-trip mismatch: %q", recs)
+	}
+}
+
+// Unquoted output stays byte-identical for content that needs no escaping.
+func TestCSVPlainUnchanged(t *testing.T) {
+	tab := NewTable("", "a", "b")
+	tab.AddRow("x", 1.5)
+	var b strings.Builder
+	if err := tab.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "a,b\nx,1.500\n" {
+		t.Errorf("plain CSV changed: %q", b.String())
 	}
 }

@@ -3,17 +3,22 @@ package sw
 import (
 	"sort"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // ProfilingRunner wraps another Runner and measures real wall time per
 // pattern instance — the profiling step that precedes a kernel-level design
 // ("one usually profiles the code to identify the most time-consuming
 // kernels", paper §2.C), here at the pattern granularity the paper's own
-// design needs.
+// design needs. Internally the measurements live in a telemetry.Registry
+// (one Timer per pattern, named sw_pattern_<ID>_seconds), so a profiled run
+// can also export its numbers in the Prometheus text format; Report keeps
+// its original shape and ordering.
 type ProfilingRunner struct {
 	Inner   Runner
-	elapsed map[string]time.Duration
-	calls   map[string]int
+	reg     *telemetry.Registry
+	timers  map[string]*telemetry.Timer
 	kernels map[string]string
 }
 
@@ -21,22 +26,31 @@ type ProfilingRunner struct {
 func NewProfilingRunner(inner Runner) *ProfilingRunner {
 	return &ProfilingRunner{
 		Inner:   inner,
-		elapsed: map[string]time.Duration{},
-		calls:   map[string]int{},
+		reg:     telemetry.NewRegistry(),
+		timers:  map[string]*telemetry.Timer{},
 		kernels: map[string]string{},
 	}
 }
+
+// Registry exposes the underlying metrics registry (sw_pattern_<ID>_seconds
+// timers), e.g. for a Prometheus export of the profile.
+func (p *ProfilingRunner) Registry() *telemetry.Registry { return p.reg }
 
 // RunKernel implements Runner: each pattern is executed through the inner
 // runner individually so its time can be attributed.
 func (p *ProfilingRunner) RunKernel(k *Kernel) {
 	for _, pat := range k.Patterns {
+		id := pat.Info.ID
+		tm, ok := p.timers[id]
+		if !ok {
+			tm = p.reg.Timer("sw_pattern_" + id + "_seconds")
+			p.timers[id] = tm
+		}
 		single := &Kernel{Name: k.Name, Patterns: []*Pattern{pat}}
-		start := time.Now()
+		ctx := tm.Start()
 		p.Inner.RunKernel(single)
-		p.elapsed[pat.Info.ID] += time.Since(start)
-		p.calls[pat.Info.ID]++
-		p.kernels[pat.Info.ID] = k.Name
+		ctx.Stop()
+		p.kernels[id] = k.Name
 	}
 }
 
@@ -53,17 +67,22 @@ type ProfileEntry struct {
 // Report returns per-pattern entries sorted by descending total time.
 func (p *ProfilingRunner) Report() []ProfileEntry {
 	var total time.Duration
-	for _, d := range p.elapsed {
-		total += d
+	for _, tm := range p.timers {
+		total += tm.Total()
 	}
 	var out []ProfileEntry
-	for id, d := range p.elapsed {
-		e := ProfileEntry{ID: id, Kernel: p.kernels[id], Calls: p.calls[id], Total: d}
+	for id, tm := range p.timers {
+		e := ProfileEntry{
+			ID:     id,
+			Kernel: p.kernels[id],
+			Calls:  int(tm.Count()),
+			Total:  tm.Total(),
+		}
 		if e.Calls > 0 {
-			e.PerCall = d / time.Duration(e.Calls)
+			e.PerCall = e.Total / time.Duration(e.Calls)
 		}
 		if total > 0 {
-			e.Share = float64(d) / float64(total)
+			e.Share = float64(e.Total) / float64(total)
 		}
 		out = append(out, e)
 	}

@@ -6,21 +6,29 @@ import "repro/internal/pattern"
 // Algorithm 1 of the paper into kernel invocations. Which processor(s)
 // execute the kernels is entirely the Runner's business.
 
+// stageSpanNames are fixed so tracing a stage never formats a string.
+var stageSpanNames = [4]string{"rk4_stage_0", "rk4_stage_1", "rk4_stage_2", "rk4_stage_3"}
+
 // Init computes the diagnostics and reconstruction for the current state.
 // Call once after setting initial conditions, before the first Step.
 func (s *Solver) Init() {
 	s.cur = s.State
+	s.stageSpan = s.Trace.StartSpan("init")
 	s.runKernel(pattern.KernelSolveDiagnostics)
 	s.runKernel(pattern.KernelReconstruct)
+	s.stageSpan.End()
+	s.stageSpan = nil
 }
 
 // Step advances the model by one RK-4 time step (Algorithm 1).
 func (s *Solver) Step() {
+	step := s.Trace.StartSpan("rk4_step")
 	s.Provis.CopyFrom(s.State)
 	s.next.CopyFrom(s.State)
 	s.tracerStepBegin()
 	s.cur = s.Provis
 	for s.stage = 0; s.stage < 4; s.stage++ {
+		s.stageSpan = step.StartChild(stageSpanNames[s.stage])
 		s.runKernel(pattern.KernelComputeTend)
 		if len(s.Tracers) > 0 {
 			// Tracer flux divergence uses the same provisional state and
@@ -48,9 +56,13 @@ func (s *Solver) Step() {
 			s.runKernel(pattern.KernelSolveDiagnostics)
 			s.runKernel(pattern.KernelReconstruct)
 		}
+		s.stageSpan.End()
 	}
+	s.stageSpan = nil
 	s.StepCount++
 	s.Time += s.Cfg.Dt
+	s.stepsCounter.Inc()
+	step.End()
 }
 
 // Run advances n steps.
@@ -61,5 +73,10 @@ func (s *Solver) Run(n int) {
 }
 
 func (s *Solver) runKernel(name string) {
+	sp := s.stageSpan.StartChild(name)
+	tm := s.kernelTimers[name]
+	ctx := tm.Start()
 	s.Runner.RunKernel(s.kernels[name])
+	ctx.Stop()
+	sp.End()
 }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/mesh"
 	"repro/internal/pattern"
 	"repro/internal/perfmodel"
+	"repro/internal/telemetry"
 )
 
 // Pattern is an executable pattern instance: Table I metadata plus the
@@ -76,6 +77,20 @@ type Solver struct {
 
 	Time      float64
 	StepCount int
+
+	// Trace and Metrics are the optional telemetry sinks wired in by
+	// EnableTelemetry. Both nil by default: every instrumentation point
+	// below is a nil-safe no-op that costs neither allocations nor clock
+	// reads on unconfigured runs.
+	Trace   *telemetry.Tracer
+	Metrics *telemetry.Registry
+
+	// kernelTimers holds one wall-time timer per kernel (nil map when
+	// Metrics is nil; lookups on a nil map are free).
+	kernelTimers map[string]*telemetry.Timer
+	stepsCounter *telemetry.Counter
+	// stageSpan is the live RK-stage (or init) span kernels nest under.
+	stageSpan *telemetry.Span
 
 	// cur points at the state whose tendencies/diagnostics the kernels
 	// read; the RK driver retargets it between substeps.
@@ -161,6 +176,25 @@ func (s *Solver) precompute() {
 	for c := 0; c < m.NCells; c++ {
 		s.eastCell[c] = geom.East(m.XCell[c])
 		s.northCell[c] = geom.North(m.XCell[c])
+	}
+}
+
+// EnableTelemetry attaches a tracer (spans per RK stage and per kernel) and
+// a metrics registry (per-kernel wall-time timers, step counter) to the
+// solver. Either argument may be nil to enable only the other; calling with
+// both nil disables telemetry again.
+func (s *Solver) EnableTelemetry(tr *telemetry.Tracer, reg *telemetry.Registry) {
+	s.Trace = tr
+	s.Metrics = reg
+	s.kernelTimers = nil
+	s.stepsCounter = nil
+	if reg == nil {
+		return
+	}
+	s.stepsCounter = reg.Counter("sw_steps_total")
+	s.kernelTimers = make(map[string]*telemetry.Timer, len(s.kernelOrder))
+	for _, k := range s.kernelOrder {
+		s.kernelTimers[k.Name] = reg.Timer("sw_kernel_" + k.Name + "_seconds")
 	}
 }
 

@@ -1,0 +1,51 @@
+package sw
+
+import (
+	"testing"
+
+	"repro/internal/mesh"
+	"repro/internal/pattern"
+)
+
+// With no telemetry attached, the instrumented kernel dispatch path must add
+// zero allocations — the nil-registry/nil-tracer no-op contract the whole
+// subsystem rests on. (Internal test: runKernel is the hot path.)
+func TestRunKernelNilTelemetryAllocs(t *testing.T) {
+	m, err := mesh.Build(2, mesh.Options{LloydIterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSolver(m, DefaultConfig(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Init()
+	for _, kernel := range []string{
+		pattern.KernelComputeTend,
+		pattern.KernelSolveDiagnostics,
+		pattern.KernelAccumulativeUpdate,
+	} {
+		allocs := testing.AllocsPerRun(20, func() { s.runKernel(kernel) })
+		if allocs != 0 {
+			t.Errorf("runKernel(%s) with nil telemetry allocated %.1f per run, want 0",
+				kernel, allocs)
+		}
+	}
+}
+
+// A full serial RK step must also stay allocation-free without telemetry.
+func TestStepNilTelemetryAllocs(t *testing.T) {
+	m, err := mesh.Build(2, mesh.Options{LloydIterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSolver(m, DefaultConfig(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Init()
+	allocs := testing.AllocsPerRun(10, func() { s.Step() })
+	if allocs != 0 {
+		t.Errorf("Step with nil telemetry allocated %.1f per run, want 0", allocs)
+	}
+}

@@ -1,0 +1,182 @@
+package sw_test
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/pattern"
+	"repro/internal/sw"
+	"repro/internal/telemetry"
+)
+
+// traceEvents decodes a Chrome trace written by the tracer into a flat list.
+func traceEvents(t *testing.T, tr *telemetry.Tracer) []struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	Tid  int     `json:"tid"`
+} {
+	t.Helper()
+	var b strings.Builder
+	if err := tr.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Tid  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &decoded); err != nil {
+		t.Fatalf("invalid trace JSON: %v", err)
+	}
+	return decoded.TraceEvents
+}
+
+func TestSolverTelemetrySpansAndTimers(t *testing.T) {
+	s := newTC2Solver(t, 2)
+	tr := telemetry.NewTracer()
+	reg := telemetry.NewRegistry()
+	s.EnableTelemetry(tr, reg)
+	s.Init()
+	steps := 3
+	s.Run(steps)
+
+	if got := reg.Counter("sw_steps_total").Value(); got != int64(steps) {
+		t.Errorf("sw_steps_total = %d, want %d", got, steps)
+	}
+	// compute_tend runs once per stage: 4 per step.
+	tendTimer := reg.Timer("sw_kernel_compute_tend_seconds")
+	if got := tendTimer.Count(); got != int64(4*steps) {
+		t.Errorf("compute_tend timer count = %d, want %d", got, 4*steps)
+	}
+	if tendTimer.Total() <= 0 {
+		t.Error("compute_tend timer accumulated no time")
+	}
+
+	events := traceEvents(t, tr)
+	count := map[string]int{}
+	for _, ev := range events {
+		count[ev.Name]++
+	}
+	if count["rk4_step"] != steps {
+		t.Errorf("rk4_step spans = %d, want %d", count["rk4_step"], steps)
+	}
+	for stage := 0; stage < 4; stage++ {
+		name := []string{"rk4_stage_0", "rk4_stage_1", "rk4_stage_2", "rk4_stage_3"}[stage]
+		if count[name] != steps {
+			t.Errorf("%s spans = %d, want %d", name, count[name], steps)
+		}
+	}
+	// Init contributes 1 extra span pair for diagnostics+reconstruct.
+	if count["init"] != 1 {
+		t.Errorf("init spans = %d, want 1", count["init"])
+	}
+	if count[pattern.KernelComputeTend] != 4*steps {
+		t.Errorf("%s spans = %d, want %d",
+			pattern.KernelComputeTend, count[pattern.KernelComputeTend], 4*steps)
+	}
+
+	// Kernel spans nest in time inside a stage span on the same track.
+	var stage, kernel *struct {
+		Name string  `json:"name"`
+		Ph   string  `json:"ph"`
+		Ts   float64 `json:"ts"`
+		Dur  float64 `json:"dur"`
+		Tid  int     `json:"tid"`
+	}
+	for i := range events {
+		switch events[i].Name {
+		case "rk4_stage_0":
+			if stage == nil {
+				stage = &events[i]
+			}
+		case pattern.KernelComputeTend:
+			if kernel == nil {
+				kernel = &events[i]
+			}
+		}
+	}
+	if stage == nil || kernel == nil {
+		t.Fatal("missing stage or kernel span")
+	}
+	if kernel.Tid != stage.Tid {
+		t.Error("kernel span not on the stage span's track")
+	}
+	if kernel.Ts < stage.Ts || kernel.Ts+kernel.Dur > stage.Ts+stage.Dur+1e-3 {
+		t.Errorf("kernel [%g,%g] not nested in stage [%g,%g]",
+			kernel.Ts, kernel.Ts+kernel.Dur, stage.Ts, stage.Ts+stage.Dur)
+	}
+
+	// Prometheus export includes the counter and the timer histogram.
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE sw_steps_total counter",
+		"# TYPE sw_kernel_compute_tend_seconds histogram",
+	} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("prometheus output missing %q", want)
+		}
+	}
+}
+
+// The ProfilingRunner keeps its report contract while carrying its
+// measurements in a telemetry registry exportable as Prometheus text.
+func TestProfilingRunnerRegistryExport(t *testing.T) {
+	s := newTC2Solver(t, 2)
+	prof := sw.NewProfilingRunner(sw.SerialRunner{})
+	s.Runner = prof
+	s.Run(2)
+	// B1 (momentum tendency) runs once per stage: 4 per step.
+	var b1 *sw.ProfileEntry
+	for _, e := range prof.Report() {
+		if e.ID == "B1" {
+			b1 = &e
+			break
+		}
+	}
+	if b1 == nil {
+		t.Fatal("report has no B1 entry")
+	}
+	if b1.Calls != 8 || b1.Kernel != pattern.KernelComputeTend {
+		t.Errorf("B1 entry = %+v, want 8 calls in %s", b1, pattern.KernelComputeTend)
+	}
+	if b1.PerCall <= 0 || b1.Total <= 0 {
+		t.Errorf("B1 entry has no time: %+v", b1)
+	}
+	var b strings.Builder
+	if err := prof.Registry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "sw_pattern_B1_seconds_count 8") {
+		t.Errorf("prometheus export missing B1 timer:\n%s", b.String())
+	}
+}
+
+// Disabling telemetry again must fully detach the sinks.
+func TestSolverTelemetryDisable(t *testing.T) {
+	s := newTC2Solver(t, 2)
+	tr := telemetry.NewTracer()
+	reg := telemetry.NewRegistry()
+	s.EnableTelemetry(tr, reg)
+	s.Init()
+	s.Step()
+	n := tr.NumSpans()
+	steps := reg.Counter("sw_steps_total").Value()
+	s.EnableTelemetry(nil, nil)
+	s.Step()
+	if tr.NumSpans() != n {
+		t.Error("spans recorded after telemetry disabled")
+	}
+	if reg.Counter("sw_steps_total").Value() != steps {
+		t.Error("metrics recorded after telemetry disabled")
+	}
+}

@@ -1,0 +1,53 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// The whole point of nil-safety is that an unconfigured pipeline costs
+// nothing on hot paths: no allocations, no clock reads. This pins the
+// no-allocation half of that contract.
+func TestNilPathAllocations(t *testing.T) {
+	var r *Registry
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		c := r.Counter("c")
+		c.Add(1)
+		c.Inc()
+		r.Gauge("g").Set(1)
+		r.Histogram("h").Observe(2.5)
+		tm := r.Timer("t")
+		tm.Observe(time.Millisecond)
+		ctx := tm.Start()
+		ctx.Stop()
+		sp := tr.StartSpan("root")
+		child := sp.StartChild("child")
+		child.SetArg("k", 1)
+		child.End()
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil telemetry path allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// Enabled instruments must also stay allocation-free once created (spans
+// intentionally allocate; instruments must not).
+func TestEnabledInstrumentAllocations(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h")
+	tm := r.Timer("t")
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.Set(3)
+		h.Observe(1.25)
+		ctx := tm.Start()
+		ctx.Stop()
+	})
+	if allocs != 0 {
+		t.Fatalf("enabled instruments allocated %.1f times per run, want 0", allocs)
+	}
+}

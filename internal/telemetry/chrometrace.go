@@ -1,0 +1,121 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/results"
+)
+
+// traceEvent is one entry of the Chrome trace_event format (the JSON Array
+// / Object format consumed by chrome://tracing and Perfetto).
+type traceEvent struct {
+	Name string                 `json:"name"`
+	Ph   string                 `json:"ph"`
+	Ts   float64                `json:"ts"` // microseconds
+	Dur  float64                `json:"dur,omitempty"`
+	Pid  int                    `json:"pid"`
+	Tid  int                    `json:"tid"`
+	Args map[string]interface{} `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace renders all completed spans as Chrome trace_event JSON:
+// one "complete" (ph:"X") event per span plus thread_name metadata naming
+// every track. Open the file at chrome://tracing or ui.perfetto.dev.
+// Writes an empty trace on a nil receiver.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	out := traceFile{DisplayTimeUnit: "ms", TraceEvents: []traceEvent{}}
+	if t != nil {
+		t.mu.Lock()
+		spans := append([]spanRecord(nil), t.spans...)
+		tracks := append([]string(nil), t.tracks...)
+		t.mu.Unlock()
+
+		for tid, name := range tracks {
+			out.TraceEvents = append(out.TraceEvents, traceEvent{
+				Name: "thread_name", Ph: "M", Pid: 1, Tid: tid,
+				Args: map[string]interface{}{"name": name},
+			})
+		}
+		// Sort by start time (ties: longer span first) so nesting events
+		// appear in the stack order viewers expect.
+		sort.SliceStable(spans, func(i, j int) bool {
+			if spans[i].startNs != spans[j].startNs {
+				return spans[i].startNs < spans[j].startNs
+			}
+			return spans[i].durNs > spans[j].durNs
+		})
+		for _, s := range spans {
+			out.TraceEvents = append(out.TraceEvents, traceEvent{
+				Name: s.name, Ph: "X",
+				Ts:  float64(s.startNs) / 1e3,
+				Dur: float64(s.durNs) / 1e3,
+				Pid: 1, Tid: s.track,
+				Args: s.args,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// Summary aggregates completed spans by name into an aligned-text table:
+// call count, total/mean duration, and share of the busiest span's total.
+// Returns an empty table on a nil receiver.
+func (t *Tracer) Summary() *results.Table {
+	tab := results.NewTable("span summary",
+		"span", "count", "total_ms", "mean_us", "min_us", "max_us")
+	if t == nil {
+		return tab
+	}
+	type agg struct {
+		name     string
+		count    int
+		total    int64
+		min, max int64
+	}
+	t.mu.Lock()
+	byName := map[string]*agg{}
+	for _, s := range t.spans {
+		a, ok := byName[s.name]
+		if !ok {
+			a = &agg{name: s.name, min: s.durNs, max: s.durNs}
+			byName[s.name] = a
+		}
+		a.count++
+		a.total += s.durNs
+		if s.durNs < a.min {
+			a.min = s.durNs
+		}
+		if s.durNs > a.max {
+			a.max = s.durNs
+		}
+	}
+	t.mu.Unlock()
+	var rows []*agg
+	for _, a := range byName {
+		rows = append(rows, a)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].total != rows[j].total {
+			return rows[i].total > rows[j].total
+		}
+		return rows[i].name < rows[j].name
+	})
+	for _, a := range rows {
+		mean := time.Duration(a.total / int64(a.count))
+		tab.AddRow(a.name, a.count,
+			float64(a.total)/1e6,
+			float64(mean.Nanoseconds())/1e3,
+			float64(a.min)/1e3,
+			float64(a.max)/1e3)
+	}
+	return tab
+}

@@ -1,0 +1,109 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// sanitizeMetricName maps an arbitrary instrument name onto the Prometheus
+// metric-name alphabet [a-zA-Z_:][a-zA-Z0-9_:]*.
+func sanitizeMetricName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// formatPromValue renders a float in the Prometheus exposition format.
+func formatPromValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WritePrometheus renders every instrument in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges as single samples, histograms
+// and timers as cumulative-bucket histogram families (timers observe
+// seconds). Writes nothing on a nil receiver.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	for _, name := range sortedKeys(r.counters) {
+		n := sanitizeMetricName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n",
+			n, n, r.counters[name].Value()); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(r.gauges) {
+		n := sanitizeMetricName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n",
+			n, n, formatPromValue(r.gauges[name].Value())); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(r.hists) {
+		if err := writePromHistogram(w, sanitizeMetricName(name), r.hists[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(r.timers) {
+		if err := writePromHistogram(w, sanitizeMetricName(name), &r.timers[name].hist); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePromHistogram emits one histogram family with cumulative buckets.
+// Empty buckets below the first and above the last occupied one are elided
+// (the cumulative +Inf bucket always closes the family), keeping the output
+// readable without changing its meaning.
+func writePromHistogram(w io.Writer, name string, h *Histogram) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		return err
+	}
+	first, last := histBuckets, -1
+	for i := 0; i < histBuckets; i++ {
+		if h.counts[i].Load() > 0 {
+			if first > i {
+				first = i
+			}
+			last = i
+		}
+	}
+	cum := int64(0)
+	for i := first; i <= last; i++ {
+		cum += h.counts[i].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n",
+			name, formatPromValue(BucketBound(i)), cum); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
+		name, h.Count(), name, formatPromValue(h.Sum()), name, h.Count())
+	return err
+}

@@ -1,0 +1,310 @@
+// Package telemetry is the observability substrate of the reproduction: a
+// zero-dependency registry of typed metric instruments (Counter, Gauge,
+// Histogram, Timer), span-based tracing exportable as Chrome trace_event
+// JSON, and a Prometheus text-format exporter.
+//
+// Everything is nil-safe by design: every method on a nil *Registry, nil
+// instrument, nil *Tracer or nil *Span is a no-op that performs no
+// allocation, so hot paths can be instrumented unconditionally and an
+// unconfigured run pays nothing — the profiling-first workflow of the paper
+// (§2.C) without a configuration flag on every call site.
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// Add increments the counter by n. No-op on a nil receiver.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one. No-op on a nil receiver.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (zero on a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 metric that can go up and down.
+type Gauge struct {
+	name string
+	bits atomic.Uint64
+}
+
+// Set stores v. No-op on a nil receiver.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add adds delta atomically. No-op on a nil receiver.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (zero on a nil receiver).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram bucket layout: fixed log-scale (base-2) upper bounds
+// 2^(i-histExpBias) for i in [0, histBuckets), spanning ~9.3e-10 .. 8.6e9.
+// One layout for every histogram keeps the implementation allocation-free
+// and the Prometheus export uniform; the range covers both sub-microsecond
+// kernel timings (seconds) and element counts up to billions.
+const (
+	histBuckets = 64
+	histExpBias = 30
+)
+
+// Histogram counts observations in fixed log-scale buckets.
+type Histogram struct {
+	name    string
+	counts  [histBuckets + 1]atomic.Int64 // last slot = overflow (+Inf)
+	sumBits atomic.Uint64
+	count   atomic.Int64
+}
+
+// bucketIndex returns the index of the smallest upper bound >= v.
+func bucketIndex(v float64) int {
+	if v <= 0 || math.IsNaN(v) {
+		return 0
+	}
+	frac, exp := math.Frexp(v) // v = frac * 2^exp, frac in [0.5, 1)
+	if frac == 0.5 {
+		exp-- // exact power of two sits on its own bound
+	}
+	idx := exp + histExpBias
+	if idx < 0 {
+		return 0
+	}
+	if idx >= histBuckets {
+		return histBuckets // overflow bucket (+Inf)
+	}
+	return idx
+}
+
+// BucketBound returns the upper bound of bucket i (math.Inf(1) for the
+// overflow bucket).
+func BucketBound(i int) float64 {
+	if i >= histBuckets {
+		return math.Inf(1)
+	}
+	return math.Ldexp(1, i-histExpBias)
+}
+
+// Observe records v. No-op on a nil receiver.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.counts[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (zero on a nil receiver).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values (zero on a nil receiver).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Timer accumulates durations: an exact nanosecond sum and call count plus a
+// log-scale histogram of seconds for the Prometheus export.
+type Timer struct {
+	name  string
+	nanos atomic.Int64
+	calls atomic.Int64
+	hist  Histogram
+}
+
+// Observe records one duration. No-op on a nil receiver.
+func (t *Timer) Observe(d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.nanos.Add(int64(d))
+	t.calls.Add(1)
+	t.hist.Observe(d.Seconds())
+}
+
+// TimerCtx is an in-flight timing started by Timer.Start. It is a value type
+// so starting and stopping a timing never allocates.
+type TimerCtx struct {
+	t     *Timer
+	start time.Time
+}
+
+// Start begins a timing. On a nil receiver it returns a zero TimerCtx whose
+// Stop is a no-op, and does not read the clock.
+func (t *Timer) Start() TimerCtx {
+	if t == nil {
+		return TimerCtx{}
+	}
+	return TimerCtx{t: t, start: time.Now()}
+}
+
+// Stop records the elapsed time since Start. No-op on a zero TimerCtx.
+func (c TimerCtx) Stop() {
+	if c.t != nil {
+		c.t.Observe(time.Since(c.start))
+	}
+}
+
+// Count returns the number of recorded durations (zero on a nil receiver).
+func (t *Timer) Count() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.calls.Load()
+}
+
+// Total returns the exact accumulated duration (zero on a nil receiver).
+func (t *Timer) Total() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Duration(t.nanos.Load())
+}
+
+// Registry holds named instruments. Get-or-create accessors are
+// concurrency-safe; a nil *Registry returns nil instruments, whose methods
+// are all no-ops, so the whole pipeline degrades to nothing when telemetry
+// is not configured.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	timers   map[string]*Timer
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+		timers:   map[string]*Timer{},
+	}
+}
+
+// Counter returns the counter with the given name, creating it on first use.
+// Returns nil on a nil receiver.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{name: name}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge with the given name, creating it on first use.
+// Returns nil on a nil receiver.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{name: name}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram with the given name, creating it on first
+// use. Returns nil on a nil receiver.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{name: name}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Timer returns the timer with the given name, creating it on first use.
+// Returns nil on a nil receiver.
+func (r *Registry) Timer(name string) *Timer {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.timers[name]
+	if !ok {
+		t = &Timer{name: name}
+		r.timers[name] = t
+	}
+	return t
+}
+
+// sortedKeys returns the map keys in sorted order (deterministic exports).
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,127 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Tracer collects completed spans from any number of goroutines. Spans are
+// organized into tracks (Chrome trace "threads"): spans on one track render
+// as a nested flame when their time ranges nest, so sequential layers
+// (RK stage -> kernel -> data-flow level) share a track while concurrent
+// actors (host pool, device pools, MPI ranks) get tracks of their own.
+type Tracer struct {
+	start time.Time
+
+	mu     sync.Mutex
+	spans  []spanRecord
+	tracks []string // index = track id; track 0 always exists
+}
+
+type spanRecord struct {
+	name    string
+	track   int
+	startNs int64
+	durNs   int64
+	args    map[string]interface{}
+}
+
+// NewTracer creates a tracer; its wall clock starts now. The default track 0
+// is named "main".
+func NewTracer() *Tracer {
+	return &Tracer{start: time.Now(), tracks: []string{"main"}}
+}
+
+// NewTrack registers a named track and returns its id. Returns 0 on a nil
+// receiver (span methods taking a track id are nil-safe anyway).
+func (t *Tracer) NewTrack(name string) int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.tracks = append(t.tracks, name)
+	return len(t.tracks) - 1
+}
+
+// Span is an in-flight traced operation. A nil *Span is a valid no-op: all
+// methods return immediately and StartChild returns nil.
+type Span struct {
+	tr    *Tracer
+	name  string
+	track int
+	start time.Time
+	args  map[string]interface{}
+}
+
+// StartSpan begins a span on track 0. Returns nil on a nil receiver.
+func (t *Tracer) StartSpan(name string) *Span { return t.StartSpanOnTrack(name, 0) }
+
+// StartSpanOnTrack begins a span on the given track. Returns nil on a nil
+// receiver.
+func (t *Tracer) StartSpanOnTrack(name string, track int) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{tr: t, name: name, track: track, start: time.Now()}
+}
+
+// StartChild begins a child span on the parent's track. Returns nil on a nil
+// receiver, so unconfigured call sites chain without checks.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.tr.StartSpanOnTrack(name, s.track)
+}
+
+// StartChildOnTrack begins a child span on an explicit track — the shape for
+// handing work to a concurrent actor (host/device pool, rank goroutine).
+func (s *Span) StartChildOnTrack(name string, track int) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.tr.StartSpanOnTrack(name, track)
+}
+
+// SetArg attaches a key/value shown in the trace viewer's detail pane.
+// No-op on a nil receiver.
+func (s *Span) SetArg(key string, value interface{}) {
+	if s == nil {
+		return
+	}
+	if s.args == nil {
+		s.args = map[string]interface{}{}
+	}
+	s.args[key] = value
+}
+
+// End completes the span and records it with the tracer. No-op on a nil
+// receiver. Safe to call from the goroutine that started the span while
+// other goroutines end their own spans.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	now := time.Now()
+	rec := spanRecord{
+		name:    s.name,
+		track:   s.track,
+		startNs: s.start.Sub(s.tr.start).Nanoseconds(),
+		durNs:   now.Sub(s.start).Nanoseconds(),
+		args:    s.args,
+	}
+	s.tr.mu.Lock()
+	s.tr.spans = append(s.tr.spans, rec)
+	s.tr.mu.Unlock()
+}
+
+// NumSpans returns the number of completed spans (zero on a nil receiver).
+func (t *Tracer) NumSpans() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}

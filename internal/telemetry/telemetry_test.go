@@ -1,0 +1,278 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("reqs_total") != c {
+		t.Fatal("Counter is not get-or-create")
+	}
+	g := r.Gauge("depth")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %g, want 1.5", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("sizes")
+	h.Observe(1.0) // exact power of two: on its own bound
+	h.Observe(1.5)
+	h.Observe(0)          // clamps to bucket 0
+	h.Observe(-3)         // clamps to bucket 0
+	h.Observe(1e30)       // overflow bucket
+	h.Observe(math.NaN()) // bucket 0, sum becomes NaN but must not panic
+	if got := h.Count(); got != 6 {
+		t.Fatalf("count = %d, want 6", got)
+	}
+	// 1.0 = 2^0 must land in the bucket with upper bound exactly 1.
+	if idx := bucketIndex(1.0); BucketBound(idx) != 1.0 {
+		t.Fatalf("bucketIndex(1.0) bound = %g, want 1", BucketBound(idx))
+	}
+	// 1.5 lands in the next bucket (bound 2).
+	if idx := bucketIndex(1.5); BucketBound(idx) != 2.0 {
+		t.Fatalf("bucketIndex(1.5) bound = %g, want 2", BucketBound(idx))
+	}
+	if idx := bucketIndex(1e30); idx != histBuckets {
+		t.Fatalf("bucketIndex(1e30) = %d, want overflow %d", idx, histBuckets)
+	}
+	// Monotone: larger values never land in lower buckets.
+	prev := 0
+	for v := 1e-12; v < 1e12; v *= 3 {
+		idx := bucketIndex(v)
+		if idx < prev {
+			t.Fatalf("bucketIndex not monotone at %g: %d < %d", v, idx, prev)
+		}
+		prev = idx
+	}
+}
+
+func TestTimer(t *testing.T) {
+	r := NewRegistry()
+	tm := r.Timer("phase_seconds")
+	tm.Observe(3 * time.Millisecond)
+	tm.Observe(5 * time.Millisecond)
+	if got := tm.Count(); got != 2 {
+		t.Fatalf("count = %d, want 2", got)
+	}
+	if got := tm.Total(); got != 8*time.Millisecond {
+		t.Fatalf("total = %v, want 8ms", got)
+	}
+	ctx := tm.Start()
+	ctx.Stop()
+	if got := tm.Count(); got != 3 {
+		t.Fatalf("count after Start/Stop = %d, want 3", got)
+	}
+}
+
+func TestConcurrentInstruments(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h").Observe(float64(j))
+				r.Timer("t").Observe(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Gauge("g").Value(); got != 8000 {
+		t.Fatalf("gauge = %g, want 8000", got)
+	}
+	if got := r.Histogram("h").Count(); got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+	if got := r.Timer("t").Count(); got != 8000 {
+		t.Fatalf("timer count = %d, want 8000", got)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("steps_total").Add(42)
+	r.Gauge("sim time").Set(1.25) // space must be sanitized
+	r.Histogram("imbalance").Observe(1.5)
+	r.Timer("halo_seconds").Observe(2 * time.Millisecond)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE steps_total counter\nsteps_total 42\n",
+		"# TYPE sim_time gauge\nsim_time 1.25\n",
+		"# TYPE imbalance histogram\n",
+		"imbalance_bucket{le=\"2\"} 1\n",
+		"imbalance_bucket{le=\"+Inf\"} 1\n",
+		"imbalance_sum 1.5\n",
+		"imbalance_count 1\n",
+		"# TYPE halo_seconds histogram\n",
+		"halo_seconds_count 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q\n---\n%s", want, out)
+		}
+	}
+	// Cumulative buckets must be non-decreasing and end at count.
+	h := r.Histogram("multi")
+	for _, v := range []float64{0.5, 0.5, 3, 100} {
+		h.Observe(v)
+	}
+	b.Reset()
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "multi_bucket{le=\"+Inf\"} 4") {
+		t.Errorf("cumulative +Inf bucket wrong:\n%s", b.String())
+	}
+}
+
+func TestNilRegistryIsNoop(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Add(7)
+	r.Gauge("x").Set(1)
+	r.Histogram("x").Observe(1)
+	r.Timer("x").Observe(time.Second)
+	ctx := r.Timer("x").Start()
+	ctx.Stop()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("nil registry wrote %q", b.String())
+	}
+	if r.Counter("x").Value() != 0 || r.Timer("x").Count() != 0 {
+		t.Fatal("nil instruments must read zero")
+	}
+}
+
+func TestTracerNesting(t *testing.T) {
+	tr := NewTracer()
+	root := tr.StartSpan("step")
+	child := root.StartChild("kernel")
+	child.SetArg("elems", 128)
+	grand := child.StartChild("level0")
+	grand.End()
+	child.End()
+	root.End()
+	devTrack := tr.NewTrack("dev-pool")
+	d := tr.StartSpanOnTrack("dev work", devTrack)
+	d.End()
+	if got := tr.NumSpans(); got != 4 {
+		t.Fatalf("spans = %d, want 4", got)
+	}
+
+	var b strings.Builder
+	if err := tr.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		TraceEvents []struct {
+			Name string                 `json:"name"`
+			Ph   string                 `json:"ph"`
+			Ts   float64                `json:"ts"`
+			Dur  float64                `json:"dur"`
+			Tid  int                    `json:"tid"`
+			Args map[string]interface{} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &decoded); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	byName := map[string]int{}
+	for i, ev := range decoded.TraceEvents {
+		byName[ev.Name] = i
+	}
+	for _, name := range []string{"step", "kernel", "level0", "dev work", "thread_name"} {
+		if _, ok := byName[name]; !ok {
+			t.Fatalf("trace missing event %q", name)
+		}
+	}
+	step := decoded.TraceEvents[byName["step"]]
+	kernel := decoded.TraceEvents[byName["kernel"]]
+	level := decoded.TraceEvents[byName["level0"]]
+	// Children nest in time within their parents, on the same track.
+	if kernel.Tid != step.Tid || level.Tid != kernel.Tid {
+		t.Fatal("children must inherit the parent's track")
+	}
+	if kernel.Ts < step.Ts || kernel.Ts+kernel.Dur > step.Ts+step.Dur+1e-3 {
+		t.Fatalf("kernel [%g,%g] not inside step [%g,%g]",
+			kernel.Ts, kernel.Ts+kernel.Dur, step.Ts, step.Ts+step.Dur)
+	}
+	if kernel.Args["elems"] != float64(128) {
+		t.Fatalf("kernel args = %v", kernel.Args)
+	}
+	if dev := decoded.TraceEvents[byName["dev work"]]; dev.Tid == step.Tid {
+		t.Fatal("explicit track must differ from track 0")
+	}
+}
+
+func TestTracerConcurrentEnds(t *testing.T) {
+	tr := NewTracer()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		track := tr.NewTrack("worker")
+		go func(track int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				sp := tr.StartSpanOnTrack("op", track)
+				sp.End()
+			}
+		}(track)
+	}
+	wg.Wait()
+	if got := tr.NumSpans(); got != 1600 {
+		t.Fatalf("spans = %d, want 1600", got)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	tr := NewTracer()
+	for i := 0; i < 3; i++ {
+		sp := tr.StartSpan("stage")
+		sp.End()
+	}
+	tab := tr.Summary()
+	if tab.NumRows() != 1 {
+		t.Fatalf("summary rows = %d, want 1", tab.NumRows())
+	}
+	if !strings.Contains(tab.String(), "stage") {
+		t.Fatalf("summary missing span name:\n%s", tab)
+	}
+	var nilTr *Tracer
+	if nilTr.Summary().NumRows() != 0 {
+		t.Fatal("nil tracer summary must be empty")
+	}
+	var b strings.Builder
+	if err := nilTr.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid([]byte(b.String())) {
+		t.Fatal("nil tracer must still emit valid JSON")
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"repro/internal/mesh"
 	"repro/internal/par"
 	"repro/internal/sw"
+	"repro/internal/telemetry"
 	"repro/internal/testcases"
 )
 
@@ -196,6 +197,22 @@ func (m *Model) Close() {
 	if m.exec != nil {
 		m.exec.Close()
 		m.exec = nil
+	}
+}
+
+// EnableTelemetry wires a tracer and/or metrics registry through every layer
+// of the model: the solver (RK-stage and kernel spans, kernel timers), the
+// thread pool (dispatch/grain counters), and — in hybrid modes — the
+// executor (data-flow level spans, host/device split counters, imbalance
+// histogram) and the simulated platform clock (gauges). Either argument may
+// be nil; both nil-safe defaults cost nothing.
+func (m *Model) EnableTelemetry(tr *telemetry.Tracer, reg *telemetry.Registry) {
+	m.Solver.EnableTelemetry(tr, reg)
+	if m.pool != nil {
+		m.pool.Instrument(reg, "team")
+	}
+	if m.exec != nil {
+		m.exec.EnableTelemetry(tr, reg)
 	}
 }
 
