@@ -1,0 +1,219 @@
+package conform
+
+import (
+	"repro/internal/mesh"
+	"repro/internal/sw"
+)
+
+// This file is the Algorithm-3 reference: the regularity-aware GATHER loops
+// (traverse output elements, gather incident values) with the orientation
+// sign resolved by a CONDITIONAL per incident edge — the intermediate form
+// between the original scatter loops (Algorithm 2) and the branch-free ±1
+// label-matrix form the solver kernels use (Algorithm 4). Because replacing
+// a branch by a multiplication with ±1.0 is exact in IEEE arithmetic, a
+// branchy trajectory must match the solver's branch-free one to the last
+// bit; the conformance suite holds the pair to ExactTol.
+
+// branchyDiagnostics computes every compute_solve_diagnostics field for
+// state st into d in Algorithm-3 form.
+func branchyDiagnostics(s *sw.Solver, st *sw.State, d *sw.Diagnostics) {
+	m := s.M
+	h, u := st.H, st.U
+
+	if s.Cfg.HighOrderThickness {
+		for c := 0; c < m.NCells; c++ {
+			base := c * mesh.MaxEdges
+			n := int(m.NEdgesOnCell[c])
+			acc := 0.0
+			for j := 0; j < n; j++ {
+				e := m.EdgesOnCell[base+j]
+				nb := m.CellsOnCell[base+j]
+				dc := m.DcEdge[e]
+				acc += 2 * (h[nb] - h[c]) / (dc * dc)
+			}
+			d.D2fdx2Cell[c] = acc / float64(n)
+		}
+		for e := 0; e < m.NEdges; e++ {
+			c1, c2 := m.CellsOnEdge[2*e], m.CellsOnEdge[2*e+1]
+			dc := m.DcEdge[e]
+			d.HEdge[e] = 0.5*(h[c1]+h[c2]) - dc*dc/12*0.5*(d.D2fdx2Cell[c1]+d.D2fdx2Cell[c2])
+		}
+	} else {
+		for e := 0; e < m.NEdges; e++ {
+			c1, c2 := m.CellsOnEdge[2*e], m.CellsOnEdge[2*e+1]
+			d.HEdge[e] = 0.5 * (h[c1] + h[c2])
+		}
+	}
+
+	// Vorticity: vertex-order gather, sign by conditional (branchy E).
+	for v := 0; v < m.NVertices; v++ {
+		base := v * mesh.VertexDegree
+		circ := 0.0
+		for j := 0; j < mesh.VertexDegree; j++ {
+			e := m.EdgesOnVertex[base+j]
+			q := m.DcEdge[e] * u[e]
+			if m.VerticesOnEdge[2*e+1] == int32(v) {
+				circ += q
+			} else {
+				circ -= q
+			}
+		}
+		d.Vorticity[v] = circ / m.AreaTriangle[v]
+	}
+
+	// Divergence: cell-order gather, sign by conditional (branchy A2).
+	for c := 0; c < m.NCells; c++ {
+		base := c * mesh.MaxEdges
+		n := int(m.NEdgesOnCell[c])
+		acc := 0.0
+		for j := 0; j < n; j++ {
+			e := m.EdgesOnCell[base+j]
+			flux := m.DvEdge[e] * u[e]
+			if m.CellsOnEdge[2*e] == int32(c) {
+				acc += flux
+			} else {
+				acc -= flux
+			}
+		}
+		d.Divergence[c] = acc / m.AreaCell[c]
+	}
+
+	// Kinetic energy: cell-order gather (sign-free; same shape as A3).
+	for c := 0; c < m.NCells; c++ {
+		base := c * mesh.MaxEdges
+		n := int(m.NEdgesOnCell[c])
+		acc := 0.0
+		for j := 0; j < n; j++ {
+			e := m.EdgesOnCell[base+j]
+			acc += 0.25 * m.DcEdge[e] * m.DvEdge[e] * u[e] * u[e]
+		}
+		d.KE[c] = acc / m.AreaCell[c]
+	}
+
+	// Tangential velocity (F; gather already).
+	for e := 0; e < m.NEdges; e++ {
+		base := e * mesh.MaxEdgesOnEdge
+		n := int(m.NEdgesOnEdge[e])
+		acc := 0.0
+		for j := 0; j < n; j++ {
+			acc += m.WeightsOnEdge[base+j] * u[m.EdgesOnEdge[base+j]]
+		}
+		d.V[e] = acc
+	}
+
+	// h_vertex, pv_vertex (G; gather already).
+	for v := 0; v < m.NVertices; v++ {
+		base := v * mesh.VertexDegree
+		acc := 0.0
+		for j := 0; j < mesh.VertexDegree; j++ {
+			acc += m.KiteAreasOnVertex[base+j] * h[m.CellsOnVertex[base+j]]
+		}
+		d.HVertex[v] = acc / m.AreaTriangle[v]
+		d.PVVertex[v] = (m.FVertex[v] + d.Vorticity[v]) / d.HVertex[v]
+	}
+
+	// pv_cell, vorticity_cell: cell-order gather with the kite weight found
+	// by SEARCHING the vertex's cell list (branchy C2/H2 — the solver
+	// precomputes this lookup into its label-matrix-style weight table).
+	for c := 0; c < m.NCells; c++ {
+		base := c * mesh.MaxEdges
+		n := int(m.NEdgesOnCell[c])
+		accPV, accVort := 0.0, 0.0
+		for j := 0; j < n; j++ {
+			v := m.VerticesOnCell[base+j]
+			vb := int(v) * mesh.VertexDegree
+			for k := 0; k < mesh.VertexDegree; k++ {
+				if m.CellsOnVertex[vb+k] == int32(c) {
+					w := m.KiteAreasOnVertex[vb+k] / m.AreaCell[c]
+					accPV += w * d.PVVertex[v]
+					accVort += w * d.Vorticity[v]
+					break
+				}
+			}
+		}
+		d.PVCell[c] = accPV
+		d.VorticityCell[c] = accVort
+	}
+
+	// pv_edge (H1) with APVM correction (B2); edge-order gathers.
+	for e := 0; e < m.NEdges; e++ {
+		v1, v2 := m.VerticesOnEdge[2*e], m.VerticesOnEdge[2*e+1]
+		d.PVEdge[e] = 0.5 * (d.PVVertex[v1] + d.PVVertex[v2])
+	}
+	if s.Cfg.APVM != 0 {
+		coef := s.Cfg.APVM * s.Cfg.Dt
+		for e := 0; e < m.NEdges; e++ {
+			v1, v2 := m.VerticesOnEdge[2*e], m.VerticesOnEdge[2*e+1]
+			c1, c2 := m.CellsOnEdge[2*e], m.CellsOnEdge[2*e+1]
+			gradPVt := (d.PVVertex[v2] - d.PVVertex[v1]) / m.DvEdge[e]
+			gradPVn := (d.PVCell[c2] - d.PVCell[c1]) / m.DcEdge[e]
+			d.PVEdge[e] -= coef * (d.V[e]*gradPVt + u[e]*gradPVn)
+		}
+	}
+}
+
+// branchyTend computes compute_tend in Algorithm-3 form: tend_h as a
+// cell-order gather with a conditional sign, tend_u in its (already
+// edge-order) vector-invariant form.
+func branchyTend(s *sw.Solver, st *sw.State, d *sw.Diagnostics, td *sw.Tendencies) {
+	m := s.M
+	u, h := st.U, st.H
+
+	for c := 0; c < m.NCells; c++ {
+		base := c * mesh.MaxEdges
+		n := int(m.NEdgesOnCell[c])
+		acc := 0.0
+		for j := 0; j < n; j++ {
+			e := m.EdgesOnCell[base+j]
+			flux := m.DvEdge[e] * d.HEdge[e] * u[e]
+			if m.CellsOnEdge[2*e] == int32(c) {
+				acc += flux
+			} else {
+				acc -= flux
+			}
+		}
+		td.H[c] = -acc / m.AreaCell[c]
+	}
+
+	if s.Cfg.AdvectionOnly {
+		// The enforce_boundary_edge slot (Rayleigh friction) still runs
+		// after the zeroed dynamic tendency, mirroring the kernel sequence.
+		for e := 0; e < m.NEdges; e++ {
+			td.U[e] = 0
+		}
+		if r := s.Cfg.RayleighFriction; r != 0 {
+			for e := 0; e < m.NEdges; e++ {
+				td.U[e] -= r * u[e]
+			}
+		}
+		return
+	}
+	g := s.Cfg.Gravity
+	b := s.B
+	for e := 0; e < m.NEdges; e++ {
+		base := e * mesh.MaxEdgesOnEdge
+		n := int(m.NEdgesOnEdge[e])
+		q := 0.0
+		for j := 0; j < n; j++ {
+			eoe := m.EdgesOnEdge[base+j]
+			workPV := 0.5 * (d.PVEdge[e] + d.PVEdge[eoe])
+			q += m.WeightsOnEdge[base+j] * u[eoe] * d.HEdge[eoe] * workPV
+		}
+		c1, c2 := m.CellsOnEdge[2*e], m.CellsOnEdge[2*e+1]
+		grad := (d.KE[c2] - d.KE[c1] + g*(h[c2]+b[c2]-h[c1]-b[c1])) / m.DcEdge[e]
+		td.U[e] = q - grad
+	}
+	if nu := s.Cfg.Viscosity; nu != 0 {
+		for e := 0; e < m.NEdges; e++ {
+			c1, c2 := m.CellsOnEdge[2*e], m.CellsOnEdge[2*e+1]
+			v1, v2 := m.VerticesOnEdge[2*e], m.VerticesOnEdge[2*e+1]
+			td.U[e] += nu * ((d.Divergence[c2]-d.Divergence[c1])/m.DcEdge[e] -
+				(d.Vorticity[v2]-d.Vorticity[v1])/m.DvEdge[e])
+		}
+	}
+	if r := s.Cfg.RayleighFriction; r != 0 {
+		for e := 0; e < m.NEdges; e++ {
+			td.U[e] -= r * u[e]
+		}
+	}
+}

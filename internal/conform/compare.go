@@ -1,0 +1,185 @@
+package conform
+
+import (
+	"fmt"
+	"math"
+)
+
+// ULPDist returns the distance between a and b in units in the last place:
+// the number of representable float64 values strictly between them, plus one
+// when they differ. Equal values (including +0 vs +0) give 0; +0 vs -0 give
+// 1; any NaN gives MaxUint64.
+func ULPDist(a, b float64) uint64 {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		if math.IsNaN(a) && math.IsNaN(b) {
+			return 0
+		}
+		return math.MaxUint64
+	}
+	ia, ib := orderedBits(a), orderedBits(b)
+	if ia > ib {
+		ia, ib = ib, ia
+	}
+	return ib - ia
+}
+
+// orderedBits maps a float64 onto a uint64 that is monotonically increasing
+// in the float ordering (the standard bias trick: flip all bits of negatives,
+// set the sign bit of positives), so ULP distance is integer subtraction.
+func orderedBits(f float64) uint64 {
+	b := math.Float64bits(f)
+	if b>>63 != 0 {
+		return ^b // negative range, reversed
+	}
+	return b | 1<<63
+}
+
+// Diff summarizes the discrepancy between two sets of state vectors.
+type Diff struct {
+	MaxULP  uint64  // max ULP distance over all compared entries
+	RelL2   float64 // ||a-b||_2 / ||a||_2, worst field
+	RelLInf float64 // max|a-b| / max|a|, worst field
+	MaxAbs  float64 // max|a-b| over all entries
+
+	// Location of the worst (max-ULP) entry.
+	Var   string
+	Index int
+
+	// First divergence in trajectory order when stage snapshots were
+	// compared (CompareResults); -1 when unavailable.
+	Step, Stage int
+}
+
+func (d Diff) String() string {
+	s := fmt.Sprintf("max_ulp=%d rel_l2=%.3e rel_linf=%.3e max_abs=%.3e at %s[%d]",
+		d.MaxULP, d.RelL2, d.RelLInf, d.MaxAbs, d.Var, d.Index)
+	if d.Step >= 0 {
+		s += fmt.Sprintf(" (first divergence: step %d stage %d)", d.Step, d.Stage)
+	}
+	return s
+}
+
+// accumulate folds the comparison of one named field pair into d.
+func (d *Diff) accumulate(name string, a, b []float64) {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	var sumD2, sumA2, maxD, maxA float64
+	for i := 0; i < n; i++ {
+		if u := ULPDist(a[i], b[i]); u > d.MaxULP {
+			d.MaxULP = u
+			d.Var = name
+			d.Index = i
+		}
+		diff := math.Abs(a[i] - b[i])
+		sumD2 += diff * diff
+		sumA2 += a[i] * a[i]
+		if diff > maxD {
+			maxD = diff
+		}
+		if v := math.Abs(a[i]); v > maxA {
+			maxA = v
+		}
+	}
+	if maxD > d.MaxAbs {
+		d.MaxAbs = maxD
+	}
+	if sumA2 > 0 {
+		if r := math.Sqrt(sumD2 / sumA2); r > d.RelL2 {
+			d.RelL2 = r
+		}
+	} else if sumD2 > 0 {
+		d.RelL2 = math.Inf(1)
+	}
+	if maxA > 0 {
+		if r := maxD / maxA; r > d.RelLInf {
+			d.RelLInf = r
+		}
+	} else if maxD > 0 {
+		d.RelLInf = math.Inf(1)
+	}
+	if len(a) != len(b) {
+		// Length mismatch is a hard divergence (different meshes?).
+		d.MaxULP = math.MaxUint64
+		d.Var = name
+		d.Index = n
+	}
+}
+
+// CompareStates compares two (h, u) state pairs.
+func CompareStates(ah, au, bh, bu []float64) Diff {
+	d := Diff{Step: -1, Stage: -1}
+	d.accumulate("h", ah, bh)
+	d.accumulate("u", au, bu)
+	return d
+}
+
+// Tolerance is the acceptance band for one strategy pair. A comparison
+// passes when its max-ULP distance is within MaxULP, OR (when RelLInf is
+// nonzero) its relative l-inf error is within RelLInf — the ULP bound serves
+// the bitwise-equivalent strategies, the relative bound the
+// roundoff-reordered ones.
+type Tolerance struct {
+	MaxULP  uint64
+	RelLInf float64
+}
+
+// Accepts reports whether d is within the tolerance.
+func (t Tolerance) Accepts(d Diff) bool {
+	if d.MaxULP <= t.MaxULP {
+		return true
+	}
+	return t.RelLInf > 0 && d.RelLInf <= t.RelLInf && d.RelL2 <= t.RelLInf
+}
+
+// ExactTol is the tolerance for strategy pairs that compute every output
+// element with identical arithmetic (gather forms, threaded chunking, hybrid
+// range splits, distributed owned points): bitwise on amd64, with a few ULP
+// of slack for architectures that contract multiply-adds.
+var ExactTol = Tolerance{MaxULP: 4}
+
+// ReorderTol returns the tolerance for pairs involving a summation-reordered
+// strategy (the Algorithm-2 scatter reference): the paper's own "consistent
+// within the machine precision" band (Fig. 5c), grown mildly with trajectory
+// length.
+func ReorderTol(steps int) Tolerance {
+	if steps < 1 {
+		steps = 1
+	}
+	return Tolerance{MaxULP: 4, RelLInf: 1e-11 * float64(steps)}
+}
+
+// PairTolerance returns the acceptance band for comparing strategies a and b
+// over a trajectory of the given length.
+func PairTolerance(a, b Strategy, steps int) Tolerance {
+	if a.Exact && b.Exact {
+		return ExactTol
+	}
+	return ReorderTol(steps)
+}
+
+// CompareResults compares two trajectories: the final states always, and —
+// when the comparison fails and both results carry stage snapshots — walks
+// the snapshots in time order to locate the FIRST RK substep where the pair
+// left the tolerance band (reported via Diff.Step/Stage/Var/Index).
+func CompareResults(a, b *Result, tol Tolerance) (Diff, bool) {
+	d := CompareStates(a.H, a.U, b.H, b.U)
+	if tol.Accepts(d) {
+		return d, true
+	}
+	n := len(a.Stages)
+	if len(b.Stages) < n {
+		n = len(b.Stages)
+	}
+	for i := 0; i < n; i++ {
+		sa, sb := a.Stages[i], b.Stages[i]
+		sd := CompareStates(sa.H, sa.U, sb.H, sb.U)
+		if !tol.Accepts(sd) {
+			d.Step, d.Stage = sa.Step, sa.Stage
+			d.Var, d.Index = sd.Var, sd.Index
+			return d, false
+		}
+	}
+	return d, false
+}

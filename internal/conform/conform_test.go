@@ -1,0 +1,232 @@
+package conform
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mesh"
+)
+
+var testMesh = mesh.MustBuild(2, mesh.Options{})
+
+func TestULPDist(t *testing.T) {
+	cases := []struct {
+		a, b float64
+		want uint64
+	}{
+		{1.0, 1.0, 0},
+		{0.0, 0.0, 0},
+		{1.0, math.Nextafter(1, 2), 1},
+		{1.0, math.Nextafter(math.Nextafter(1, 2), 2), 2},
+		{0.0, math.Copysign(0, -1), 1},
+		{5e-324, -5e-324, 3}, // smallest denormals straddling zero
+	}
+	for _, c := range cases {
+		if got := ULPDist(c.a, c.b); got != c.want {
+			t.Errorf("ULPDist(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := ULPDist(c.b, c.a); got != c.want {
+			t.Errorf("ULPDist(%v, %v) = %d, want %d (symmetry)", c.b, c.a, got, c.want)
+		}
+	}
+	if got := ULPDist(1, math.NaN()); got != math.MaxUint64 {
+		t.Errorf("ULPDist(1, NaN) = %d, want MaxUint64", got)
+	}
+	if got := ULPDist(math.NaN(), math.NaN()); got != 0 {
+		t.Errorf("ULPDist(NaN, NaN) = %d, want 0", got)
+	}
+}
+
+func TestToleranceAccepts(t *testing.T) {
+	within := Diff{MaxULP: 3}
+	if !ExactTol.Accepts(within) {
+		t.Error("ExactTol rejected a 3-ULP diff")
+	}
+	reordered := Diff{MaxULP: 1 << 20, RelLInf: 5e-12, RelL2: 1e-12}
+	if ExactTol.Accepts(reordered) {
+		t.Error("ExactTol accepted a reordered diff")
+	}
+	if !ReorderTol(1).Accepts(reordered) {
+		t.Error("ReorderTol(1) rejected a 5e-12 relative diff")
+	}
+	big := Diff{MaxULP: 1 << 40, RelLInf: 1e-3, RelL2: 1e-4}
+	if ReorderTol(1).Accepts(big) {
+		t.Error("ReorderTol(1) accepted a 1e-3 relative diff")
+	}
+}
+
+func TestCompareStatesLocatesWorstEntry(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{1, 2, 3}
+	u := []float64{4, 5}
+	ub := []float64{4, 5.5}
+	d := CompareStates(a, u, b, ub)
+	if d.Var != "u" || d.Index != 1 {
+		t.Errorf("worst entry located at %s[%d], want u[1]", d.Var, d.Index)
+	}
+	if d.MaxAbs != 0.5 {
+		t.Errorf("MaxAbs = %v, want 0.5", d.MaxAbs)
+	}
+}
+
+func TestCompareStatesLengthMismatch(t *testing.T) {
+	d := CompareStates([]float64{1}, []float64{2}, []float64{1, 1}, []float64{2})
+	if d.MaxULP != math.MaxUint64 {
+		t.Errorf("length mismatch not flagged: MaxULP = %d", d.MaxULP)
+	}
+}
+
+// TestNamedCasesAllStrategies is the core conformance matrix at test scale:
+// every named case, every strategy, two RK-4 steps, pairwise against the
+// gather-serial baseline under the pair's documented tolerance.
+func TestNamedCasesAllStrategies(t *testing.T) {
+	strategies := AllStrategies()
+	base := strategies[0]
+	for _, name := range NamedCaseNames() {
+		c, err := NamedCase(name, testMesh, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := base.Run(c, true)
+		if err != nil {
+			t.Fatalf("%s: baseline: %v", name, err)
+		}
+		for _, s := range strategies[1:] {
+			res, err := s.Run(c, true)
+			if err != nil {
+				t.Errorf("%s/%s: %v", name, s.Name, err)
+				continue
+			}
+			tol := PairTolerance(base, s, c.Steps)
+			d, ok := CompareResults(ref, res, tol)
+			if !ok {
+				t.Errorf("%s/%s diverged from baseline: %v", name, s.Name, d)
+			} else {
+				t.Logf("%s/%s: %v", name, s.Name, d)
+			}
+		}
+	}
+}
+
+// TestRandomCasesConform runs a few seeded random cases through a
+// representative strategy subset (the full 20-case sweep is the CLI's job).
+func TestRandomCasesConform(t *testing.T) {
+	base := Baseline()
+	subset := []Strategy{
+		BranchyGather(), ScatterRef(), Threaded(4), HybridPattern(0.25), MPI(2),
+	}
+	for _, c := range RandomCases(1, 3, 2, 2) {
+		ref, err := base.Run(c, true)
+		if err != nil {
+			t.Fatalf("%s: baseline: %v", c.Name, err)
+		}
+		for _, s := range subset {
+			res, err := s.Run(c, true)
+			if err != nil {
+				t.Errorf("%s/%s: %v", c.Name, s.Name, err)
+				continue
+			}
+			d, ok := CompareResults(ref, res, PairTolerance(base, s, c.Steps))
+			if !ok {
+				t.Errorf("%s/%s diverged: %v", c.Name, s.Name, d)
+			}
+		}
+	}
+}
+
+// TestPerturbationDetected is the negative control: a deliberately corrupted
+// pattern kernel must be flagged against the clean baseline, with the
+// divergence localized to the first RK substep it reaches the state.
+func TestPerturbationDetected(t *testing.T) {
+	c, err := NamedCase("tc2", testMesh, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Baseline().Run(c, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"A1", "X2", "D1", "E"} {
+		res, err := PerturbedStrategy(id, 0).Run(c, true)
+		if err != nil {
+			t.Fatalf("perturbed-%s: %v", id, err)
+		}
+		d, ok := CompareResults(ref, res, ReorderTol(c.Steps))
+		if ok {
+			t.Errorf("perturbed-%s NOT detected (comparator broken): %v", id, d)
+			continue
+		}
+		if d.Step < 0 {
+			t.Errorf("perturbed-%s: first divergence not localized: %v", id, d)
+		}
+		t.Logf("perturbed-%s detected: %v", id, d)
+	}
+}
+
+func TestPerturbationErrors(t *testing.T) {
+	c, _ := NamedCase("tc2", testMesh, 1)
+	// B1 exists but is not a supported perturbation target.
+	if _, err := PerturbedStrategy("B1", 0).Run(c, false); err == nil {
+		t.Error("unsupported pattern accepted")
+	}
+	// D2 is only built under HighOrderThickness; default tc2 config uses D1.
+	if _, err := PerturbedStrategy("D2", 0).Run(c, false); err == nil {
+		t.Error("absent pattern accepted")
+	}
+}
+
+func TestStageRecording(t *testing.T) {
+	c, err := NamedCase("tc2", testMesh, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []Strategy{Baseline(), BranchyGather()} {
+		res, err := s.Run(c, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Stages) != 4*c.Steps {
+			t.Fatalf("%s: %d stage snapshots, want %d", s.Name, len(res.Stages), 4*c.Steps)
+		}
+		for i, st := range res.Stages {
+			if st.Step != i/4 || st.Stage != i%4 {
+				t.Fatalf("%s: snapshot %d labeled step %d stage %d", s.Name, i, st.Step, st.Stage)
+			}
+		}
+	}
+}
+
+func TestStrategyByName(t *testing.T) {
+	for _, s := range AllStrategies() {
+		if _, ok := StrategyByName(s.Name); !ok {
+			t.Errorf("StrategyByName(%q) not found", s.Name)
+		}
+	}
+	if _, ok := StrategyByName("nope"); ok {
+		t.Error("StrategyByName accepted an unknown name")
+	}
+}
+
+func TestRandomMeshDeterministic(t *testing.T) {
+	a := RandomMesh(7, 2)
+	b := RandomMesh(7, 2)
+	for i := range a.XCell {
+		if a.XCell[i] != b.XCell[i] {
+			t.Fatal("RandomMesh not deterministic for equal seeds")
+		}
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("RandomMesh(7, 2) invalid: %v", err)
+	}
+	c := RandomMesh(8, 2)
+	same := true
+	for i := range a.XCell {
+		if a.XCell[i] != c.XCell[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("RandomMesh identical across different seeds")
+	}
+}

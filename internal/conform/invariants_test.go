@@ -1,0 +1,111 @@
+package conform
+
+import (
+	"math"
+	"testing"
+)
+
+// TestInvariantDriftAllStrategies is the metamorphic layer of the harness:
+// whatever the execution strategy, a short trajectory must conserve mass to
+// roundoff and keep total energy and potential enstrophy drifts inside the
+// documented RK-4 bands (the conserved quantities of §2.A). Distributed
+// strategies report only the global mass series; the others the full
+// invariant set.
+func TestInvariantDriftAllStrategies(t *testing.T) {
+	const steps = 5
+	c, err := NamedCase("tc2", testMesh, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range AllStrategies() {
+		res, err := s.Run(c, false)
+		if err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+			continue
+		}
+		if len(res.Mass) != steps+1 {
+			t.Errorf("%s: %d mass samples, want %d", s.Name, len(res.Mass), steps+1)
+			continue
+		}
+		m0 := res.Mass[0]
+		for i, m := range res.Mass {
+			if drift := math.Abs(m-m0) / math.Abs(m0); drift > 1e-12 {
+				t.Errorf("%s: mass drift %.3e at step %d (limit 1e-12)", s.Name, drift, i)
+				break
+			}
+		}
+		if len(res.Inv) == 0 {
+			continue // distributed: rank-local diagnostics, mass only
+		}
+		i0 := res.Inv[0]
+		for i, inv := range res.Inv {
+			if inv.MinH <= 0 {
+				t.Errorf("%s: non-positive thickness %v at step %d", s.Name, inv.MinH, i)
+				break
+			}
+			if d := math.Abs(inv.TotalEnergy-i0.TotalEnergy) / math.Abs(i0.TotalEnergy); d > 1e-7 {
+				t.Errorf("%s: energy drift %.3e at step %d (limit 1e-7)", s.Name, d, i)
+				break
+			}
+			if d := math.Abs(inv.PotentialEnstrophy-i0.PotentialEnstrophy) /
+				math.Abs(i0.PotentialEnstrophy); d > 1e-4 {
+				t.Errorf("%s: enstrophy drift %.3e at step %d (limit 1e-4)", s.Name, d, i)
+				break
+			}
+		}
+	}
+}
+
+// TestInvariantDriftRandomCase runs the same metamorphic checks on a seeded
+// random case (jittered mesh, random physical state) for the reference-form
+// steppers, which share no kernel code with the solver.
+func TestInvariantDriftRandomCase(t *testing.T) {
+	c := RandomCase(99, 2, 3)
+	for _, s := range []Strategy{Baseline(), BranchyGather(), ScatterRef()} {
+		res, err := s.Run(c, false)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		m0 := res.Mass[0]
+		for i, m := range res.Mass {
+			if drift := math.Abs(m-m0) / math.Abs(m0); drift > 1e-12 {
+				t.Errorf("%s: mass drift %.3e at step %d", s.Name, drift, i)
+				break
+			}
+		}
+		for i, inv := range res.Inv {
+			if inv.MinH <= 0 {
+				t.Errorf("%s: non-positive thickness at step %d", s.Name, i)
+			}
+		}
+	}
+}
+
+// TestMassSeriesAgreesAcrossStrategies cross-checks the PER-STEP mass series
+// between the serial baseline and a distributed run: the distributed mass is
+// an allreduce over rank partial sums (different summation order), so it must
+// agree to relative roundoff, not bitwise.
+func TestMassSeriesAgreesAcrossStrategies(t *testing.T) {
+	c, err := NamedCase("tc5", testMesh, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Baseline().Run(c, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []Strategy{MPI(2), MPI(4)} {
+		res, err := s.Run(c, false)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if len(res.Mass) != len(ref.Mass) {
+			t.Fatalf("%s: %d mass samples, want %d", s.Name, len(res.Mass), len(ref.Mass))
+		}
+		for i := range ref.Mass {
+			if d := math.Abs(res.Mass[i]-ref.Mass[i]) / math.Abs(ref.Mass[i]); d > 1e-12 {
+				t.Errorf("%s: mass series off by %.3e at step %d", s.Name, d, i)
+			}
+		}
+	}
+}

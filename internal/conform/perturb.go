@@ -1,0 +1,65 @@
+package conform
+
+import (
+	"fmt"
+
+	"repro/internal/sw"
+)
+
+// InjectPerturbation corrupts one pattern kernel of solver s: after the
+// pattern's normal Run, every output element in the range is scaled by
+// (1+eps). This is the harness's negative control — a conformance run against
+// an unperturbed baseline MUST flag the divergence, otherwise the comparator
+// (or the tolerance) is broken. Only patterns whose output always feeds the
+// trajectory are offered (a perturbation of, say, Divergence would vanish
+// whenever Viscosity is zero):
+//
+//	A1  tend_h           (Tend.H)
+//	X2  next_substep h   (Provis.H)
+//	D1  h_edge, low-order  (Diag.HEdge)
+//	D2  h_edge, high-order (Diag.HEdge)
+//	E   vorticity        (Diag.Vorticity)
+func InjectPerturbation(s *sw.Solver, id string, eps float64) error {
+	var field []float64
+	switch id {
+	case "A1":
+		field = s.Tend.H
+	case "X2":
+		field = s.Provis.H
+	case "D1", "D2":
+		field = s.Diag.HEdge
+	case "E":
+		field = s.Diag.Vorticity
+	default:
+		return fmt.Errorf("conform: pattern %q not supported for perturbation", id)
+	}
+	p := s.PatternByID(id)
+	if p == nil {
+		return fmt.Errorf("conform: solver has no pattern %q", id)
+	}
+	orig := p.Run
+	p.Run = func(lo, hi int) {
+		orig(lo, hi)
+		for i := lo; i < hi; i++ {
+			field[i] *= 1 + eps
+		}
+	}
+	return nil
+}
+
+// PerturbedStrategy is the serial gather solver with pattern id corrupted by
+// eps — it must FAIL conformance against Baseline on any case that executes
+// the pattern. eps 0 means 1e-4 (large enough to clear every tolerance band
+// after one step, small enough to keep the run stable).
+func PerturbedStrategy(id string, eps float64) Strategy {
+	if eps == 0 {
+		eps = 1e-4
+	}
+	return solverStrategy("perturbed-"+id, false, func(s *sw.Solver) (func(), error) {
+		s.Runner = sw.SerialRunner{}
+		if err := InjectPerturbation(s, id, eps); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	})
+}

@@ -1,0 +1,161 @@
+package conform
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/icosa"
+	"repro/internal/mesh"
+	"repro/internal/sw"
+)
+
+// RandomMesh builds a valid SCVT mesh whose generators are the icosahedral
+// nodes perturbed tangentially by a seeded random jitter — the connectivity
+// stays icosahedral, but every cell area, edge length, kite weight and
+// tangential-reconstruction weight changes, so the pattern kernels are
+// exercised away from the symmetric mesh. If the jittered mesh fails
+// validation (too-aggressive jitter can flip a Delaunay triangle) the jitter
+// is halved and rebuilt; jitter 0 reproduces the regular mesh and always
+// validates.
+func RandomMesh(seed uint64, level int) *mesh.Mesh {
+	rng := rand.New(rand.NewSource(int64(seed)))
+	tri := icosa.Generate(level)
+	base := append([]geom.Vec3(nil), tri.Nodes...)
+	// Typical generator spacing on the unit sphere.
+	spacing := math.Sqrt(4 * math.Pi / float64(len(base)))
+	jitter := 0.15 * spacing
+	// Draw the per-node displacements once so halving the amplitude keeps the
+	// same perturbation direction field.
+	dx := make([]geom.Vec3, len(base))
+	for i, p := range base {
+		w := geom.V(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64())
+		dx[i] = geom.ProjectToTangent(p, w)
+	}
+	for try := 0; try < 5; try++ {
+		for i, p := range base {
+			tri.Nodes[i] = p.Add(dx[i].Scale(jitter)).Normalize()
+		}
+		m, err := mesh.FromTriangulation(tri, mesh.Options{})
+		if err == nil {
+			if err = m.Validate(); err == nil {
+				return m
+			}
+		}
+		jitter /= 2
+	}
+	copy(tri.Nodes, base)
+	m, err := mesh.FromTriangulation(tri, mesh.Options{})
+	if err != nil {
+		panic(fmt.Sprintf("conform: unperturbed icosa mesh failed: %v", err))
+	}
+	return m
+}
+
+// bump is one Gaussian feature on the sphere, parameterized purely by
+// position so the induced fields are identical on any (sub)mesh.
+type bump struct {
+	c   geom.Vec3 // center, unit vector
+	sig float64   // width in unit-sphere chord distance
+	amp float64
+}
+
+func (b bump) eval(p geom.Vec3) float64 {
+	d := p.Sub(b.c)
+	return b.amp * math.Exp(-d.Dot(d)/(b.sig*b.sig))
+}
+
+func randomBumps(rng *rand.Rand, n int, amp float64) []bump {
+	bs := make([]bump, n)
+	for i := range bs {
+		c := geom.V(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()).Normalize()
+		bs[i] = bump{
+			c:   c,
+			sig: 0.3 + 0.5*rng.Float64(),
+			amp: amp * (0.5 + rng.Float64()) * math.Copysign(1, rng.Float64()-0.5),
+		}
+	}
+	return bs
+}
+
+func evalBumps(bs []bump, p geom.Vec3) float64 {
+	acc := 0.0
+	for _, b := range bs {
+		acc += b.eval(p)
+	}
+	return acc
+}
+
+// RandomCase builds a seeded conformance scenario: a jittered mesh, a
+// randomly toggled physics configuration, and a random-but-physical initial
+// condition — a positive layer thickness made of Gaussian bumps over a deep
+// mean, and a nondivergent wind derived from a vertex streamfunction
+// (u_e = Δψ/dv across the edge), amplitude-capped well under the gravity-wave
+// speed the time step is sized for. Everything is a pure function of
+// position, so distributed ranks reconstruct the identical state on their
+// local meshes.
+func RandomCase(seed uint64, level, steps int) *Case {
+	rng := rand.New(rand.NewSource(int64(seed) ^ 0x5bd1e995))
+	m := RandomMesh(seed, level)
+
+	cfg := sw.DefaultConfig(m)
+	if rng.Float64() < 0.5 {
+		cfg.APVM = 0.5
+	} else {
+		cfg.APVM = 0
+	}
+	cfg.HighOrderThickness = rng.Float64() < 0.5
+	if rng.Float64() < 0.3 {
+		cfg.Viscosity = 1e5 * (0.5 + rng.Float64())
+	}
+	if rng.Float64() < 0.3 {
+		cfg.RayleighFriction = 1e-5 * rng.Float64()
+	}
+	if rng.Float64() < 0.15 {
+		cfg.AdvectionOnly = true
+	}
+
+	h0 := 1000 + 2000*rng.Float64()
+	hBumps := randomBumps(rng, 3, 0.05*h0)
+	// Streamfunction amplitude giving a max wind of umax: the steepest slope
+	// of a unit-sphere Gaussian of width sig is amp*sqrt(2/e)/sig, and
+	// u = Δψ/dv ≈ |∇ψ|/R, so amp = umax*sig*R bounds each bump's wind by
+	// umax (no mesh-dependent normalization, which would break rank purity).
+	umax := 10 + 40*rng.Float64()
+	psiBumps := randomBumps(rng, 3, 1) // amp rescaled below
+	for i := range psiBumps {
+		psiBumps[i].amp *= umax * psiBumps[i].sig * geom.EarthRadius / 3
+	}
+	setup := func(s *sw.Solver) {
+		mm := s.M
+		for c := 0; c < mm.NCells; c++ {
+			s.State.H[c] = h0 + evalBumps(hBumps, mm.XCell[c])
+		}
+		psi := make([]float64, mm.NVertices)
+		for v := 0; v < mm.NVertices; v++ {
+			psi[v] = evalBumps(psiBumps, mm.XVertex[v])
+		}
+		for e := 0; e < mm.NEdges; e++ {
+			v1, v2 := mm.VerticesOnEdge[2*e], mm.VerticesOnEdge[2*e+1]
+			s.State.U[e] = (psi[v2] - psi[v1]) / mm.DvEdge[e]
+		}
+		s.Init()
+	}
+	return &Case{
+		Name:  fmt.Sprintf("rand-%d-l%d", seed, level),
+		Mesh:  m,
+		Cfg:   cfg,
+		Setup: setup,
+		Steps: steps,
+	}
+}
+
+// RandomCases builds n seeded cases derived from a base seed.
+func RandomCases(baseSeed uint64, n, level, steps int) []*Case {
+	cs := make([]*Case, n)
+	for i := range cs {
+		cs[i] = RandomCase(baseSeed+uint64(i)*0x9e3779b9, level, steps)
+	}
+	return cs
+}

@@ -1,0 +1,98 @@
+package conform
+
+import "repro/internal/sw"
+
+// This file is an independent RK-4 driver over pluggable diagnostic and
+// tendency forms. It mirrors the kernel sequence of sw's Step (Algorithm 1)
+// — compute_tend, next_substep_state, compute_solve_diagnostics,
+// accumulative_update — but never calls the solver's pattern kernels, so a
+// trajectory computed here shares NOTHING with the gather code path beyond
+// the mesh: it is the sequential semantics the refactored forms are judged
+// against.
+
+// forms bundles one loop-shape family: Algorithm 2 (scatter) or Algorithm 3
+// (branchy gather).
+type forms struct {
+	diag func(s *sw.Solver, st *sw.State, d *sw.Diagnostics)
+	tend func(s *sw.Solver, st *sw.State, d *sw.Diagnostics, td *sw.Tendencies)
+}
+
+// scatterForms is the Algorithm-2 family: the solver's serial scatter
+// reference (the original MPAS loop shapes).
+var scatterForms = forms{
+	diag: func(s *sw.Solver, st *sw.State, d *sw.Diagnostics) { s.ReferenceDiagnostics(st, d) },
+	tend: func(s *sw.Solver, st *sw.State, d *sw.Diagnostics, td *sw.Tendencies) {
+		s.ReferenceTend(st, d, td)
+	},
+}
+
+// branchyForms is the Algorithm-3 family (branchy.go).
+var branchyForms = forms{diag: branchyDiagnostics, tend: branchyTend}
+
+// refStepper advances a solver's State with one of the reference forms,
+// reusing the solver only for its mesh tables, configuration, topography and
+// Diagnostics/Tendencies storage.
+type refStepper struct {
+	s            *sw.Solver
+	f            forms
+	provis, next *sw.State
+}
+
+func newRefStepper(s *sw.Solver, f forms) *refStepper {
+	r := &refStepper{s: s, f: f, provis: sw.NewState(s.M), next: sw.NewState(s.M)}
+	// Recompute the diagnostics of the initial state in this family's own
+	// loop shapes, so the whole trajectory is form-pure (Setup left the
+	// gather-form diagnostics behind).
+	r.f.diag(s, s.State, s.Diag)
+	return r
+}
+
+// step advances one RK-4 step; rec, when non-nil, receives each substep
+// state at the same boundaries as sw.Solver.PostSubstep.
+func (r *refStepper) step(rec func(stage int, st *sw.State)) {
+	s := r.s
+	dt := s.Cfg.Dt
+	rkA := [4]float64{dt / 2, dt / 2, dt, 0}
+	rkB := [4]float64{dt / 6, dt / 3, dt / 3, dt / 6}
+	r.next.CopyFrom(s.State)
+	cur := s.State // state matching the current s.Diag
+	for stage := 0; stage < 4; stage++ {
+		r.f.tend(s, cur, s.Diag, s.Tend)
+		if stage < 3 {
+			a := rkA[stage]
+			for c := range r.provis.H {
+				r.provis.H[c] = s.State.H[c] + a*s.Tend.H[c]
+			}
+			for e := range r.provis.U {
+				r.provis.U[e] = s.State.U[e] + a*s.Tend.U[e]
+			}
+			if rec != nil {
+				rec(stage, r.provis)
+			}
+			r.f.diag(s, r.provis, s.Diag)
+			b := rkB[stage]
+			for c := range r.next.H {
+				r.next.H[c] += b * s.Tend.H[c]
+			}
+			for e := range r.next.U {
+				r.next.U[e] += b * s.Tend.U[e]
+			}
+			cur = r.provis
+		} else {
+			b := rkB[3]
+			for c := range r.next.H {
+				r.next.H[c] += b * s.Tend.H[c]
+			}
+			for e := range r.next.U {
+				r.next.U[e] += b * s.Tend.U[e]
+			}
+			s.State.CopyFrom(r.next)
+			if rec != nil {
+				rec(3, s.State)
+			}
+			r.f.diag(s, s.State, s.Diag)
+		}
+	}
+	s.Time += dt
+	s.StepCount++
+}

@@ -1,0 +1,50 @@
+package hybrid_test
+
+// Conformance suite for the hybrid executor: every schedule and migration
+// fraction must reproduce the serial trajectory BITWISE — the executor only
+// re-partitions pattern index ranges between host and device pools; each
+// element is computed once with identical arithmetic (the property Figure 4b
+// rests on).
+
+import (
+	"testing"
+
+	"repro/internal/conform"
+	"repro/internal/mesh"
+)
+
+func TestHybridSchedulesConform(t *testing.T) {
+	m := mesh.MustBuild(2, mesh.Options{})
+	c, err := conform.NamedCase("tc5", m, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := conform.Baseline()
+	ref, err := base.Run(c, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strategies := []conform.Strategy{
+		conform.HybridKernel(),
+		conform.HybridPattern(0),
+		conform.HybridPattern(0.25),
+		conform.HybridPattern(0.5),
+		conform.HybridPattern(0.75),
+		conform.HybridPattern(1),
+	}
+	for _, s := range strategies {
+		t.Run(s.Name, func(t *testing.T) {
+			res, err := s.Run(c, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, ok := conform.CompareResults(ref, res, conform.ExactTol)
+			if !ok {
+				t.Errorf("diverged from serial baseline: %v", d)
+			}
+			if d.MaxULP != 0 {
+				t.Errorf("not bitwise: %v", d)
+			}
+		})
+	}
+}

@@ -33,6 +33,7 @@ type RankSolver struct {
 	HaloTimer *telemetry.Timer
 
 	globalCells int
+	globalEdges int
 }
 
 // EnableTelemetry attaches a per-rank halo-exchange timer
@@ -96,7 +97,7 @@ func NewRankSolver(c *Comm, d *Decomposition, cfg sw.Config, setup func(*sw.Solv
 		return nil, err
 	}
 	rs := &RankSolver{Comm: c, Local: l, Plan: d.Plans[c.Rank], S: s,
-		globalCells: d.Global.NCells}
+		globalCells: d.Global.NCells, globalEdges: d.Global.NEdges}
 	s.PostSubstep = func(stage int, st *sw.State) {
 		ctx := rs.HaloTimer.Start()
 		c.exchange(rs.Plan, st.H, st.U)
@@ -155,6 +156,36 @@ func (r *RankSolver) GatherCellField(local []float64) []float64 {
 	out := make([]float64, r.globalCells)
 	for lc := 0; lc < r.Local.NOwnedCells; lc++ {
 		out[r.Local.CellL2G[lc]] = local[lc]
+	}
+	for from := 1; from < r.Comm.Size(); from++ {
+		buf := r.Comm.Recv(from)
+		for i := 0; i+1 < len(buf); i += 2 {
+			out[int(buf[i])] = buf[i+1]
+		}
+	}
+	return out
+}
+
+// GatherEdgeField reconstructs the global edge field from the portions each
+// rank OWNS (EdgeOwner — edges straddling a cut belong to exactly one rank),
+// same protocol as GatherCellField: rank 0 returns the full field, others
+// nil.
+func (r *RankSolver) GatherEdgeField(local []float64) []float64 {
+	if r.Comm.Rank != 0 {
+		buf := make([]float64, 0, 2*len(r.Local.EdgeL2G))
+		for le, owner := range r.Local.EdgeOwner {
+			if int(owner) == r.Comm.Rank {
+				buf = append(buf, float64(r.Local.EdgeL2G[le]), local[le])
+			}
+		}
+		r.Comm.Send(0, buf)
+		return nil
+	}
+	out := make([]float64, r.globalEdges)
+	for le, owner := range r.Local.EdgeOwner {
+		if owner == 0 {
+			out[r.Local.EdgeL2G[le]] = local[le]
+		}
 	}
 	for from := 1; from < r.Comm.Size(); from++ {
 		buf := r.Comm.Recv(from)

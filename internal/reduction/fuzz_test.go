@@ -1,0 +1,92 @@
+package reduction_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/par"
+	"repro/internal/reduction"
+)
+
+// randomTopology builds a random edge->cell incidence (a multigraph — the
+// reduction kernels only need the incidence, not a planar mesh) with the
+// cell->edge transpose listed in ascending edge order, which is what makes
+// the serial scatter and the gather forms accumulate each cell's
+// contributions in the identical sequence and therefore agree bitwise.
+func randomTopology(rng *rand.Rand) *reduction.Topology {
+	ncells := 4 + rng.Intn(21)
+	nedges := ncells + rng.Intn(3*ncells)
+	tp := &reduction.Topology{NCells: ncells, NEdges: nedges}
+	tp.CellsOnEdge = make([]int32, 2*nedges)
+	lists := make([][]int32, ncells)
+	for e := 0; e < nedges; e++ {
+		c1 := rng.Intn(ncells)
+		c2 := rng.Intn(ncells - 1)
+		if c2 >= c1 {
+			c2++
+		}
+		tp.CellsOnEdge[2*e] = int32(c1)
+		tp.CellsOnEdge[2*e+1] = int32(c2)
+		lists[c1] = append(lists[c1], int32(e))
+		lists[c2] = append(lists[c2], int32(e))
+	}
+	for _, l := range lists {
+		if len(l) > tp.MaxEdgesPerCell {
+			tp.MaxEdgesPerCell = len(l)
+		}
+	}
+	tp.NEdgesOnCell = make([]int32, ncells)
+	tp.EdgesOnCell = make([]int32, ncells*tp.MaxEdgesPerCell)
+	for c, l := range lists {
+		tp.NEdgesOnCell[c] = int32(len(l))
+		copy(tp.EdgesOnCell[c*tp.MaxEdgesPerCell:], l)
+	}
+	return tp
+}
+
+// FuzzReductionForms cross-checks the four reduction forms of §4.C/4.D on
+// random incidences: serial scatter (Algorithm 2), branchy gather
+// (Algorithm 3) and branch-free gather (Algorithm 4) must agree BITWISE;
+// atomic scatter reorders its accumulations and must agree to roundoff.
+func FuzzReductionForms(f *testing.F) {
+	f.Add(uint64(1))
+	f.Add(uint64(13))
+	f.Add(uint64(987654))
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		tp := randomTopology(rng)
+		x := make([]float64, tp.NEdges)
+		scale := 0.0
+		for i := range x {
+			x[i] = rng.NormFloat64() * math.Ldexp(1, rng.Intn(20)-10)
+			scale += math.Abs(x[i])
+		}
+		labels := reduction.BuildLabels(tp)
+		pool := par.NewPool(2)
+		defer pool.Close()
+
+		ser := make([]float64, tp.NCells)
+		branchy := make([]float64, tp.NCells)
+		branchfree := make([]float64, tp.NCells)
+		atomic := make([]float64, tp.NCells)
+		reduction.ScatterSerial(tp, ser, x)
+		reduction.GatherBranchy(pool, tp, branchy, x)
+		reduction.GatherBranchFree(pool, tp, labels, branchfree, x)
+		reduction.ScatterAtomic(pool, tp, atomic, x)
+
+		for c := 0; c < tp.NCells; c++ {
+			if math.Float64bits(ser[c]) != math.Float64bits(branchy[c]) {
+				t.Errorf("cell %d: branchy %v != serial scatter %v (want bitwise)",
+					c, branchy[c], ser[c])
+			}
+			if math.Float64bits(branchy[c]) != math.Float64bits(branchfree[c]) {
+				t.Errorf("cell %d: branch-free %v != branchy %v (want bitwise)",
+					c, branchfree[c], branchy[c])
+			}
+			if d := math.Abs(atomic[c] - ser[c]); d > 1e-13*scale {
+				t.Errorf("cell %d: atomic scatter off by %v (band %v)", c, d, 1e-13*scale)
+			}
+		}
+	})
+}

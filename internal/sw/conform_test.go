@@ -1,0 +1,59 @@
+package sw_test
+
+// Table-driven conformance suite for the solver package itself: the three
+// algorithmic forms of the paper — scatter (Alg. 2), branchy gather (Alg. 3)
+// and the solver's branch-free gather (Alg. 4) — run the same named cases
+// through the differential harness. The gather pair must agree bitwise (±1
+// multiplication and halving are exact in IEEE arithmetic); the scatter pair
+// within the roundoff-reordering band.
+
+import (
+	"testing"
+
+	"repro/internal/conform"
+	"repro/internal/mesh"
+)
+
+func TestAlgorithmFormsConform(t *testing.T) {
+	m := mesh.MustBuild(2, mesh.Options{})
+	tests := []struct {
+		caseName string
+		strategy conform.Strategy
+		steps    int
+	}{
+		{"tc1", conform.BranchyGather(), 2},
+		{"tc1", conform.ScatterRef(), 2},
+		{"tc2", conform.BranchyGather(), 3},
+		{"tc2", conform.ScatterRef(), 3},
+		{"tc5", conform.BranchyGather(), 2},
+		{"tc5", conform.ScatterRef(), 2},
+		{"galewsky", conform.BranchyGather(), 2},
+		{"galewsky", conform.ScatterRef(), 2},
+	}
+	base := conform.Baseline()
+	refs := map[string]*conform.Result{}
+	for _, tc := range tests {
+		key := tc.caseName
+		c, err := conform.NamedCase(tc.caseName, m, tc.steps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if refs[key] == nil || tc.steps != len(refs[key].Mass)-1 {
+			r, err := base.Run(c, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refs[key] = r
+		}
+		t.Run(tc.caseName+"/"+tc.strategy.Name, func(t *testing.T) {
+			res, err := tc.strategy.Run(c, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tol := conform.PairTolerance(base, tc.strategy, tc.steps)
+			if d, ok := conform.CompareResults(refs[key], res, tol); !ok {
+				t.Errorf("diverged: %v", d)
+			}
+		})
+	}
+}

@@ -160,10 +160,19 @@ func (s *Solver) ReferenceTend(st *State, d *Diagnostics, td *Tendencies) {
 		td.H[c] = -td.H[c] / m.AreaCell[c]
 	}
 
-	// tend_u (edge-order in MPAS too).
+	// tend_u (edge-order in MPAS too). The Rayleigh friction at the bottom
+	// belongs to the enforce_boundary_edge slot, which Algorithm 1 runs after
+	// compute_tend on EVERY stage — including advection-only configurations,
+	// where the dynamic tendency is zeroed but the friction still applies
+	// (the conformance fuzzer flagged the early return that used to skip it).
 	if s.Cfg.AdvectionOnly {
 		for e := 0; e < m.NEdges; e++ {
 			td.U[e] = 0
+		}
+		if r := s.Cfg.RayleighFriction; r != 0 {
+			for e := 0; e < m.NEdges; e++ {
+				td.U[e] -= r * u[e]
+			}
 		}
 		return
 	}

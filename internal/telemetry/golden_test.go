@@ -1,0 +1,147 @@
+package telemetry
+
+// Golden-file tests for the two text exporters. The emitted bytes are part of
+// the contract — Prometheus scrapers and trace viewers parse them — so the
+// exact output for a fixed instrument population is pinned under testdata/.
+// Regenerate with: go test ./internal/telemetry -run Golden -update
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output drifted from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// goldenRegistry populates one instrument of every kind with fixed values.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("halo_exchanges_total").Add(42)
+	r.Counter("steps_total").Add(7)
+	r.Gauge("host_fraction").Set(0.35)
+	r.Gauge("residual").Set(2.5e-11)
+	h := r.Histogram("kernel_elems")
+	for _, v := range []float64{1, 2, 3, 100, 1000, 1e6} {
+		h.Observe(v)
+	}
+	tm := r.Timer("step_seconds")
+	tm.Observe(1500 * time.Microsecond)
+	tm.Observe(3 * time.Millisecond)
+	tm.Observe(40 * time.Millisecond)
+	return r
+}
+
+func TestPrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "prometheus.golden", buf.Bytes())
+}
+
+// TestPrometheusOrderingStable re-renders the same population twice with
+// different registration orders; the exposition output must be identical
+// (sorted by metric name, not registration order).
+func TestPrometheusOrderingStable(t *testing.T) {
+	a := NewRegistry()
+	a.Counter("zzz").Inc()
+	a.Counter("aaa").Inc()
+	a.Gauge("mmm").Set(1)
+	b := NewRegistry()
+	b.Gauge("mmm").Set(1)
+	b.Counter("aaa").Inc()
+	b.Counter("zzz").Inc()
+	var ba, bb bytes.Buffer
+	if err := a.WritePrometheus(&ba); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WritePrometheus(&bb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ba.Bytes(), bb.Bytes()) {
+		t.Errorf("output depends on registration order:\n%s\nvs\n%s", ba.Bytes(), bb.Bytes())
+	}
+}
+
+// goldenTracer builds a fixed span population via RecordSpan (wall-clock-free).
+func goldenTracer() *Tracer {
+	tr := NewTracer()
+	host := tr.NewTrack("host-pool")
+	dev := tr.NewTrack("device-pool")
+	tr.RecordSpan("step", 0, 0, 10*time.Millisecond)
+	tr.RecordSpan("compute_tend", 0, 100*time.Microsecond, 4*time.Millisecond)
+	tr.RecordSpan("B1", host, 200*time.Microsecond, 3*time.Millisecond)
+	tr.RecordSpan("B1", dev, 200*time.Microsecond, 2500*time.Microsecond)
+	tr.RecordSpan("halo_exchange", 0, 4300*time.Microsecond, 700*time.Microsecond)
+	return tr
+}
+
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenTracer().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The golden bytes must also be valid JSON of the expected shape.
+	var parsed struct {
+		TraceEvents []map[string]interface{} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("exporter emitted unparseable JSON: %v", err)
+	}
+	// 3 thread_name metadata events + 5 spans.
+	if len(parsed.TraceEvents) != 8 {
+		t.Errorf("%d trace events, want 8", len(parsed.TraceEvents))
+	}
+	checkGolden(t, "chrometrace.golden", buf.Bytes())
+}
+
+func TestChromeTraceSpanOrderStable(t *testing.T) {
+	// Record the same spans in two different completion orders; the sorted
+	// output must be identical.
+	mk := func(reverse bool) []byte {
+		tr := NewTracer()
+		spans := [][2]time.Duration{
+			{0, 10 * time.Millisecond},
+			{time.Millisecond, 2 * time.Millisecond},
+			{time.Millisecond, 5 * time.Millisecond}, // same start, longer: must sort first
+		}
+		if reverse {
+			for i, j := 0, len(spans)-1; i < j; i, j = i+1, j-1 {
+				spans[i], spans[j] = spans[j], spans[i]
+			}
+		}
+		for _, s := range spans {
+			tr.RecordSpan("k", 0, s[0], s[1])
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteChromeTrace(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if a, b := mk(false), mk(true); !bytes.Equal(a, b) {
+		t.Errorf("trace output depends on span completion order:\n%s\nvs\n%s", a, b)
+	}
+}

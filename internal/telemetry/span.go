@@ -116,6 +116,25 @@ func (s *Span) End() {
 	s.tr.mu.Unlock()
 }
 
+// RecordSpan records an already-completed span with explicit timing relative
+// to the tracer's start — the deterministic entry point for importing
+// externally timed events (and what the exporter golden tests are built on,
+// since StartSpan/End read the wall clock). No-op on a nil receiver.
+func (t *Tracer) RecordSpan(name string, track int, start, dur time.Duration) {
+	if t == nil {
+		return
+	}
+	rec := spanRecord{
+		name:    name,
+		track:   track,
+		startNs: start.Nanoseconds(),
+		durNs:   dur.Nanoseconds(),
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, rec)
+	t.mu.Unlock()
+}
+
 // NumSpans returns the number of completed spans (zero on a nil receiver).
 func (t *Tracer) NumSpans() int {
 	if t == nil {

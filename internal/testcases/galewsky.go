@@ -67,6 +67,21 @@ func newGalewskyBalance(a, g, omega float64, n int) *galewskyBalance {
 	return b
 }
 
+// mean returns the spherical area-weighted mean of the balance profile,
+// (1/2) Int bal(phi) cos(phi) dphi, by trapezoid over the table. Using the
+// analytic mean (rather than a mesh sum) keeps the initial condition a pure
+// function of position, so distributed ranks reconstruct the identical state
+// on their local meshes.
+func (b *galewskyBalance) mean() float64 {
+	acc := 0.0
+	for i := 1; i < len(b.tab); i++ {
+		p0 := -math.Pi/2 + float64(i-1)*b.dphi
+		p1 := p0 + b.dphi
+		acc += 0.5 * (b.tab[i-1]*math.Cos(p0) + b.tab[i]*math.Cos(p1)) * b.dphi
+	}
+	return acc / 2
+}
+
 // at interpolates the tabulated balance at latitude phi.
 func (b *galewskyBalance) at(phi float64) float64 {
 	x := (phi + math.Pi/2) / b.dphi
@@ -87,13 +102,8 @@ func SetupGalewsky(s *sw.Solver, perturbed bool) {
 	m := s.M
 	bal := newGalewskyBalance(m.Radius, s.Cfg.Gravity, s.Cfg.Omega, 20000)
 
-	// Offset so the area-weighted mean depth is galH0.
-	var sumH, sumA float64
-	for c := 0; c < m.NCells; c++ {
-		sumH += bal.at(m.LatCell[c]) * m.AreaCell[c]
-		sumA += m.AreaCell[c]
-	}
-	offset := galH0 - sumH/sumA
+	// Offset so the (analytic) area-weighted mean depth is galH0.
+	offset := galH0 - bal.mean()
 
 	for c := 0; c < m.NCells; c++ {
 		lat, lon := m.LatCell[c], m.LonCell[c]

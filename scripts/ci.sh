@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Canonical repository check: vet, build, and the full test suite under the
-# race detector. CI and pre-commit hooks should run exactly this script.
+# Canonical repository check: vet, build, the full test suite under the race
+# detector with a coverage profile, the differential-conformance matrix, and
+# a coverage floor. CI and pre-commit hooks should run exactly this script.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -10,7 +11,23 @@ go vet ./...
 echo "== go build =="
 go build ./...
 
-echo "== go test -race =="
-go test -race ./...
+echo "== go test -race (with coverage) =="
+go test -race -coverprofile=coverage.out -coverpkg=./... ./...
+
+echo "== conformance matrix (cmd/conformance) =="
+# Every execution strategy against the serial baseline: the named cases plus
+# 20 seeded random cases on a small mesh, ending with the perturbation
+# self-check. Non-zero exit on any divergence.
+go run ./cmd/conformance -level 2 -steps 2 -random 20
+
+echo "== coverage floor =="
+total=$(go tool cover -func=coverage.out | awk '/^total:/ { sub(/%/, "", $3); print $3 }')
+floor=$(cat scripts/coverage_baseline.txt)
+echo "total coverage ${total}% (floor ${floor}%)"
+awk -v t="$total" -v f="$floor" 'BEGIN { exit !(t+0 >= f+0) }' || {
+    echo "ci.sh: FAIL — coverage ${total}% fell below the recorded floor ${floor}%" >&2
+    echo "       (scripts/coverage_baseline.txt; raise it when coverage durably improves)" >&2
+    exit 1
+}
 
 echo "ci.sh: all checks passed"
