@@ -26,7 +26,8 @@ import (
 func main() {
 	level := flag.Int("level", 4, "icosahedral subdivision level (cells = 10*4^n+2)")
 	tc := flag.Int("tc", 5, "test case: 1 (advection), 2, 5, 6 (Williamson), 8 (Galewsky jet)")
-	days := flag.Float64("days", 1, "simulated days to run")
+	days := flag.Float64("days", 1, "total simulated days (from t=0, so a resumed run covers the remainder)")
+	stepsFlag := flag.Int("steps", 0, "total RK-4 steps (overrides -days when positive)")
 	mode := flag.String("mode", "pattern", "execution design: serial|threaded|kernel|pattern")
 	workers := flag.Int("workers", 0, "host worker count (0 = GOMAXPROCS)")
 	devWorkers := flag.Int("dev-workers", 0, "device worker count (0 = GOMAXPROCS)")
@@ -37,6 +38,9 @@ func main() {
 	history := flag.String("history", "", "write an invariant time series CSV to this file")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON (chrome://tracing, Perfetto) to this file")
 	metricsOut := flag.String("metrics", "", "write Prometheus text-format metrics to this file")
+	checkpoint := flag.String("checkpoint", "", "write solver checkpoints to this file (every -checkpoint-every steps and at the end)")
+	ckptEvery := flag.Int("checkpoint-every", 0, "checkpoint cadence in steps (0 = only at the end)")
+	resume := flag.String("resume", "", "resume from a checkpoint file written by -checkpoint")
 	flag.Parse()
 
 	if *info {
@@ -88,9 +92,27 @@ func main() {
 	}
 	var hist sw.History
 
-	steps := int(*days * testcases.Day / model.Config.Dt)
+	if *resume != "" {
+		if err := model.Solver.LoadCheckpoint(*resume); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("resumed from %s at step %d (t=%.2fh)\n",
+			*resume, model.Solver.StepCount, model.Solver.Time/3600)
+	}
+
+	// -days/-steps give the TOTAL trajectory length from t=0; a resumed run
+	// integrates only the remainder, so an interrupted run plus its resume
+	// reproduce the uninterrupted trajectory exactly.
+	total := int(*days * testcases.Day / model.Config.Dt)
+	if *stepsFlag > 0 {
+		total = *stepsFlag
+	}
+	steps := total - model.Solver.StepCount
+	if steps < 0 {
+		steps = 0
+	}
 	fmt.Printf("%s\n", model.Mesh)
-	fmt.Printf("mode=%s dt=%.1fs steps=%d (%.2f days)\n", md, model.Config.Dt, steps, *days)
+	fmt.Printf("mode=%s dt=%.1fs steps=%d (total %d)\n", md, model.Config.Dt, steps, total)
 
 	inv0 := model.Invariants()
 	fmt.Printf("initial: mass=%.6e energy=%.6e enstrophy=%.6e\n",
@@ -102,22 +124,54 @@ func main() {
 		if done+n > steps {
 			n = steps - done
 		}
-		if *history != "" {
+		switch {
+		case *checkpoint != "" && *ckptEvery > 0:
+			if *history != "" && hist.Len() == 0 {
+				hist.Sample(model.Solver)
+			}
+			err := model.Solver.RunControlled(n, sw.RunControl{
+				CheckpointEvery: *ckptEvery,
+				Checkpoint:      func(s *sw.Solver) error { return s.SaveCheckpoint(*checkpoint) },
+				ReportEvery:     *report,
+				Report: func(s *sw.Solver) error {
+					if *history != "" {
+						hist.Sample(s)
+					}
+					return nil
+				},
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+		case *history != "":
 			model.Solver.RunWithHistory(n, *report, &hist)
-		} else {
+		default:
 			model.Run(n)
 		}
 		done += n
 		inv := model.Invariants()
 		fmt.Printf("step %6d t=%7.2fh  dMass=%+.2e dE=%+.2e dZ=%+.2e  h=[%.1f,%.1f] maxU=%.2f\n",
-			done, model.Time()/3600,
+			model.Solver.StepCount, model.Time()/3600,
 			(inv.Mass-inv0.Mass)/inv0.Mass,
 			(inv.TotalEnergy-inv0.TotalEnergy)/inv0.TotalEnergy,
 			(inv.PotentialEnstrophy-inv0.PotentialEnstrophy)/inv0.PotentialEnstrophy,
 			inv.MinH, inv.MaxH, inv.MaxSpeed)
 	}
+	if *checkpoint != "" {
+		// Always leave a final checkpoint, whatever the cadence: the file
+		// then holds exactly the finished trajectory, so two runs reaching
+		// the same total step count produce byte-identical checkpoints.
+		if err := model.Solver.SaveCheckpoint(*checkpoint); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote checkpoint %s (step %d)\n", *checkpoint, model.Solver.StepCount)
+	}
 	wall := time.Since(start)
-	fmt.Printf("wall time: %v (%.1f ms/step real", wall, wall.Seconds()*1000/float64(steps))
+	perStep := 0.0
+	if steps > 0 {
+		perStep = wall.Seconds() * 1000 / float64(steps)
+	}
+	fmt.Printf("wall time: %v (%.1f ms/step real", wall, perStep)
 	if t := model.SimulatedPlatformTime(); t > 0 {
 		fmt.Printf(", %.1f ms/step on simulated CPU+Phi node", t*1000/float64(steps))
 	}

@@ -1,0 +1,89 @@
+// Command swserver runs the shallow-water model as a job service: an HTTP
+// API that accepts simulation requests, runs them on a bounded worker pool
+// with admission control, spools periodic checkpoints so jobs survive
+// crashes and restarts, and streams NDJSON invariant diagnostics.
+//
+// Usage:
+//
+//	swserver -addr :8080 -spool ./spool -workers 2
+//
+//	curl -s -X POST localhost:8080/jobs -d '{"test_case":5,"level":3,"days":1,"mode":"pattern"}'
+//	curl -s localhost:8080/jobs/<id>/events        # NDJSON diagnostics
+//	curl -s localhost:8080/metrics                 # Prometheus metrics
+//
+// SIGTERM/SIGINT drains gracefully: admission stops, in-flight jobs are
+// checkpointed and suspended, and the next start resumes them.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address (use 127.0.0.1:0 for an ephemeral port)")
+	workers := flag.Int("workers", 2, "worker pool size (max concurrently running jobs)")
+	queueCap := flag.Int("queue", 16, "run queue capacity (beyond it submissions get 429)")
+	spoolDir := flag.String("spool", "spool", "spool directory for durable job state")
+	ckptEvery := flag.Int("checkpoint-every", 50, "default checkpoint cadence in steps")
+	jobTimeout := flag.Duration("job-timeout", 0, "default per-job wall-clock deadline (0 = none)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for graceful drain on SIGTERM")
+	flag.Parse()
+
+	srv, err := serve.New(serve.Config{
+		Workers:         *workers,
+		QueueCap:        *queueCap,
+		SpoolDir:        *spoolDir,
+		CheckpointEvery: *ckptEvery,
+		JobTimeoutSec:   jobTimeout.Seconds(),
+		Registry:        telemetry.NewRegistry(),
+		Logf:            log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The parseable "listening on" line goes to stdout so scripts (and the
+	// CI smoke test) can discover an ephemeral port.
+	fmt.Printf("swserver listening on %s (workers=%d queue=%d spool=%s)\n",
+		ln.Addr(), *workers, *queueCap, *spoolDir)
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		log.Printf("swserver: %v: draining (checkpointing in-flight jobs)", sig)
+	case err := <-errCh:
+		log.Fatalf("swserver: serve: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		log.Printf("swserver: drain incomplete: %v", err)
+		os.Exit(1)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("swserver: http shutdown: %v", err)
+	}
+	log.Printf("swserver: drained cleanly")
+}

@@ -1,0 +1,283 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/conform"
+	"repro/internal/mesh"
+	"repro/internal/serve"
+	"repro/internal/sw"
+	"repro/internal/testcases"
+)
+
+// buildSwserver compiles the daemon.
+func buildSwserver(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "swserver")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("building swserver: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startSwserver launches the binary over spoolDir on an ephemeral port and
+// parses the base URL from the "listening on" stdout line.
+func startSwserver(t *testing.T, bin, spoolDir string, extra ...string) (*exec.Cmd, string) {
+	t.Helper()
+	args := append([]string{"-addr", "127.0.0.1:0", "-spool", spoolDir,
+		"-workers", "1", "-checkpoint-every", "5"}, extra...)
+	cmd := exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(stdout)
+	lineCh := make(chan string, 1)
+	// One goroutine finds the announcement, then keeps draining stdout so
+	// the child never blocks on a full pipe.
+	go func() {
+		announced := false
+		for sc.Scan() {
+			line := sc.Text()
+			if !announced && strings.HasPrefix(line, "swserver listening on ") {
+				lineCh <- line
+				announced = true
+			}
+		}
+		close(lineCh)
+	}()
+	select {
+	case line, ok := <-lineCh:
+		if !ok {
+			t.Fatal("swserver exited before announcing its address")
+		}
+		addr := strings.Fields(strings.TrimPrefix(line, "swserver listening on "))[0]
+		return cmd, "http://" + addr
+	case <-time.After(30 * time.Second):
+		_ = cmd.Process.Kill()
+		t.Fatal("swserver did not announce an address")
+	}
+	return nil, ""
+}
+
+func postJob(t *testing.T, base string, spec map[string]any) serve.JobStatus {
+	t.Helper()
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		out, _ := io.ReadAll(resp.Body)
+		t.Fatalf("submit: %d: %s", resp.StatusCode, out)
+	}
+	var st serve.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func jobStatus(t *testing.T, base, id string) (serve.JobStatus, error) {
+	resp, err := http.Get(base + "/jobs/" + id)
+	if err != nil {
+		return serve.JobStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return serve.JobStatus{}, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var st serve.JobStatus
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+func waitCompleted(t *testing.T, base, id string, timeout time.Duration) serve.JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		st, err := jobStatus(t, base, id)
+		if err == nil {
+			if st.State == serve.StateCompleted {
+				return st
+			}
+			if st.State.Terminal() {
+				t.Fatalf("job %s ended %s (%s)", id, st.State, st.Error)
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("job %s never completed", id)
+	return serve.JobStatus{}
+}
+
+// finalState downloads the job's checkpoint and loads it into a solver.
+func finalState(t *testing.T, base, id string, level int) *sw.Solver {
+	t.Helper()
+	resp, err := http.Get(base + "/jobs/" + id + "/checkpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("checkpoint: %d", resp.StatusCode)
+	}
+	m, err := mesh.Build(level, mesh.Options{LloydIterations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sw.NewSolver(m, sw.DefaultConfig(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ReadCheckpoint(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestKillDashNineRecovery is the ISSUE's crash acceptance path against the
+// real binary: submit a job, SIGKILL the server mid-run, restart it over
+// the same spool, and require the job to finish with a trajectory
+// conform-identical to an uninterrupted in-process run.
+func TestKillDashNineRecovery(t *testing.T) {
+	bin := buildSwserver(t)
+	spool := t.TempDir()
+	const steps = 40
+
+	cmd, base := startSwserver(t, bin, spool)
+	st := postJob(t, base, map[string]any{
+		"test_case": 5, "level": 2, "mode": "serial", "steps": steps,
+		"report_every": 5, "checkpoint_every": 5, "step_delay_ms": 10,
+	})
+
+	// Wait for a durable checkpoint plus visible progress, then kill -9.
+	ckpt := filepath.Join(spool, st.ID, "ckpt.bin")
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if _, err := os.Stat(ckpt); err == nil {
+			if got, err := jobStatus(t, base, st.ID); err == nil && got.StepsDone >= 7 {
+				if got.State.Terminal() {
+					t.Fatalf("job finished before the kill window (%s)", got.State)
+				}
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no checkpoint appeared before the kill")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := cmd.Process.Kill(); err != nil { // SIGKILL: no drain, no cleanup
+		t.Fatal(err)
+	}
+	_ = cmd.Wait()
+
+	// Restart over the same spool; recovery re-admits and finishes the job.
+	cmd2, base2 := startSwserver(t, bin, spool)
+	defer func() {
+		_ = cmd2.Process.Kill()
+		_ = cmd2.Wait()
+	}()
+	fin := waitCompleted(t, base2, st.ID, 120*time.Second)
+	if fin.Resumes < 1 {
+		t.Errorf("recovered job reports %d resumes, want >= 1", fin.Resumes)
+	}
+	if fin.StepsDone != steps {
+		t.Errorf("recovered job finished at %d steps, want %d", fin.StepsDone, steps)
+	}
+
+	// Conform-identical to the uninterrupted trajectory.
+	served := finalState(t, base2, st.ID, 2)
+	m, err := mesh.Build(2, mesh.Options{LloydIterations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := sw.NewSolver(m, sw.DefaultConfig(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	testcases.SetupTC5(ref)
+	ref.Run(steps)
+	d := conform.CompareStates(ref.State.H, ref.State.U, served.State.H, served.State.U)
+	if !conform.ExactTol.Accepts(d) {
+		t.Fatalf("kill-9-recovered trajectory diverges: %v", d)
+	}
+}
+
+// TestSigtermDrain: SIGTERM exits cleanly, leaves the in-flight job
+// suspended-by-drain in the spool, and a restart auto-resumes it.
+func TestSigtermDrain(t *testing.T) {
+	bin := buildSwserver(t)
+	spool := t.TempDir()
+	const steps = 40
+
+	cmd, base := startSwserver(t, bin, spool)
+	st := postJob(t, base, map[string]any{
+		"test_case": 5, "level": 2, "steps": steps,
+		"report_every": 5, "step_delay_ms": 10,
+	})
+	// Let it start running.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		got, err := jobStatus(t, base, st.ID)
+		if err == nil && got.State == serve.StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never started running")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("swserver did not exit cleanly on SIGTERM: %v", err)
+	}
+
+	// The spool records the drain suspension durably.
+	data, err := os.ReadFile(filepath.Join(spool, st.ID, "status.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parked serve.JobStatus
+	if err := json.Unmarshal(data, &parked); err != nil {
+		t.Fatal(err)
+	}
+	if parked.State != serve.StateSuspended || parked.SuspendReason != serve.SuspendDrain {
+		t.Fatalf("spooled state %s/%q, want suspended/drain", parked.State, parked.SuspendReason)
+	}
+	if _, err := os.Stat(filepath.Join(spool, st.ID, "ckpt.bin")); err != nil {
+		t.Fatal("drain left no checkpoint")
+	}
+
+	// Restart: the drain-suspended job resumes automatically and completes.
+	cmd2, base2 := startSwserver(t, bin, spool)
+	defer func() {
+		_ = cmd2.Process.Kill()
+		_ = cmd2.Wait()
+	}()
+	fin := waitCompleted(t, base2, st.ID, 120*time.Second)
+	if fin.StepsDone != steps {
+		t.Errorf("finished at %d steps, want %d", fin.StepsDone, steps)
+	}
+}

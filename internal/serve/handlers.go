@@ -1,0 +1,243 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+)
+
+// Handler returns the service's HTTP API:
+//
+//	POST /jobs                  submit (202; 429 queue full; 503 draining)
+//	GET  /jobs                  list job statuses
+//	GET  /jobs/{id}             one job's status
+//	GET  /jobs/{id}/events      NDJSON event stream (replay + follow;
+//	                            ?follow=0 for replay-only)
+//	GET  /jobs/{id}/result      final result (409 until completed)
+//	GET  /jobs/{id}/checkpoint  latest durable checkpoint (binary)
+//	POST /jobs/{id}/cancel      cancel
+//	POST /jobs/{id}/suspend     checkpoint + park
+//	POST /jobs/{id}/resume      re-enqueue; body {"mode": "..."} optional
+//	GET  /healthz               liveness + queue depth + drain flag
+//	GET  /metrics               Prometheus text exposition
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /jobs/{id}/checkpoint", s.handleCheckpoint)
+	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("POST /jobs/{id}/suspend", s.handleSuspend)
+	mux.HandleFunc("POST /jobs/{id}/resume", s.handleResume)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.Handle("GET /metrics", s.reg.Handler())
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// errCode maps service errors onto HTTP statuses.
+func errCode(err error) int {
+	switch {
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, ErrConflict):
+		return http.StatusConflict
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+const maxSpecBytes = 1 << 20
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding job spec: %w", err))
+		return
+	}
+	st, err := s.Submit(spec)
+	if err != nil {
+		code := errCode(err)
+		if code == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "1")
+		}
+		writeErr(w, code, err)
+		return
+	}
+	w.Header().Set("Location", "/jobs/"+st.ID)
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Jobs())
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, err := s.Job(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, errCode(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+// handleEvents streams the job's events as NDJSON: the full replay first,
+// then live events until the job reaches a terminal state (the "done"
+// event closes the stream) or the client disconnects. ?follow=0 returns
+// the replay only.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, err := s.Job(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, errCode(err), err)
+		return
+	}
+	follow := r.URL.Query().Get("follow") != "0"
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-cache")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+
+	replay, live, unsub := j.broker.subscribe()
+	defer unsub()
+	terminal := false
+	for _, ev := range replay {
+		if err := enc.Encode(ev); err != nil {
+			return
+		}
+		terminal = terminal || ev.Type == "done"
+	}
+	if flusher != nil {
+		flusher.Flush()
+	}
+	if !follow || terminal {
+		return
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, ok := <-live:
+			if !ok {
+				return
+			}
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			if ev.Type == "done" {
+				return
+			}
+		}
+	}
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, err := s.Job(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, errCode(err), err)
+		return
+	}
+	st := j.Status()
+	if st.State != StateCompleted {
+		writeErr(w, http.StatusConflict,
+			fmt.Errorf("%w: job is %s, result exists only for completed jobs", ErrConflict, st.State))
+		return
+	}
+	res, err := s.spool.readResult(st.ID)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, fmt.Errorf("reading result: %w", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// handleCheckpoint serves the latest durable checkpoint — for a completed
+// job, the exact final prognostic state, loadable with sw.LoadCheckpoint
+// (the conformance tests compare trajectories through this endpoint).
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	j, err := s.Job(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, errCode(err), err)
+		return
+	}
+	path := s.spool.checkpointPath(j.ID)
+	if _, err := os.Stat(path); err != nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("%w: no checkpoint yet", ErrNotFound))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	http.ServeFile(w, r, path)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.Cancel(id); err != nil {
+		writeErr(w, errCode(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"id": id, "action": "cancel"})
+}
+
+func (s *Server) handleSuspend(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.Suspend(id); err != nil {
+		writeErr(w, errCode(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"id": id, "action": "suspend"})
+}
+
+func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var body struct {
+		Mode string `json:"mode"`
+	}
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes)).Decode(&body); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding resume body: %w", err))
+			return
+		}
+	}
+	if err := s.Resume(id, body.Mode); err != nil {
+		writeErr(w, errCode(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"id": id, "action": "resume", "mode": body.Mode})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	counts := map[JobState]int{}
+	for _, st := range s.Jobs() {
+		counts[st.State]++
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      "ok",
+		"draining":    s.Draining(),
+		"queue_depth": s.QueueDepth(),
+		"workers":     s.cfg.Workers,
+		"jobs":        counts,
+	})
+}

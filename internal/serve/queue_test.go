@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func mkJob(id string) *Job { return newJob(id, JobSpec{}) }
+
+func TestQueueFIFOWithinPriority(t *testing.T) {
+	q := newQueue(8)
+	for _, id := range []string{"a", "b", "c"} {
+		if err := q.Push(mkJob(id), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range []string{"a", "b", "c"} {
+		j, ok := q.Pop()
+		if !ok || j.ID != want {
+			t.Fatalf("popped %v, want %s", j, want)
+		}
+	}
+}
+
+func TestQueuePriorityOrder(t *testing.T) {
+	q := newQueue(8)
+	_ = q.Push(mkJob("low"), 0)
+	_ = q.Push(mkJob("high"), 5)
+	_ = q.Push(mkJob("mid"), 2)
+	_ = q.Push(mkJob("high2"), 5) // FIFO among equals
+	var got []string
+	for i := 0; i < 4; i++ {
+		j, _ := q.Pop()
+		got = append(got, j.ID)
+	}
+	want := []string{"high", "high2", "mid", "low"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestQueueBounded(t *testing.T) {
+	q := newQueue(2)
+	_ = q.Push(mkJob("a"), 0)
+	_ = q.Push(mkJob("b"), 0)
+	if err := q.Push(mkJob("c"), 0); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	// forcePush (recovery) bypasses the cap.
+	q.forcePush(mkJob("r"), 0)
+	if q.Len() != 3 {
+		t.Fatalf("len %d, want 3", q.Len())
+	}
+}
+
+func TestQueuePopBlocksUntilPushOrClose(t *testing.T) {
+	q := newQueue(2)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	got := make(chan string, 1)
+	go func() {
+		defer wg.Done()
+		j, ok := q.Pop()
+		if ok {
+			got <- j.ID
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	_ = q.Push(mkJob("x"), 0)
+	select {
+	case id := <-got:
+		if id != "x" {
+			t.Fatalf("popped %s", id)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Pop did not wake on Push")
+	}
+	wg.Wait()
+
+	// Close unblocks waiters with ok=false.
+	done := make(chan bool, 1)
+	go func() { _, ok := q.Pop(); done <- ok }()
+	time.Sleep(10 * time.Millisecond)
+	q.Close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("Pop returned a job from a closed queue")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Pop did not wake on Close")
+	}
+	// And a closed queue returns false even when items remain (drain
+	// leaves them for the recovery scan).
+	q2 := newQueue(2)
+	_ = q2.Push(mkJob("leftover"), 0)
+	q2.Close()
+	if _, ok := q2.Pop(); ok {
+		t.Fatal("closed non-empty queue handed out a job")
+	}
+	if err := q.Push(mkJob("z"), 0); !errors.Is(err, ErrQueueClosed) {
+		t.Fatalf("push after close: %v, want ErrQueueClosed", err)
+	}
+}
+
+func TestBrokerReplayAndLive(t *testing.T) {
+	b := newBroker()
+	b.publish(Event{Type: "state", JobID: "j"})
+	b.publish(Event{Type: "diag", JobID: "j"})
+
+	replay, live, cancel := b.subscribe()
+	defer cancel()
+	if len(replay) != 2 || replay[0].Seq != 1 || replay[1].Seq != 2 {
+		t.Fatalf("replay %+v", replay)
+	}
+	b.publish(Event{Type: "done", JobID: "j"})
+	select {
+	case ev := <-live:
+		if ev.Type != "done" || ev.Seq != 3 {
+			t.Fatalf("live event %+v", ev)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("live event not delivered")
+	}
+	cancel()
+	if _, ok := <-live; ok {
+		t.Fatal("channel not closed after cancel")
+	}
+	// Double-cancel is safe.
+	cancel()
+}
+
+func TestBrokerReplayBounded(t *testing.T) {
+	b := newBroker()
+	for i := 0; i < maxReplayEvents+10; i++ {
+		b.publish(Event{Type: "diag"})
+	}
+	replay, _, cancel := b.subscribe()
+	defer cancel()
+	if len(replay) != maxReplayEvents {
+		t.Fatalf("replay length %d, want %d", len(replay), maxReplayEvents)
+	}
+	// Seq keeps counting across the drop, exposing the gap.
+	if replay[0].Seq != 11 {
+		t.Fatalf("first retained seq %d, want 11", replay[0].Seq)
+	}
+}

@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestResumeUnderDifferentMode is the mode-mobility guarantee end to end:
+// a job suspended mid-run can be resumed under every other execution
+// design and still land on a trajectory conform-identical (within the
+// exact-strategy ULP band) to an uninterrupted serial run.
+func TestResumeUnderDifferentMode(t *testing.T) {
+	const (
+		level = 2
+		steps = 20
+	)
+	ref := referenceRun(t, level, steps)
+
+	for _, resumeMode := range []string{"serial", "threaded", "kernel", "pattern"} {
+		t.Run("serial_to_"+resumeMode, func(t *testing.T) {
+			_, ts := newTestServer(t, Config{Workers: 1, QueueCap: 4, CheckpointEvery: 100})
+
+			st := submitJob(t, ts.URL, JobSpec{TestCase: 5, Level: level, Mode: "serial",
+				Steps: steps, ReportEvery: 2, StepDelayMS: 5, Workers: 3})
+			waitState(t, ts.URL, st.ID, StateRunning)
+
+			// Suspend once some (but not all) steps are done.
+			deadline := time.Now().Add(60 * time.Second)
+			for getStatus(t, ts.URL, st.ID).StepsDone < 4 {
+				if time.Now().After(deadline) {
+					t.Fatal("job made no progress")
+				}
+				if got := getStatus(t, ts.URL, st.ID); got.State.Terminal() {
+					t.Fatalf("job finished before suspend (%s); widen the window", got.State)
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+			resp := postJSON(t, ts.URL+"/jobs/"+st.ID+"/suspend", nil)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("suspend: %d", resp.StatusCode)
+			}
+			resp.Body.Close()
+			susp := waitState(t, ts.URL, st.ID, StateSuspended)
+			if susp.SuspendReason != SuspendUser {
+				t.Fatalf("suspend reason %q, want user", susp.SuspendReason)
+			}
+			if susp.StepsDone <= 0 || susp.StepsDone >= steps {
+				t.Fatalf("suspended at step %d, want strictly mid-run", susp.StepsDone)
+			}
+
+			// Resume under the target mode.
+			resp, err := http.Post(ts.URL+"/jobs/"+st.ID+"/resume", "application/json",
+				strings.NewReader(`{"mode":"`+resumeMode+`"}`))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("resume: %d", resp.StatusCode)
+			}
+			resp.Body.Close()
+
+			fin := waitState(t, ts.URL, st.ID, StateCompleted)
+			if fin.Mode != resumeMode {
+				t.Fatalf("effective mode %q, want %q", fin.Mode, resumeMode)
+			}
+			if fin.Resumes != 1 {
+				t.Fatalf("resumes %d, want 1", fin.Resumes)
+			}
+			if fin.StepsDone != steps {
+				t.Fatalf("finished at step %d, want %d", fin.StepsDone, steps)
+			}
+
+			served := fetchFinalState(t, ts.URL, st.ID, level)
+			assertConformIdentical(t, ref, served, "serial→"+resumeMode)
+
+			// The result records the resume count and effective mode.
+			res := decodeJSON[Result](t, mustGet(t, ts.URL+"/jobs/"+st.ID+"/result"))
+			if res.Mode != resumeMode || res.Resumes != 1 {
+				t.Fatalf("result mode/resumes %q/%d", res.Mode, res.Resumes)
+			}
+		})
+	}
+}

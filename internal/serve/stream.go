@@ -1,0 +1,67 @@
+package serve
+
+import "sync"
+
+// broker is the per-job event fan-out: an append-only replay log plus live
+// subscriber channels. A subscriber first receives every past event (so a
+// client attaching after completion still sees the whole stream) and then
+// live events until the job ends or it unsubscribes.
+
+// maxReplayEvents bounds the replay log. A long job emits one diag event
+// per report interval; past the cap the oldest events are dropped (Seq
+// numbering makes the gap visible to clients).
+const maxReplayEvents = 4096
+
+// subBuffer is the per-subscriber channel depth; a subscriber that falls
+// further behind than this has events dropped rather than stalling the
+// worker (the Seq field again exposes the gap).
+const subBuffer = 256
+
+type broker struct {
+	mu     sync.Mutex
+	nextSq int
+	events []Event
+	subs   map[chan Event]struct{}
+}
+
+func newBroker() *broker {
+	return &broker{subs: make(map[chan Event]struct{})}
+}
+
+// publish assigns the next sequence number, appends to the replay log and
+// fans out to subscribers (dropping for slow ones).
+func (b *broker) publish(ev Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.nextSq++
+	ev.Seq = b.nextSq
+	b.events = append(b.events, ev)
+	if len(b.events) > maxReplayEvents {
+		b.events = b.events[len(b.events)-maxReplayEvents:]
+	}
+	for ch := range b.subs {
+		select {
+		case ch <- ev:
+		default: // slow subscriber: drop rather than block the worker
+		}
+	}
+}
+
+// subscribe returns a copy of the replay log and a live channel; call
+// cancel to unsubscribe (the channel is then closed).
+func (b *broker) subscribe() (replay []Event, ch chan Event, cancel func()) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	replay = append([]Event(nil), b.events...)
+	ch = make(chan Event, subBuffer)
+	b.subs[ch] = struct{}{}
+	cancel = func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		if _, ok := b.subs[ch]; ok {
+			delete(b.subs, ch)
+			close(ch)
+		}
+	}
+	return replay, ch, cancel
+}

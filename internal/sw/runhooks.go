@@ -1,0 +1,54 @@
+package sw
+
+// RunControl configures a controlled long integration: a cooperative
+// interrupt check plus periodic report and checkpoint hooks. It is the
+// step-loop contract a serving layer (internal/serve) or a checkpointing CLI
+// (cmd/swmodel -checkpoint) needs without owning the loop itself.
+//
+// Report and Checkpoint fire on a global cadence — whenever s.StepCount is a
+// multiple of the interval — so callers that advance the solver in chunks
+// keep a stable phase across chunk boundaries.
+type RunControl struct {
+	// Interrupt, when non-nil, is consulted before every step; returning a
+	// non-nil error stops the run immediately and RunControlled returns that
+	// error. Context cancellation adapts naturally:
+	// func() error { return ctx.Err() }.
+	Interrupt func() error
+
+	// ReportEvery > 0 invokes Report after every step whose resulting
+	// StepCount is a multiple of it.
+	ReportEvery int
+	Report      func(s *Solver) error
+
+	// CheckpointEvery > 0 invokes Checkpoint on the same global cadence.
+	// Checkpoint runs before Report when both fire on one step, so a report
+	// always describes an already-durable state.
+	CheckpointEvery int
+	Checkpoint      func(s *Solver) error
+}
+
+// RunControlled advances up to n steps under rc. It returns nil after n
+// steps, or the first non-nil error from Interrupt, Checkpoint or Report —
+// leaving the solver at the last completed step so the caller can
+// checkpoint, suspend or resume it.
+func (s *Solver) RunControlled(n int, rc RunControl) error {
+	for i := 0; i < n; i++ {
+		if rc.Interrupt != nil {
+			if err := rc.Interrupt(); err != nil {
+				return err
+			}
+		}
+		s.Step()
+		if rc.CheckpointEvery > 0 && rc.Checkpoint != nil && s.StepCount%rc.CheckpointEvery == 0 {
+			if err := rc.Checkpoint(s); err != nil {
+				return err
+			}
+		}
+		if rc.ReportEvery > 0 && rc.Report != nil && s.StepCount%rc.ReportEvery == 0 {
+			if err := rc.Report(s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

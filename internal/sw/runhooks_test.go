@@ -1,0 +1,136 @@
+package sw_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/sw"
+	"repro/internal/testcases"
+)
+
+// TestRunControlledCadence checks the global (StepCount-modulo) cadence:
+// chunked calls keep a stable phase, and Checkpoint fires before Report on
+// a shared step.
+func TestRunControlledCadence(t *testing.T) {
+	m := testMesh(t, 2)
+	s, _ := sw.NewSolver(m, sw.DefaultConfig(m))
+	testcases.SetupTC2(s)
+
+	var reports, ckpts []int
+	var order []string
+	rc := sw.RunControl{
+		ReportEvery: 4,
+		Report: func(s *sw.Solver) error {
+			reports = append(reports, s.StepCount)
+			order = append(order, "report")
+			return nil
+		},
+		CheckpointEvery: 6,
+		Checkpoint: func(s *sw.Solver) error {
+			ckpts = append(ckpts, s.StepCount)
+			order = append(order, "ckpt")
+			return nil
+		},
+	}
+	// 12 steps split across uneven chunks: the cadence must not reset at
+	// chunk boundaries.
+	for _, n := range []int{5, 3, 4} {
+		if err := s.RunControlled(n, rc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantReports := []int{4, 8, 12}
+	wantCkpts := []int{6, 12}
+	if len(reports) != len(wantReports) {
+		t.Fatalf("reports at %v, want %v", reports, wantReports)
+	}
+	for i := range wantReports {
+		if reports[i] != wantReports[i] {
+			t.Fatalf("reports at %v, want %v", reports, wantReports)
+		}
+	}
+	if len(ckpts) != 2 || ckpts[0] != wantCkpts[0] || ckpts[1] != wantCkpts[1] {
+		t.Fatalf("checkpoints at %v, want %v", ckpts, wantCkpts)
+	}
+	// Step 12 fires both: checkpoint first, so a report always describes a
+	// durable state.
+	last2 := order[len(order)-2:]
+	if last2[0] != "ckpt" || last2[1] != "report" {
+		t.Fatalf("step-12 hook order %v, want [ckpt report]", last2)
+	}
+}
+
+// TestRunControlledInterrupt stops the run at the requested boundary and
+// leaves the solver resumable to a bitwise-identical trajectory.
+func TestRunControlledInterrupt(t *testing.T) {
+	m := testMesh(t, 2)
+	cfg := sw.DefaultConfig(m)
+
+	full, _ := sw.NewSolver(m, cfg)
+	testcases.SetupTC5(full)
+	full.Run(8)
+
+	s, _ := sw.NewSolver(m, cfg)
+	testcases.SetupTC5(s)
+	stop := errors.New("stop")
+	err := s.RunControlled(8, sw.RunControl{
+		Interrupt: func() error {
+			if s.StepCount == 3 {
+				return stop
+			}
+			return nil
+		},
+	})
+	if !errors.Is(err, stop) {
+		t.Fatalf("err = %v, want the interrupt error", err)
+	}
+	if s.StepCount != 3 {
+		t.Fatalf("stopped at step %d, want 3", s.StepCount)
+	}
+
+	// Checkpoint, restore into a fresh solver, finish: bitwise equal.
+	var buf bytes.Buffer
+	if err := s.WriteCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	resumed, _ := sw.NewSolver(m, cfg)
+	if err := resumed.ReadCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := resumed.RunControlled(5, sw.RunControl{}); err != nil {
+		t.Fatal(err)
+	}
+	for c := range full.State.H {
+		if full.State.H[c] != resumed.State.H[c] {
+			t.Fatalf("resumed trajectory diverges at cell %d", c)
+		}
+	}
+	for e := range full.State.U {
+		if full.State.U[e] != resumed.State.U[e] {
+			t.Fatalf("resumed trajectory diverges at edge %d", e)
+		}
+	}
+}
+
+// TestRunControlledHookErrors propagates Report/Checkpoint errors.
+func TestRunControlledHookErrors(t *testing.T) {
+	m := testMesh(t, 2)
+	boom := errors.New("boom")
+	for _, tc := range []struct {
+		name string
+		rc   sw.RunControl
+	}{
+		{"report", sw.RunControl{ReportEvery: 1, Report: func(*sw.Solver) error { return boom }}},
+		{"checkpoint", sw.RunControl{CheckpointEvery: 1, Checkpoint: func(*sw.Solver) error { return boom }}},
+	} {
+		s, _ := sw.NewSolver(m, sw.DefaultConfig(m))
+		testcases.SetupTC2(s)
+		if err := s.RunControlled(3, tc.rc); !errors.Is(err, boom) {
+			t.Errorf("%s: err = %v, want boom", tc.name, err)
+		}
+		if s.StepCount != 1 {
+			t.Errorf("%s: stopped at %d, want 1", tc.name, s.StepCount)
+		}
+	}
+}

@@ -1,0 +1,22 @@
+package telemetry
+
+import "net/http"
+
+// PrometheusContentType is the Content-Type of the text exposition format
+// WritePrometheus emits (version 0.0.4, the scrape format every Prometheus
+// server accepts).
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Handler returns an http.Handler that serves the registry in the
+// Prometheus text exposition format — the one implementation behind
+// swserver's /metrics and any future daemon endpoint. Consistent with the
+// rest of the package, a nil receiver is valid and serves an empty (but
+// well-formed) exposition, so servers can mount /metrics unconditionally.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", PrometheusContentType)
+		// The registry renders from live atomics and cannot fail; an error
+		// here is the client hanging up mid-scrape, which needs no handling.
+		_ = r.WritePrometheus(w)
+	})
+}

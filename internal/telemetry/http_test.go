@@ -1,0 +1,62 @@
+package telemetry
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestHandlerGolden serves the fixed golden instrument population through
+// the HTTP handler and pins the scrape body to the same golden file the
+// direct exporter test uses — one implementation, one contract.
+func TestHandlerGolden(t *testing.T) {
+	srv := httptest.NewServer(goldenRegistry().Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != PrometheusContentType {
+		t.Errorf("Content-Type %q, want %q", ct, PrometheusContentType)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "prometheus.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, want) {
+		t.Errorf("scrape body drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", body, want)
+	}
+}
+
+// TestHandlerNilRegistry: a nil registry still serves an empty, well-typed
+// exposition, so daemons can mount /metrics unconditionally.
+func TestHandlerNilRegistry(t *testing.T) {
+	var r *Registry
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if len(body) != 0 {
+		t.Errorf("nil registry served %q, want empty", body)
+	}
+}

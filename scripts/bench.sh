@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Run the repository benchmarks and emit a machine-readable summary,
+# BENCH_pr3.json: { "<benchmark>": {"ns_per_op":…, "allocs_per_op":…,
+# "bytes_per_op":…}, … }. Knobs:
+#
+#   BENCH_PATTERN   go test -bench regexp      (default: the sw step and
+#                                               par pool micro-benchmarks)
+#   BENCH_TIME      go test -benchtime value   (default 1x — one iteration,
+#                                               enough for a smoke number;
+#                                               use e.g. 2s for real timing)
+#   BENCH_OUT       output path                (default BENCH_pr3.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+pattern=${BENCH_PATTERN:-'BenchmarkStepSerial|BenchmarkStepThreaded|BenchmarkPoolForOverhead|BenchmarkRegionFusion|BenchmarkReduction'}
+benchtime=${BENCH_TIME:-1x}
+out=${BENCH_OUT:-BENCH_pr3.json}
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+echo "== go test -bench ($pattern, benchtime=$benchtime) =="
+go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" \
+    ./internal/sw ./internal/par ./internal/reduction | tee "$raw"
+
+# Parse `BenchmarkName-N  iters  ns/op  B/op  allocs/op` lines into JSON.
+awk '
+BEGIN { print "{"; n = 0 }
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op")     ns = $i
+        if ($(i+1) == "B/op")      bytes = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+    }
+    if (ns == "") next
+    if (n++) printf ",\n"
+    printf "  \"%s\": {\"ns_per_op\": %s", name, ns
+    if (bytes != "")  printf ", \"bytes_per_op\": %s", bytes
+    if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+    printf "}"
+}
+END { print "\n}" }
+' "$raw" > "$out"
+
+count=$(grep -c 'ns_per_op' "$out" || true)
+if [ "$count" -eq 0 ]; then
+    echo "bench.sh: FAIL — no benchmark results parsed" >&2
+    exit 1
+fi
+echo "bench.sh: wrote $count benchmark entries to $out"

@@ -20,6 +20,40 @@ echo "== conformance matrix (cmd/conformance) =="
 # self-check. Non-zero exit on any divergence.
 go run ./cmd/conformance -level 2 -steps 2 -random 20
 
+echo "== swserver smoke (submit, poll, metrics, drain) =="
+smokedir=$(mktemp -d)
+trap 'rm -rf "$smokedir"' EXIT
+go build -o "$smokedir/swserver" ./cmd/swserver
+"$smokedir/swserver" -addr 127.0.0.1:0 -spool "$smokedir/spool" -workers 1 \
+    > "$smokedir/out.log" 2> "$smokedir/err.log" &
+smoke_pid=$!
+base=""
+for _ in $(seq 1 100); do
+    base=$(awk '/^swserver listening on /{print "http://" $4; exit}' "$smokedir/out.log")
+    [ -n "$base" ] && break
+    kill -0 "$smoke_pid" 2>/dev/null || { cat "$smokedir/err.log" >&2; echo "ci.sh: FAIL — swserver died on startup" >&2; exit 1; }
+    sleep 0.1
+done
+[ -n "$base" ] || { echo "ci.sh: FAIL — swserver never announced its port" >&2; exit 1; }
+job=$(curl -sf -X POST "$base/jobs" -d '{"test_case":5,"level":2,"steps":20,"report_every":5}' \
+      | sed -n 's/.*"id": "\(j-[0-9a-f]*\)".*/\1/p')
+[ -n "$job" ] || { echo "ci.sh: FAIL — job submission returned no id" >&2; exit 1; }
+state=""
+for _ in $(seq 1 300); do
+    state=$(curl -sf "$base/jobs/$job" | sed -n 's/.*"state": "\([a-z]*\)".*/\1/p')
+    [ "$state" = completed ] && break
+    case "$state" in failed|canceled) break ;; esac
+    sleep 0.1
+done
+[ "$state" = completed ] || { echo "ci.sh: FAIL — smoke job ended in state '$state'" >&2; exit 1; }
+curl -sf "$base/jobs/$job/events?follow=0" | grep -q '"type":"diag"' \
+    || { echo "ci.sh: FAIL — event stream has no diagnostics" >&2; exit 1; }
+curl -sf "$base/metrics" | grep -q '^serve_jobs_completed_total 1$' \
+    || { echo "ci.sh: FAIL — /metrics does not count the completed job" >&2; exit 1; }
+kill -TERM "$smoke_pid"
+wait "$smoke_pid" || { echo "ci.sh: FAIL — swserver did not drain cleanly on SIGTERM" >&2; exit 1; }
+echo "swserver smoke OK ($job completed, metrics scraped, drained)"
+
 echo "== coverage floor =="
 total=$(go tool cover -func=coverage.out | awk '/^total:/ { sub(/%/, "", $3); print $3 }')
 floor=$(cat scripts/coverage_baseline.txt)
