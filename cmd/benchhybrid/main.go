@@ -29,6 +29,7 @@ func main() {
 	steps := flag.Int("steps", 5, "steps to average for -real")
 	traceOut := flag.String("trace", "", "with -real: write a Chrome trace of the pattern-driven run to this file")
 	metricsOut := flag.String("metrics", "", "with -real: write Prometheus metrics of the pattern-driven run to this file")
+	planHost := flag.Bool("plan-host", true, "with -real: run fully-host kernels of the hybrid modes through the compiled plan runner")
 	flag.Parse()
 
 	mpas.Figure7().WriteText(os.Stdout)
@@ -55,8 +56,9 @@ func main() {
 	if *metricsOut != "" {
 		registry = telemetry.NewRegistry()
 	}
-	for _, mode := range []mpas.Mode{mpas.Serial, mpas.Threaded, mpas.KernelLevel, mpas.PatternDriven} {
-		m, err := mpas.New(mpas.Options{Mesh: msh, TestCase: mpas.TC5, Mode: mode, AdjustableFraction: 0.3})
+	for _, mode := range []mpas.Mode{mpas.Serial, mpas.Threaded, mpas.Plan, mpas.KernelLevel, mpas.PatternDriven} {
+		m, err := mpas.New(mpas.Options{Mesh: msh, TestCase: mpas.TC5, Mode: mode,
+			AdjustableFraction: 0.3, PlanHost: *planHost})
 		if err != nil {
 			log.Fatal(err)
 		}

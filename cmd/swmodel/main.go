@@ -28,7 +28,7 @@ func main() {
 	tc := flag.Int("tc", 5, "test case: 1 (advection), 2, 5, 6 (Williamson), 8 (Galewsky jet)")
 	days := flag.Float64("days", 1, "total simulated days (from t=0, so a resumed run covers the remainder)")
 	stepsFlag := flag.Int("steps", 0, "total RK-4 steps (overrides -days when positive)")
-	mode := flag.String("mode", "pattern", "execution design: serial|threaded|kernel|pattern")
+	mode := flag.String("mode", "pattern", "execution design: serial|threaded|kernel|pattern|plan")
 	workers := flag.Int("workers", 0, "host worker count (0 = GOMAXPROCS)")
 	devWorkers := flag.Int("dev-workers", 0, "device worker count (0 = GOMAXPROCS)")
 	report := flag.Int("report", 100, "report invariants every N steps")
@@ -53,6 +53,7 @@ func main() {
 	modes := map[string]mpas.Mode{
 		"serial": mpas.Serial, "threaded": mpas.Threaded,
 		"kernel": mpas.KernelLevel, "pattern": mpas.PatternDriven,
+		"plan": mpas.Plan,
 	}
 	md, ok := modes[*mode]
 	if !ok {

@@ -6,8 +6,9 @@ import "testing"
 // picks a jittered mesh, a physics configuration and a random physical state
 // (random.go), and one RK-4 step must agree between the branch-free gather
 // baseline and (a) the Algorithm-3 branchy stepper bitwise, (b) the threaded
-// pool bitwise, and (c) the Algorithm-2 scatter stepper within the roundoff
-// reordering band. The checked-in corpus under testdata/fuzz runs on every
+// pool bitwise, (c) the data-flow-compiled plan bitwise, and (d) the
+// Algorithm-2 scatter stepper within the roundoff reordering band. The
+// checked-in corpus under testdata/fuzz runs on every
 // plain `go test`; `go test -fuzz=FuzzStepEquivalence ./internal/conform`
 // explores further seeds.
 func FuzzStepEquivalence(f *testing.F) {
@@ -21,7 +22,7 @@ func FuzzStepEquivalence(f *testing.F) {
 		if err != nil {
 			t.Fatalf("baseline: %v", err)
 		}
-		for _, s := range []Strategy{BranchyGather(), Threaded(2), ScatterRef()} {
+		for _, s := range []Strategy{BranchyGather(), Threaded(2), Plan(2), ScatterRef()} {
 			res, err := s.Run(c, true)
 			if err != nil {
 				t.Fatalf("%s: %v", s.Name, err)

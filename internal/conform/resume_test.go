@@ -60,6 +60,16 @@ func TestResumeEquivalence(t *testing.T) {
 			s.Runner = sw.PoolRunner{Pool: pool}
 			return pool.Close, nil
 		}},
+		{"plan-w4", func(s *sw.Solver) (func(), error) {
+			pool := par.NewPool(4)
+			r, err := sw.NewPlanRunner(s, pool)
+			if err != nil {
+				pool.Close()
+				return nil, err
+			}
+			s.Runner = r
+			return pool.Close, nil
+		}},
 		{"kernel-level", func(s *sw.Solver) (func(), error) {
 			e := hybrid.NewHybridSolver(s, hybrid.KernelLevelSchedule(), 2, 2)
 			return e.Close, nil

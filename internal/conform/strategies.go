@@ -105,6 +105,25 @@ func Threaded(workers int) Strategy {
 	})
 }
 
+// Plan is the data-flow-compiled step: the whole RK-4 step lowered into one
+// flat schedule executed inside a single parallel region, with barriers only
+// at true dependency frontiers. Arithmetic is bitwise-identical to the gather
+// baseline (fusion and liveness elision never reassociate a sum), so the
+// strategy is exact.
+func Plan(workers int) Strategy {
+	name := fmt.Sprintf("plan-w%d", workers)
+	return solverStrategy(name, true, func(s *sw.Solver) (func(), error) {
+		pool := par.NewPool(workers)
+		r, err := sw.NewPlanRunner(s, pool)
+		if err != nil {
+			pool.Close()
+			return nil, err
+		}
+		s.Runner = r
+		return pool.Close, nil
+	})
+}
+
 // HybridPattern is the Figure-4(b) pattern-driven hybrid executor with the
 // given adjustable host fraction (the migration fraction of the split cell
 // patterns).
@@ -231,6 +250,8 @@ func AllStrategies() []Strategy {
 		BranchyGather(),
 		ScatterRef(),
 		Threaded(4),
+		Plan(1),
+		Plan(4),
 		HybridKernel(),
 		HybridPattern(0),
 		HybridPattern(0.25),

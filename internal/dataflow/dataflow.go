@@ -183,6 +183,20 @@ func (g *Graph) TopoOrder() ([]int, error) {
 // have no mutual dependencies and may run concurrently — the "inherent
 // parallelism" the paper's hybrid algorithm exploits.
 func (g *Graph) Levels() [][]int {
+	return g.LevelsBy(nil)
+}
+
+// LevelsBy generalizes Levels with an edge-locality predicate, the analysis
+// behind barrier elision in a compiled execution plan: an edge for which
+// local returns true is satisfied without a level break, because under
+// stable static chunking both endpoints touch only the worker's own slice of
+// the shared index space (e.g. a pointwise consumer reading the element its
+// own worker just produced). Such an edge constrains only the order within a
+// level, not the level itself: depth[v] = max over incoming edges of
+// depth[from] + (0 if local else 1). Within each level, nodes are returned
+// in ascending index (program) order, so executing a level's nodes in slice
+// order satisfies every local edge. A nil predicate reproduces Levels.
+func (g *Graph) LevelsBy(local func(Edge) bool) [][]int {
 	n := len(g.Nodes)
 	depth := make([]int, n)
 	order, err := g.TopoOrder()
@@ -192,7 +206,12 @@ func (g *Graph) Levels() [][]int {
 	maxDepth := 0
 	for _, v := range order {
 		for _, ei := range g.in[v] {
-			if d := depth[g.Edges[ei].From] + 1; d > depth[v] {
+			e := g.Edges[ei]
+			step := 1
+			if local != nil && local(e) {
+				step = 0
+			}
+			if d := depth[e.From] + step; d > depth[v] {
 				depth[v] = d
 			}
 		}
@@ -203,6 +222,9 @@ func (g *Graph) Levels() [][]int {
 	levels := make([][]int, maxDepth+1)
 	for v, d := range depth {
 		levels[d] = append(levels[d], v)
+	}
+	for _, lv := range levels {
+		sort.Ints(lv)
 	}
 	return levels
 }

@@ -239,3 +239,64 @@ func TestDepKindString(t *testing.T) {
 		t.Error("unknown DepKind")
 	}
 }
+
+func TestLevelsByLocalEdges(t *testing.T) {
+	g := modelGraph(t)
+
+	// A predicate rejecting everything reproduces Levels exactly.
+	strict := g.LevelsBy(func(Edge) bool { return false })
+	plain := g.Levels()
+	if len(strict) != len(plain) {
+		t.Fatalf("all-non-local LevelsBy has %d levels, Levels has %d", len(strict), len(plain))
+	}
+	for i := range plain {
+		if len(strict[i]) != len(plain[i]) {
+			t.Fatalf("level %d sizes differ: %d vs %d", i, len(strict[i]), len(plain[i]))
+		}
+		for j := range plain[i] {
+			if strict[i][j] != plain[i][j] {
+				t.Fatalf("level %d node %d differs", i, j)
+			}
+		}
+	}
+
+	// A predicate accepting everything collapses the graph to one level.
+	if lv := g.LevelsBy(func(Edge) bool { return true }); len(lv) != 1 || len(lv[0]) != len(g.Nodes) {
+		t.Fatalf("all-local LevelsBy should give a single full level, got %d levels", len(lv))
+	}
+
+	// With a partial predicate, the invariants the plan compiler relies on:
+	// every node in exactly one level, program order within a level, and any
+	// level-internal edge is one the predicate called local.
+	local := func(e Edge) bool { return e.Kind != RAW }
+	levels := g.LevelsBy(local)
+	levelOf := map[int]int{}
+	count := 0
+	for li, lv := range levels {
+		for i, n := range lv {
+			if i > 0 && lv[i-1] >= n {
+				t.Fatalf("level %d not in ascending program order", li)
+			}
+			if _, dup := levelOf[n]; dup {
+				t.Fatalf("node %d in two levels", n)
+			}
+			levelOf[n] = li
+			count++
+		}
+	}
+	if count != len(g.Nodes) {
+		t.Fatalf("levels cover %d of %d nodes", count, len(g.Nodes))
+	}
+	for _, e := range g.Edges {
+		lf, lt := levelOf[e.From], levelOf[e.To]
+		if lf > lt {
+			t.Errorf("edge %s->%s decreases level", g.Nodes[e.From].ID, g.Nodes[e.To].ID)
+		}
+		if lf == lt && !local(e) {
+			t.Errorf("non-local edge %s->%s inside level %d", g.Nodes[e.From].ID, g.Nodes[e.To].ID, lf)
+		}
+		if lf == lt && e.From >= e.To {
+			t.Errorf("level-internal edge %s->%s against program order", g.Nodes[e.From].ID, g.Nodes[e.To].ID)
+		}
+	}
+}

@@ -31,6 +31,13 @@ type Executor struct {
 	levels     map[string][][]int
 	ownedPools bool
 
+	// hostRunner, when set, takes over kernels that are fully host-resident
+	// under the schedule (HostFrac == 1 for every pattern): such a kernel has
+	// no device share to overlap with, so the executor's level-by-level
+	// machinery adds only dispatch overhead over a direct host execution.
+	// The simulated platform clock still advances normally.
+	hostRunner sw.Runner
+
 	// Telemetry (all nil until EnableTelemetry): spans per data-flow level,
 	// counters of output elements placed on the host vs the accelerators,
 	// and a histogram of per-level unit imbalance (slowest unit's wall time
@@ -135,10 +142,49 @@ func (e *Executor) kernelLevels(k *sw.Kernel) [][]int {
 	return lv
 }
 
+// SetHostRunner installs a delegate for fully-host-resident kernels — e.g.
+// an sw.PlanRunner whose compiled per-kernel schedules replace the executor's
+// level-by-level dispatch on the host side. Results are unchanged (the
+// delegate computes the same patterns over the same full ranges); only the
+// execution path differs. Pass nil to restore the built-in path.
+func (e *Executor) SetHostRunner(r sw.Runner) { e.hostRunner = r }
+
+// fullyHost reports whether the schedule places every pattern of k entirely
+// on the host.
+func (e *Executor) fullyHost(k *sw.Kernel) bool {
+	for _, p := range k.Patterns {
+		if e.Sched.Assign.HostFrac(p.Info.ID) != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// advanceSim advances the simulated platform clock for one kernel execution.
+func (e *Executor) advanceSim(k *sw.Kernel) {
+	works := make([]perfmodel.PatternWork, len(k.Patterns))
+	for i, p := range k.Patterns {
+		works[i] = perfmodel.PatternWork{
+			Inst: p.Info, N: p.N, Flops: p.FlopsPerElem, Bytes: p.BytesPerElem,
+		}
+	}
+	e.Sim.RunKernel(k.Name, works)
+}
+
 // RunKernel implements sw.Runner: level by level, the host pool runs each
 // pattern's leading HostFrac of the output range while the device pool runs
 // the rest, concurrently.
 func (e *Executor) RunKernel(k *sw.Kernel) {
+	if e.hostRunner != nil && e.fullyHost(k) {
+		e.hostRunner.RunKernel(k)
+		n := 0
+		for _, p := range k.Patterns {
+			n += p.N
+		}
+		e.hostElems.Add(int64(n))
+		e.advanceSim(k)
+		return
+	}
 	nDev := len(e.DevPools)
 	for li, level := range e.kernelLevels(k) {
 		lsp := e.trace.StartSpan(levelSpanName(li))
@@ -239,13 +285,7 @@ func (e *Executor) RunKernel(k *sw.Kernel) {
 		}
 	}
 	// Advance the simulated platform clock for this kernel.
-	works := make([]perfmodel.PatternWork, len(k.Patterns))
-	for i, p := range k.Patterns {
-		works[i] = perfmodel.PatternWork{
-			Inst: p.Info, N: p.N, Flops: p.FlopsPerElem, Bytes: p.BytesPerElem,
-		}
-	}
-	e.Sim.RunKernel(k.Name, works)
+	e.advanceSim(k)
 }
 
 // NewHybridSolver wires a solver to a hybrid executor on its mesh.

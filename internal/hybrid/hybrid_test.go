@@ -274,3 +274,63 @@ func TestCPUSerialMatchesPerfmodel(t *testing.T) {
 		t.Error("CPUSerialStep wrapper diverged")
 	}
 }
+
+// countingRunner wraps a Runner, counting delegated kernels.
+type countingRunner struct {
+	inner sw.Runner
+	n     int
+}
+
+func (c *countingRunner) RunKernel(k *sw.Kernel) { c.n++; c.inner.RunKernel(k) }
+
+// TestHostRunnerDelegation pins SetHostRunner: a kernel-level executor with a
+// compiled sw.PlanRunner standing in for the host side must reproduce the
+// undelegated executor bitwise (the delegate runs the same patterns over the
+// same full ranges, only through its compiled per-kernel schedules), and the
+// delegate must actually receive the fully-host-resident kernels.
+func TestHostRunnerDelegation(t *testing.T) {
+	m := mesh3(t)
+	mk := func() *sw.Solver {
+		s, err := sw.NewSolver(m, sw.DefaultConfig(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		testcases.SetupTC5(s)
+		return s
+	}
+
+	ref := mk()
+	eRef := NewHybridSolver(ref, KernelLevelSchedule(), 2, 2)
+	defer eRef.Close()
+
+	del := mk()
+	eDel := NewHybridSolver(del, KernelLevelSchedule(), 2, 2)
+	defer eDel.Close()
+	pr, err := sw.NewPlanRunner(del, eDel.HostPool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr := &countingRunner{inner: pr}
+	eDel.SetHostRunner(cr)
+
+	const steps = 3
+	ref.Run(steps)
+	del.Run(steps)
+
+	if cr.n == 0 {
+		t.Fatal("host delegate never invoked: kernel-level schedule should have fully-host kernels")
+	}
+	for c := range ref.State.H {
+		if del.State.H[c] != ref.State.H[c] {
+			t.Fatalf("h[%d] differs bitwise: %v vs %v", c, del.State.H[c], ref.State.H[c])
+		}
+	}
+	for e := range ref.State.U {
+		if del.State.U[e] != ref.State.U[e] {
+			t.Fatalf("u[%d] differs bitwise: %v vs %v", e, del.State.U[e], ref.State.U[e])
+		}
+	}
+	if eDel.SimTime() != eRef.SimTime() {
+		t.Errorf("delegation changed the simulated clock: %v vs %v", eDel.SimTime(), eRef.SimTime())
+	}
+}

@@ -1,0 +1,104 @@
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// cacheLine separates the barrier's hot fields so arrivals (cnt), releases
+// (gen) and the parking bookkeeping never share a line.
+const cacheLine = 64
+
+type linePad [cacheLine]byte
+
+// Barrier is a reusable sense-reversing barrier for a fixed-size team,
+// designed for the hot path of a compiled execution plan: arrival is one
+// atomic add, release is one atomic generation bump, and waiters spin
+// briefly on the generation word before parking on a condition variable.
+// The mutex+condvar slow path only engages when a waiter has been left
+// behind long enough to park, so back-to-back barriers inside a parallel
+// region cost no lock operations at all when the team stays busy.
+type Barrier struct {
+	size int32
+	// spin is the busy-wait budget before yielding and parking; zero on a
+	// single-P runtime, where spinning can only steal time from the worker
+	// we are waiting for.
+	spin int32
+	_    linePad
+	// cnt counts arrivals in the current round; the last arriver resets it
+	// before publishing the new generation.
+	cnt atomic.Int32
+	_   linePad
+	// gen is the round number ("sense"): waiters of round g are released
+	// the moment gen != g.
+	gen atomic.Uint32
+	_   linePad
+	// sleepers counts waiters parked (or committed to parking) on cond.
+	// The releasing worker broadcasts only when it observes sleepers > 0;
+	// the SC-atomic ordering of (sleepers.Add ; gen.Load) in the parker
+	// against (gen.Add ; sleepers.Load) in the releaser guarantees one of
+	// the two sides always sees the other, so no wakeup is lost.
+	sleepers atomic.Int32
+	mu       sync.Mutex
+	cond     *sync.Cond
+}
+
+// NewBarrier creates a barrier for size participants.
+func NewBarrier(size int) *Barrier {
+	b := &Barrier{size: int32(size)}
+	if runtime.GOMAXPROCS(0) > 1 {
+		b.spin = 1 << 12
+	}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Wait blocks until size goroutines have called Wait, then releases them all
+// and resets for reuse.
+func (b *Barrier) Wait() {
+	if b.size == 1 {
+		return
+	}
+	g := b.gen.Load()
+	if b.cnt.Add(1) == b.size {
+		// Last arriver: reset the arrival count for the next round first —
+		// released waiters may re-enter Wait immediately — then publish the
+		// new generation. A waiter of round g cannot have arrived at round
+		// g+1 yet, so the reset cannot be observed by a stale round.
+		b.cnt.Store(0)
+		b.gen.Add(1)
+		if b.sleepers.Load() > 0 {
+			// The empty critical section orders this broadcast after any
+			// parker that incremented sleepers but has not reached
+			// cond.Wait yet: once we hold mu, that parker either released
+			// it inside cond.Wait (broadcast reaches it) or has not taken
+			// it (it will re-check gen under mu and never wait).
+			b.mu.Lock()
+			//lint:ignore SA2001 handshake with the parking protocol above
+			b.mu.Unlock()
+			b.cond.Broadcast()
+		}
+		return
+	}
+	for i := b.spin; i > 0; i-- {
+		if b.gen.Load() != g {
+			return
+		}
+	}
+	// A few cooperative yields: on a loaded or single-P runtime the peer we
+	// wait for needs the processor more than we need the low latency.
+	for i := 0; i < 64; i++ {
+		if b.gen.Load() != g {
+			return
+		}
+		runtime.Gosched()
+	}
+	b.mu.Lock()
+	b.sleepers.Add(1)
+	for b.gen.Load() == g {
+		b.cond.Wait()
+	}
+	b.sleepers.Add(-1)
+	b.mu.Unlock()
+}

@@ -1,0 +1,220 @@
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestDispatchAllocFree pins the allocation-free dispatch guarantee the
+// compiled execution plan depends on: once the body closure exists, For,
+// ForRange, ForDynamic and Region launches allocate nothing — the work
+// travels through the pool's stored work slot, the region reuses the pooled
+// barrier and preallocated teams.
+func TestDispatchAllocFree(t *testing.T) {
+	for _, nw := range []int{1, 4} {
+		p := NewPool(nw)
+		defer p.Close()
+		x := make([]float64, 4096)
+		body := func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				x[i]++
+			}
+		}
+		region := func(tm *Team) {
+			tm.ForBarrier(len(x), body)
+			tm.For(len(x), body)
+			tm.Barrier()
+		}
+		checks := []struct {
+			name string
+			fn   func()
+		}{
+			{"For", func() { p.For(len(x), body) }},
+			{"ForRange", func() { p.ForRange(64, len(x), body) }},
+			{"ForDynamic", func() { p.ForDynamic(len(x), 256, body) }},
+			{"Region", func() { p.Region(region) }},
+		}
+		for _, c := range checks {
+			if a := testing.AllocsPerRun(50, c.fn); a != 0 {
+				t.Errorf("nw=%d: %s allocates %.1f objects per launch, want 0", nw, c.name, a)
+			}
+		}
+	}
+}
+
+// TestPoolReleasesClosure checks the work slot is cleared after the join, so
+// a pool kept alive does not pin the last caller's captures.
+func TestPoolReleasesClosure(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	p.For(100, func(lo, hi int) {})
+	if p.body != nil || p.region != nil {
+		t.Error("work slot still holds the last dispatched closure")
+	}
+}
+
+// TestBarrierManyRounds stresses the spin-then-park barrier across rounds
+// with workers racing through consecutive barriers (no inter-round pause),
+// the exact shape of a compiled plan's schedule. Run under -race this also
+// validates the generation-publication ordering.
+func TestBarrierManyRounds(t *testing.T) {
+	const workers, rounds = 5, 300
+	b := NewBarrier(workers)
+	var phase atomic.Int64
+	var wg sync.WaitGroup
+	bad := make(chan int64, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 1; r <= rounds; r++ {
+				phase.Add(1)
+				b.Wait()
+				if got := phase.Load(); got < int64(workers*r) {
+					bad <- got
+					return
+				}
+				b.Wait()
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case got := <-bad:
+		t.Fatalf("barrier released a worker early (phase %d)", got)
+	default:
+	}
+}
+
+// TestBarrierParkedWaiter forces the park path: one waiter arrives far ahead
+// of the rest (past any spin budget) and must still be released.
+func TestBarrierParkedWaiter(t *testing.T) {
+	b := NewBarrier(2)
+	released := make(chan struct{})
+	go func() {
+		b.Wait()
+		close(released)
+	}()
+	// Let the early waiter burn its spin budget and park.
+	for i := 0; i < 200; i++ {
+		runtime.Gosched()
+	}
+	b.Wait()
+	<-released
+}
+
+// BenchmarkBarrier measures one barrier round-trip for the team, comparing
+// the spin-then-park barrier against the mutex+condvar design it replaced.
+func BenchmarkBarrier(b *testing.B) {
+	run := func(b *testing.B, wait func()) {
+		const workers = 4
+		var wg sync.WaitGroup
+		start := make(chan int)
+		for w := 1; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				n := <-start
+				for i := 0; i < n; i++ {
+					wait()
+				}
+			}()
+		}
+		b.ResetTimer()
+		for w := 1; w < workers; w++ {
+			start <- b.N
+		}
+		for i := 0; i < b.N; i++ {
+			wait()
+		}
+		wg.Wait()
+	}
+	b.Run("SpinPark", func(b *testing.B) {
+		bar := NewBarrier(4)
+		run(b, bar.Wait)
+	})
+	b.Run("CondvarRef", func(b *testing.B) {
+		bar := newCondBarrier(4)
+		run(b, bar.Wait)
+	})
+}
+
+// condBarrier is the previous mutex+condvar barrier, kept here only as the
+// benchmark reference point.
+type condBarrier struct {
+	size int
+	mu   sync.Mutex
+	cnt  int
+	gen  uint64
+	cond *sync.Cond
+}
+
+func newCondBarrier(size int) *condBarrier {
+	b := &condBarrier{size: size}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *condBarrier) Wait() {
+	b.mu.Lock()
+	gen := b.gen
+	b.cnt++
+	if b.cnt == b.size {
+		b.cnt = 0
+		b.gen++
+		b.mu.Unlock()
+		b.cond.Broadcast()
+		return
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}
+
+// BenchmarkDispatchOverhead is the per-launch cost of the allocation-free
+// work slot: an effectively empty body isolates the fork-join machinery.
+func BenchmarkDispatchOverhead(b *testing.B) {
+	p := NewPool(4)
+	defer p.Close()
+	var sink atomic.Int64
+	body := func(lo, hi int) { sink.Add(1) }
+	b.Run("For", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p.For(1<<14, body)
+		}
+	})
+	region := func(tm *Team) { tm.ForBarrier(1<<14, body) }
+	b.Run("Region", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p.Region(region)
+		}
+	})
+}
+
+// BenchmarkDynamicChunkFloor shows why ForDynamic clamps tiny chunks to
+// DefaultDynamicChunk: per-chunk claims on the shared counter dominate when
+// chunks are small, even before inter-core cache-line ping-pong is counted.
+func BenchmarkDynamicChunkFloor(b *testing.B) {
+	p := NewPool(4)
+	defer p.Close()
+	n := 1 << 16
+	x := make([]float64, n)
+	body := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			x[i] += 1
+		}
+	}
+	for _, c := range []int{1, 8, DefaultDynamicChunk, 512} {
+		name := map[int]string{1: "chunk1", 8: "chunk8", DefaultDynamicChunk: "chunk64floor", 512: "chunk512"}[c]
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p.ForDynamic(n, c, body)
+			}
+		})
+	}
+}

@@ -13,14 +13,60 @@ import (
 	"repro/internal/telemetry"
 )
 
+// Work-slot opcodes: what a dispatch executes on each worker.
+const (
+	opFor uint32 = iota
+	opDynamic
+	opRegion
+)
+
+// DefaultDynamicChunk is the floor ForDynamic clamps non-positive chunk
+// sizes to. Claiming a chunk costs one contended atomic add; at 64 elements
+// per claim the claim traffic stays far below the memory traffic of the
+// loop body even for the cheapest per-element work.
+const DefaultDynamicChunk = 64
+
+// paddedCounter is an atomic counter alone on its own cache line, so the
+// workers hammering it in ForDynamic do not false-share with the pool's
+// read-mostly dispatch fields (or with anything the loop bodies touch).
+type paddedCounter struct {
+	_ linePad
+	v atomic.Int64
+	_ linePad
+}
+
 // Pool is a team of persistent worker goroutines, the analogue of an OpenMP
 // thread team. A Pool with Workers()==1 degenerates to serial execution with
 // no goroutine dispatch at all.
+//
+// Dispatch is allocation-free: the pending operation lives in a work slot
+// inside the Pool (opcode + body + range), workers are woken through
+// per-worker empty-struct channels, and Region reuses one pooled Barrier and
+// a preallocated Team per worker. The channel send/receive pair publishes
+// the work slot to the workers; the WaitGroup join publishes their writes
+// back to the caller. A Pool is single-owner: launches must not overlap
+// (distinct pools may run concurrently, as the hybrid executor does).
 type Pool struct {
-	nw   int
-	work []chan func(id int)
-	done chan struct{}
-	wg   sync.WaitGroup
+	nw int
+
+	// The work slot. Written by the launching goroutine before the start
+	// signals, cleared after the join so the pool never retains a caller's
+	// closure across calls.
+	op      uint32
+	n       int
+	off     int
+	chunkSz int
+	body    func(lo, hi int)
+	region  func(t *Team)
+
+	// next is ForDynamic's shared claim counter (see paddedCounter).
+	next paddedCounter
+
+	barrier *Barrier
+	teams   []Team
+	start   []chan struct{}
+	done    chan struct{}
+	wg      sync.WaitGroup
 
 	// Telemetry counters (nil when uninstrumented — every call below is a
 	// nil-safe no-op): dispatches counts parallel-loop launches and regions,
@@ -43,11 +89,15 @@ func NewPool(n int) *Pool {
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
 	}
-	p := &Pool{nw: n, done: make(chan struct{})}
+	p := &Pool{nw: n, done: make(chan struct{}), barrier: NewBarrier(n)}
+	p.teams = make([]Team, n)
+	for i := range p.teams {
+		p.teams[i] = Team{ID: i, Size: n, barrier: p.barrier}
+	}
 	if n > 1 {
-		p.work = make([]chan func(id int), n-1)
-		for i := range p.work {
-			p.work[i] = make(chan func(id int))
+		p.start = make([]chan struct{}, n-1)
+		for i := range p.start {
+			p.start[i] = make(chan struct{})
 			go p.worker(i)
 		}
 	}
@@ -57,8 +107,8 @@ func NewPool(n int) *Pool {
 func (p *Pool) worker(i int) {
 	for {
 		select {
-		case fn := <-p.work[i]:
-			fn(i + 1)
+		case <-p.start[i]:
+			p.dispatch(i + 1)
 			p.wg.Done()
 		case <-p.done:
 			return
@@ -66,29 +116,53 @@ func (p *Pool) worker(i int) {
 	}
 }
 
+// dispatch runs the work slot's operation as worker id.
+func (p *Pool) dispatch(id int) {
+	switch p.op {
+	case opFor:
+		lo, hi := chunk(p.n, p.nw, id)
+		if lo < hi {
+			p.body(lo+p.off, hi+p.off)
+		}
+	case opDynamic:
+		n, c := p.n, p.chunkSz
+		for {
+			lo := int(p.next.v.Add(int64(c))) - c
+			if lo >= n {
+				return
+			}
+			hi := lo + c
+			if hi > n {
+				hi = n
+			}
+			p.body(lo, hi)
+		}
+	case opRegion:
+		p.region(&p.teams[id])
+	}
+}
+
+// launch signals every worker, participates as worker 0, joins, and clears
+// the work slot. No allocation on this path.
+func (p *Pool) launch() {
+	p.wg.Add(p.nw - 1)
+	for _, ch := range p.start {
+		ch <- struct{}{}
+	}
+	p.dispatch(0)
+	p.wg.Wait()
+	p.body = nil
+	p.region = nil
+}
+
 // Workers returns the team size.
 func (p *Pool) Workers() int { return p.nw }
 
 // Close shuts the worker goroutines down. The pool must be idle.
 func (p *Pool) Close() {
-	if p.work != nil {
+	if p.start != nil {
 		close(p.done)
 	}
-}
-
-// run executes fn(id) on every worker (ids 0..nw-1, id 0 being the caller)
-// and waits for all of them.
-func (p *Pool) run(fn func(id int)) {
-	if p.nw == 1 {
-		fn(0)
-		return
-	}
-	p.wg.Add(p.nw - 1)
-	for i := range p.work {
-		p.work[i] <- fn
-	}
-	fn(0)
-	p.wg.Wait()
 }
 
 // chunk returns the static half-open range of worker id over n iterations.
@@ -121,12 +195,8 @@ func (p *Pool) For(n int, body func(lo, hi int)) {
 		body(0, n)
 		return
 	}
-	p.run(func(id int) {
-		lo, hi := chunk(n, p.nw, id)
-		if lo < hi {
-			body(lo, hi)
-		}
-	})
+	p.op, p.n, p.off, p.body = opFor, n, 0, body
+	p.launch()
 }
 
 // ForDynamic runs body over [0,n) in fixed-size chunks claimed dynamically
@@ -134,6 +204,7 @@ func (p *Pool) For(n int, body func(lo, hi int)) {
 // chunking (For) is the paper's choice for uniform patterns; dynamic
 // scheduling wins when per-element cost varies (e.g. variable-resolution
 // meshes, where pentagon/hexagon and refined/coarse regions differ).
+// A chunk below 1 is clamped to DefaultDynamicChunk.
 func (p *Pool) ForDynamic(n, chunk int, body func(lo, hi int)) {
 	if n <= 0 {
 		return
@@ -141,34 +212,31 @@ func (p *Pool) ForDynamic(n, chunk int, body func(lo, hi int)) {
 	p.dispatches.Add(1)
 	p.elements.Add(int64(n))
 	if chunk < 1 {
-		chunk = 1
+		chunk = DefaultDynamicChunk
 	}
 	if p.nw == 1 || n <= chunk {
 		body(0, n)
 		return
 	}
-	var next int64
-	p.run(func(int) {
-		for {
-			lo := int(atomic.AddInt64(&next, int64(chunk))) - chunk
-			if lo >= n {
-				return
-			}
-			hi := lo + chunk
-			if hi > n {
-				hi = n
-			}
-			body(lo, hi)
-		}
-	})
+	p.op, p.n, p.chunkSz, p.body = opDynamic, n, chunk, body
+	p.next.v.Store(0)
+	p.launch()
 }
 
 // ForRange is For over the half-open interval [lo, hi).
 func (p *Pool) ForRange(lo, hi int, body func(lo, hi int)) {
-	if hi <= lo {
+	n := hi - lo
+	if n <= 0 {
 		return
 	}
-	p.For(hi-lo, func(l, h int) { body(l+lo, h+lo) })
+	p.dispatches.Add(1)
+	p.elements.Add(int64(n))
+	if p.nw == 1 || n < 2*p.nw {
+		body(lo, hi)
+		return
+	}
+	p.op, p.n, p.off, p.body = opFor, n, lo, body
+	p.launch()
 }
 
 // Team is the per-worker view inside a Region: it exposes barrier-free
@@ -202,50 +270,16 @@ func (t *Team) ForBarrier(n int, body func(lo, hi int)) {
 }
 
 // Region runs fn once per worker as a single long-lived parallel region.
+// The team's barrier is the pool's pooled barrier and the Team values are
+// preallocated, so entering a region allocates nothing.
 func (p *Pool) Region(fn func(t *Team)) {
 	p.dispatches.Add(1)
-	b := NewBarrier(p.nw)
-	p.run(func(id int) {
-		fn(&Team{ID: id, Size: p.nw, barrier: b})
-	})
-}
-
-// Barrier is a reusable counting barrier for a fixed-size team.
-type Barrier struct {
-	size int
-	mu   sync.Mutex
-	cnt  int
-	gen  uint64
-	cond *sync.Cond
-}
-
-// NewBarrier creates a barrier for size participants.
-func NewBarrier(size int) *Barrier {
-	b := &Barrier{size: size}
-	b.cond = sync.NewCond(&b.mu)
-	return b
-}
-
-// Wait blocks until size goroutines have called Wait, then releases them all
-// and resets for reuse.
-func (b *Barrier) Wait() {
-	if b.size == 1 {
+	if p.nw == 1 {
+		fn(&p.teams[0])
 		return
 	}
-	b.mu.Lock()
-	gen := b.gen
-	b.cnt++
-	if b.cnt == b.size {
-		b.cnt = 0
-		b.gen++
-		b.mu.Unlock()
-		b.cond.Broadcast()
-		return
-	}
-	for gen == b.gen {
-		b.cond.Wait()
-	}
-	b.mu.Unlock()
+	p.op, p.region = opRegion, fn
+	p.launch()
 }
 
 // AtomicAddFloat64 adds delta to *addr atomically via a compare-and-swap

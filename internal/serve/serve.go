@@ -79,7 +79,7 @@ type JobSpec struct {
 	// Level is the icosahedral subdivision level (cells = 10*4^level + 2).
 	// Default 2; capped at MaxLevel to keep admission bounded.
 	Level int `json:"level,omitempty"`
-	// Mode is the execution design: serial | threaded | kernel | pattern.
+	// Mode is the execution design: serial | threaded | kernel | pattern | plan.
 	// Default serial. A suspended job may be resumed under a different mode.
 	Mode string `json:"mode,omitempty"`
 	// Steps is the total RK-4 step count; exactly one of Steps or Days must
@@ -116,7 +116,7 @@ const MaxLevel = 6
 // validModes are the execution designs a job may request (or be resumed
 // under), matching cmd/swmodel -mode.
 var validModes = map[string]bool{
-	"serial": true, "threaded": true, "kernel": true, "pattern": true,
+	"serial": true, "threaded": true, "kernel": true, "pattern": true, "plan": true,
 }
 
 // Normalize validates sp and fills defaults, returning the first problem.
@@ -139,7 +139,7 @@ func (sp *JobSpec) Normalize() error {
 		sp.Mode = "serial"
 	}
 	if !validModes[sp.Mode] {
-		return fmt.Errorf("serve: unknown mode %q (want serial|threaded|kernel|pattern)", sp.Mode)
+		return fmt.Errorf("serve: unknown mode %q (want serial|threaded|kernel|pattern|plan)", sp.Mode)
 	}
 	if sp.Steps < 0 || sp.Days < 0 {
 		return fmt.Errorf("serve: steps and days must be non-negative")

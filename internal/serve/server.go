@@ -394,7 +394,7 @@ func (s *Server) Resume(id, mode string) error {
 		return err
 	}
 	if mode != "" && !validModes[mode] {
-		return fmt.Errorf("serve: unknown mode %q (want serial|threaded|kernel|pattern)", mode)
+		return fmt.Errorf("serve: unknown mode %q (want serial|threaded|kernel|pattern|plan)", mode)
 	}
 	j.mu.Lock()
 	if j.state != StateSuspended {

@@ -39,6 +39,8 @@ func modeFor(mode string) mpas.Mode {
 		return mpas.KernelLevel
 	case "pattern":
 		return mpas.PatternDriven
+	case "plan":
+		return mpas.Plan
 	default:
 		return mpas.Serial
 	}

@@ -1,0 +1,644 @@
+package sw
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dataflow"
+	"repro/internal/par"
+	"repro/internal/pattern"
+)
+
+// This file implements data-flow-compiled step execution: at construction,
+// the RK-4 step's kernel/pattern sequence is lowered through the data-flow
+// graph (package dataflow) into a flat schedule of (op, range, barrier?)
+// entries, executed inside ONE long-lived parallel region per step. The
+// compiler goes beyond the per-kernel region fusion of PoolRunner in four
+// ways:
+//
+//  1. Fusion: the RK substep/accumulate updates (X2..X5) are folded into the
+//     tendency loops wherever the data flow proves the combined loop is
+//     race-free, and the step-entry Provis/next copies are absorbed into
+//     stage 0's initialization forms (hn = h0 + b*t instead of copy-then-add).
+//  2. Liveness: a backward pass over the whole four-stage program elides ops
+//     whose outputs are never consumed before being overwritten (divergence
+//     and cell-averaged vorticity under default config, the velocity
+//     reconstruction, and most of solve_diagnostics under AdvectionOnly).
+//  3. Barrier minimization: dataflow.LevelsBy with a locality predicate
+//     places a barrier only at true dependency frontiers — an edge whose
+//     consumer reads only the element its own worker produced (pointwise
+//     consumer, same index space, stable static chunking) needs no barrier.
+//  4. Allocation-free dispatch: op closures, worker ranges and the region
+//     callback are all precompiled, so a step performs zero allocations and
+//     zero closure churn.
+//
+// Every schedule is verified at compile time: the flattened order must pass
+// Graph.ValidateOrder, and every non-local dependency edge must be separated
+// by at least one barrier (checked both with and without the optional
+// PostSubstep hook in the schedule).
+
+// stepRoots are the variables that must be correct after a plan step: the
+// accepted prognostic state plus the diagnostics ComputeInvariants reads.
+// Everything else either feeds the next step (kept live by the program's
+// own upward-exposed reads) or is recomputed before use.
+var stepRoots = []string{"h0", "u0", "ke", "pv_vertex", "h_vertex"}
+
+// opSpec is a schedulable operation before compilation: def/use metadata for
+// the data-flow graph plus the compiled range closure.
+type opSpec struct {
+	id     string
+	stage  int
+	n      int
+	shape  pattern.Shape
+	out    pattern.PointType
+	reads  []string
+	writes []string
+	run    func(lo, hi int)
+	// hook marks the serial PostSubstep slot: executed by worker 0 only,
+	// guarded at runtime on s.PostSubstep != nil, and never local to any
+	// dependency edge.
+	hook bool
+}
+
+func (sp opSpec) instance() pattern.Instance {
+	return pattern.Instance{
+		ID:     sp.id,
+		Kernel: fmt.Sprintf("stage%d", sp.stage),
+		Shape:  sp.shape,
+		Out:    sp.out,
+		Reads:  sp.reads,
+		Writes: sp.writes,
+	}
+}
+
+// planOp is one compiled schedule entry.
+type planOp struct {
+	id      string
+	stage   int
+	run     func(lo, hi int)
+	hook    bool
+	ranges  [][2]int32
+	barrier bool
+}
+
+// plan is a compiled schedule executed inside one parallel region.
+type plan struct {
+	s   *Solver
+	ops []planOp
+	// exec is the bound method value handed to Pool.Region, created once so
+	// launching the region allocates nothing.
+	exec func(t *par.Team)
+	// Compilation artifacts kept for structural tests: the kept specs in
+	// program order, the execution order (positions into specs), and the
+	// effective barrier flag per execution position.
+	specs        []opSpec
+	order        []int
+	barrierAfter []bool
+	barriers     int
+}
+
+// run executes the schedule as one worker of the region. Every worker
+// executes the same op sequence over its own precomputed ranges; barriers
+// synchronize exactly at the compiled frontiers. Hook slots run on worker 0
+// with a barrier after — both are skipped when no hook is installed, which
+// is safe because the preceding frontier's barrier already ordered the
+// hook's inputs.
+func (p *plan) run(t *par.Team) {
+	s := p.s
+	ops := p.ops
+	for i := range ops {
+		op := &ops[i]
+		if op.hook {
+			if hook := s.PostSubstep; hook != nil {
+				if t.ID == 0 {
+					st := s.Provis
+					if op.stage == 3 {
+						st = s.State
+					}
+					hook(op.stage, st)
+				}
+				t.Barrier()
+			}
+			continue
+		}
+		r := op.ranges[t.ID]
+		if r[0] < r[1] {
+			op.run(int(r[0]), int(r[1]))
+		}
+		if op.barrier {
+			t.Barrier()
+		}
+	}
+}
+
+// PlanRunner is a Runner that advances whole RK-4 steps through a compiled
+// execution plan (Step() takes the plan path when a PlanRunner is attached
+// and no tracers are registered). For anything else — Init, tracer runs,
+// direct kernel invocations — RunKernel executes the kernel's original
+// patterns through a per-kernel compiled schedule with no elision, so all
+// diagnostics (including ones the step plan elides) are computed there.
+//
+// A plan step maintains the prognostic state, the invariant diagnostics
+// (ke, h_vertex, pv_vertex) and everything the next step consumes; purely
+// derived fields with no consumer (divergence and vorticity_cell under the
+// default configuration, the velocity reconstruction) go stale. Checkpoint,
+// conformance and invariant monitoring never read them; call Init to refresh
+// them if needed.
+type PlanRunner struct {
+	s    *Solver
+	pool *par.Pool
+	// cfg snapshots the configuration the plan was specialized on; Step
+	// refuses the plan path if the solver's Cfg has since been mutated
+	// (e.g. a test-case setup flipping AdvectionOnly after construction).
+	cfg Config
+
+	// Hoisted gather weights (see plan_kernels.go).
+	wA1, wA3, wE []float64
+
+	stepPlan    *plan
+	kernelPlans map[*Kernel]*plan
+	rangeCache  map[int][][2]int32
+	elided      []string
+}
+
+// NewPlanRunner compiles the execution plan for s. The pool provides the
+// worker team (nil means serial); the caller keeps ownership of it. The
+// returned runner is specific to s and to the pool's worker count.
+func NewPlanRunner(s *Solver, pool *par.Pool) (*PlanRunner, error) {
+	if pool == nil {
+		pool = par.NewPool(1)
+	}
+	r := &PlanRunner{s: s, pool: pool, cfg: s.Cfg, rangeCache: map[int][][2]int32{}}
+	r.buildWeights()
+
+	specs := r.stepSpecs()
+	kept, elided := elideDead(specs, stepRoots)
+	r.elided = elided
+	p, err := r.compile(splitStages(kept))
+	if err != nil {
+		return nil, fmt.Errorf("sw: step plan: %w", err)
+	}
+	r.stepPlan = p
+
+	r.kernelPlans = make(map[*Kernel]*plan, len(s.kernelOrder))
+	for _, k := range s.kernelOrder {
+		kp, err := r.compile([][]opSpec{kernelSpecs(k)})
+		if err != nil {
+			return nil, fmt.Errorf("sw: kernel plan %s: %w", k.Name, err)
+		}
+		r.kernelPlans[k] = kp
+	}
+	return r, nil
+}
+
+// MustNewPlanRunner is NewPlanRunner panicking on error.
+func MustNewPlanRunner(s *Solver, pool *par.Pool) *PlanRunner {
+	r, err := NewPlanRunner(s, pool)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Elided returns the Table I ops the liveness pass removed from the step
+// plan, sorted.
+func (r *PlanRunner) Elided() []string {
+	out := append([]string(nil), r.elided...)
+	sort.Strings(out)
+	return out
+}
+
+// Barriers returns the number of unconditional barriers in one plan step.
+func (r *PlanRunner) Barriers() int { return r.stepPlan.barriers }
+
+// OpIDs returns the step schedule in execution order.
+func (r *PlanRunner) OpIDs() []string {
+	out := make([]string, len(r.stepPlan.ops))
+	for i, op := range r.stepPlan.ops {
+		out[i] = op.id
+	}
+	return out
+}
+
+// step advances one RK-4 time step through the compiled plan (called from
+// Solver.Step).
+func (r *PlanRunner) step() {
+	s := r.s
+	span := s.Trace.StartSpan("rk4_step_plan")
+	s.cur = s.State
+	r.pool.Region(r.stepPlan.exec)
+	s.StepCount++
+	s.Time += s.Cfg.Dt
+	s.stepsCounter.Inc()
+	span.End()
+}
+
+// RunKernel implements Runner for the non-step paths (Init, tracer steps,
+// direct kernel calls): the kernel's original patterns run through a cached
+// leveled schedule inside one region. Unknown kernels fall back to the
+// per-kernel region of PoolRunner.
+func (r *PlanRunner) RunKernel(k *Kernel) {
+	if kp, ok := r.kernelPlans[k]; ok {
+		r.pool.Region(kp.exec)
+		return
+	}
+	PoolRunner{Pool: r.pool}.RunKernel(k)
+}
+
+// kernelSpecs wraps a kernel's original patterns as opSpecs (no fusion, no
+// elision — Table I metadata drives the leveling).
+func kernelSpecs(k *Kernel) []opSpec {
+	specs := make([]opSpec, len(k.Patterns))
+	for i, pt := range k.Patterns {
+		specs[i] = opSpec{
+			id:     pt.Info.ID,
+			n:      pt.N,
+			shape:  pt.Info.Shape,
+			out:    pt.Info.Out,
+			reads:  pt.Info.Reads,
+			writes: pt.Info.Writes,
+			run:    pt.Run,
+		}
+	}
+	return specs
+}
+
+func splitStages(specs []opSpec) [][]opSpec {
+	out := make([][]opSpec, 4)
+	for _, sp := range specs {
+		out[sp.stage] = append(out[sp.stage], sp)
+	}
+	return out
+}
+
+// stepSpecs builds the full four-stage program (before elision) in program
+// order. Variable naming follows Table I: h0/u0 is the accepted state, h/u
+// the provisional state, h_new/u_new the RK accumulator. Stage 0's tendency
+// ops read the accepted state directly (the Provis copy it replaces was
+// bitwise identical), stage 3's solve_diagnostics reads the committed state.
+func (r *PlanRunner) stepSpecs() []opSpec {
+	s := r.s
+	m := s.M
+	cfg := s.Cfg
+	nc, ne, nv := m.NCells, m.NEdges, m.NVertices
+
+	var specs []opSpec
+	add := func(sp opSpec) { specs = append(specs, sp) }
+
+	for stage := 0; stage < 4; stage++ {
+		suf := fmt.Sprintf("@%d", stage)
+		// State names seen by the tendency ops (stage 0 reads the accepted
+		// state) and by solve_diagnostics (stage 3 reads the committed state).
+		tendH, tendU := "h", "u"
+		if stage == 0 {
+			tendH, tendU = "h0", "u0"
+		}
+		diagH, diagU := "h", "u"
+		diagSt := s.Provis
+		if stage == 3 {
+			diagH, diagU = "h0", "u0"
+			diagSt = s.State
+		}
+
+		// --- fused tendency + accumulate (+ provisional or commit) -------
+		thID, tuID := "A1+X4"+suf, "B1+X1+X5"+suf
+		thReads := []string{tendU, "h_edge"}
+		thWrites := []string{"tend_h"}
+		tuReads := []string{tendU}
+		tuWrites := []string{"tend_u"}
+		if !cfg.AdvectionOnly {
+			tuReads = append(tuReads, "pv_edge", "h_edge", "ke", tendH)
+			if cfg.Viscosity != 0 {
+				tuReads = append(tuReads, "divergence", "vorticity")
+			}
+		}
+		switch stage {
+		case 0:
+			thID, tuID = "A1+X4+X2@0", "B1+X1+X5+X3@0"
+			thReads = append(thReads, "h0")
+			thWrites = append(thWrites, "h_new", "h")
+			tuWrites = append(tuWrites, "u_new", "u")
+		case 3:
+			thID, tuID = "A1+X4+commit@3", "B1+X1+X5+commit@3"
+			thReads = append(thReads, "h_new")
+			thWrites = append(thWrites, "h0")
+			tuReads = append(tuReads, "u_new")
+			tuWrites = append(tuWrites, "u0")
+		default:
+			thReads = append(thReads, "h_new")
+			thWrites = append(thWrites, "h_new")
+			tuReads = append(tuReads, "u_new")
+			tuWrites = append(tuWrites, "u_new")
+		}
+		add(opSpec{id: thID, stage: stage, n: nc, shape: pattern.ShapeA, out: pattern.Mass,
+			reads: thReads, writes: thWrites, run: r.mkTendH(stage)})
+		add(opSpec{id: tuID, stage: stage, n: ne, shape: pattern.ShapeB, out: pattern.Velocity,
+			reads: tuReads, writes: tuWrites, run: r.mkTendU(stage)})
+
+		// --- provisional state (stages 1, 2 only; fused elsewhere) -------
+		if stage == 1 || stage == 2 {
+			add(opSpec{id: "X2" + suf, stage: stage, n: nc, shape: pattern.ShapeX, out: pattern.Mass,
+				reads: []string{"h0", "tend_h"}, writes: []string{"h"}, run: r.mkX2(stage)})
+			add(opSpec{id: "X3" + suf, stage: stage, n: ne, shape: pattern.ShapeX, out: pattern.Velocity,
+				reads: []string{"u0", "tend_u"}, writes: []string{"u"}, run: r.mkX3(stage)})
+		}
+
+		// --- PostSubstep hook slot ---------------------------------------
+		add(opSpec{id: "hook" + suf, stage: stage, hook: true,
+			reads: []string{diagH, diagU}, writes: []string{diagH, diagU}})
+
+		// --- compute_solve_diagnostics -----------------------------------
+		if cfg.HighOrderThickness {
+			add(opSpec{id: "C1" + suf, stage: stage, n: nc, shape: pattern.ShapeC, out: pattern.Mass,
+				reads: []string{diagH}, writes: []string{"d2fdx2_cell"}, run: r.cC1(diagSt)})
+			add(opSpec{id: "D2" + suf, stage: stage, n: ne, shape: pattern.ShapeD, out: pattern.Velocity,
+				reads: []string{diagH, "d2fdx2_cell"}, writes: []string{"h_edge"}, run: r.cD2(diagSt)})
+		} else {
+			add(opSpec{id: "D1" + suf, stage: stage, n: ne, shape: pattern.ShapeD, out: pattern.Velocity,
+				reads: []string{diagH}, writes: []string{"h_edge"}, run: r.cD1(diagSt)})
+		}
+		add(opSpec{id: "E" + suf, stage: stage, n: nv, shape: pattern.ShapeE, out: pattern.Vorticity,
+			reads: []string{diagU}, writes: []string{"vorticity"}, run: r.cE(diagSt)})
+		add(opSpec{id: "A2" + suf, stage: stage, n: nc, shape: pattern.ShapeA, out: pattern.Mass,
+			reads: []string{diagU}, writes: []string{"divergence"}, run: r.cA2(diagSt)})
+		add(opSpec{id: "A3" + suf, stage: stage, n: nc, shape: pattern.ShapeA, out: pattern.Mass,
+			reads: []string{diagU}, writes: []string{"ke"}, run: r.cA3(diagSt)})
+		add(opSpec{id: "F" + suf, stage: stage, n: ne, shape: pattern.ShapeF, out: pattern.Velocity,
+			reads: []string{diagU}, writes: []string{"v"}, run: r.cF(diagSt)})
+		add(opSpec{id: "G" + suf, stage: stage, n: nv, shape: pattern.ShapeG, out: pattern.Vorticity,
+			reads: []string{diagH, "vorticity"}, writes: []string{"h_vertex", "pv_vertex"}, run: r.cG(diagSt)})
+		add(opSpec{id: "C2" + suf, stage: stage, n: nc, shape: pattern.ShapeC, out: pattern.Mass,
+			reads: []string{"pv_vertex"}, writes: []string{"pv_cell"}, run: r.cC2()})
+		add(opSpec{id: "H2" + suf, stage: stage, n: nc, shape: pattern.ShapeH, out: pattern.Mass,
+			reads: []string{"vorticity"}, writes: []string{"vorticity_cell"}, run: s.patH2})
+		add(opSpec{id: "H1" + suf, stage: stage, n: ne, shape: pattern.ShapeH, out: pattern.Velocity,
+			reads: []string{"pv_vertex"}, writes: []string{"pv_edge"}, run: s.patH1})
+		if cfg.APVM != 0 {
+			add(opSpec{id: "B2" + suf, stage: stage, n: ne, shape: pattern.ShapeB, out: pattern.Velocity,
+				reads:  []string{"pv_vertex", "pv_cell", diagU, "v", "pv_edge"},
+				writes: []string{"pv_edge"}, run: r.cB2(diagSt)})
+		}
+
+		// --- mpas_reconstruct (stage 3 only; cur == State there) ---------
+		if stage == 3 {
+			add(opSpec{id: "A4@3", stage: 3, n: nc, shape: pattern.ShapeA, out: pattern.Mass,
+				reads:  []string{"u0"},
+				writes: []string{"uReconstructX", "uReconstructY", "uReconstructZ"}, run: s.patA4})
+			add(opSpec{id: "X6@3", stage: 3, n: nc, shape: pattern.ShapeX, out: pattern.Mass,
+				reads:  []string{"uReconstructX", "uReconstructY", "uReconstructZ"},
+				writes: []string{"uReconstructZonal", "uReconstructMeridional"}, run: s.patX6})
+		}
+	}
+	return specs
+}
+
+// liveInVars returns the variables with an upward-exposed read: read by some
+// op before any op writes them. Since one step's program runs in a loop,
+// these are exactly the values the next step still needs.
+func liveInVars(specs []opSpec) map[string]bool {
+	written := map[string]bool{}
+	liveIn := map[string]bool{}
+	for _, sp := range specs {
+		for _, v := range sp.reads {
+			if !written[v] {
+				liveIn[v] = true
+			}
+		}
+		for _, v := range sp.writes {
+			written[v] = true
+		}
+	}
+	return liveIn
+}
+
+// elideDead removes ops none of whose outputs are consumed: a single
+// backward liveness pass with the roots plus the program's own upward-exposed
+// reads live at the end. Every op writes its full output range, so a write
+// kills the variable. Hook slots are never elided.
+func elideDead(specs []opSpec, roots []string) (kept []opSpec, elided []string) {
+	live := map[string]bool{}
+	for _, v := range roots {
+		live[v] = true
+	}
+	for v := range liveInVars(specs) {
+		live[v] = true
+	}
+	keep := make([]bool, len(specs))
+	for i := len(specs) - 1; i >= 0; i-- {
+		sp := specs[i]
+		alive := sp.hook
+		for _, v := range sp.writes {
+			if live[v] {
+				alive = true
+			}
+		}
+		if !alive {
+			continue
+		}
+		keep[i] = true
+		for _, v := range sp.writes {
+			delete(live, v)
+		}
+		for _, v := range sp.reads {
+			live[v] = true
+		}
+	}
+	for i, sp := range specs {
+		if keep[i] {
+			kept = append(kept, sp)
+		} else {
+			elided = append(elided, sp.id)
+		}
+	}
+	return kept, elided
+}
+
+// localEdge reports whether a dependency edge needs no barrier under stable
+// static chunking over a shared index space: both endpoints partition the
+// same range identically (same n, same output point type), and the endpoint
+// that touches foreign elements — the reader of a RAW edge, the earlier
+// reader of a WAR edge — is pointwise, so each worker only revisits elements
+// of its own chunk. Output dependencies (WAW) are local whenever the
+// partitions coincide, since each element is rewritten by the same worker.
+func localEdge(a, b opSpec, kind dataflow.DepKind) bool {
+	if a.hook || b.hook {
+		return false
+	}
+	if a.n != b.n || a.out != b.out {
+		return false
+	}
+	switch kind {
+	case dataflow.RAW:
+		return b.shape == pattern.ShapeX
+	case dataflow.WAR:
+		return a.shape == pattern.ShapeX
+	case dataflow.WAW:
+		return true
+	}
+	return false
+}
+
+// compile lowers the program (a list of synchronization scopes, each in
+// program order) into a verified flat schedule. Within a scope, ops are
+// leveled by LevelsBy with the locality predicate and a barrier is placed
+// after each level; scope boundaries always get a barrier; the final
+// schedule entry drops its barrier because the region join provides it.
+func (r *PlanRunner) compile(scopes [][]opSpec) (*plan, error) {
+	p := &plan{s: r.s}
+	for _, scope := range scopes {
+		if len(scope) == 0 {
+			continue
+		}
+		insts := make([]pattern.Instance, len(scope))
+		for i, sp := range scope {
+			insts[i] = sp.instance()
+		}
+		g := dataflow.Build(insts)
+		levels := g.LevelsBy(func(e dataflow.Edge) bool {
+			return localEdge(scope[e.From], scope[e.To], e.Kind)
+		})
+		var order []int
+		for _, lv := range levels {
+			order = append(order, lv...)
+		}
+		if err := g.ValidateOrder(order); err != nil {
+			return nil, err
+		}
+		base := len(p.specs)
+		p.specs = append(p.specs, scope...)
+		for _, lv := range levels {
+			for k, j := range lv {
+				sp := scope[j]
+				op := planOp{id: sp.id, stage: sp.stage, run: sp.run, hook: sp.hook,
+					barrier: k == len(lv)-1}
+				if !sp.hook {
+					op.ranges = r.ranges(sp.n)
+				}
+				p.ops = append(p.ops, op)
+				p.order = append(p.order, base+j)
+			}
+		}
+	}
+	if n := len(p.ops); n > 0 && !p.ops[n-1].hook {
+		p.ops[n-1].barrier = false
+	}
+	p.barrierAfter = make([]bool, len(p.ops))
+	for i, op := range p.ops {
+		p.barrierAfter[i] = op.barrier
+		if op.barrier && !op.hook {
+			p.barriers++
+		}
+	}
+	if err := p.verify(); err != nil {
+		return nil, err
+	}
+	p.exec = p.run
+	return p, nil
+}
+
+// verify checks barrier sufficiency over the whole program: every non-local
+// dependency edge must cross at least one barrier, both with the hook slots
+// scheduled (their conditional barriers count) and with them stripped (the
+// schedule actually executed when no PostSubstep hook is installed).
+func (p *plan) verify() error {
+	if err := coverageErr(p.specs, p.order, p.barrierAfter); err != nil {
+		return err
+	}
+	specs, order, barriers := stripHooks(p.specs, p.order, p.barrierAfter)
+	return coverageErr(specs, order, barriers)
+}
+
+// stripHooks removes hook entries from a (specs, order, barrierAfter)
+// schedule — the runtime shape when s.PostSubstep is nil.
+func stripHooks(specs []opSpec, order []int, barrierAfter []bool) ([]opSpec, []int, []bool) {
+	keepSpec := make([]int, len(specs)) // old spec index -> new, -1 dropped
+	var outSpecs []opSpec
+	for i, sp := range specs {
+		if sp.hook {
+			keepSpec[i] = -1
+			continue
+		}
+		keepSpec[i] = len(outSpecs)
+		outSpecs = append(outSpecs, sp)
+	}
+	var outOrder []int
+	var outBarriers []bool
+	for pos, si := range order {
+		if keepSpec[si] < 0 {
+			continue
+		}
+		outOrder = append(outOrder, keepSpec[si])
+		outBarriers = append(outBarriers, barrierAfter[pos])
+	}
+	return outSpecs, outOrder, outBarriers
+}
+
+// coverageErr builds the dependency graph over the program-order spec list
+// and checks that the execution order respects every edge and that every
+// non-local edge has a barrier strictly between its endpoints.
+func coverageErr(specs []opSpec, order []int, barrierAfter []bool) error {
+	insts := make([]pattern.Instance, len(specs))
+	for i, sp := range specs {
+		insts[i] = sp.instance()
+	}
+	g := dataflow.Build(insts)
+	if err := g.ValidateOrder(order); err != nil {
+		return err
+	}
+	pos := make([]int, len(specs))
+	for pp, si := range order {
+		pos[si] = pp
+	}
+	for _, e := range g.Edges {
+		if localEdge(specs[e.From], specs[e.To], e.Kind) {
+			continue
+		}
+		covered := false
+		for k := pos[e.From]; k < pos[e.To]; k++ {
+			if barrierAfter[k] {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			return fmt.Errorf("sw: plan schedule leaves %s dependency %s (%s -> %s) without a barrier",
+				e.Kind, e.Variable, specs[e.From].id, specs[e.To].id)
+		}
+	}
+	return nil
+}
+
+// ranges returns the per-worker static partition of [0,n), cached per index
+// space so every op over the same space uses the identical partition — the
+// property the locality predicate relies on. Boundaries are rounded up to
+// multiples of 8 elements (one cache line of float64), so adjacent workers
+// never write the same line.
+func (r *PlanRunner) ranges(n int) [][2]int32 {
+	if rs, ok := r.rangeCache[n]; ok {
+		return rs
+	}
+	rs := alignedRanges(n, r.pool.Workers())
+	r.rangeCache[n] = rs
+	return rs
+}
+
+func alignedRanges(n, nw int) [][2]int32 {
+	rs := make([][2]int32, nw)
+	q := n / nw
+	lo := 0
+	for w := 0; w < nw; w++ {
+		hi := n
+		if w < nw-1 {
+			hi = (lo + q + 7) &^ 7
+			if hi > n {
+				hi = n
+			}
+		}
+		if hi < lo {
+			hi = lo
+		}
+		rs[w] = [2]int32{int32(lo), int32(hi)}
+		lo = hi
+	}
+	return rs
+}

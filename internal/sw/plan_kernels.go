@@ -1,0 +1,411 @@
+package sw
+
+import "repro/internal/mesh"
+
+// This file holds the compiled kernel variants the execution plan (plan.go)
+// dispatches instead of the generic range kernels in kernels.go. Each variant
+// is bitwise-identical to its original: the floating-point expression tree is
+// unchanged (same literals, same left-to-right association), only the
+// surrounding scaffolding differs —
+//
+//   - gather index lists are re-sliced to the stencil width so the compiler
+//     can eliminate the per-element bounds checks,
+//   - products of per-slot mesh constants (edge sign × edge length) are
+//     hoisted into weight tables built once at plan compilation,
+//   - the current state is bound at compile time instead of read through
+//     s.cur, because the plan never retargets mid-step,
+//   - the RK substep/accumulate updates (X2..X5) are fused into the tendency
+//     loops where the data flow proves the combined loop races with nothing.
+//
+// Equivalence is pinned by TestPlanBitwise across the configuration space.
+
+// buildWeights precomputes the hoisted gather weights. wA1[c][j] is the
+// signed edge length s.signCell*DvEdge shared by A1, A2 and A4; wA3 is A3's
+// quadrature weight (0.25*Dc)*Dv; wE is E's signed dual-edge length. Each
+// stored product reproduces the original left-associated prefix, so
+// multiplying by the remaining factors gives the original rounding exactly.
+func (r *PlanRunner) buildWeights() {
+	s := r.s
+	m := s.M
+	r.wA1 = make([]float64, m.NCells*mesh.MaxEdges)
+	r.wA3 = make([]float64, m.NCells*mesh.MaxEdges)
+	for c := 0; c < m.NCells; c++ {
+		base := c * mesh.MaxEdges
+		n := int(m.NEdgesOnCell[c])
+		for j := 0; j < n; j++ {
+			e := m.EdgesOnCell[base+j]
+			r.wA1[base+j] = s.signCell[base+j] * m.DvEdge[e]
+			r.wA3[base+j] = 0.25 * m.DcEdge[e] * m.DvEdge[e]
+		}
+	}
+	r.wE = make([]float64, m.NVertices*mesh.VertexDegree)
+	for v := 0; v < m.NVertices; v++ {
+		base := v * mesh.VertexDegree
+		for j := 0; j < mesh.VertexDegree; j++ {
+			e := m.EdgesOnVertex[base+j]
+			r.wE[base+j] = s.signVertex[base+j] * m.DcEdge[e]
+		}
+	}
+}
+
+// mkTendH compiles the fused thickness-tendency op for one RK stage:
+// A1 (flux divergence), X4 (accumulate), and at stage 0 additionally X2 (the
+// provisional update, legal there because stage 0 reads the accepted state)
+// or at stage 3 the commit into State.H. The stage-0 form also absorbs the
+// next.CopyFrom(State) initialization: hn = h0 + b*t instead of copy-then-add.
+func (r *PlanRunner) mkTendH(stage int) func(lo, hi int) {
+	s := r.s
+	m := s.M
+	w := r.wA1
+	a, b := s.rkA[stage], s.rkB[stage]
+	st := s.Provis
+	if stage == 0 {
+		st = s.State
+	}
+	return func(lo, hi int) {
+		u := st.U
+		he := s.Diag.HEdge
+		th := s.Tend.H
+		hn := s.next.H
+		h0 := s.State.H
+		hp := s.Provis.H
+		for c := lo; c < hi; c++ {
+			base := c * mesh.MaxEdges
+			n := int(m.NEdgesOnCell[c])
+			ws := w[base : base+n]
+			es := m.EdgesOnCell[base : base+n]
+			acc := 0.0
+			for j, wj := range ws {
+				e := es[j]
+				acc += wj * he[e] * u[e]
+			}
+			t := -acc / m.AreaCell[c]
+			th[c] = t
+			switch stage {
+			case 0:
+				hn[c] = h0[c] + b*t
+				hp[c] = h0[c] + a*t
+			case 3:
+				h0[c] = hn[c] + b*t
+			default:
+				hn[c] += b * t
+			}
+		}
+	}
+}
+
+// mkTendU compiles the fused momentum-tendency op for one RK stage: B1 (or
+// its advection-only zeroing), the optional viscosity and Rayleigh-friction
+// passes (X1), X5 (accumulate), and at stage 0 additionally X3 or at stage 3
+// the commit into State.U. Sub-passes run in the original pattern order over
+// the worker's own range, so fusion changes no result.
+func (r *PlanRunner) mkTendU(stage int) func(lo, hi int) {
+	s := r.s
+	m := s.M
+	cfg := s.Cfg
+	g := cfg.Gravity
+	a, bw := s.rkA[stage], s.rkB[stage]
+	st := s.Provis
+	if stage == 0 {
+		st = s.State
+	}
+	return func(lo, hi int) {
+		u := st.U
+		tu := s.Tend.U
+		if cfg.AdvectionOnly {
+			for e := lo; e < hi; e++ {
+				tu[e] = 0
+			}
+		} else {
+			h := st.H
+			he := s.Diag.HEdge
+			ke := s.Diag.KE
+			pve := s.Diag.PVEdge
+			b := s.B
+			for e := lo; e < hi; e++ {
+				base := e * mesh.MaxEdgesOnEdge
+				n := int(m.NEdgesOnEdge[e])
+				w := m.WeightsOnEdge[base : base+n]
+				eoe := m.EdgesOnEdge[base : base+n]
+				pe := pve[e]
+				q := 0.0
+				for j, wj := range w {
+					k := eoe[j]
+					workPV := 0.5 * (pe + pve[k])
+					q += wj * u[k] * he[k] * workPV
+				}
+				c1 := m.CellsOnEdge[2*e]
+				c2 := m.CellsOnEdge[2*e+1]
+				grad := (ke[c2] - ke[c1] + g*(h[c2]+b[c2]-h[c1]-b[c1])) / m.DcEdge[e]
+				tu[e] = q - grad
+			}
+			if nu := cfg.Viscosity; nu != 0 {
+				div := s.Diag.Divergence
+				vort := s.Diag.Vorticity
+				for e := lo; e < hi; e++ {
+					c1 := m.CellsOnEdge[2*e]
+					c2 := m.CellsOnEdge[2*e+1]
+					v1 := m.VerticesOnEdge[2*e]
+					v2 := m.VerticesOnEdge[2*e+1]
+					tu[e] += nu * ((div[c2]-div[c1])/m.DcEdge[e] - (vort[v2]-vort[v1])/m.DvEdge[e])
+				}
+			}
+		}
+		if rf := cfg.RayleighFriction; rf != 0 {
+			for e := lo; e < hi; e++ {
+				tu[e] -= rf * u[e]
+			}
+		}
+		un := s.next.U
+		switch stage {
+		case 0:
+			u0 := s.State.U
+			up := s.Provis.U
+			for e := lo; e < hi; e++ {
+				t := tu[e]
+				un[e] = u0[e] + bw*t
+				up[e] = u0[e] + a*t
+			}
+		case 3:
+			uo := s.State.U
+			for e := lo; e < hi; e++ {
+				uo[e] = un[e] + bw*tu[e]
+			}
+		default:
+			for e := lo; e < hi; e++ {
+				un[e] += bw * tu[e]
+			}
+		}
+	}
+}
+
+// mkX2 / mkX3 compile the provisional-state updates for stages 1 and 2 (at
+// stages 0 and 3 they are fused into the tendency ops). Unlike patX2/patX3
+// they bind the RK coefficient at compile time instead of reading s.stage.
+func (r *PlanRunner) mkX2(stage int) func(lo, hi int) {
+	s := r.s
+	a := s.rkA[stage]
+	return func(lo, hi int) {
+		h0 := s.State.H
+		th := s.Tend.H
+		hp := s.Provis.H
+		for c := lo; c < hi; c++ {
+			hp[c] = h0[c] + a*th[c]
+		}
+	}
+}
+
+func (r *PlanRunner) mkX3(stage int) func(lo, hi int) {
+	s := r.s
+	a := s.rkA[stage]
+	return func(lo, hi int) {
+		u0 := s.State.U
+		tu := s.Tend.U
+		up := s.Provis.U
+		for e := lo; e < hi; e++ {
+			up[e] = u0[e] + a*tu[e]
+		}
+	}
+}
+
+// --- compiled compute_solve_diagnostics variants -----------------------------
+// Each binds the state the stage reads (Provis for stages 0..2, State for
+// stage 3) at compile time; kernels that read only diagnostics reuse the
+// originals from kernels.go.
+
+func (r *PlanRunner) cC1(st *State) func(lo, hi int) {
+	s := r.s
+	m := s.M
+	return func(lo, hi int) {
+		h := st.H
+		d2 := s.Diag.D2fdx2Cell
+		for c := lo; c < hi; c++ {
+			base := c * mesh.MaxEdges
+			n := int(m.NEdgesOnCell[c])
+			es := m.EdgesOnCell[base : base+n]
+			cs := m.CellsOnCell[base : base+n]
+			acc := 0.0
+			for j, e := range es {
+				nb := cs[j]
+				d := m.DcEdge[e]
+				acc += 2 * (h[nb] - h[c]) / (d * d)
+			}
+			d2[c] = acc / float64(n)
+		}
+	}
+}
+
+func (r *PlanRunner) cD1(st *State) func(lo, hi int) {
+	s := r.s
+	m := s.M
+	return func(lo, hi int) {
+		h := st.H
+		he := s.Diag.HEdge
+		for e := lo; e < hi; e++ {
+			c1 := m.CellsOnEdge[2*e]
+			c2 := m.CellsOnEdge[2*e+1]
+			he[e] = 0.5 * (h[c1] + h[c2])
+		}
+	}
+}
+
+func (r *PlanRunner) cD2(st *State) func(lo, hi int) {
+	s := r.s
+	m := s.M
+	return func(lo, hi int) {
+		h := st.H
+		d2 := s.Diag.D2fdx2Cell
+		he := s.Diag.HEdge
+		for e := lo; e < hi; e++ {
+			c1 := m.CellsOnEdge[2*e]
+			c2 := m.CellsOnEdge[2*e+1]
+			dc := m.DcEdge[e]
+			he[e] = 0.5*(h[c1]+h[c2]) - dc*dc/12*0.5*(d2[c1]+d2[c2])
+		}
+	}
+}
+
+func (r *PlanRunner) cE(st *State) func(lo, hi int) {
+	s := r.s
+	m := s.M
+	w := r.wE
+	return func(lo, hi int) {
+		u := st.U
+		vort := s.Diag.Vorticity
+		for v := lo; v < hi; v++ {
+			base := v * mesh.VertexDegree
+			circ := 0.0
+			for j := 0; j < mesh.VertexDegree; j++ {
+				circ += w[base+j] * u[m.EdgesOnVertex[base+j]]
+			}
+			vort[v] = circ / m.AreaTriangle[v]
+		}
+	}
+}
+
+func (r *PlanRunner) cA2(st *State) func(lo, hi int) {
+	s := r.s
+	m := s.M
+	w := r.wA1
+	return func(lo, hi int) {
+		u := st.U
+		div := s.Diag.Divergence
+		for c := lo; c < hi; c++ {
+			base := c * mesh.MaxEdges
+			n := int(m.NEdgesOnCell[c])
+			ws := w[base : base+n]
+			es := m.EdgesOnCell[base : base+n]
+			acc := 0.0
+			for j, wj := range ws {
+				acc += wj * u[es[j]]
+			}
+			div[c] = acc / m.AreaCell[c]
+		}
+	}
+}
+
+func (r *PlanRunner) cA3(st *State) func(lo, hi int) {
+	s := r.s
+	m := s.M
+	w := r.wA3
+	return func(lo, hi int) {
+		u := st.U
+		ke := s.Diag.KE
+		for c := lo; c < hi; c++ {
+			base := c * mesh.MaxEdges
+			n := int(m.NEdgesOnCell[c])
+			ws := w[base : base+n]
+			es := m.EdgesOnCell[base : base+n]
+			acc := 0.0
+			for j, wj := range ws {
+				ue := u[es[j]]
+				acc += wj * ue * ue
+			}
+			ke[c] = acc / m.AreaCell[c]
+		}
+	}
+}
+
+func (r *PlanRunner) cF(st *State) func(lo, hi int) {
+	s := r.s
+	m := s.M
+	return func(lo, hi int) {
+		u := st.U
+		v := s.Diag.V
+		for e := lo; e < hi; e++ {
+			base := e * mesh.MaxEdgesOnEdge
+			n := int(m.NEdgesOnEdge[e])
+			w := m.WeightsOnEdge[base : base+n]
+			eoe := m.EdgesOnEdge[base : base+n]
+			acc := 0.0
+			for j, wj := range w {
+				acc += wj * u[eoe[j]]
+			}
+			v[e] = acc
+		}
+	}
+}
+
+func (r *PlanRunner) cG(st *State) func(lo, hi int) {
+	s := r.s
+	m := s.M
+	return func(lo, hi int) {
+		h := st.H
+		hv := s.Diag.HVertex
+		pv := s.Diag.PVVertex
+		vort := s.Diag.Vorticity
+		for v := lo; v < hi; v++ {
+			base := v * mesh.VertexDegree
+			kv := m.KiteAreasOnVertex[base : base+mesh.VertexDegree]
+			cv := m.CellsOnVertex[base : base+mesh.VertexDegree]
+			acc := 0.0
+			for j, k := range kv {
+				acc += k * h[cv[j]]
+			}
+			hv[v] = acc / m.AreaTriangle[v]
+			pv[v] = (m.FVertex[v] + vort[v]) / hv[v]
+		}
+	}
+}
+
+func (r *PlanRunner) cC2() func(lo, hi int) {
+	s := r.s
+	m := s.M
+	return func(lo, hi int) {
+		pvc := s.Diag.PVCell
+		pvv := s.Diag.PVVertex
+		for c := lo; c < hi; c++ {
+			base := c * mesh.MaxEdges
+			n := int(m.NEdgesOnCell[c])
+			ws := s.kiteOnCell[base : base+n]
+			vs := m.VerticesOnCell[base : base+n]
+			acc := 0.0
+			for j, wj := range ws {
+				acc += wj * pvv[vs[j]]
+			}
+			pvc[c] = acc
+		}
+	}
+}
+
+func (r *PlanRunner) cB2(st *State) func(lo, hi int) {
+	s := r.s
+	m := s.M
+	coef := s.Cfg.APVM * s.Cfg.Dt
+	return func(lo, hi int) {
+		pve := s.Diag.PVEdge
+		pvv := s.Diag.PVVertex
+		pvc := s.Diag.PVCell
+		u := st.U
+		v := s.Diag.V
+		for e := lo; e < hi; e++ {
+			v1 := m.VerticesOnEdge[2*e]
+			v2 := m.VerticesOnEdge[2*e+1]
+			c1 := m.CellsOnEdge[2*e]
+			c2 := m.CellsOnEdge[2*e+1]
+			gradPVt := (pvv[v2] - pvv[v1]) / m.DvEdge[e]
+			gradPVn := (pvc[c2] - pvc[c1]) / m.DcEdge[e]
+			pve[e] -= coef * (v[e]*gradPVt + u[e]*gradPVn)
+		}
+	}
+}

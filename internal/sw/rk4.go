@@ -20,8 +20,17 @@ func (s *Solver) Init() {
 	s.stageSpan = nil
 }
 
-// Step advances the model by one RK-4 time step (Algorithm 1).
+// Step advances the model by one RK-4 time step (Algorithm 1). When a
+// PlanRunner compiled for this solver and this configuration is attached and
+// no tracers are registered, the step executes through its compiled schedule
+// — one parallel region for the whole step — instead of the kernel-by-kernel
+// loop below (tracer advection is not part of the compiled program, and a
+// Cfg mutated after compilation would invalidate the plan's specialization).
 func (s *Solver) Step() {
+	if pr, ok := s.Runner.(*PlanRunner); ok && pr.s == s && pr.cfg == s.Cfg && len(s.Tracers) == 0 {
+		pr.step()
+		return
+	}
 	step := s.Trace.StartSpan("rk4_step")
 	s.Provis.CopyFrom(s.State)
 	s.next.CopyFrom(s.State)

@@ -410,6 +410,22 @@ func BenchmarkStepSerial(b *testing.B) {
 	}
 }
 
+func BenchmarkStepPlan(b *testing.B) {
+	for _, level := range []int{3, 4, 5} {
+		m := testMesh(b, level)
+		pool := par.NewPool(0)
+		defer pool.Close()
+		s, _ := sw.NewSolver(m, sw.DefaultConfig(m))
+		testcases.SetupTC5(s)
+		s.Runner = sw.MustNewPlanRunner(s, pool)
+		b.Run(map[int]string{3: "642cells", 4: "2562cells", 5: "10242cells"}[level], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s.Step()
+			}
+		})
+	}
+}
+
 func BenchmarkStepThreaded(b *testing.B) {
 	m := testMesh(b, 5)
 	pool := par.NewPool(0)

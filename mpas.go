@@ -64,6 +64,13 @@ const (
 	// PatternDriven is the Figure 4(b) hybrid: pattern instances split
 	// across host and device along the data-flow graph.
 	PatternDriven
+	// Plan compiles the whole RK-4 step into one flat schedule executed
+	// inside a single parallel region, with barriers only at true
+	// dependency frontiers and dead diagnostics elided (bitwise-identical
+	// prognostics; purely derived fields with no consumer — divergence,
+	// cell vorticity, the velocity reconstruction — go stale between
+	// explicit Init calls).
+	Plan
 )
 
 func (m Mode) String() string {
@@ -76,6 +83,8 @@ func (m Mode) String() string {
 		return "kernel-level"
 	case PatternDriven:
 		return "pattern-driven"
+	case Plan:
+		return "plan"
 	}
 	return fmt.Sprintf("Mode(%d)", int(m))
 }
@@ -100,6 +109,12 @@ type Options struct {
 	// AdjustableFraction overrides the pattern-driven adjustable host
 	// fraction; negative means auto-tune on the platform model.
 	AdjustableFraction float64
+	// PlanHost installs a compiled execution plan (sw.PlanRunner) as the
+	// hybrid executor's host-side delegate: kernels the schedule places
+	// entirely on the host run through its compiled per-kernel schedules
+	// instead of the executor's level-by-level dispatch. Hybrid modes only;
+	// results are bitwise-unchanged.
+	PlanHost bool
 	// HighOrderThickness enables the C1+D2 high-order edge interpolation.
 	HighOrderThickness bool
 	// Dt overrides the time step (seconds); 0 means a stable default.
@@ -167,6 +182,11 @@ func New(opts Options) (*Model, error) {
 		}
 		mod.exec = hybrid.NewHybridSolver(s, hybrid.PatternDrivenSchedule(frac),
 			opts.Workers, opts.DeviceWorkers)
+	case Plan:
+		// The runner is compiled after the test-case setup below: the plan
+		// specializes on the configuration, and e.g. TC1 flips AdvectionOnly
+		// during setup.
+		mod.pool = par.NewPool(opts.Workers)
 	default:
 		return nil, fmt.Errorf("mpas: unknown mode %v", opts.Mode)
 	}
@@ -184,6 +204,22 @@ func New(opts Options) (*Model, error) {
 		testcases.SetupGalewsky(s, true)
 	default:
 		return nil, fmt.Errorf("mpas: unknown test case %d", opts.TestCase)
+	}
+	if opts.Mode == Plan {
+		r, err := sw.NewPlanRunner(s, mod.pool)
+		if err != nil {
+			mod.pool.Close()
+			return nil, fmt.Errorf("mpas: %w", err)
+		}
+		s.Runner = r
+	}
+	if opts.PlanHost && mod.exec != nil {
+		r, err := sw.NewPlanRunner(s, mod.exec.HostPool)
+		if err != nil {
+			mod.exec.Close()
+			return nil, fmt.Errorf("mpas: plan host delegate: %w", err)
+		}
+		mod.exec.SetHostRunner(r)
 	}
 	return mod, nil
 }

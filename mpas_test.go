@@ -46,9 +46,10 @@ func TestModesProduceIdenticalTrajectories(t *testing.T) {
 		t.Fatal(err)
 	}
 	var ref []float64
-	for _, mode := range []Mode{Serial, Threaded, KernelLevel, PatternDriven} {
+	for _, mode := range []Mode{Serial, Threaded, Plan, KernelLevel, PatternDriven} {
 		m := newModel(t, Options{Mesh: msh, TestCase: TC5, Mode: mode,
-			Workers: 2, DeviceWorkers: 2, AdjustableFraction: 0.25})
+			Workers: 2, DeviceWorkers: 2, AdjustableFraction: 0.25,
+			PlanHost: mode == KernelLevel})
 		m.Run(4)
 		if ref == nil {
 			ref = append([]float64(nil), m.Solver.State.H...)
@@ -58,6 +59,26 @@ func TestModesProduceIdenticalTrajectories(t *testing.T) {
 			if m.Solver.State.H[c] != ref[c] {
 				t.Fatalf("mode %v diverges from serial at cell %d", mode, c)
 			}
+		}
+	}
+}
+
+// TestPlanModeAdvectionOnly pins the construction order of Plan mode: TC1's
+// setup flips Cfg.AdvectionOnly, so the plan must be compiled after the test
+// case is applied (a plan specialized on the wrong configuration would either
+// refuse the compiled path or diverge).
+func TestPlanModeAdvectionOnly(t *testing.T) {
+	msh, err := mesh.Build(2, mesh.Options{LloydIterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := newModel(t, Options{Mesh: msh, TestCase: TC1})
+	ref.Run(3)
+	m := newModel(t, Options{Mesh: msh, TestCase: TC1, Mode: Plan, Workers: 2})
+	m.Run(3)
+	for c := range ref.Solver.State.H {
+		if m.Solver.State.H[c] != ref.Solver.State.H[c] {
+			t.Fatalf("plan TC1 diverges from serial at cell %d", c)
 		}
 	}
 }
@@ -104,7 +125,8 @@ func TestHeightErrorAndTotalHeight(t *testing.T) {
 
 func TestModeStrings(t *testing.T) {
 	for m, want := range map[Mode]string{Serial: "serial", Threaded: "threaded",
-		KernelLevel: "kernel-level", PatternDriven: "pattern-driven"} {
+		KernelLevel: "kernel-level", PatternDriven: "pattern-driven",
+		Plan: "plan"} {
 		if m.String() != want {
 			t.Errorf("%d -> %s", m, m.String())
 		}

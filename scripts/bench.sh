@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Run the repository benchmarks and emit a machine-readable summary,
-# BENCH_pr3.json: { "<benchmark>": {"ns_per_op":…, "allocs_per_op":…,
+# BENCH_pr4.json: { "<benchmark>": {"ns_per_op":…, "allocs_per_op":…,
 # "bytes_per_op":…}, … }. Knobs:
 #
 #   BENCH_PATTERN   go test -bench regexp      (default: the sw step and
@@ -8,13 +8,13 @@
 #   BENCH_TIME      go test -benchtime value   (default 1x — one iteration,
 #                                               enough for a smoke number;
 #                                               use e.g. 2s for real timing)
-#   BENCH_OUT       output path                (default BENCH_pr3.json)
+#   BENCH_OUT       output path                (default BENCH_pr4.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-pattern=${BENCH_PATTERN:-'BenchmarkStepSerial|BenchmarkStepThreaded|BenchmarkPoolForOverhead|BenchmarkRegionFusion|BenchmarkReduction'}
+pattern=${BENCH_PATTERN:-'BenchmarkStepSerial|BenchmarkStepThreaded|BenchmarkStepPlan|BenchmarkPoolForOverhead|BenchmarkRegionFusion|BenchmarkReduction|BenchmarkBarrier|BenchmarkDispatchOverhead|BenchmarkDynamicChunkFloor'}
 benchtime=${BENCH_TIME:-1x}
-out=${BENCH_OUT:-BENCH_pr3.json}
+out=${BENCH_OUT:-BENCH_pr4.json}
 
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT

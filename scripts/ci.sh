@@ -11,6 +11,11 @@ go vet ./...
 echo "== go build =="
 go build ./...
 
+echo "== go test -race (runtime + solver focus) =="
+# The compiled-plan step and the pool runtime are the concurrency hot spots:
+# fail fast on them before the full (slower) coverage run below.
+go test -race ./internal/par/... ./internal/sw/...
+
 echo "== go test -race (with coverage) =="
 go test -race -coverprofile=coverage.out -coverpkg=./... ./...
 
