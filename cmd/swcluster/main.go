@@ -1,0 +1,74 @@
+// Command swcluster runs the cluster coordinator: it shards submitted
+// jobs across registered swserver workers by consistent hashing, proxies
+// the job API, health-checks the fleet, mirrors worker checkpoints, and
+// steals work — checkpoint included — from workers that die.
+//
+// Usage:
+//
+//	swcluster -addr :9090 -spool ./cluster-spool
+//
+//	# workers join themselves:
+//	swserver -addr 127.0.0.1:0 -register http://127.0.0.1:9090 -name w1
+//
+//	# clients talk to the coordinator exactly like a single swserver:
+//	curl -s -X POST localhost:9090/jobs -d '{"test_case":5,"level":3,"steps":200,"ensemble":8}'
+//	curl -s localhost:9090/jobs                    # job table (+worker, +steals)
+//	curl -s localhost:9090/cluster/workers         # fleet health
+//	curl -s localhost:9090/metrics                 # federated metrics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	addr := flag.String("addr", ":9090", "listen address (use 127.0.0.1:0 for an ephemeral port)")
+	spoolDir := flag.String("spool", "cluster-spool", "spool directory for checkpoint mirrors and assignments")
+	heartbeat := flag.Duration("heartbeat", time.Second, "worker probe + mirror cadence")
+	evictAfter := flag.Duration("evict-after", 3*time.Second, "silence deadline before a worker is evicted and its jobs stolen")
+	flag.Parse()
+
+	c, err := cluster.New(cluster.Config{
+		SpoolDir:       *spoolDir,
+		HeartbeatEvery: *heartbeat,
+		EvictAfter:     *evictAfter,
+		Registry:       telemetry.NewRegistry(),
+		Logf:           log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Parseable discovery line on stdout, like swserver's.
+	fmt.Printf("swcluster listening on %s (spool=%s heartbeat=%s evict-after=%s)\n",
+		ln.Addr(), *spoolDir, *heartbeat, *evictAfter)
+
+	httpSrv := &http.Server{Handler: c.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		log.Printf("swcluster: %v: shutting down (workers keep running)", sig)
+	case err := <-errCh:
+		log.Fatalf("swcluster: serve: %v", err)
+	}
+	c.Close()
+}

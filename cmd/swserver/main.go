@@ -27,6 +27,8 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
+	"repro/internal/cluster/client"
 	"repro/internal/serve"
 	"repro/internal/telemetry"
 )
@@ -39,6 +41,9 @@ func main() {
 	ckptEvery := flag.Int("checkpoint-every", 50, "default checkpoint cadence in steps")
 	jobTimeout := flag.Duration("job-timeout", 0, "default per-job wall-clock deadline (0 = none)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for graceful drain on SIGTERM")
+	register := flag.String("register", "", "cluster coordinator URL to register with (optional)")
+	name := flag.String("name", "", "worker name for cluster registration (required with -register)")
+	advertise := flag.String("advertise", "", "URL the coordinator should reach this worker at (default http://<listen addr>)")
 	flag.Parse()
 
 	srv, err := serve.New(serve.Config{
@@ -67,6 +72,22 @@ func main() {
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
 
+	// Cluster mode: register with the coordinator, then keep re-registering
+	// so a restarted coordinator relearns the fleet. Registration refreshes
+	// the coordinator-side heartbeat too, but liveness is primarily the
+	// coordinator probing /healthz.
+	regStop := make(chan struct{})
+	if *register != "" {
+		if *name == "" {
+			log.Fatal("swserver: -register requires -name")
+		}
+		self := *advertise
+		if self == "" {
+			self = "http://" + ln.Addr().String()
+		}
+		go registerLoop(*register, *name, self, regStop)
+	}
+
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
 	select {
@@ -76,6 +97,7 @@ func main() {
 		log.Fatalf("swserver: serve: %v", err)
 	}
 
+	close(regStop)
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := srv.Drain(ctx); err != nil {
@@ -86,4 +108,29 @@ func main() {
 		log.Printf("swserver: http shutdown: %v", err)
 	}
 	log.Printf("swserver: drained cleanly")
+}
+
+// registerLoop announces this worker to the coordinator at start and every
+// few seconds after — tolerant of a coordinator that comes up later or
+// restarts, thanks to the client's retry/backoff.
+func registerLoop(coordinator, name, selfURL string, stop <-chan struct{}) {
+	cl := client.New(coordinator, client.Config{})
+	body := cluster.Worker{Name: name, URL: selfURL}
+	announced := false
+	for {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		err := cl.PostJSON(ctx, "/cluster/workers", body, nil)
+		cancel()
+		if err != nil {
+			log.Printf("swserver: registering with %s: %v", coordinator, err)
+		} else if !announced {
+			log.Printf("swserver: registered as %q with %s", name, coordinator)
+			announced = true
+		}
+		select {
+		case <-stop:
+			return
+		case <-time.After(5 * time.Second):
+		}
+	}
 }

@@ -1,0 +1,50 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// Ensemble throughput through the cluster, single worker vs two: the
+// numbers scripts/bench.sh records in BENCH_pr6.json. Each iteration
+// admits `jobs` K-member ensemble jobs through the coordinator and waits
+// for all of them; with two workers the jobs shard across daemons, so the
+// ratio of the two benchmarks is the cluster scaling factor (bounded by
+// the host actually having cores for both workers).
+func benchEnsembleThroughput(b *testing.B, nWorkers int) {
+	quiet := func(string, ...any) {}
+	workers := make([]*testWorker, nWorkers)
+	for i := range workers {
+		workers[i] = newTestWorker(b, fmt.Sprintf("w%d", i+1),
+			serve.Config{Workers: 1, QueueCap: 32, CheckpointEvery: 1000, Logf: quiet})
+	}
+	c, ts := newTestCluster(b, time.Hour, workers...)
+
+	const (
+		jobs  = 4
+		k     = 4
+		steps = 8
+	)
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		ids := make([]string, 0, jobs)
+		for j := 0; j < jobs; j++ {
+			info := submitCluster(b, ts.URL, serve.JobSpec{TestCase: 5, Level: 2,
+				Mode: "plan", Steps: steps, ReportEvery: steps,
+				Ensemble: k, PerturbSeed: uint64(j + 1)})
+			ids = append(ids, info.ID)
+		}
+		for _, id := range ids {
+			waitClusterState(b, c, ts.URL, id, serve.StateCompleted)
+		}
+	}
+	b.StopTimer()
+	total := float64(b.N * jobs * k * steps)
+	b.ReportMetric(total/b.Elapsed().Seconds(), "member-steps/s")
+}
+
+func BenchmarkClusterEnsemble1Worker(b *testing.B)  { benchEnsembleThroughput(b, 1) }
+func BenchmarkClusterEnsemble2Workers(b *testing.B) { benchEnsembleThroughput(b, 2) }

@@ -1,0 +1,324 @@
+// Package client is the cluster's HTTP substrate: a small, reusable client
+// wrapping net/http with context-aware retries, capped exponential backoff
+// with jitter, and Retry-After honoring. The coordinator uses it for every
+// worker call (submit, import, status, checkpoint mirror, metrics scrape);
+// cmd/swserver uses it to register with a coordinator. It knows nothing
+// about job semantics — callers decide what to send, the client decides
+// when a failure is worth retrying and how long to wait.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Config tunes retry behavior. The zero value is usable: 3 retries, 100ms
+// base delay doubling to a 5s cap, 25% jitter, http.DefaultClient.
+type Config struct {
+	HTTP       *http.Client
+	MaxRetries int           // retries after the first attempt (<0 disables retrying)
+	BaseDelay  time.Duration // first backoff delay
+	MaxDelay   time.Duration // backoff cap (Retry-After may exceed it)
+	Jitter     float64       // fraction of the delay randomized, in [0,1]
+
+	// Sleep and Rand are injection points for tests. Sleep must return
+	// early with ctx.Err() when the context ends; Rand returns a value in
+	// [0,1).
+	Sleep func(ctx context.Context, d time.Duration) error
+	Rand  func() float64
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.HTTP == nil {
+		out.HTTP = http.DefaultClient
+	}
+	if out.MaxRetries == 0 {
+		out.MaxRetries = 3
+	}
+	if out.MaxRetries < 0 {
+		out.MaxRetries = 0
+	}
+	if out.BaseDelay <= 0 {
+		out.BaseDelay = 100 * time.Millisecond
+	}
+	if out.MaxDelay <= 0 {
+		out.MaxDelay = 5 * time.Second
+	}
+	if out.Jitter == 0 {
+		out.Jitter = 0.25
+	}
+	if out.Jitter < 0 || out.Jitter > 1 {
+		out.Jitter = 0.25
+	}
+	if out.Sleep == nil {
+		out.Sleep = sleepCtx
+	}
+	if out.Rand == nil {
+		out.Rand = rand.Float64
+	}
+	return out
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// StatusError is a non-2xx response that was NOT retried away: either a
+// non-retryable status, or a retryable one that outlived the retry budget.
+// Body carries the (truncated) response body — the serve API puts its
+// {"error": ...} JSON there.
+type StatusError struct {
+	Code int
+	Body string
+}
+
+func (e *StatusError) Error() string {
+	if e.Body == "" {
+		return fmt.Sprintf("http status %d", e.Code)
+	}
+	return fmt.Sprintf("http status %d: %s", e.Code, e.Body)
+}
+
+// IsStatus reports whether err is a StatusError with the given code.
+func IsStatus(err error, code int) bool {
+	var se *StatusError
+	return errors.As(err, &se) && se.Code == code
+}
+
+// Client issues requests against one base URL with the configured retry
+// policy. Safe for concurrent use.
+type Client struct {
+	base string
+	cfg  Config
+}
+
+// New builds a client for base (e.g. "http://127.0.0.1:8080"); a trailing
+// slash is trimmed so paths always start with "/".
+func New(base string, cfg Config) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), cfg: cfg.withDefaults()}
+}
+
+// Base returns the base URL the client targets.
+func (c *Client) Base() string { return c.base }
+
+// retryable reports whether a response status is worth another attempt:
+// admission pressure (429), a draining or unavailable server (503), or a
+// transient gateway failure (502, 504).
+func retryable(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// retryAfter parses a Retry-After header (delta-seconds form; the HTTP-date
+// form is ignored — the serve API only emits seconds). Returns 0 when
+// absent or unparseable.
+func retryAfter(resp *http.Response) time.Duration {
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second
+	}
+	return 0
+}
+
+// backoff computes the jittered exponential delay for attempt i (0-based).
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.cfg.BaseDelay << uint(attempt)
+	if d > c.cfg.MaxDelay || d <= 0 { // <=0 guards shift overflow
+		d = c.cfg.MaxDelay
+	}
+	if j := c.cfg.Jitter; j > 0 {
+		// Spread over [1-j, 1+j) so synchronized clients desynchronize.
+		d = time.Duration(float64(d) * (1 - j + 2*j*c.cfg.Rand()))
+	}
+	return d
+}
+
+// BodyFunc produces a fresh request body (and its content type) for each
+// attempt — a plain io.Reader would be consumed by the first try.
+type BodyFunc func() (io.Reader, string, error)
+
+// NoBody is the BodyFunc for body-less requests.
+func NoBody() (io.Reader, string, error) { return nil, "", nil }
+
+// JSONBody returns a BodyFunc marshaling v once and replaying the bytes on
+// every attempt.
+func JSONBody(v any) BodyFunc {
+	data, err := json.Marshal(v)
+	return func() (io.Reader, string, error) {
+		if err != nil {
+			return nil, "", fmt.Errorf("encoding request body: %w", err)
+		}
+		return bytes.NewReader(data), "application/json", nil
+	}
+}
+
+// BytesBody replays a fixed byte slice with the given content type.
+func BytesBody(data []byte, contentType string) BodyFunc {
+	return func() (io.Reader, string, error) {
+		return bytes.NewReader(data), contentType, nil
+	}
+}
+
+// Do issues method path with the retry policy and decodes a 2xx JSON
+// response into out (out == nil skips decoding). Non-2xx terminal
+// responses become *StatusError. The context bounds ALL attempts,
+// including backoff sleeps.
+func (c *Client) Do(ctx context.Context, method, path string, body BodyFunc, out any) error {
+	if body == nil {
+		body = NoBody
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		rd, contentType, err := body()
+		if err != nil {
+			return err
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+		if err != nil {
+			return err
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+
+		resp, err := c.cfg.HTTP.Do(req)
+		var wait time.Duration
+		switch {
+		case err != nil:
+			// Transport-level failure (refused, reset, DNS): retryable
+			// unless the context itself ended.
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			lastErr = err
+			wait = c.backoff(attempt)
+		case resp.StatusCode >= 200 && resp.StatusCode < 300:
+			defer resp.Body.Close()
+			if out == nil {
+				_, _ = io.Copy(io.Discard, resp.Body)
+				return nil
+			}
+			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+				return fmt.Errorf("decoding %s %s response: %w", method, path, err)
+			}
+			return nil
+		default:
+			se := &StatusError{Code: resp.StatusCode, Body: readBodySnippet(resp.Body)}
+			resp.Body.Close()
+			if !retryable(resp.StatusCode) {
+				return se
+			}
+			lastErr = se
+			wait = c.backoff(attempt)
+			if ra := retryAfter(resp); ra > wait {
+				wait = ra
+			}
+		}
+
+		if attempt >= c.cfg.MaxRetries {
+			return fmt.Errorf("after %d attempts: %w", attempt+1, lastErr)
+		}
+		if err := c.cfg.Sleep(ctx, wait); err != nil {
+			return err
+		}
+	}
+}
+
+// GetJSON fetches path and decodes the JSON response into out.
+func (c *Client) GetJSON(ctx context.Context, path string, out any) error {
+	return c.Do(ctx, http.MethodGet, path, nil, out)
+}
+
+// PostJSON posts in as JSON and decodes the response into out (either may
+// be nil).
+func (c *Client) PostJSON(ctx context.Context, path string, in, out any) error {
+	body := NoBody
+	if in != nil {
+		body = JSONBody(in)
+	}
+	return c.Do(ctx, http.MethodPost, path, body, out)
+}
+
+// GetBytes fetches path and returns the raw 2xx body — checkpoint mirrors
+// and metrics scrapes, where the payload is not JSON.
+func (c *Client) GetBytes(ctx context.Context, path string) ([]byte, error) {
+	var buf []byte
+	err := c.doRaw(ctx, path, func(r io.Reader) error {
+		var err error
+		buf, err = io.ReadAll(r)
+		return err
+	})
+	return buf, err
+}
+
+// doRaw is Do for non-JSON GETs: sink consumes the 2xx body.
+func (c *Client) doRaw(ctx context.Context, path string, sink func(io.Reader) error) error {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+		if err != nil {
+			return err
+		}
+		resp, err := c.cfg.HTTP.Do(req)
+		var wait time.Duration
+		switch {
+		case err != nil:
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			lastErr = err
+			wait = c.backoff(attempt)
+		case resp.StatusCode >= 200 && resp.StatusCode < 300:
+			err := sink(resp.Body)
+			resp.Body.Close()
+			return err
+		default:
+			se := &StatusError{Code: resp.StatusCode, Body: readBodySnippet(resp.Body)}
+			resp.Body.Close()
+			if !retryable(resp.StatusCode) {
+				return se
+			}
+			lastErr = se
+			wait = c.backoff(attempt)
+			if ra := retryAfter(resp); ra > wait {
+				wait = ra
+			}
+		}
+		if attempt >= c.cfg.MaxRetries {
+			return fmt.Errorf("after %d attempts: %w", attempt+1, lastErr)
+		}
+		if err := c.cfg.Sleep(ctx, wait); err != nil {
+			return err
+		}
+	}
+}
+
+// readBodySnippet drains up to 4KiB of an error body for diagnostics.
+func readBodySnippet(r io.Reader) string {
+	data, _ := io.ReadAll(io.LimitReader(r, 4<<10))
+	return strings.TrimSpace(string(data))
+}

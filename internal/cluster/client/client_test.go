@@ -1,0 +1,190 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// testClient builds a client with instant, recorded sleeps and a fixed
+// mid-range Rand, so backoff arithmetic is deterministic and observable.
+func testClient(base string, retries int, sleeps *[]time.Duration) *Client {
+	return New(base, Config{
+		MaxRetries: retries,
+		BaseDelay:  100 * time.Millisecond,
+		MaxDelay:   time.Second,
+		Jitter:     0.5,
+		Rand:       func() float64 { return 0.5 }, // jitter factor exactly 1.0
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			*sleeps = append(*sleeps, d)
+			return ctx.Err()
+		},
+	})
+}
+
+func TestRetriesTransientThenSucceeds(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, "warming up", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`{"ok": true}`))
+	}))
+	defer ts.Close()
+
+	var sleeps []time.Duration
+	c := testClient(ts.URL, 3, &sleeps)
+	var out struct {
+		OK bool `json:"ok"`
+	}
+	if err := c.GetJSON(context.Background(), "/x", &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.OK || calls.Load() != 3 {
+		t.Fatalf("ok=%v calls=%d, want success on 3rd call", out.OK, calls.Load())
+	}
+	// Exponential: 100ms then 200ms (Rand pinned to the identity factor).
+	if len(sleeps) != 2 || sleeps[0] != 100*time.Millisecond || sleeps[1] != 200*time.Millisecond {
+		t.Fatalf("sleeps = %v, want [100ms 200ms]", sleeps)
+	}
+}
+
+func TestHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "2")
+			http.Error(w, "queue full", http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte(`{}`))
+	}))
+	defer ts.Close()
+
+	var sleeps []time.Duration
+	c := testClient(ts.URL, 3, &sleeps)
+	if err := c.PostJSON(context.Background(), "/jobs", map[string]int{"steps": 1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Retry-After (2s) dominates the 100ms backoff.
+	if len(sleeps) != 1 || sleeps[0] != 2*time.Second {
+		t.Fatalf("sleeps = %v, want [2s]", sleeps)
+	}
+}
+
+func TestDoesNotRetryClientErrors(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"bad spec"}`, http.StatusBadRequest)
+	}))
+	defer ts.Close()
+
+	var sleeps []time.Duration
+	c := testClient(ts.URL, 3, &sleeps)
+	err := c.GetJSON(context.Background(), "/x", nil)
+	if !IsStatus(err, http.StatusBadRequest) {
+		t.Fatalf("err = %v, want StatusError 400", err)
+	}
+	if calls.Load() != 1 || len(sleeps) != 0 {
+		t.Fatalf("calls=%d sleeps=%v, want exactly one attempt", calls.Load(), sleeps)
+	}
+	if !strings.Contains(err.Error(), "bad spec") {
+		t.Fatalf("error lost the body: %v", err)
+	}
+}
+
+func TestRetryBudgetExhausted(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	var sleeps []time.Duration
+	c := testClient(ts.URL, 2, &sleeps)
+	err := c.GetJSON(context.Background(), "/x", nil)
+	if !IsStatus(err, http.StatusServiceUnavailable) {
+		t.Fatalf("err = %v, want wrapped StatusError 503", err)
+	}
+	if calls.Load() != 3 { // 1 + MaxRetries
+		t.Fatalf("calls = %d, want 3", calls.Load())
+	}
+}
+
+func TestRetriesConnectionRefused(t *testing.T) {
+	// A server that closes immediately: its port is (very likely) dead.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	dead := ts.URL
+	ts.Close()
+
+	var sleeps []time.Duration
+	c := testClient(dead, 2, &sleeps)
+	err := c.GetJSON(context.Background(), "/x", nil)
+	if err == nil {
+		t.Fatal("expected error against closed server")
+	}
+	if len(sleeps) != 2 {
+		t.Fatalf("sleeps = %v, want 2 backoffs before giving up", sleeps)
+	}
+}
+
+func TestContextCancelStopsRetrying(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	c := New(ts.URL, Config{
+		MaxRetries: 10,
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			cancel() // the world ends mid-backoff
+			return ctx.Err()
+		},
+	})
+	err := c.GetJSON(ctx, "/x", nil)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("calls = %d, want 1 (no attempts after cancel)", calls.Load())
+	}
+}
+
+func TestGetBytesAndBackoffCap(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 5 {
+			http.Error(w, "down", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("raw-bytes"))
+	}))
+	defer ts.Close()
+
+	var sleeps []time.Duration
+	c := testClient(ts.URL, 6, &sleeps)
+	data, err := c.GetBytes(context.Background(), "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "raw-bytes" {
+		t.Fatalf("body = %q", data)
+	}
+	// 100, 200, 400, 800, then capped at 1000ms.
+	want := []time.Duration{100, 200, 400, 800, 1000}
+	for i, w := range want {
+		if sleeps[i] != w*time.Millisecond {
+			t.Fatalf("sleeps = %v, want caps at 1s (index %d)", sleeps, i)
+		}
+	}
+}

@@ -1,0 +1,319 @@
+// Package cluster shards swserver daemons into one logical service: a
+// coordinator owning a consistent-hash ring of health-checked workers,
+// proxying the job API, mirroring worker checkpoints, and stealing work —
+// checkpoint included — from workers that die.
+//
+// This is the paper's hybrid work-partitioning pattern lifted one level
+// up: where internal/sw partitions cells across threads of one machine and
+// the facade splits a mesh across host and device, the coordinator
+// partitions whole jobs across machines by hashing job ids onto the ring
+// (internal/cluster/ring.go). The decomposition is static per job — a job
+// runs where its id lands — but membership is dynamic: the registry
+// health-checks every worker each heartbeat, evicts those silent past the
+// deadline, and re-admits their jobs on survivors from the last mirrored
+// checkpoint, the distributed analogue of the repo's kill -9 resume
+// guarantee (the trajectory after a steal is ULP-identical to an
+// uninterrupted run, enforced by internal/conform).
+//
+// An ensemble job (JobSpec.Ensemble = K) is the batch-admission path: all
+// K members ride one job id to one worker, sharing that worker's mesh and
+// compiled plan, and migrate together in one ensemble checkpoint.
+package cluster
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sync"
+	"time"
+
+	"repro/internal/cluster/client"
+	"repro/internal/serve"
+	"repro/internal/telemetry"
+)
+
+// Worker is a registered daemon: a routable name and the base URL of its
+// serve API.
+type Worker struct {
+	Name string `json:"name"`
+	URL  string `json:"url"`
+}
+
+var workerNamePattern = regexp.MustCompile(`^[a-z][a-z0-9_-]{0,31}$`)
+
+// Config configures a Coordinator.
+type Config struct {
+	// SpoolDir holds checkpoint mirrors and durable job assignments.
+	SpoolDir string
+
+	// HeartbeatEvery is the monitor cadence: health probes, status
+	// refresh, checkpoint mirroring. Default 1s.
+	HeartbeatEvery time.Duration
+
+	// EvictAfter is the silence deadline: a worker whose last successful
+	// probe (or registration) is older than this is evicted and its jobs
+	// are stolen. Default 3×HeartbeatEvery.
+	EvictAfter time.Duration
+
+	// Client tunes the retrying HTTP client used for worker calls.
+	Client client.Config
+
+	// Registry receives coordinator metrics (nil-safe).
+	Registry *telemetry.Registry
+
+	// Logf receives operational logs (default: discard).
+	Logf func(format string, args ...any)
+}
+
+// workerState is one registry entry.
+type workerState struct {
+	info     Worker
+	cl       *client.Client
+	lastSeen time.Time
+	draining bool
+}
+
+// cjob is the coordinator's record of one job: its current assignment and
+// the last status the coordinator saw. `worker == ""` means orphaned —
+// the assignee died and the next monitor tick re-places it.
+type cjob struct {
+	id           string
+	worker       string
+	last         serve.JobStatus
+	steals       int
+	mirroredStep int // StepsDone at the last checkpoint mirror (-1: none)
+}
+
+// Info is the coordinator's view of a job, returned by the list and
+// status APIs.
+type Info struct {
+	serve.JobStatus
+	Worker string `json:"worker"`
+	Steals int    `json:"steals"`
+}
+
+// Coordinator is the cluster head: worker registry, hash ring, job table,
+// monitor loop.
+type Coordinator struct {
+	cfg  Config
+	http *http.Client
+
+	mu      sync.Mutex
+	workers map[string]*workerState
+	ring    *Ring
+	jobs    map[string]*cjob
+
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+
+	mSubmitted *telemetry.Counter
+	mStolen    *telemetry.Counter
+	mEvicted   *telemetry.Counter
+	gWorkers   *telemetry.Gauge
+	gJobs      *telemetry.Gauge
+	gOrphans   *telemetry.Gauge
+}
+
+// New builds a coordinator and starts its monitor loop.
+func New(cfg Config) (*Coordinator, error) {
+	if cfg.SpoolDir == "" {
+		return nil, fmt.Errorf("cluster: SpoolDir must be set")
+	}
+	if err := os.MkdirAll(cfg.SpoolDir, 0o755); err != nil {
+		return nil, fmt.Errorf("cluster: spool: %w", err)
+	}
+	if cfg.HeartbeatEvery <= 0 {
+		cfg.HeartbeatEvery = time.Second
+	}
+	if cfg.EvictAfter <= 0 {
+		cfg.EvictAfter = 3 * cfg.HeartbeatEvery
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	reg := cfg.Registry
+	c := &Coordinator{
+		cfg:        cfg,
+		http:       cfg.Client.HTTP,
+		workers:    map[string]*workerState{},
+		ring:       NewRing(nil),
+		jobs:       map[string]*cjob{},
+		stopCh:     make(chan struct{}),
+		mSubmitted: reg.Counter("cluster_jobs_submitted_total"),
+		mStolen:    reg.Counter("cluster_jobs_stolen_total"),
+		mEvicted:   reg.Counter("cluster_workers_evicted_total"),
+		gWorkers:   reg.Gauge("cluster_workers"),
+		gJobs:      reg.Gauge("cluster_jobs"),
+		gOrphans:   reg.Gauge("cluster_jobs_orphaned"),
+	}
+	if c.http == nil {
+		c.http = http.DefaultClient
+	}
+	c.wg.Add(1)
+	go c.monitorLoop()
+	return c, nil
+}
+
+// Close stops the monitor loop. Registered workers are left running.
+func (c *Coordinator) Close() {
+	close(c.stopCh)
+	c.wg.Wait()
+}
+
+// newJobID mints a coordinator job id: "c-" + 16 hex chars. The c- prefix
+// keeps coordinator-minted ids disjoint from worker-minted j- ids, and the
+// id is the ring key, stable across steals.
+func newJobID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(err) // crypto/rand failure is unrecoverable
+	}
+	return "c-" + hex.EncodeToString(b[:])
+}
+
+// Register adds (or refreshes) a worker. Re-registering an existing name
+// with the same URL is a heartbeat; with a different URL it rebinds the
+// name (the old instance is presumed dead).
+func (c *Coordinator) Register(w Worker) error {
+	if !workerNamePattern.MatchString(w.Name) {
+		return fmt.Errorf("cluster: invalid worker name %q", w.Name)
+	}
+	if w.URL == "" {
+		return fmt.Errorf("cluster: worker %s: URL must be set", w.Name)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ws, ok := c.workers[w.Name]
+	if ok && ws.info.URL == w.URL {
+		ws.lastSeen = time.Now()
+		return nil
+	}
+	c.workers[w.Name] = &workerState{
+		info:     w,
+		cl:       client.New(w.URL, c.cfg.Client),
+		lastSeen: time.Now(),
+	}
+	c.rebuildRingLocked()
+	c.cfg.Logf("cluster: registered worker %s at %s (%d workers)", w.Name, w.URL, len(c.workers))
+	return nil
+}
+
+func (c *Coordinator) rebuildRingLocked() {
+	names := make([]string, 0, len(c.workers))
+	for name := range c.workers {
+		names = append(names, name)
+	}
+	c.ring = NewRing(names)
+	c.gWorkers.Set(float64(len(c.workers)))
+}
+
+// WorkerInfo is a registry entry with its health, for the workers API.
+type WorkerInfo struct {
+	Worker
+	Draining     bool    `json:"draining"`
+	LastSeenSecs float64 `json:"last_seen_secs_ago"`
+	Jobs         int     `json:"jobs"`
+}
+
+// Workers lists the registry.
+func (c *Coordinator) Workers() []WorkerInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	perWorker := map[string]int{}
+	for _, j := range c.jobs {
+		if !j.last.State.Terminal() {
+			perWorker[j.worker]++
+		}
+	}
+	out := make([]WorkerInfo, 0, len(c.workers))
+	for _, name := range c.ring.Ordered("") {
+		ws := c.workers[name]
+		out = append(out, WorkerInfo{
+			Worker:       ws.info,
+			Draining:     ws.draining,
+			LastSeenSecs: time.Since(ws.lastSeen).Seconds(),
+			Jobs:         perWorker[name],
+		})
+	}
+	return out
+}
+
+// candidatesLocked returns the routing preference order for a job id:
+// ring order, draining workers excluded, `exclude` excluded.
+func (c *Coordinator) candidatesLocked(id string, exclude string) []*workerState {
+	var out []*workerState
+	for _, name := range c.ring.Ordered(id) {
+		ws := c.workers[name]
+		if name == exclude || ws == nil || ws.draining {
+			continue
+		}
+		out = append(out, ws)
+	}
+	return out
+}
+
+// Jobs lists the coordinator's job table (sorted by id).
+func (c *Coordinator) Jobs() []Info {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Info, 0, len(c.jobs))
+	for _, j := range c.jobs {
+		out = append(out, Info{JobStatus: j.last, Worker: j.worker, Steals: j.steals})
+	}
+	sortInfos(out)
+	return out
+}
+
+func sortInfos(infos []Info) {
+	for i := 1; i < len(infos); i++ {
+		for k := i; k > 0 && infos[k].ID < infos[k-1].ID; k-- {
+			infos[k], infos[k-1] = infos[k-1], infos[k]
+		}
+	}
+}
+
+// mirror file paths: the coordinator's durable copy of a job's last
+// checkpoint and the status that accompanied it.
+func (c *Coordinator) mirrorCkptPath(id string) string {
+	return filepath.Join(c.cfg.SpoolDir, id+".ckpt")
+}
+func (c *Coordinator) mirrorStatusPath(id string) string {
+	return filepath.Join(c.cfg.SpoolDir, id+".status.json")
+}
+func (c *Coordinator) assignmentPath(id string) string {
+	return filepath.Join(c.cfg.SpoolDir, id+".assign.json")
+}
+
+// persistAssignment records (id → worker, steals, status) durably, so a
+// restarted coordinator can be pointed back at its spool for forensics.
+func (c *Coordinator) persistAssignment(j *cjob) {
+	_ = writeJSONAtomic(c.assignmentPath(j.id), Info{
+		JobStatus: j.last, Worker: j.worker, Steals: j.steals,
+	})
+}
+
+func writeJSONAtomic(path string, v any) error {
+	data, err := jsonMarshalIndent(v)
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// probeCtx bounds one worker call inside a monitor tick.
+func (c *Coordinator) probeCtx() (context.Context, context.CancelFunc) {
+	d := 2 * time.Second
+	if c.cfg.HeartbeatEvery > d {
+		d = c.cfg.HeartbeatEvery
+	}
+	return context.WithTimeout(context.Background(), d)
+}

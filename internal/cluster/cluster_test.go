@@ -1,0 +1,348 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/telemetry"
+)
+
+// testWorker is one in-process swserver: the serve.Server plus its HTTP
+// front. close() is crash-like — the HTTP listener and the server die
+// without drain, the in-process equivalent of kill -9 (serve.Server.Close
+// is documented as the crash path; the spool survives, the coordinator
+// cannot reach it anymore).
+type testWorker struct {
+	name string
+	srv  *serve.Server
+	ts   *httptest.Server
+}
+
+func (w *testWorker) crash() {
+	w.ts.CloseClientConnections()
+	w.ts.Close()
+	w.srv.Close()
+}
+
+func newTestWorker(t testing.TB, name string, cfg serve.Config) *testWorker {
+	t.Helper()
+	if cfg.SpoolDir == "" {
+		cfg.SpoolDir = t.TempDir()
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = 1
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = t.Logf
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = telemetry.NewRegistry()
+	}
+	srv, err := serve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	w := &testWorker{name: name, srv: srv, ts: ts}
+	t.Cleanup(func() {
+		defer func() { recover() }() // double-close after crash() is fine
+		ts.Close()
+		srv.Close()
+	})
+	return w
+}
+
+// newTestCluster builds a coordinator with a long heartbeat (tests drive
+// Tick explicitly) and registers the given workers.
+func newTestCluster(t testing.TB, evictAfter time.Duration, workers ...*testWorker) (*Coordinator, *httptest.Server) {
+	t.Helper()
+	c, err := New(Config{
+		SpoolDir:       t.TempDir(),
+		HeartbeatEvery: time.Hour, // ticks are explicit in tests
+		EvictAfter:     evictAfter,
+		Registry:       telemetry.NewRegistry(),
+		Logf:           t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(c.Handler())
+	t.Cleanup(func() { ts.Close(); c.Close() })
+	for _, w := range workers {
+		if err := c.Register(Worker{Name: w.name, URL: w.ts.URL}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c, ts
+}
+
+func submitCluster(t testing.TB, base string, spec serve.JobSpec) Info {
+	t.Helper()
+	data, _ := json.Marshal(spec)
+	resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var info Info
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d (%+v)", resp.StatusCode, info)
+	}
+	return info
+}
+
+func clusterStatus(t testing.TB, base, id string) Info {
+	t.Helper()
+	resp, err := http.Get(base + "/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var info Info
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	return info
+}
+
+func waitClusterState(t testing.TB, c *Coordinator, base, id string, want serve.JobState) Info {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		info := clusterStatus(t, base, id)
+		if info.State == want {
+			return info
+		}
+		if info.State.Terminal() {
+			t.Fatalf("job %s ended %s (error %q), want %s", id, info.State, info.Error, want)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout waiting for %s to be %s (now %s)", id, want, info.State)
+		}
+		c.Tick()
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestClusterSubmitProxyComplete(t *testing.T) {
+	w1 := newTestWorker(t, "w1", serve.Config{})
+	w2 := newTestWorker(t, "w2", serve.Config{})
+	c, ts := newTestCluster(t, time.Hour, w1, w2)
+
+	info := submitCluster(t, ts.URL, serve.JobSpec{TestCase: 5, Level: 2, Mode: "plan",
+		Steps: 8, ReportEvery: 4})
+	if !strings.HasPrefix(info.ID, "c-") {
+		t.Fatalf("coordinator id %q, want c- prefix", info.ID)
+	}
+	if info.Worker != "w1" && info.Worker != "w2" {
+		t.Fatalf("assigned worker %q", info.Worker)
+	}
+
+	done := waitClusterState(t, c, ts.URL, info.ID, serve.StateCompleted)
+	if done.Worker != info.Worker || done.Steals != 0 {
+		t.Fatalf("done on %s with %d steals, want %s/0", done.Worker, done.Steals, info.Worker)
+	}
+
+	// Result proxy.
+	resp, err := http.Get(ts.URL + "/jobs/" + info.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var res serve.Result
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 8 || res.Final == nil {
+		t.Fatalf("result %+v", res)
+	}
+
+	// Events proxy replays the worker's stream through the coordinator.
+	eresp, err := http.Get(ts.URL + "/jobs/" + info.ID + "/events?follow=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := new(bytes.Buffer)
+	body.ReadFrom(eresp.Body)
+	eresp.Body.Close()
+	if !strings.Contains(body.String(), `"type": "done"`) &&
+		!strings.Contains(body.String(), `"type":"done"`) {
+		t.Fatalf("event stream missing done event:\n%s", body.String())
+	}
+
+	// The job list knows the assignment.
+	lresp, err := http.Get(ts.URL + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	list := []Info{}
+	json.NewDecoder(lresp.Body).Decode(&list)
+	lresp.Body.Close()
+	if len(list) != 1 || list[0].ID != info.ID {
+		t.Fatalf("job list %+v", list)
+	}
+}
+
+func TestClusterNoWorkers(t *testing.T) {
+	_, ts := newTestCluster(t, time.Hour)
+	data, _ := json.Marshal(serve.JobSpec{TestCase: 5, Level: 2, Steps: 4})
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit with no workers: %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestClusterFailover is the steal protocol end to end, in process: a
+// paced job is submitted, its checkpoints are mirrored on monitor ticks,
+// the assigned worker crashes without warning, the coordinator evicts it
+// and re-admits the job on the survivor from the mirror, and the job
+// completes there. (The ULP-level trajectory conformance of exactly this
+// scenario is asserted in internal/conform's cluster resume test; the
+// kill -9 version of it runs in scripts/ci.sh.)
+func TestClusterFailover(t *testing.T) {
+	w1 := newTestWorker(t, "w1", serve.Config{})
+	w2 := newTestWorker(t, "w2", serve.Config{})
+	c, ts := newTestCluster(t, 50*time.Millisecond, w1, w2)
+
+	info := submitCluster(t, ts.URL, serve.JobSpec{TestCase: 5, Level: 2, Mode: "plan",
+		Steps: 40, ReportEvery: 4, CheckpointEvery: 4, StepDelayMS: 20})
+	waitClusterState(t, c, ts.URL, info.ID, serve.StateRunning)
+
+	// Tick until a checkpoint mirror exists on the coordinator's disk.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		c.Tick()
+		if st := clusterStatus(t, ts.URL, info.ID); st.State.Terminal() {
+			t.Fatalf("job finished before the crash (%s) — pacing too fast", st.State)
+		}
+		if _, err := os.Stat(c.mirrorCkptPath(info.ID)); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no checkpoint mirror appeared")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Crash the assigned worker, survivor identified first.
+	var victim, survivor *testWorker
+	if info.Worker == "w1" {
+		victim, survivor = w1, w2
+	} else {
+		victim, survivor = w2, w1
+	}
+	victim.crash()
+
+	// Let the eviction deadline lapse; the next ticks must evict + steal.
+	time.Sleep(60 * time.Millisecond)
+	c.Tick() // probe fails; evict; steal onto survivor
+	st := clusterStatus(t, ts.URL, info.ID)
+	if st.Worker != survivor.name {
+		t.Fatalf("after steal, job on %q, want survivor %q", st.Worker, survivor.name)
+	}
+	if st.Steals != 1 {
+		t.Fatalf("steals = %d, want 1", st.Steals)
+	}
+
+	done := waitClusterState(t, c, ts.URL, info.ID, serve.StateCompleted)
+	if done.Worker != survivor.name {
+		t.Fatalf("completed on %q, want %q", done.Worker, survivor.name)
+	}
+	if got := c.mStolen.Value(); got != 1 {
+		t.Fatalf("cluster_jobs_stolen_total = %d, want 1", got)
+	}
+	if got := c.mEvicted.Value(); got != 1 {
+		t.Fatalf("cluster_workers_evicted_total = %d, want 1", got)
+	}
+
+	// The resumed run continued from the mirrored checkpoint, not step 0.
+	resp, err := http.Get(ts.URL + "/jobs/" + info.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res serve.Result
+	json.NewDecoder(resp.Body).Decode(&res)
+	resp.Body.Close()
+	if res.Resumes < 1 {
+		t.Fatalf("result resumes = %d, want >= 1 (checkpoint migration)", res.Resumes)
+	}
+	if res.Steps != 40 {
+		t.Fatalf("result steps = %d, want 40", res.Steps)
+	}
+}
+
+// TestClusterDrainingUnroutable: a draining worker keeps its jobs but
+// receives no new ones.
+func TestClusterDrainingUnroutable(t *testing.T) {
+	w1 := newTestWorker(t, "w1", serve.Config{})
+	w2 := newTestWorker(t, "w2", serve.Config{})
+	c, ts := newTestCluster(t, time.Hour, w1, w2)
+
+	// Drain w1 (no jobs: drains immediately) and let a probe see it.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := w1.srv.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	c.Tick()
+
+	for i := 0; i < 6; i++ {
+		info := submitCluster(t, ts.URL, serve.JobSpec{TestCase: 5, Level: 2, Mode: "plan",
+			Steps: 2, ReportEvery: 2})
+		if info.Worker != "w2" {
+			t.Fatalf("job %s routed to draining worker %s", info.ID, info.Worker)
+		}
+	}
+}
+
+// TestClusterFederatedMetrics: the coordinator's /metrics page carries
+// per-worker serve metrics under cluster_w_<name>_ prefixes, their sums
+// under cluster_total_, and the coordinator's own counters.
+func TestClusterFederatedMetrics(t *testing.T) {
+	w1 := newTestWorker(t, "w1", serve.Config{})
+	w2 := newTestWorker(t, "w2", serve.Config{})
+	c, ts := newTestCluster(t, time.Hour, w1, w2)
+
+	info := submitCluster(t, ts.URL, serve.JobSpec{TestCase: 5, Level: 2, Mode: "plan",
+		Steps: 4, ReportEvery: 2})
+	waitClusterState(t, c, ts.URL, info.ID, serve.StateCompleted)
+	c.Tick()
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := new(bytes.Buffer)
+	body.ReadFrom(resp.Body)
+	resp.Body.Close()
+	page := body.String()
+
+	for _, want := range []string{
+		"cluster_w_w1_serve_queue_depth",
+		"cluster_w_w2_serve_queue_depth",
+		"cluster_total_serve_jobs_completed_total 1",
+		"cluster_total_serve_queue_depth",
+		"cluster_jobs_submitted_total 1",
+		"cluster_jobs_stolen_total 0",
+		"cluster_workers 2",
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("federated metrics page missing %q", want)
+		}
+	}
+}

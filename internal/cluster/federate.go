@@ -1,0 +1,106 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/telemetry"
+)
+
+// Metrics federation: the coordinator's /metrics page is the single
+// scrape target for the whole cluster. Each request scrapes every live
+// worker's /metrics concurrently, parses the text exposition
+// (telemetry.ParseProm), and re-emits
+//
+//	cluster_w_<worker>_<metric>   every counter/gauge, per worker
+//	cluster_total_<metric>        the sum across workers
+//
+// followed by the coordinator's own registry (cluster_jobs_submitted_total,
+// cluster_jobs_stolen_total, worker/job/orphan gauges, ...). Histogram
+// buckets are not federated — they are cumulative per worker and summing
+// them is meaningless without labels, which internal/telemetry forgoes.
+
+// scrapeWorkers fetches and parses every live worker's metrics page.
+func (c *Coordinator) scrapeWorkers() map[string][]telemetry.PromSample {
+	c.mu.Lock()
+	snapshot := make(map[string]*workerState, len(c.workers))
+	for name, ws := range c.workers {
+		snapshot[name] = ws
+	}
+	c.mu.Unlock()
+
+	out := make(map[string][]telemetry.PromSample, len(snapshot))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for name, ws := range snapshot {
+		wg.Add(1)
+		go func(name string, ws *workerState) {
+			defer wg.Done()
+			ctx, cancel := c.probeCtx()
+			defer cancel()
+			data, err := ws.cl.GetBytes(ctx, "/metrics")
+			if err != nil {
+				return // a dead worker simply drops out of the page
+			}
+			samples, err := telemetry.ParseProm(bytes.NewReader(data))
+			if err != nil {
+				c.cfg.Logf("cluster: parsing %s metrics: %v", name, err)
+				return
+			}
+			mu.Lock()
+			out[name] = samples
+			mu.Unlock()
+		}(name, ws)
+	}
+	wg.Wait()
+	return out
+}
+
+// metricSafe maps a worker name onto the Prometheus name alphabet.
+func metricSafe(name string) string {
+	return strings.ReplaceAll(name, "-", "_")
+}
+
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	scraped := c.scrapeWorkers()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+
+	workers := make([]string, 0, len(scraped))
+	for name := range scraped {
+		workers = append(workers, name)
+	}
+	sort.Strings(workers)
+
+	totals := map[string]telemetry.PromSample{}
+	var totalOrder []string
+	for _, name := range workers {
+		prefix := "cluster_w_" + metricSafe(name) + "_"
+		for _, s := range scraped[name] {
+			if s.Type != "counter" && s.Type != "gauge" {
+				continue
+			}
+			n := prefix + s.Name
+			fmt.Fprintf(w, "# TYPE %s %s\n%s %g\n", n, s.Type, n, s.Value)
+			tn := "cluster_total_" + s.Name
+			if _, ok := totals[tn]; !ok {
+				totalOrder = append(totalOrder, tn)
+				totals[tn] = telemetry.PromSample{Name: tn, Type: s.Type}
+			}
+			t := totals[tn]
+			t.Value += s.Value
+			totals[tn] = t
+		}
+	}
+	sort.Strings(totalOrder)
+	for _, tn := range totalOrder {
+		t := totals[tn]
+		fmt.Fprintf(w, "# TYPE %s %s\n%s %g\n", tn, t.Type, tn, t.Value)
+	}
+
+	// Coordinator-own metrics close the page.
+	_ = c.cfg.Registry.WritePrometheus(w)
+}

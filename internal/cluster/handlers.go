@@ -1,0 +1,214 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/cluster/client"
+	"repro/internal/serve"
+)
+
+// Handler returns the coordinator's HTTP API — deliberately the same job
+// surface as one swserver, so a client needs no cluster awareness:
+//
+//	POST /jobs                  submit (sharded onto a worker)
+//	GET  /jobs                  coordinator job table (+worker, +steals)
+//	GET  /jobs/{id}             status (live, or cached mid-failover)
+//	GET  /jobs/{id}/events      NDJSON event stream proxied from the worker
+//	GET  /jobs/{id}/result      final result
+//	GET  /jobs/{id}/checkpoint  latest checkpoint (worker, else mirror)
+//	POST /jobs/{id}/cancel      cancel
+//	POST /cluster/workers       register a worker {"name","url"}
+//	GET  /cluster/workers       registry with health
+//	GET  /healthz               coordinator liveness + worker counts
+//	GET  /metrics               federated metrics (workers + coordinator)
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", c.handleSubmit)
+	mux.HandleFunc("GET /jobs", c.handleList)
+	mux.HandleFunc("GET /jobs/{id}", c.handleStatus)
+	mux.HandleFunc("GET /jobs/{id}/events", c.handleEvents)
+	mux.HandleFunc("GET /jobs/{id}/result", c.handleResult)
+	mux.HandleFunc("GET /jobs/{id}/checkpoint", c.handleCheckpoint)
+	mux.HandleFunc("POST /jobs/{id}/cancel", c.handleCancel)
+	mux.HandleFunc("POST /cluster/workers", c.handleRegister)
+	mux.HandleFunc("GET /cluster/workers", c.handleWorkers)
+	mux.HandleFunc("GET /healthz", c.handleHealthz)
+	mux.HandleFunc("GET /metrics", c.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// errCode maps coordinator and proxied errors onto HTTP statuses. A
+// *client.StatusError passes the worker's status through, so a 409
+// not-completed-yet or a 429 queue-full looks the same via the
+// coordinator as it would directly.
+func errCode(err error) int {
+	var se *client.StatusError
+	switch {
+	case errors.As(err, &se):
+		return se.Code
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, ErrNoWorkers), errors.Is(err, ErrUnroutable):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+const maxSpecBytes = 1 << 20
+
+func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec serve.JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding job spec: %w", err))
+		return
+	}
+	info, err := c.Submit(r.Context(), spec)
+	if err != nil {
+		writeErr(w, errCode(err), err)
+		return
+	}
+	w.Header().Set("Location", "/jobs/"+info.ID)
+	writeJSON(w, http.StatusAccepted, info)
+}
+
+func (c *Coordinator) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, c.Jobs())
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	info, err := c.Status(r.Context(), r.PathValue("id"))
+	if err != nil {
+		writeErr(w, errCode(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
+	res, err := c.Result(r.Context(), r.PathValue("id"))
+	if err != nil {
+		writeErr(w, errCode(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (c *Coordinator) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	data, err := c.Checkpoint(r.Context(), r.PathValue("id"))
+	if err != nil {
+		writeErr(w, errCode(err), err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(data)
+}
+
+func (c *Coordinator) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := c.Cancel(r.Context(), id); err != nil {
+		writeErr(w, errCode(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"id": id, "action": "cancel"})
+}
+
+// handleEvents proxies the worker's NDJSON event stream byte-for-byte. If
+// the worker dies mid-stream the proxy ends; after the steal completes a
+// re-request follows the job on its new worker (replay included — the
+// survivor republishes from its own event history).
+func (c *Coordinator) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	_, ws, err := c.job(id)
+	if err != nil {
+		writeErr(w, errCode(err), err)
+		return
+	}
+	if ws == nil {
+		writeErr(w, http.StatusServiceUnavailable, ErrUnroutable)
+		return
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet,
+		ws.info.URL+"/jobs/"+id+"/events?"+r.URL.RawQuery, nil)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		writeErr(w, http.StatusBadGateway, err)
+		return
+	}
+	defer resp.Body.Close()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(resp.StatusCode)
+	flusher, _ := w.(http.Flusher)
+	buf := make([]byte, 4096)
+	for {
+		n, rerr := resp.Body.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if rerr != nil {
+			return
+		}
+	}
+}
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var wk Worker
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes)).Decode(&wk); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding worker: %w", err))
+		return
+	}
+	if err := c.Register(wk); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, wk)
+}
+
+func (c *Coordinator) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, c.Workers())
+}
+
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	workers, draining := len(c.workers), 0
+	for _, ws := range c.workers {
+		if ws.draining {
+			draining++
+		}
+	}
+	jobs := len(c.jobs)
+	c.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"workers":  workers,
+		"draining": draining,
+		"jobs":     jobs,
+	})
+}

@@ -1,0 +1,286 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"mime/multipart"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/cluster/client"
+	"repro/internal/serve"
+)
+
+func jsonMarshalIndent(v any) ([]byte, error) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// monitorLoop is the coordinator heartbeat: probe every worker, evict the
+// silent, refresh job statuses, mirror fresh checkpoints, re-place
+// orphaned jobs.
+func (c *Coordinator) monitorLoop() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.cfg.HeartbeatEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stopCh:
+			return
+		case <-t.C:
+			c.tick()
+		}
+	}
+}
+
+// tick runs one monitor round. Exported pieces of the protocol (probe,
+// evict, steal) hang off it so a test can drive time explicitly by
+// calling Tick.
+func (c *Coordinator) tick() {
+	c.probeWorkers()
+	c.evictSilent()
+	c.refreshAndMirror()
+	c.placeOrphans()
+	c.updateGauges()
+}
+
+// Tick runs one monitor round synchronously (test hook: deterministic
+// time-stepping without waiting out the heartbeat ticker).
+func (c *Coordinator) Tick() { c.tick() }
+
+// healthzBody is the slice of serve's /healthz response the coordinator
+// reads.
+type healthzBody struct {
+	Status   string `json:"status"`
+	Draining bool   `json:"draining"`
+}
+
+// probeWorkers health-checks every registered worker. A successful probe
+// refreshes lastSeen; a draining report makes the worker unroutable for
+// NEW work while its running jobs continue.
+func (c *Coordinator) probeWorkers() {
+	c.mu.Lock()
+	snapshot := make([]*workerState, 0, len(c.workers))
+	for _, ws := range c.workers {
+		snapshot = append(snapshot, ws)
+	}
+	c.mu.Unlock()
+
+	for _, ws := range snapshot {
+		ctx, cancel := c.probeCtx()
+		var h healthzBody
+		// One shot, no retries: the eviction deadline is the retry policy.
+		probe := client.New(ws.info.URL, client.Config{HTTP: c.http, MaxRetries: -1})
+		err := probe.GetJSON(ctx, "/healthz", &h)
+		cancel()
+		c.mu.Lock()
+		if err == nil {
+			ws.lastSeen = time.Now()
+			ws.draining = h.Status == "draining" || h.Draining
+		}
+		c.mu.Unlock()
+	}
+}
+
+// evictSilent removes workers silent past the deadline and orphans their
+// jobs for the steal pass.
+func (c *Coordinator) evictSilent() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for name, ws := range c.workers {
+		if time.Since(ws.lastSeen) <= c.cfg.EvictAfter {
+			continue
+		}
+		delete(c.workers, name)
+		c.rebuildRingLocked()
+		c.mEvicted.Inc()
+		orphaned := 0
+		for _, j := range c.jobs {
+			if j.worker == name && !j.last.State.Terminal() {
+				j.worker = ""
+				orphaned++
+			}
+		}
+		c.cfg.Logf("cluster: evicted worker %s (silent %.1fs, %d jobs orphaned)",
+			name, time.Since(ws.lastSeen).Seconds(), orphaned)
+	}
+}
+
+// refreshAndMirror polls each assigned, non-terminal job: status from the
+// owning worker, and — whenever the durable trajectory advanced — a fresh
+// checkpoint mirror. The mirror is what makes work stealing possible at
+// all: when a worker dies by SIGKILL its HTTP surface dies with it, so
+// the checkpoint a steal resumes from must already be on the
+// coordinator's disk.
+func (c *Coordinator) refreshAndMirror() {
+	c.mu.Lock()
+	type item struct {
+		j  *cjob
+		ws *workerState
+	}
+	var items []item
+	for _, j := range c.jobs {
+		if j.worker == "" || j.last.State.Terminal() {
+			continue
+		}
+		if ws := c.workers[j.worker]; ws != nil {
+			items = append(items, item{j, ws})
+		}
+	}
+	c.mu.Unlock()
+
+	for _, it := range items {
+		ctx, cancel := c.probeCtx()
+		var st serve.JobStatus
+		err := it.ws.cl.GetJSON(ctx, "/jobs/"+it.j.id, &st)
+		if err != nil {
+			cancel()
+			continue // silence is handled by eviction, not here
+		}
+		c.mu.Lock()
+		it.j.last = st
+		needMirror := !st.State.Terminal() && it.j.mirroredStep < st.StepsDone
+		c.mu.Unlock()
+
+		if needMirror {
+			if ckpt, err := it.ws.cl.GetBytes(ctx, "/jobs/"+it.j.id+"/checkpoint"); err == nil {
+				if err := os.WriteFile(c.mirrorCkptPath(it.j.id)+".tmp", ckpt, 0o644); err == nil {
+					if os.Rename(c.mirrorCkptPath(it.j.id)+".tmp", c.mirrorCkptPath(it.j.id)) == nil {
+						_ = writeJSONAtomic(c.mirrorStatusPath(it.j.id), st)
+						c.mu.Lock()
+						it.j.mirroredStep = st.StepsDone
+						c.mu.Unlock()
+					}
+				}
+			}
+		}
+		c.mu.Lock()
+		c.persistAssignment(it.j)
+		c.mu.Unlock()
+		cancel()
+	}
+}
+
+// placeOrphans re-admits every orphaned job on a survivor — the steal.
+// The status sent is the mirrored one when a checkpoint mirror exists
+// (status and checkpoint must describe the same trajectory point);
+// otherwise the job restarts from step 0, which is still deterministic
+// (perturbations are pure functions of the spec).
+func (c *Coordinator) placeOrphans() {
+	c.mu.Lock()
+	var orphans []*cjob
+	for _, j := range c.jobs {
+		if j.worker == "" && !j.last.State.Terminal() {
+			orphans = append(orphans, j)
+		}
+	}
+	c.mu.Unlock()
+
+	for _, j := range orphans {
+		c.stealJob(j)
+	}
+}
+
+// stealJob moves one orphaned job onto the first willing survivor.
+func (c *Coordinator) stealJob(j *cjob) {
+	st := j.last // coordinator's last sight of the job
+	var ckpt []byte
+	if data, err := os.ReadFile(c.mirrorCkptPath(j.id)); err == nil {
+		ckpt = data
+		var mst serve.JobStatus
+		if readJSONFile(c.mirrorStatusPath(j.id), &mst) == nil && mst.ID == j.id {
+			st = mst // the status that matches the mirrored checkpoint
+		}
+	} else {
+		// No mirror: the job restarts from its initial condition.
+		st.StepsDone = 0
+		st.SimTime = 0
+	}
+	st.State = serve.StateQueued
+	st.Resumes++
+	st.Error = ""
+
+	c.mu.Lock()
+	cands := c.candidatesLocked(j.id, "")
+	c.mu.Unlock()
+
+	for _, ws := range cands {
+		ctx, cancel := c.probeCtx()
+		var out serve.JobStatus
+		err := ws.cl.Do(ctx, http.MethodPost, "/jobs/import", importBody(st, ckpt), &out)
+		cancel()
+		if err != nil && !client.IsStatus(err, http.StatusConflict) {
+			continue // next survivor
+		}
+		// 409 means a previous attempt landed and we lost the response —
+		// the job is there; adopt the assignment either way.
+		c.mu.Lock()
+		j.worker = ws.info.Name
+		j.steals++
+		j.last = st
+		j.mirroredStep = st.StepsDone - 1 // force a fresh mirror next tick
+		c.persistAssignment(j)
+		c.mu.Unlock()
+		c.mStolen.Inc()
+		c.cfg.Logf("cluster: stole %s onto %s (resume from step %d, checkpoint=%v)",
+			j.id, ws.info.Name, st.StepsDone, ckpt != nil)
+		return
+	}
+	c.cfg.Logf("cluster: %s orphaned, no survivor accepted it yet", j.id)
+}
+
+// importBody builds the multipart /jobs/import payload — rebuilt per
+// retry attempt, as client.BodyFunc requires.
+func importBody(st serve.JobStatus, ckpt []byte) client.BodyFunc {
+	return func() (io.Reader, string, error) {
+		var buf bytes.Buffer
+		mw := multipart.NewWriter(&buf)
+		stJSON, err := json.Marshal(st)
+		if err != nil {
+			return nil, "", err
+		}
+		if err := mw.WriteField("status", string(stJSON)); err != nil {
+			return nil, "", err
+		}
+		if ckpt != nil {
+			fw, err := mw.CreateFormFile("checkpoint", "ckpt.bin")
+			if err != nil {
+				return nil, "", err
+			}
+			if _, err := fw.Write(ckpt); err != nil {
+				return nil, "", err
+			}
+		}
+		if err := mw.Close(); err != nil {
+			return nil, "", err
+		}
+		return &buf, mw.FormDataContentType(), nil
+	}
+}
+
+func readJSONFile(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(data, v)
+}
+
+func (c *Coordinator) updateGauges() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	orphans := 0
+	for _, j := range c.jobs {
+		if j.worker == "" && !j.last.State.Terminal() {
+			orphans++
+		}
+	}
+	c.gJobs.Set(float64(len(c.jobs)))
+	c.gOrphans.Set(float64(orphans))
+	c.gWorkers.Set(float64(len(c.workers)))
+}

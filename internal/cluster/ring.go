@@ -1,0 +1,96 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Consistent-hash ring for job sharding. Each worker owns vnodesPerWorker
+// virtual nodes placed by FNV-1a; a job id routes to the first vnode at or
+// after its own hash. Adding or removing one worker therefore moves only
+// ~1/N of the id space — jobs already assigned stay where they are (the
+// coordinator routes at admission and at steal time, never re-shards
+// retroactively), and the ring's preference order doubles as the failover
+// order during a steal.
+
+const vnodesPerWorker = 64
+
+type vnode struct {
+	hash   uint64
+	worker string
+}
+
+// Ring is an immutable consistent-hash ring over a set of worker names.
+// Build a new one on every membership change.
+type Ring struct {
+	vnodes []vnode
+}
+
+// hash64 is FNV-1a with a splitmix64 finalizer. Raw FNV-1a of short,
+// similar strings ("w1#0", "w1#1", ...) clusters badly in the high bits,
+// which a binary-searched ring position reads first; the avalanche mix
+// spreads vnodes and keys uniformly over the full 64-bit circle.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	z := h.Sum64()
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// NewRing builds a ring over the given worker names.
+func NewRing(workers []string) *Ring {
+	r := &Ring{vnodes: make([]vnode, 0, len(workers)*vnodesPerWorker)}
+	for _, w := range workers {
+		for i := 0; i < vnodesPerWorker; i++ {
+			r.vnodes = append(r.vnodes, vnode{hash64(fmt.Sprintf("%s#%d", w, i)), w})
+		}
+	}
+	sort.Slice(r.vnodes, func(i, j int) bool {
+		a, b := r.vnodes[i], r.vnodes[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		return a.worker < b.worker // total order even on hash collisions
+	})
+	return r
+}
+
+// Len returns the number of distinct workers on the ring.
+func (r *Ring) Len() int { return len(r.vnodes) / vnodesPerWorker }
+
+// Owner returns the worker owning key, or "" on an empty ring.
+func (r *Ring) Owner(key string) string {
+	if len(r.vnodes) == 0 {
+		return ""
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.vnodes), func(i int) bool { return r.vnodes[i].hash >= h })
+	if i == len(r.vnodes) {
+		i = 0
+	}
+	return r.vnodes[i].worker
+}
+
+// Ordered returns every distinct worker in ring order starting from key's
+// owner — the routing preference list: Ordered(id)[0] is the shard owner,
+// the rest are the failover sequence a steal walks.
+func (r *Ring) Ordered(key string) []string {
+	if len(r.vnodes) == 0 {
+		return nil
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.vnodes), func(i int) bool { return r.vnodes[i].hash >= h })
+	seen := make(map[string]bool, r.Len())
+	out := make([]string, 0, r.Len())
+	for i := 0; i < len(r.vnodes) && len(out) < r.Len(); i++ {
+		w := r.vnodes[(start+i)%len(r.vnodes)].worker
+		if !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingOwnerDeterministicAndBalanced(t *testing.T) {
+	r := NewRing([]string{"w1", "w2", "w3"})
+	counts := map[string]int{}
+	for i := 0; i < 3000; i++ {
+		key := fmt.Sprintf("c-%016x", i)
+		o := r.Owner(key)
+		if o != r.Owner(key) {
+			t.Fatalf("Owner(%s) not deterministic", key)
+		}
+		counts[o]++
+	}
+	for _, w := range []string{"w1", "w2", "w3"} {
+		if counts[w] < 300 { // 10% of keys — a loose balance floor
+			t.Errorf("worker %s owns only %d/3000 keys", w, counts[w])
+		}
+	}
+}
+
+func TestRingOrderedCoversAllWorkers(t *testing.T) {
+	r := NewRing([]string{"w1", "w2", "w3", "w4"})
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("c-%016x", i)
+		ord := r.Ordered(key)
+		if len(ord) != 4 {
+			t.Fatalf("Ordered(%s) = %v, want all 4 workers", key, ord)
+		}
+		if ord[0] != r.Owner(key) {
+			t.Fatalf("Ordered(%s)[0] = %s, Owner = %s", key, ord[0], r.Owner(key))
+		}
+		seen := map[string]bool{}
+		for _, w := range ord {
+			if seen[w] {
+				t.Fatalf("Ordered(%s) repeats %s", key, w)
+			}
+			seen[w] = true
+		}
+	}
+}
+
+// Removing one worker must not move keys between surviving workers —
+// the consistency property that makes steals local.
+func TestRingRemovalIsMinimal(t *testing.T) {
+	before := NewRing([]string{"w1", "w2", "w3"})
+	after := NewRing([]string{"w1", "w3"}) // w2 died
+	moved := 0
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("c-%016x", i)
+		was := before.Owner(key)
+		now := after.Owner(key)
+		if was != "w2" && was != now {
+			t.Fatalf("key %s moved %s -> %s though %s survived", key, was, now, was)
+		}
+		if was == "w2" {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("w2 owned nothing — distribution broken")
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(nil)
+	if r.Owner("x") != "" || r.Ordered("x") != nil || r.Len() != 0 {
+		t.Fatal("empty ring must route nowhere")
+	}
+}

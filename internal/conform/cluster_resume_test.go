@@ -1,0 +1,306 @@
+package conform
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/mesh"
+	"repro/internal/serve"
+	"repro/internal/sw"
+	"repro/internal/telemetry"
+	"repro/internal/testcases"
+)
+
+// These tests extend the resume-equivalence guarantee across MACHINE
+// boundaries: a job whose worker is crashed without warning mid-run must
+// be stolen onto a survivor from the coordinator's mirrored checkpoint
+// and land on the uninterrupted trajectory within the exact-strategy ULP
+// band (ExactTol, max 4 ULP). The worker crash here is in-process —
+// serve.Server.Close() plus dropping the HTTP listener, the documented
+// kill -9 equivalent (no drain, no final checkpoint, spool frozen
+// mid-flight); scripts/ci.sh runs the same scenario with a real `kill
+// -9` on a real swserver process.
+
+// serveMesh builds a mesh exactly as internal/serve's meshForLevel does,
+// so reference solvers are bitwise comparable with served trajectories.
+func serveMesh(t *testing.T, level int) *mesh.Mesh {
+	t.Helper()
+	m, err := mesh.Build(level, mesh.Options{LloydIterations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// newServeSolver pairs the serve-identical mesh with its default config.
+func newServeSolver(t *testing.T, level int) (*sw.Solver, error) {
+	t.Helper()
+	m := serveMesh(t, level)
+	return sw.NewSolver(m, sw.DefaultConfig(m))
+}
+
+type clusterWorker struct {
+	name string
+	srv  *serve.Server
+	ts   *httptest.Server
+}
+
+// crash kills the worker without drain: listener gone, server stopped
+// mid-step, spool left as the last periodic checkpoint wrote it.
+func (w *clusterWorker) crash() {
+	w.ts.CloseClientConnections()
+	w.ts.Close()
+	w.srv.Close()
+}
+
+func newClusterWorker(t *testing.T, name string) *clusterWorker {
+	t.Helper()
+	srv, err := serve.New(serve.Config{
+		Workers:  1,
+		QueueCap: 4,
+		SpoolDir: t.TempDir(),
+		Registry: telemetry.NewRegistry(),
+		Logf:     t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	w := &clusterWorker{name: name, srv: srv, ts: ts}
+	t.Cleanup(func() {
+		defer func() { recover() }() // double-close after crash() is fine
+		ts.Close()
+		srv.Close()
+	})
+	return w
+}
+
+func newFailoverCluster(t *testing.T, workers ...*clusterWorker) *cluster.Coordinator {
+	t.Helper()
+	c, err := cluster.New(cluster.Config{
+		SpoolDir:       t.TempDir(),
+		HeartbeatEvery: time.Hour, // ticks driven explicitly
+		EvictAfter:     50 * time.Millisecond,
+		Registry:       telemetry.NewRegistry(),
+		Logf:           t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	for _, w := range workers {
+		if err := c.Register(cluster.Worker{Name: w.name, URL: w.ts.URL}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+// runFailover submits spec, waits until the coordinator has mirrored a
+// checkpoint past minSteps, crashes the assigned worker, and returns the
+// completed job's info and final checkpoint bytes.
+func runFailover(t *testing.T, c *cluster.Coordinator, workers []*clusterWorker,
+	spec serve.JobSpec, minSteps int) (cluster.Info, []byte) {
+	t.Helper()
+	ctx := context.Background()
+	info, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Let the job get past its first durable checkpoint, then tick so the
+	// coordinator mirrors it.
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		st, err := c.Status(ctx, info.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State.Terminal() {
+			t.Fatalf("job finished (%s) before the crash — pacing too fast", st.State)
+		}
+		if st.StepsDone > minSteps {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never reached step %d (at %d)", minSteps+1, st.StepsDone)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	c.Tick() // refresh + mirror the checkpoint onto the coordinator's disk
+	c.Tick()
+
+	var victim *clusterWorker
+	survivors := map[string]bool{}
+	for _, w := range workers {
+		if w.name == info.Worker {
+			victim = w
+		} else {
+			survivors[w.name] = true
+		}
+	}
+	victim.crash()
+	time.Sleep(60 * time.Millisecond) // eviction deadline lapses
+
+	c.Tick() // probe fails → evict → steal from the mirror
+	st, err := c.Status(ctx, info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !survivors[st.Worker] {
+		t.Fatalf("after steal job is on %q, want a survivor", st.Worker)
+	}
+	if st.Steals != 1 {
+		t.Fatalf("steals = %d, want 1", st.Steals)
+	}
+	if st.StepsDone == 0 {
+		t.Fatal("steal restarted from step 0 — the mirrored checkpoint was not used")
+	}
+
+	// Drive to completion.
+	for {
+		st, err = c.Status(ctx, info.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == serve.StateCompleted {
+			break
+		}
+		if st.State.Terminal() {
+			t.Fatalf("job ended %s (%s)", st.State, st.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("timeout waiting for stolen job to complete")
+		}
+		c.Tick()
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	res, err := c.Result(ctx, info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Resumes < 1 {
+		t.Fatalf("result resumes = %d, want >= 1", res.Resumes)
+	}
+	ckpt, err := c.Checkpoint(ctx, info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, ckpt
+}
+
+// TestClusterFailoverConformance: single-trajectory steal. The SIGKILLed
+// worker's job completes on the survivor and its final prognostic state
+// matches the uninterrupted serial reference within 4 ULP.
+func TestClusterFailoverConformance(t *testing.T) {
+	const (
+		level = 2
+		steps = 40
+	)
+	w1 := newClusterWorker(t, "w1")
+	w2 := newClusterWorker(t, "w2")
+	c := newFailoverCluster(t, w1, w2)
+
+	_, ckpt := runFailover(t, c, []*clusterWorker{w1, w2}, serve.JobSpec{
+		TestCase: 5, Level: level, Mode: "plan", Steps: steps,
+		ReportEvery: 4, CheckpointEvery: 4, StepDelayMS: 20,
+	}, 5)
+
+	// Uninterrupted serial reference on the identical mesh.
+	ref, err := newServeSolver(t, level)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.Runner = sw.SerialRunner{}
+	testcases.SetupTC5(ref)
+	ref.Init()
+	ref.Run(steps)
+
+	got, err := newServeSolver(t, level)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.ReadCheckpoint(bytes.NewReader(ckpt)); err != nil {
+		t.Fatal(err)
+	}
+	if got.StepCount != steps {
+		t.Fatalf("final checkpoint at step %d, want %d", got.StepCount, steps)
+	}
+	d := CompareStates(ref.State.H, ref.State.U, got.State.H, got.State.U)
+	if !ExactTol.Accepts(d) {
+		t.Errorf("stolen job diverges from uninterrupted run: %v", d)
+	}
+}
+
+// TestClusterEnsembleFailoverConformance: the whole K-member ensemble
+// migrates in one checkpoint and every member lands on its uninterrupted
+// trajectory.
+func TestClusterEnsembleFailoverConformance(t *testing.T) {
+	const (
+		level = 2
+		k     = 3
+		steps = 24
+		seed  = 99
+		eps   = 1e-8
+	)
+	w1 := newClusterWorker(t, "w1")
+	w2 := newClusterWorker(t, "w2")
+	c := newFailoverCluster(t, w1, w2)
+
+	_, ckpt := runFailover(t, c, []*clusterWorker{w1, w2}, serve.JobSpec{
+		TestCase: 5, Level: level, Mode: "plan", Steps: steps,
+		ReportEvery: 4, CheckpointEvery: 4, StepDelayMS: 10,
+		Ensemble: k, PerturbSeed: seed, PerturbEps: eps,
+	}, 5)
+
+	// Reference: each member run uninterrupted under the serial baseline.
+	refSolver, err := newServeSolver(t, level)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refSolver.Runner = sw.SerialRunner{}
+	testcases.SetupTC5(refSolver)
+	refSolver.Init()
+	ref, err := sw.NewEnsemble(refSolver, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < k; i++ {
+		ref.PerturbH(i, seed, eps)
+	}
+	for i := 0; i < k; i++ {
+		if err := ref.WithMember(i, func(sv *sw.Solver) error {
+			sv.Run(steps)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	gotSolver, err := newServeSolver(t, level)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sw.NewEnsemble(gotSolver, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.ReadCheckpoint(bytes.NewReader(ckpt)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < k; i++ {
+		a, b := ref.Member(i), got.Member(i)
+		if b.StepCount != steps {
+			t.Fatalf("member %d at step %d, want %d", i, b.StepCount, steps)
+		}
+		d := CompareStates(a.State.H, a.State.U, b.State.H, b.State.U)
+		if !ExactTol.Accepts(d) {
+			t.Errorf("member %d of stolen ensemble diverges: %v", i, d)
+		}
+	}
+}

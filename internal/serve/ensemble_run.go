@@ -1,0 +1,208 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/sw"
+)
+
+// Ensemble job execution: K perturbed trajectories admitted as ONE job and
+// multiplexed through the worker's single solver, so the mesh, the kernel
+// scaffolding and (in plan mode) the compiled execution plan are built once
+// and shared by every member — the batch-admission shape the ROADMAP asks
+// for. Members advance in rounds of ReportEvery steps; each round streams
+// one "diag" event per member (Event.Member is 1-based), and checkpoints
+// capture the whole ensemble, so suspension, crash recovery and cluster
+// work stealing migrate all K members together.
+
+// runEnsemble executes one claimed ensemble job to its next lifecycle
+// boundary. The caller (runJob) has claimed the job, built the model, and
+// published the running transition; total/ckptEvery/stepDelay are already
+// defaulted.
+func (s *Server) runEnsemble(ctx context.Context, job *Job, solver *sw.Solver,
+	spec JobSpec, mode string, resumes, total, ckptEvery int,
+	stepDelay time.Duration, start time.Time) {
+
+	ens, err := sw.NewEnsemble(solver, spec.Ensemble)
+	if err != nil {
+		s.finishFailed(job, err)
+		return
+	}
+	if s.spool.hasCheckpoint(job.ID) {
+		if err := ens.LoadCheckpoint(s.spool.checkpointPath(job.ID)); err != nil {
+			s.finishFailed(job, fmt.Errorf("loading ensemble checkpoint: %w", err))
+			return
+		}
+	} else {
+		// First run: jitter members 1..K-1; member 0 stays the control.
+		// The perturbation is a pure function of (seed, member, cell), so
+		// a stolen-and-restarted job without a checkpoint regenerates the
+		// identical ensemble.
+		for i := 1; i < ens.K(); i++ {
+			ens.PerturbH(i, spec.PerturbSeed, spec.PerturbEps)
+		}
+	}
+	job.setProgress(ens.MinStep(), total, ens.MinTime())
+
+	interrupt := s.interruptFor(ctx, job, stepDelay)
+	publishMemberDiag := func(i int, sv *sw.Solver) {
+		job.broker.publish(Event{Type: "diag", JobID: job.ID, Member: i + 1,
+			Step: sv.StepCount, TotalSteps: total, SimTime: sv.Time,
+			Diag: diagOf(sv.ComputeInvariants())})
+	}
+
+	// Position at (re)start, one event per member, before the first step.
+	for i := 0; i < ens.K(); i++ {
+		_ = ens.WithMember(i, func(sv *sw.Solver) error {
+			publishMemberDiag(i, sv)
+			return nil
+		})
+	}
+
+	// Rounds: advance every member to the next ReportEvery frontier. After
+	// a resume mid-round, lagging members catch up first (the frontier is
+	// min+ReportEvery, so mixed-step checkpoints converge naturally).
+	var runErr error
+rounds:
+	for {
+		minStep := ens.MinStep()
+		if minStep >= total {
+			break
+		}
+		target := minStep + spec.ReportEvery
+		if target > total {
+			target = total
+		}
+		for i := 0; i < ens.K(); i++ {
+			n := target - ens.StepOf(i)
+			if n <= 0 {
+				continue
+			}
+			before := ens.StepOf(i)
+			err := ens.WithMember(i, func(sv *sw.Solver) error {
+				rErr := sv.RunControlled(n, sw.RunControl{Interrupt: interrupt})
+				publishMemberDiag(i, sv)
+				return rErr
+			})
+			s.mSteps.Add(int64(ens.StepOf(i) - before))
+			job.setProgress(ens.MinStep(), total, ens.MinTime())
+			if err != nil {
+				runErr = err
+				break rounds
+			}
+		}
+		if ckptEvery > 0 && target%ckptEvery == 0 && target < total {
+			if err := s.checkpointEnsemble(job, ens, total); err != nil {
+				s.finishFailed(job, fmt.Errorf("writing ensemble checkpoint: %w", err))
+				return
+			}
+		}
+	}
+	job.setProgress(ens.MinStep(), total, ens.MinTime())
+
+	switch {
+	case runErr == nil:
+		// Final checkpoint first, exactly like the single-run path: the
+		// durable state a client (or a stealing coordinator) downloads is
+		// the completed ensemble.
+		if err := s.checkpointEnsemble(job, ens, total); err != nil {
+			s.finishFailed(job, fmt.Errorf("writing final ensemble checkpoint: %w", err))
+			return
+		}
+		finals := make([]*Diag, ens.K())
+		var simTime float64
+		for i := 0; i < ens.K(); i++ {
+			if err := ens.WithMember(i, func(sv *sw.Solver) error {
+				finals[i] = diagOf(sv.ComputeInvariants())
+				simTime = sv.Time
+				return nil
+			}); err != nil {
+				s.finishFailed(job, err)
+				return
+			}
+		}
+		res := Result{
+			JobID:       job.ID,
+			Steps:       total,
+			SimTime:     simTime,
+			WallSeconds: time.Since(start).Seconds(),
+			Mode:        mode,
+			Resumes:     resumes,
+			Final:       finals[0],
+			Members:     finals,
+		}
+		if err := s.spool.writeResult(res); err != nil {
+			s.finishFailed(job, fmt.Errorf("writing result: %w", err))
+			return
+		}
+		done := s.updateJob(job, func(j *Job) {
+			j.state = StateCompleted
+			j.cancel = nil
+		})
+		s.mCompleted.Inc()
+		job.broker.publish(Event{Type: "done", JobID: job.ID, State: StateCompleted,
+			Step: done.StepsDone, TotalSteps: total, SimTime: done.SimTime, Diag: res.Final})
+		s.cfg.Logf("serve: %s completed (%d members x %d steps, %.2fs wall)",
+			job.ID, ens.K(), res.Steps, res.WallSeconds)
+
+	case errors.Is(runErr, errStopped):
+		// Crash-like stop: the last periodic ensemble checkpoint is the
+		// recovery point.
+		return
+
+	case errors.Is(runErr, errSuspended):
+		why := job.suspendRequested()
+		if err := s.checkpointEnsemble(job, ens, total); err != nil {
+			s.finishFailed(job, fmt.Errorf("suspending ensemble: %w", err))
+			return
+		}
+		susp := s.updateJob(job, func(j *Job) {
+			j.state = StateSuspended
+			j.suspendReason = why
+			j.cancel = nil
+		})
+		s.mSuspended.Inc()
+		job.broker.publish(Event{Type: "state", JobID: job.ID, State: StateSuspended,
+			Step: susp.StepsDone, TotalSteps: total, SimTime: susp.SimTime})
+		s.cfg.Logf("serve: %s suspended (%s) at ensemble step %d/%d", job.ID, why, susp.StepsDone, total)
+
+	case errors.Is(runErr, context.Canceled):
+		_ = s.checkpointEnsemble(job, ens, total)
+		done := s.updateJob(job, func(j *Job) {
+			j.state = StateCanceled
+			j.cancel = nil
+		})
+		s.mCanceled.Inc()
+		job.broker.publish(Event{Type: "done", JobID: job.ID, State: StateCanceled,
+			Step: done.StepsDone, TotalSteps: total, SimTime: done.SimTime})
+
+	case errors.Is(runErr, context.DeadlineExceeded):
+		_ = s.checkpointEnsemble(job, ens, total)
+		s.finishFailed(job, fmt.Errorf("job deadline exceeded after ensemble step %d/%d", ens.MinStep(), total))
+
+	default:
+		s.finishFailed(job, runErr)
+	}
+}
+
+// checkpointEnsemble writes the durable (ckpt.bin, status.json) pair for
+// the whole ensemble and publishes a checkpoint event.
+func (s *Server) checkpointEnsemble(job *Job, ens *sw.Ensemble, total int) error {
+	tctx := s.tCheckpoint.Start()
+	err := s.spool.writeEnsembleCheckpoint(job.ID, ens)
+	tctx.Stop()
+	if err != nil {
+		return err
+	}
+	job.setProgress(ens.MinStep(), total, ens.MinTime())
+	st := job.Status()
+	if err := s.spool.writeStatus(st); err != nil {
+		return err
+	}
+	job.broker.publish(Event{Type: "checkpoint", JobID: job.ID,
+		Step: st.StepsDone, TotalSteps: total, SimTime: st.SimTime})
+	return nil
+}

@@ -1,0 +1,365 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"mime/multipart"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/conform"
+	"repro/internal/mesh"
+	"repro/internal/sw"
+	"repro/internal/testcases"
+)
+
+// ensembleReference runs the identical K-member ensemble uninterrupted, in
+// process, under the serial baseline — mesh built exactly as the server
+// builds it, members perturbed with the same (seed, eps).
+func ensembleReference(t *testing.T, level, k, steps int, seed uint64, eps float64) *sw.Ensemble {
+	t.Helper()
+	m, err := mesh.Build(level, mesh.Options{LloydIterations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sw.NewSolver(m, sw.DefaultConfig(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Runner = sw.SerialRunner{}
+	testcases.SetupTC5(s)
+	s.Init()
+	e, err := sw.NewEnsemble(s, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < k; i++ {
+		e.PerturbH(i, seed, eps)
+	}
+	for i := 0; i < k; i++ {
+		if err := e.WithMember(i, func(sv *sw.Solver) error {
+			sv.Run(steps)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return e
+}
+
+// fetchEnsembleFinal downloads the job's (ensemble) checkpoint and loads it
+// into a fresh k-member ensemble on an identically built mesh.
+func fetchEnsembleFinal(t *testing.T, base, id string, level, k int) *sw.Ensemble {
+	t.Helper()
+	resp, err := http.Get(base + "/jobs/" + id + "/checkpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("checkpoint: status %d", resp.StatusCode)
+	}
+	m, err := mesh.Build(level, mesh.Options{LloydIterations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sw.NewSolver(m, sw.DefaultConfig(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Runner = sw.SerialRunner{}
+	e, err := sw.NewEnsemble(s, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ReadCheckpoint(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestEnsembleJobEndToEnd: an ensemble job streams per-member diagnostics,
+// produces per-member finals, and its durable final ensemble state matches
+// an uninterrupted in-process ensemble within the exact-strategy ULP band
+// — member by member.
+func TestEnsembleJobEndToEnd(t *testing.T) {
+	const (
+		level = 2
+		k     = 4
+		steps = 12
+		seed  = 12345
+		eps   = 1e-8
+	)
+	_, ts := newTestServer(t, Config{Workers: 1, QueueCap: 4, CheckpointEvery: 4})
+
+	st := submitJob(t, ts.URL, JobSpec{TestCase: 5, Level: level, Mode: "plan",
+		Steps: steps, ReportEvery: 4, Ensemble: k, PerturbSeed: seed, PerturbEps: eps})
+
+	// Follow events to completion, counting per-member diagnostics.
+	resp, err := http.Get(ts.URL + "/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	memberDiags := map[int]int{}
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var ev Event
+		if err := dec.Decode(&ev); err != nil {
+			if err == io.EOF {
+				break
+			}
+			t.Fatal(err)
+		}
+		if ev.Type == "diag" {
+			if ev.Member < 1 || ev.Member > k {
+				t.Fatalf("diag event with member %d outside [1,%d]", ev.Member, k)
+			}
+			memberDiags[ev.Member]++
+		}
+		if ev.Type == "done" {
+			if ev.State != StateCompleted {
+				t.Fatalf("job ended %s", ev.State)
+			}
+			break
+		}
+	}
+	for i := 1; i <= k; i++ {
+		// One positioning diag + one per round (steps/ReportEvery rounds).
+		if memberDiags[i] < 1+steps/4 {
+			t.Errorf("member %d got %d diag events, want >= %d", i, memberDiags[i], 1+steps/4)
+		}
+	}
+
+	// Result carries per-member finals.
+	rresp, err := http.Get(ts.URL + "/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := decodeJSON[Result](t, rresp)
+	if len(res.Members) != k {
+		t.Fatalf("result has %d member finals, want %d", len(res.Members), k)
+	}
+	if res.Final == nil || res.Final.Mass != res.Members[0].Mass {
+		t.Fatalf("result final %+v is not member 0 %+v", res.Final, res.Members[0])
+	}
+	if res.Steps != steps {
+		t.Fatalf("result steps %d, want %d", res.Steps, steps)
+	}
+
+	// Durable final ensemble state vs the uninterrupted reference.
+	ref := ensembleReference(t, level, k, steps, seed, eps)
+	got := fetchEnsembleFinal(t, ts.URL, st.ID, level, k)
+	for i := 0; i < k; i++ {
+		a, b := ref.Member(i), got.Member(i)
+		d := conform.CompareStates(a.State.H, a.State.U, b.State.H, b.State.U)
+		if !conform.ExactTol.Accepts(d) {
+			t.Errorf("member %d: served ensemble diverges from reference: %v", i, d)
+		}
+	}
+
+	// Perturbed members really are distinct trajectories.
+	if res.Members[1].TotalEnergy == res.Members[0].TotalEnergy {
+		t.Error("member 1 final energy identical to control — perturbation lost")
+	}
+}
+
+// TestEnsembleJobSharesOnePlan is the batch-admission acceptance check at
+// the service level: serving a K=8 ensemble job in plan mode compiles
+// exactly ONE execution plan on the worker.
+func TestEnsembleJobSharesOnePlan(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueCap: 4, CheckpointEvery: 100})
+
+	before := sw.PlanCompileCount()
+	st := submitJob(t, ts.URL, JobSpec{TestCase: 5, Level: 2, Mode: "plan",
+		Steps: 4, ReportEvery: 2, Ensemble: 8})
+	waitState(t, ts.URL, st.ID, StateCompleted)
+	if got := sw.PlanCompileCount() - before; got != 1 {
+		t.Fatalf("K=8 ensemble job compiled %d plans, want exactly 1", got)
+	}
+}
+
+// TestEnsembleSuspendResume: an ensemble job suspended mid-run and resumed
+// under a different mode still lands member-for-member on the
+// uninterrupted reference trajectory.
+func TestEnsembleSuspendResume(t *testing.T) {
+	const (
+		level = 2
+		k     = 3
+		steps = 16
+		seed  = 7
+		eps   = 1e-8
+	)
+	_, ts := newTestServer(t, Config{Workers: 1, QueueCap: 4, CheckpointEvery: 100})
+
+	st := submitJob(t, ts.URL, JobSpec{TestCase: 5, Level: level, Mode: "serial",
+		Steps: steps, ReportEvery: 2, Ensemble: k, PerturbSeed: seed, PerturbEps: eps,
+		StepDelayMS: 5})
+	waitState(t, ts.URL, st.ID, StateRunning)
+
+	deadline := time.Now().Add(60 * time.Second)
+	for getStatus(t, ts.URL, st.ID).StepsDone < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("ensemble made no progress")
+		}
+		if got := getStatus(t, ts.URL, st.ID); got.State.Terminal() {
+			t.Fatalf("job finished before suspend (%s)", got.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	resp := postJSON(t, ts.URL+"/jobs/"+st.ID+"/suspend", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("suspend: %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	waitState(t, ts.URL, st.ID, StateSuspended)
+
+	resp = postJSON(t, ts.URL+"/jobs/"+st.ID+"/resume", map[string]string{"mode": "threaded"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("resume: %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	waitState(t, ts.URL, st.ID, StateCompleted)
+
+	ref := ensembleReference(t, level, k, steps, seed, eps)
+	got := fetchEnsembleFinal(t, ts.URL, st.ID, level, k)
+	for i := 0; i < k; i++ {
+		a, b := ref.Member(i), got.Member(i)
+		d := conform.CompareStates(a.State.H, a.State.U, b.State.H, b.State.U)
+		if !conform.ExactTol.Accepts(d) {
+			t.Errorf("member %d after suspend/resume diverges: %v", i, d)
+		}
+	}
+}
+
+// importJob posts a multipart import (status JSON + optional checkpoint).
+func importJob(t *testing.T, base string, st JobStatus, ckpt []byte) *http.Response {
+	t.Helper()
+	var body bytes.Buffer
+	mw := multipart.NewWriter(&body)
+	stJSON, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mw.WriteField("status", string(stJSON)); err != nil {
+		t.Fatal(err)
+	}
+	if ckpt != nil {
+		fw, err := mw.CreateFormFile("checkpoint", "ckpt.bin")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fw.Write(ckpt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := mw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/jobs/import", mw.FormDataContentType(), &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestImportWithCheckpoint is checkpoint migration over HTTP: a job
+// checkpointed mid-trajectory elsewhere is imported (id, status and
+// checkpoint) and completes here, landing on the uninterrupted trajectory.
+func TestImportWithCheckpoint(t *testing.T) {
+	const (
+		level = 2
+		steps = 12
+		mid   = 5
+	)
+	ref := referenceRun(t, level, steps)
+
+	// Checkpoint mid-trajectory, out of band.
+	first := referenceRun(t, level, mid)
+	var ckpt bytes.Buffer
+	if err := first.WriteCheckpoint(&ckpt); err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts := newTestServer(t, Config{Workers: 1, QueueCap: 4, CheckpointEvery: 100})
+	spec := JobSpec{TestCase: 5, Level: level, Mode: "plan", Steps: steps, ReportEvery: 4}
+	if err := spec.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	id := "c-00112233aabbccdd"
+	resp := importJob(t, ts.URL, JobStatus{ID: id, State: StateQueued, Mode: "plan",
+		StepsDone: mid, TotalSteps: steps, Resumes: 1, Spec: spec}, ckpt.Bytes())
+	if resp.StatusCode != http.StatusAccepted {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("import: status %d: %s", resp.StatusCode, body)
+	}
+	got := decodeJSON[JobStatus](t, resp)
+	if got.ID != id || got.StepsDone != mid || got.Resumes != 1 {
+		t.Fatalf("imported status %+v", got)
+	}
+
+	// A second import under the same id conflicts.
+	resp = importJob(t, ts.URL, JobStatus{ID: id, State: StateQueued, Spec: spec}, nil)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate import: status %d, want 409", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// An invalid id is rejected outright.
+	resp = importJob(t, ts.URL, JobStatus{ID: "../evil", State: StateQueued, Spec: spec}, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad-id import: status %d, want 400", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	waitState(t, ts.URL, id, StateCompleted)
+	final := fetchFinalState(t, ts.URL, id, level)
+	assertConformIdentical(t, ref, final, "imported-and-resumed job")
+	if final.StepCount != steps {
+		t.Fatalf("final step %d, want %d", final.StepCount, steps)
+	}
+}
+
+// TestHealthzDraining: once a drain starts, /healthz reports status
+// "draining" so a cluster coordinator can stop routing submissions before
+// any submit fails.
+func TestHealthzDraining(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueCap: 4})
+
+	var h struct {
+		Status   string `json:"status"`
+		Draining bool   `json:"draining"`
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h = decodeJSON[struct {
+		Status   string `json:"status"`
+		Draining bool   `json:"draining"`
+	}](t, resp)
+	if h.Status != "ok" || h.Draining {
+		t.Fatalf("healthz before drain: %+v", h)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h = decodeJSON[struct {
+		Status   string `json:"status"`
+		Draining bool   `json:"draining"`
+	}](t, resp)
+	if h.Status != "draining" || !h.Draining {
+		t.Fatalf("healthz during drain: %+v, want status=draining", h)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 )
@@ -25,6 +26,7 @@ import (
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("POST /jobs/import", s.handleImport)
 	mux.HandleFunc("GET /jobs", s.handleList)
 	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
@@ -55,7 +57,7 @@ func errCode(err error) int {
 	switch {
 	case errors.Is(err, ErrNotFound):
 		return http.StatusNotFound
-	case errors.Is(err, ErrConflict):
+	case errors.Is(err, ErrConflict), errors.Is(err, ErrExists):
 		return http.StatusConflict
 	case errors.Is(err, ErrQueueFull):
 		return http.StatusTooManyRequests
@@ -87,6 +89,46 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Location", "/jobs/"+st.ID)
 	writeJSON(w, http.StatusAccepted, st)
+}
+
+// maxImportBytes bounds an import body: the largest admissible checkpoint
+// (a MaxEnsemble ensemble on a MaxLevel mesh) stays well under this.
+const maxImportBytes = 256 << 20
+
+// handleImport accepts a migrating job: multipart/form-data with a
+// "status" field (the JobStatus JSON of the job being moved — id, spec,
+// mode, progress) and an optional "checkpoint" file part holding the spool
+// checkpoint to resume from. This is the cluster coordinator's submit and
+// work-stealing entry point; 409 on a taken id, 429/503 under admission
+// pressure like a plain submit.
+func (s *Server) handleImport(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxImportBytes)
+	if err := r.ParseMultipartForm(8 << 20); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("parsing import form: %w", err))
+		return
+	}
+	defer r.MultipartForm.RemoveAll()
+	var st JobStatus
+	if err := json.Unmarshal([]byte(r.FormValue("status")), &st); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding import status: %w", err))
+		return
+	}
+	var ckpt io.Reader
+	if f, _, err := r.FormFile("checkpoint"); err == nil {
+		defer f.Close()
+		ckpt = f
+	}
+	out, err := s.Import(st, ckpt)
+	if err != nil {
+		code := errCode(err)
+		if code == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "1")
+		}
+		writeErr(w, code, err)
+		return
+	}
+	w.Header().Set("Location", "/jobs/"+out.ID)
+	writeJSON(w, http.StatusAccepted, out)
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
@@ -228,13 +270,20 @@ func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"id": id, "action": "resume", "mode": body.Mode})
 }
 
+// handleHealthz reports liveness AND routability: a draining worker says
+// so in "status", so a cluster coordinator stops routing submissions to it
+// instead of discovering the drain through failed submits.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	counts := map[JobState]int{}
 	for _, st := range s.Jobs() {
 		counts[st.State]++
 	}
+	status := "ok"
+	if s.Draining() {
+		status = "draining"
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":      "ok",
+		"status":      status,
 		"draining":    s.Draining(),
 		"queue_depth": s.QueueDepth(),
 		"workers":     s.cfg.Workers,

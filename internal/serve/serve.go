@@ -106,7 +106,23 @@ type JobSpec struct {
 	// knob for demos and for tests that need a suspend/kill window on small
 	// meshes. Capped at 1000.
 	StepDelayMS int `json:"step_delay_ms,omitempty"`
+	// Ensemble is the batch-admission member count K: K perturbed
+	// trajectories accepted as ONE job, multiplexed through one solver so
+	// the immutable mesh and (in plan mode) the compiled execution plan are
+	// built once and shared by every member. 0 or 1 means a plain single
+	// run. Capped at MaxEnsemble.
+	Ensemble int `json:"ensemble,omitempty"`
+	// PerturbSeed seeds the deterministic thickness jitter of members
+	// 1..K-1 (member 0 is the unperturbed control run).
+	PerturbSeed uint64 `json:"perturb_seed,omitempty"`
+	// PerturbEps is the relative jitter amplitude; default 1e-8 for
+	// ensembles, must stay within (0, 1e-3].
+	PerturbEps float64 `json:"perturb_eps,omitempty"`
 }
+
+// MaxEnsemble bounds the batch-admission member count: 16 members of a
+// MaxLevel mesh keep a worker's resident state under a few tens of MB.
+const MaxEnsemble = 16
 
 // MaxLevel bounds the admissible mesh level: level 6 (~40962 cells) builds
 // in seconds; beyond that a submission could occupy a worker for minutes in
@@ -165,6 +181,18 @@ func (sp *JobSpec) Normalize() error {
 	if sp.StepDelayMS < 0 {
 		sp.StepDelayMS = 0
 	}
+	if sp.Ensemble < 0 {
+		return fmt.Errorf("serve: ensemble must be non-negative")
+	}
+	if sp.Ensemble > MaxEnsemble {
+		return fmt.Errorf("serve: ensemble %d out of range [0,%d]", sp.Ensemble, MaxEnsemble)
+	}
+	if sp.Ensemble > 1 && sp.PerturbEps == 0 {
+		sp.PerturbEps = 1e-8
+	}
+	if sp.PerturbEps < 0 || sp.PerturbEps > 1e-3 {
+		return fmt.Errorf("serve: perturb_eps %g out of range (0, 1e-3]", sp.PerturbEps)
+	}
 	return nil
 }
 
@@ -203,8 +231,11 @@ type Event struct {
 	Step       int     `json:"step,omitempty"`
 	TotalSteps int     `json:"total_steps,omitempty"`
 	SimTime    float64 `json:"sim_time_s,omitempty"`
-	Diag       *Diag   `json:"diag,omitempty"`
-	Error      string  `json:"error,omitempty"`
+	// Member is the 1-based ensemble member a "diag" event describes
+	// (0 = the whole job / a single-run job).
+	Member int   `json:"member,omitempty"`
+	Diag   *Diag `json:"diag,omitempty"`
+	Error  string `json:"error,omitempty"`
 }
 
 // Result is the final record of a completed job (GET /jobs/{id}/result,
@@ -217,6 +248,9 @@ type Result struct {
 	Mode        string  `json:"mode"`
 	Resumes     int     `json:"resumes"`
 	Final       *Diag   `json:"final"`
+	// Members holds the per-member final invariants of an ensemble job
+	// (Final is then member 0, the unperturbed control).
+	Members []*Diag `json:"members,omitempty"`
 }
 
 // JobStatus is a consistent snapshot of one job (GET /jobs/{id}); it is

@@ -7,6 +7,8 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"io"
+	"regexp"
 	"sync"
 	"sync/atomic"
 
@@ -22,6 +24,8 @@ var (
 	ErrNotFound = errors.New("serve: no such job")
 	// ErrConflict reports an operation invalid in the job's current state (409).
 	ErrConflict = errors.New("serve: operation invalid in current job state")
+	// ErrExists reports an import under an already-registered job id (409).
+	ErrExists = errors.New("serve: job id already exists")
 )
 
 // Config configures a Server.
@@ -67,6 +71,7 @@ type Server struct {
 
 	// Metrics.
 	mSubmitted   *telemetry.Counter
+	mImported    *telemetry.Counter
 	mRejects     *telemetry.Counter
 	mCompleted   *telemetry.Counter
 	mFailed      *telemetry.Counter
@@ -125,6 +130,7 @@ func New(cfg Config) (*Server, error) {
 		stopCh: make(chan struct{}),
 
 		mSubmitted:  reg.Counter("serve_jobs_submitted_total"),
+		mImported:   reg.Counter("serve_jobs_imported_total"),
 		mRejects:    reg.Counter("serve_admission_rejects_total"),
 		mCompleted:  reg.Counter("serve_jobs_completed_total"),
 		mFailed:     reg.Counter("serve_jobs_failed_total"),
@@ -252,6 +258,83 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 	job.broker.publish(Event{Type: "state", JobID: job.ID, State: StateQueued})
 	s.cfg.Logf("serve: admitted %s (%s tc%d level %d, %s)", job.ID, spec.Mode, spec.TestCase, spec.Level, describeLength(spec))
 	return st, nil
+}
+
+// importIDPattern bounds caller-chosen ids to the shapes this system mints
+// ("j-…" locally, "c-…" from a cluster coordinator) — a flat lowercase
+// token, never a path.
+var importIDPattern = regexp.MustCompile(`^[a-z]-[0-9a-f]{8,32}$`)
+
+// Import admits a job under a caller-chosen id, optionally seeding its
+// spool with a checkpoint to resume from — the cluster coordinator's
+// submit and work-stealing path. The status carries the effective mode,
+// progress and resume count of the migrating job; the job is enqueued as
+// queued and its worker resumes from the imported checkpoint exactly like
+// a recovered crash. Returns ErrExists when the id is taken, ErrDraining /
+// ErrQueueFull under admission pressure.
+func (s *Server) Import(st JobStatus, ckpt io.Reader) (JobStatus, error) {
+	if s.draining.Load() {
+		s.mRejects.Inc()
+		return JobStatus{}, ErrDraining
+	}
+	if !importIDPattern.MatchString(st.ID) {
+		return JobStatus{}, fmt.Errorf("serve: invalid import job id %q", st.ID)
+	}
+	spec := st.Spec
+	if err := spec.Normalize(); err != nil {
+		return JobStatus{}, err
+	}
+	mode := st.Mode
+	if mode == "" {
+		mode = spec.Mode
+	}
+	if !validModes[mode] {
+		return JobStatus{}, fmt.Errorf("serve: unknown mode %q", mode)
+	}
+
+	job := newJob(st.ID, spec)
+	job.mode = mode
+	job.stepsDone = st.StepsDone
+	job.totalSteps = st.TotalSteps
+	job.simTime = st.SimTime
+	job.resumes = st.Resumes
+
+	s.mu.Lock()
+	if _, taken := s.jobs[job.ID]; taken {
+		s.mu.Unlock()
+		return JobStatus{}, fmt.Errorf("%w: %s", ErrExists, job.ID)
+	}
+	s.jobs[job.ID] = job
+	s.order = append(s.order, job.ID)
+	s.mu.Unlock()
+
+	if err := s.spool.createJob(job.ID, spec); err != nil {
+		s.unregister(job.ID)
+		return JobStatus{}, err
+	}
+	if ckpt != nil {
+		if err := s.spool.importCheckpoint(job.ID, ckpt); err != nil {
+			s.unregister(job.ID)
+			s.spool.removeJob(job.ID)
+			return JobStatus{}, fmt.Errorf("serve: importing checkpoint: %w", err)
+		}
+	}
+	out := s.updateJob(job, func(*Job) {})
+	s.mStateGauges[StateQueued].Add(1)
+	if err := s.queue.Push(job, spec.Priority); err != nil {
+		s.mStateGauges[StateQueued].Add(-1)
+		s.unregister(job.ID)
+		s.spool.removeJob(job.ID)
+		s.mRejects.Inc()
+		return JobStatus{}, err
+	}
+	s.mImported.Inc()
+	s.mQueueDepth.Set(float64(s.queue.Len()))
+	job.broker.publish(Event{Type: "state", JobID: job.ID, State: StateQueued,
+		Step: out.StepsDone, TotalSteps: out.TotalSteps, SimTime: out.SimTime})
+	s.cfg.Logf("serve: imported %s (%s, step %d/%d, checkpoint=%v)",
+		job.ID, mode, out.StepsDone, out.TotalSteps, ckpt != nil)
+	return out, nil
 }
 
 func describeLength(spec JobSpec) string {

@@ -3,6 +3,7 @@ package serve
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -105,6 +106,38 @@ func (sp *spool) writeCheckpoint(id string, s *sw.Solver) error {
 	path := sp.checkpointPath(id)
 	tmp := path + ".tmp"
 	if err := s.SaveCheckpoint(tmp); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// writeEnsembleCheckpoint atomically replaces the job's checkpoint with the
+// ensemble's current member states.
+func (sp *spool) writeEnsembleCheckpoint(id string, e *sw.Ensemble) error {
+	path := sp.checkpointPath(id)
+	tmp := path + ".tmp"
+	if err := e.SaveCheckpoint(tmp); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// importCheckpoint atomically installs checkpoint bytes streamed from
+// elsewhere (the cluster coordinator's mirror) as the job's checkpoint.
+func (sp *spool) importCheckpoint(id string, r io.Reader) error {
+	path := sp.checkpointPath(id)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(f, r); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
 		return err
 	}
 	return os.Rename(tmp, path)

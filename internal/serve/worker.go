@@ -128,6 +128,24 @@ func (s *Server) runJob(job *Job) {
 	defer model.Close()
 	solver := model.Solver
 
+	total := spec.Steps
+	if spec.Days > 0 {
+		total = int(spec.Days*testcases.Day/model.Config.Dt + 0.5)
+	}
+	ckptEvery := spec.CheckpointEvery
+	if ckptEvery <= 0 {
+		ckptEvery = s.cfg.CheckpointEvery
+	}
+	stepDelay := time.Duration(spec.StepDelayMS) * time.Millisecond
+
+	// Ensemble jobs multiplex K member trajectories through this one
+	// solver (shared mesh + compiled plan); their checkpoint format and
+	// round-robin step loop live in ensemble_run.go.
+	if spec.Ensemble > 1 {
+		s.runEnsemble(ctx, job, solver, spec, mode, st.Resumes, total, ckptEvery, stepDelay, start)
+		return
+	}
+
 	// Resume from the spooled checkpoint when one exists; the test-case
 	// setup above fixed the topography and initial condition, the
 	// checkpoint overwrites the prognostic state and clock.
@@ -138,20 +156,11 @@ func (s *Server) runJob(job *Job) {
 		}
 	}
 
-	total := spec.Steps
-	if spec.Days > 0 {
-		total = int(spec.Days*testcases.Day/model.Config.Dt + 0.5)
-	}
 	job.setProgress(solver.StepCount, total, solver.Time)
 	remaining := total - solver.StepCount
 	if remaining < 0 {
 		remaining = 0
 	}
-	ckptEvery := spec.CheckpointEvery
-	if ckptEvery <= 0 {
-		ckptEvery = s.cfg.CheckpointEvery
-	}
-	stepDelay := time.Duration(spec.StepDelayMS) * time.Millisecond
 
 	publishDiag := func(sv *sw.Solver) {
 		job.broker.publish(Event{Type: "diag", JobID: job.ID,
@@ -167,27 +176,7 @@ func (s *Server) runJob(job *Job) {
 	}
 
 	runErr := solver.RunControlled(remaining, sw.RunControl{
-		Interrupt: func() error {
-			if stepDelay > 0 {
-				t := time.NewTimer(stepDelay)
-				select {
-				case <-t.C:
-				case <-ctx.Done():
-					t.Stop()
-				case <-s.stopCh:
-					t.Stop()
-				}
-			}
-			select {
-			case <-s.stopCh:
-				return errStopped
-			default:
-			}
-			if job.suspendRequested() != "" {
-				return errSuspended
-			}
-			return ctx.Err()
-		},
+		Interrupt:   s.interruptFor(ctx, job, stepDelay),
 		ReportEvery: spec.ReportEvery,
 		Report: func(sv *sw.Solver) error {
 			job.setProgress(sv.StepCount, total, sv.Time)
@@ -274,6 +263,33 @@ func (s *Server) runJob(job *Job) {
 
 	default:
 		s.finishFailed(job, runErr)
+	}
+}
+
+// interruptFor builds the per-step cooperative interrupt for a job: the
+// optional pacing delay, the crash-like server stop, pending suspend
+// requests, and context cancellation/deadline, in that order.
+func (s *Server) interruptFor(ctx context.Context, job *Job, stepDelay time.Duration) func() error {
+	return func() error {
+		if stepDelay > 0 {
+			t := time.NewTimer(stepDelay)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+			case <-s.stopCh:
+				t.Stop()
+			}
+		}
+		select {
+		case <-s.stopCh:
+			return errStopped
+		default:
+		}
+		if job.suspendRequested() != "" {
+			return errSuspended
+		}
+		return ctx.Err()
 	}
 }
 

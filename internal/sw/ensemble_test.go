@@ -1,0 +1,247 @@
+package sw
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/mesh"
+	"repro/internal/par"
+)
+
+// ensembleTestSolver builds a small TC5-like solver without importing
+// testcases (internal/sw cannot): solid-body-rotation thickness with a
+// deterministic jitter, the same shape the conformance random cases use.
+func ensembleTestSolver(t testing.TB, m *mesh.Mesh) *Solver {
+	t.Helper()
+	s, err := NewSolver(m, DefaultConfig(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < m.NCells; c++ {
+		s.State.H[c] = 5000 + 500*math.Cos(m.LatCell[c])
+	}
+	for e := 0; e < m.NEdges; e++ {
+		s.State.U[e] = 5 * math.Sin(float64(e))
+	}
+	s.Init()
+	return s
+}
+
+// TestEnsembleMatchesIndependentRuns: every member of a round-robin-stepped
+// ensemble must land bitwise on the state an independent solver run of the
+// same perturbed initial condition reaches — member multiplexing through
+// one solver is pure state swapping, not a different integration.
+func TestEnsembleMatchesIndependentRuns(t *testing.T) {
+	m := mesh.MustBuild(2, mesh.Options{})
+	const (
+		k     = 3
+		steps = 6
+		seed  = 42
+		eps   = 1e-6
+	)
+
+	s := ensembleTestSolver(t, m)
+	s.Runner = SerialRunner{}
+	e, err := NewEnsemble(s, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < k; i++ {
+		e.PerturbH(i, seed, eps)
+	}
+	// Round-robin in chunks of 2 to exercise the activate/stash path.
+	for round := 0; round < steps/2; round++ {
+		for i := 0; i < k; i++ {
+			if err := e.WithMember(i, func(sv *Solver) error {
+				sv.Run(2)
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	for i := 0; i < k; i++ {
+		ref := ensembleTestSolver(t, m)
+		ref.Runner = SerialRunner{}
+		re, err := NewEnsemble(ref, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 {
+			re.PerturbH(i, seed, eps)
+		}
+		// Run only member i, uninterrupted.
+		if err := re.WithMember(i, func(sv *Solver) error {
+			sv.Run(steps)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		got, want := e.Member(i), re.Member(i)
+		if got.StepCount != steps || want.StepCount != steps {
+			t.Fatalf("member %d steps %d/%d, want %d", i, got.StepCount, want.StepCount, steps)
+		}
+		for c := range got.State.H {
+			if got.State.H[c] != want.State.H[c] {
+				t.Fatalf("member %d h[%d]: round-robin %v != independent %v", i, c, got.State.H[c], want.State.H[c])
+			}
+		}
+		for ed := range got.State.U {
+			if got.State.U[ed] != want.State.U[ed] {
+				t.Fatalf("member %d u[%d]: round-robin %v != independent %v", i, ed, got.State.U[ed], want.State.U[ed])
+			}
+		}
+	}
+
+	// Perturbed members genuinely diverged from member 0.
+	for i := 1; i < k; i++ {
+		if e.Member(i).State.H[0] == e.Member(0).State.H[0] {
+			t.Errorf("member %d never diverged from member 0 — perturbation lost", i)
+		}
+	}
+}
+
+// TestEnsembleSharesOneCompiledPlan is the batch-admission guarantee: an
+// 8-member ensemble in plan mode compiles exactly ONE execution plan, and
+// steady-state member stepping performs zero allocations — the shared
+// mesh/plan/solver is reused, never rebuilt.
+func TestEnsembleSharesOneCompiledPlan(t *testing.T) {
+	m := mesh.MustBuild(2, mesh.Options{})
+	const k = 8
+
+	before := PlanCompileCount()
+	s := ensembleTestSolver(t, m)
+	pool := par.NewPool(2)
+	defer pool.Close()
+	r, err := NewPlanRunner(s, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Runner = r
+	e, err := NewEnsemble(s, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < k; i++ {
+		e.PerturbH(i, 7, 1e-8)
+	}
+	for round := 0; round < 2; round++ {
+		for i := 0; i < k; i++ {
+			if err := e.WithMember(i, func(sv *Solver) error {
+				sv.Run(1)
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if got := PlanCompileCount() - before; got != 1 {
+		t.Fatalf("ensemble of %d members compiled %d plans, want exactly 1", k, got)
+	}
+
+	// Steady-state stepping of a resident member allocates nothing; the
+	// member swap itself is copy-only (state clone buffers preexist).
+	allocs := testing.AllocsPerRun(10, func() {
+		if err := e.WithMember(0, func(sv *Solver) error {
+			sv.Run(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("resident member step allocates %v objects/op, want 0", allocs)
+	}
+}
+
+// TestEnsembleCheckpointRoundTrip: write → read must restore every member
+// exactly, and resuming the read ensemble must land on the same final state
+// as the uninterrupted one (the property cluster work stealing rides on).
+func TestEnsembleCheckpointRoundTrip(t *testing.T) {
+	m := mesh.MustBuild(2, mesh.Options{})
+	const (
+		k     = 3
+		mid   = 3
+		steps = 6
+	)
+	run := func(e *Ensemble, upTo int) {
+		for {
+			advanced := false
+			for i := 0; i < k; i++ {
+				n := upTo - e.StepOf(i)
+				if n > 2 {
+					n = 2
+				}
+				if n <= 0 {
+					continue
+				}
+				advanced = true
+				if err := e.WithMember(i, func(sv *Solver) error {
+					sv.Run(n)
+					return nil
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if !advanced {
+				return
+			}
+		}
+	}
+
+	mk := func() *Ensemble {
+		s := ensembleTestSolver(t, m)
+		s.Runner = SerialRunner{}
+		e, err := NewEnsemble(s, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < k; i++ {
+			e.PerturbH(i, 99, 1e-7)
+		}
+		return e
+	}
+
+	ref := mk()
+	run(ref, steps)
+
+	e := mk()
+	run(e, mid)
+	var buf bytes.Buffer
+	if err := e.WriteCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed := mk() // fresh, unperturbed beyond construction — checkpoint overwrites
+	if err := resumed.ReadCheckpoint(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < k; i++ {
+		if got := resumed.StepOf(i); got != mid {
+			t.Fatalf("member %d restored at step %d, want %d", i, got, mid)
+		}
+	}
+	run(resumed, steps)
+
+	for i := 0; i < k; i++ {
+		a, b := ref.Member(i), resumed.Member(i)
+		for c := range a.State.H {
+			if a.State.H[c] != b.State.H[c] {
+				t.Fatalf("member %d h[%d]: resumed %v != uninterrupted %v", i, c, b.State.H[c], a.State.H[c])
+			}
+		}
+	}
+
+	// Member-count mismatch is rejected.
+	s2 := ensembleTestSolver(t, m)
+	s2.Runner = SerialRunner{}
+	wrong, err := NewEnsemble(s2, k+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wrong.ReadCheckpoint(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("reading a k-member checkpoint into a k+1 ensemble succeeded")
+	}
+}

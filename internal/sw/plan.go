@@ -3,6 +3,7 @@ package sw
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/dataflow"
 	"repro/internal/par"
@@ -161,10 +162,21 @@ type PlanRunner struct {
 	elided      []string
 }
 
+// planCompiles counts NewPlanRunner compilations process-wide. Ensemble
+// serving rides on the guarantee that K members share ONE compiled plan;
+// tests pin that by asserting this counter's delta.
+var planCompiles atomic.Int64
+
+// PlanCompileCount returns the number of plan compilations performed by
+// this process so far (monotone; read before/after an operation to count
+// the compilations it triggered).
+func PlanCompileCount() int64 { return planCompiles.Load() }
+
 // NewPlanRunner compiles the execution plan for s. The pool provides the
 // worker team (nil means serial); the caller keeps ownership of it. The
 // returned runner is specific to s and to the pool's worker count.
 func NewPlanRunner(s *Solver, pool *par.Pool) (*PlanRunner, error) {
+	planCompiles.Add(1)
 	if pool == nil {
 		pool = par.NewPool(1)
 	}

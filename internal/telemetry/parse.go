@@ -1,0 +1,72 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// PromSample is one un-labeled sample from a Prometheus text exposition,
+// plus the family type its # TYPE line declared ("counter", "gauge",
+// "histogram", or "" when untyped).
+type PromSample struct {
+	Name  string
+	Value float64
+	Type  string
+}
+
+// ParseProm reads a Prometheus text exposition (the format WritePrometheus
+// emits) and returns its scalar samples in document order. Labeled samples
+// — histogram buckets — are skipped; the derived `_sum` and `_count`
+// samples of a histogram family come through (typed "histogram"). The
+// parser is deliberately small: it exists so a cluster coordinator can
+// federate worker /metrics pages, not to be a general scraper.
+func ParseProm(r io.Reader) ([]PromSample, error) {
+	types := map[string]string{}
+	var out []PromSample
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			// Only "# TYPE <name> <type>" carries information we keep.
+			f := strings.Fields(line)
+			if len(f) == 4 && f[1] == "TYPE" {
+				types[f[2]] = f[3]
+			}
+			continue
+		}
+		if strings.ContainsRune(line, '{') {
+			continue // labeled sample (bucket) — cumulative, not federable by addition
+		}
+		f := strings.Fields(line)
+		if len(f) < 2 {
+			return nil, fmt.Errorf("telemetry: malformed sample line %q", line)
+		}
+		v, err := strconv.ParseFloat(f[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: sample %s: %w", f[0], err)
+		}
+		name := f[0]
+		typ := types[name]
+		if typ == "" {
+			// _sum/_count belong to their histogram family.
+			for _, suf := range []string{"_sum", "_count"} {
+				if base, ok := strings.CutSuffix(name, suf); ok && types[base] != "" {
+					typ = types[base]
+					break
+				}
+			}
+		}
+		out = append(out, PromSample{Name: name, Value: v, Type: typ})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

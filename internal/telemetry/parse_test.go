@@ -1,0 +1,69 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The parser must round-trip what WritePrometheus emits — that pairing is
+// the cluster federation contract.
+func TestParsePromRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("jobs_total").Add(7)
+	reg.Gauge("queue_depth").Set(2.5)
+	reg.Histogram("sizes").Observe(3)
+	reg.Timer("step_seconds").Observe(10 * time.Millisecond)
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ParseProm(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	byName := map[string]PromSample{}
+	for _, s := range samples {
+		if _, dup := byName[s.Name]; dup {
+			t.Fatalf("duplicate sample %s", s.Name)
+		}
+		byName[s.Name] = s
+	}
+	if s := byName["jobs_total"]; s.Value != 7 || s.Type != "counter" {
+		t.Fatalf("jobs_total = %+v", s)
+	}
+	if s := byName["queue_depth"]; s.Value != 2.5 || s.Type != "gauge" {
+		t.Fatalf("queue_depth = %+v", s)
+	}
+	// Histogram families surface only their _sum/_count scalars, typed.
+	if s := byName["sizes_count"]; s.Value != 1 || s.Type != "histogram" {
+		t.Fatalf("sizes_count = %+v", s)
+	}
+	if s := byName["sizes_sum"]; s.Value != 3 {
+		t.Fatalf("sizes_sum = %+v", s)
+	}
+	if s := byName["step_seconds_count"]; s.Value != 1 || s.Type != "histogram" {
+		t.Fatalf("step_seconds_count = %+v", s)
+	}
+	for name := range byName {
+		if strings.Contains(name, "bucket") {
+			t.Fatalf("labeled bucket sample leaked through: %s", name)
+		}
+	}
+}
+
+func TestParsePromMalformed(t *testing.T) {
+	if _, err := ParseProm(strings.NewReader("lonely_name\n")); err == nil {
+		t.Fatal("missing value must error")
+	}
+	if _, err := ParseProm(strings.NewReader("x not-a-number\n")); err == nil {
+		t.Fatal("bad value must error")
+	}
+	samples, err := ParseProm(strings.NewReader("\n# random comment\n"))
+	if err != nil || len(samples) != 0 {
+		t.Fatalf("comments/blanks should parse to nothing: %v %v", samples, err)
+	}
+}

@@ -1,44 +1,51 @@
 #!/usr/bin/env bash
 # Run the repository benchmarks and emit a machine-readable summary,
-# BENCH_pr4.json: { "<benchmark>": {"ns_per_op":…, "allocs_per_op":…,
-# "bytes_per_op":…}, … }. Knobs:
+# BENCH_pr6.json: { "<benchmark>": {"ns_per_op":…, "allocs_per_op":…,
+# "bytes_per_op":…}, … }. The BenchmarkClusterEnsemble pair (1 vs 2
+# workers) additionally reports member-steps/s — the cluster ensemble
+# throughput scaling number. Knobs:
 #
 #   BENCH_PATTERN   go test -bench regexp      (default: the sw step and
-#                                               par pool micro-benchmarks)
+#                                               par pool micro-benchmarks
+#                                               plus cluster throughput)
 #   BENCH_TIME      go test -benchtime value   (default 1x — one iteration,
 #                                               enough for a smoke number;
 #                                               use e.g. 2s for real timing)
-#   BENCH_OUT       output path                (default BENCH_pr4.json)
+#   BENCH_OUT       output path                (default BENCH_pr6.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-pattern=${BENCH_PATTERN:-'BenchmarkStepSerial|BenchmarkStepThreaded|BenchmarkStepPlan|BenchmarkPoolForOverhead|BenchmarkRegionFusion|BenchmarkReduction|BenchmarkBarrier|BenchmarkDispatchOverhead|BenchmarkDynamicChunkFloor'}
+pattern=${BENCH_PATTERN:-'BenchmarkStepSerial|BenchmarkStepThreaded|BenchmarkStepPlan|BenchmarkPoolForOverhead|BenchmarkRegionFusion|BenchmarkReduction|BenchmarkBarrier|BenchmarkDispatchOverhead|BenchmarkDynamicChunkFloor|BenchmarkClusterEnsemble'}
 benchtime=${BENCH_TIME:-1x}
-out=${BENCH_OUT:-BENCH_pr4.json}
+out=${BENCH_OUT:-BENCH_pr6.json}
 
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
 echo "== go test -bench ($pattern, benchtime=$benchtime) =="
 go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" \
-    ./internal/sw ./internal/par ./internal/reduction | tee "$raw"
+    ./internal/sw ./internal/par ./internal/reduction ./internal/cluster | tee "$raw"
 
-# Parse `BenchmarkName-N  iters  ns/op  B/op  allocs/op` lines into JSON.
+# Parse `BenchmarkName-N  iters  ns/op  [extra unit] ... B/op  allocs/op`
+# lines into JSON (custom b.ReportMetric units like member-steps/s ride
+# along under their unit name).
 awk '
 BEGIN { print "{"; n = 0 }
 /^Benchmark/ {
     name = $1; sub(/-[0-9]+$/, "", name)
-    ns = ""; bytes = ""; allocs = ""
+    ns = ""; bytes = ""; allocs = ""; msteps = ""
     for (i = 2; i < NF; i++) {
-        if ($(i+1) == "ns/op")     ns = $i
-        if ($(i+1) == "B/op")      bytes = $i
-        if ($(i+1) == "allocs/op") allocs = $i
+        if ($(i+1) == "ns/op")          ns = $i
+        if ($(i+1) == "B/op")           bytes = $i
+        if ($(i+1) == "allocs/op")      allocs = $i
+        if ($(i+1) == "member-steps/s") msteps = $i
     }
     if (ns == "") next
     if (n++) printf ",\n"
     printf "  \"%s\": {\"ns_per_op\": %s", name, ns
     if (bytes != "")  printf ", \"bytes_per_op\": %s", bytes
     if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+    if (msteps != "") printf ", \"member_steps_per_s\": %s", msteps
     printf "}"
 }
 END { print "\n}" }

@@ -59,6 +59,80 @@ kill -TERM "$smoke_pid"
 wait "$smoke_pid" || { echo "ci.sh: FAIL — swserver did not drain cleanly on SIGTERM" >&2; exit 1; }
 echo "swserver smoke OK ($job completed, metrics scraped, drained)"
 
+echo "== swcluster smoke (2 workers, kill -9 one mid-job, steal, federated metrics) =="
+go build -o "$smokedir/swcluster" ./cmd/swcluster
+"$smokedir/swcluster" -addr 127.0.0.1:0 -spool "$smokedir/cspool" \
+    -heartbeat 200ms -evict-after 1s \
+    > "$smokedir/cout.log" 2> "$smokedir/cerr.log" &
+cluster_pid=$!
+cbase=""
+for _ in $(seq 1 100); do
+    cbase=$(awk '/^swcluster listening on /{print "http://" $4; exit}' "$smokedir/cout.log")
+    [ -n "$cbase" ] && break
+    kill -0 "$cluster_pid" 2>/dev/null || { cat "$smokedir/cerr.log" >&2; echo "ci.sh: FAIL — swcluster died on startup" >&2; exit 1; }
+    sleep 0.1
+done
+[ -n "$cbase" ] || { echo "ci.sh: FAIL — swcluster never announced its port" >&2; exit 1; }
+worker_pids=""
+for w in w1 w2; do
+    "$smokedir/swserver" -addr 127.0.0.1:0 -spool "$smokedir/spool-$w" -workers 1 \
+        -register "$cbase" -name "$w" \
+        > "$smokedir/$w.out.log" 2> "$smokedir/$w.err.log" &
+    worker_pids="$worker_pids $w:$!"
+done
+registered=""
+for _ in $(seq 1 100); do
+    registered=$(curl -sf "$cbase/cluster/workers" | grep -c '"name": "w[12]"' || true)
+    [ "$registered" = 2 ] && break
+    sleep 0.1
+done
+[ "$registered" = 2 ] || { echo "ci.sh: FAIL — workers never registered with the coordinator" >&2; exit 1; }
+cjob=$(curl -sf -X POST "$cbase/jobs" \
+       -d '{"test_case":5,"level":2,"steps":40,"report_every":4,"checkpoint_every":4,"step_delay_ms":50,"ensemble":4}' \
+       | sed -n 's/.*"id": "\(c-[0-9a-f]*\)".*/\1/p')
+[ -n "$cjob" ] || { echo "ci.sh: FAIL — cluster submission returned no id" >&2; exit 1; }
+# Wait until the trajectory is past its first durable checkpoint (so the
+# coordinator has a mirror), then identify and SIGKILL the assigned worker.
+victim=""
+for _ in $(seq 1 300); do
+    status=$(curl -sf "$cbase/jobs/$cjob")
+    steps_done=$(printf '%s' "$status" | sed -n 's/.*"steps_done": \([0-9]*\).*/\1/p')
+    cstate=$(printf '%s' "$status" | sed -n 's/.*"state": "\([a-z]*\)".*/\1/p')
+    case "$cstate" in completed|failed|canceled)
+        echo "ci.sh: FAIL — cluster job ended '$cstate' before the kill" >&2; exit 1 ;; esac
+    if [ "${steps_done:-0}" -gt 4 ]; then
+        victim=$(printf '%s' "$status" | sed -n 's/.*"worker": "\(w[12]\)".*/\1/p')
+        break
+    fi
+    sleep 0.1
+done
+[ -n "$victim" ] || { echo "ci.sh: FAIL — cluster job never passed its first checkpoint" >&2; exit 1; }
+sleep 0.5   # one more heartbeat so the mirror covers the latest checkpoint
+victim_pid=$(printf '%s' "$worker_pids" | tr ' ' '\n' | sed -n "s/^$victim://p")
+kill -9 "$victim_pid"
+echo "killed worker $victim (pid $victim_pid) mid-job; waiting for the steal"
+cstate=""
+for _ in $(seq 1 600); do
+    cstate=$(curl -sf "$cbase/jobs/$cjob" | sed -n 's/.*"state": "\([a-z]*\)".*/\1/p')
+    [ "$cstate" = completed ] && break
+    case "$cstate" in failed|canceled) break ;; esac
+    sleep 0.1
+done
+[ "$cstate" = completed ] || { echo "ci.sh: FAIL — stolen job ended in state '$cstate'" >&2; exit 1; }
+steals=$(curl -sf "$cbase/jobs/$cjob" | sed -n 's/.*"steals": \([0-9]*\).*/\1/p')
+[ "${steals:-0}" -ge 1 ] || { echo "ci.sh: FAIL — job completed without a recorded steal" >&2; exit 1; }
+fed=$(curl -sf "$cbase/metrics")
+printf '%s\n' "$fed" | grep -q '^cluster_jobs_stolen_total 1$' \
+    || { echo "ci.sh: FAIL — federated metrics missing cluster_jobs_stolen_total 1" >&2; exit 1; }
+printf '%s\n' "$fed" | grep -q '^cluster_w_w[12]_serve_jobs_completed_total 1$' \
+    || { echo "ci.sh: FAIL — federated metrics missing per-worker completion count" >&2; exit 1; }
+printf '%s\n' "$fed" | grep -q '^cluster_total_serve_jobs_completed_total 1$' \
+    || { echo "ci.sh: FAIL — federated metrics missing cluster totals" >&2; exit 1; }
+for entry in $worker_pids; do kill -9 "${entry#*:}" 2>/dev/null || true; done
+kill -TERM "$cluster_pid" 2>/dev/null || true
+wait "$cluster_pid" 2>/dev/null || true
+echo "swcluster smoke OK ($cjob stolen from $victim and completed, federation scraped)"
+
 echo "== coverage floor =="
 total=$(go tool cover -func=coverage.out | awk '/^total:/ { sub(/%/, "", $3); print $3 }')
 floor=$(cat scripts/coverage_baseline.txt)
