@@ -1,0 +1,65 @@
+// bigmesh climbs the Table-III mesh ladder (icosahedral levels n=6..9,
+// 40962 → 2621442 cells), measuring real seconds/step for the serial,
+// compiled-plan, and float32 fast-mode executions, and checks that step
+// time scales no worse than ~linearly in cell count. With -out, the report
+// is merged under the "ladder" key of the benchmark JSON (see
+// scripts/bench.sh).
+//
+//	go run ./cmd/bigmesh -min-level 6 -max-level 9 -steps 3 -out BENCH_pr7.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/ladder"
+)
+
+func main() {
+	minLevel := flag.Int("min-level", 6, "first icosahedral subdivision level")
+	maxLevel := flag.Int("max-level", 7, "last icosahedral subdivision level (9 = 2621442 cells)")
+	steps := flag.Int("steps", 2, "timed steps per mode per level (after one warm-up)")
+	workers := flag.Int("workers", 0, "pool size for plan/fast32 (0 = GOMAXPROCS)")
+	lloyd := flag.Int("lloyd", 0, "Lloyd relaxation sweeps per mesh build")
+	slack := flag.Float64("slack", 1.8, "max allowed per-cell step-time growth per rung")
+	out := flag.String("out", "", "merge the report under \"ladder\" in this JSON file")
+	check := flag.Bool("check", true, "fail unless step time scales ~linearly in cells")
+	flag.Parse()
+
+	cfg := ladder.Config{
+		MinLevel: *minLevel, MaxLevel: *maxLevel,
+		Steps: *steps, Workers: *workers, Lloyd: *lloyd,
+	}
+	rep, err := ladder.Run(cfg, func(format string, args ...any) {
+		fmt.Printf(format+"\n", args...)
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bigmesh:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("\n%-5s %9s %9s %10s %10s %10s %9s %9s\n",
+		"level", "cells", "build_s", "serial_s", "plan_s", "fast32_s", "GB/step", "plan_x")
+	for _, lv := range rep.Levels {
+		fmt.Printf("%-5d %9d %9.1f %10.4f %10.4f %10.4f %9.3f %9.2f\n",
+			lv.Level, lv.Cells, lv.BuildSeconds,
+			lv.SerialStep, lv.PlanStep, lv.Fast32Step,
+			lv.ModeledBytes/1e9, lv.SerialStep/lv.PlanStep)
+	}
+
+	if *out != "" {
+		if err := ladder.MergeJSON(*out, "ladder", rep); err != nil {
+			fmt.Fprintln(os.Stderr, "bigmesh:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nmerged ladder report into %s\n", *out)
+	}
+	if *check {
+		if err := ladder.CheckLinear(rep.Levels, *slack); err != nil {
+			fmt.Fprintln(os.Stderr, "bigmesh: FAIL:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("scaling check OK: per-cell step time within %.2fx per rung\n", *slack)
+	}
+}

@@ -33,6 +33,7 @@ func main() {
 	devWorkers := flag.Int("dev-workers", 0, "device worker count (0 = GOMAXPROCS)")
 	report := flag.Int("report", 100, "report invariants every N steps")
 	highOrder := flag.Bool("high-order", false, "enable C1+D2 high-order thickness interpolation")
+	precision := flag.String("precision", "float64", "step arithmetic: float64 (reference) or float32 (fast mode; serial/threaded/plan only)")
 	info := flag.Bool("info", false, "print platform and pattern info and exit")
 	profile := flag.Bool("profile", false, "profile real per-pattern wall time and print the report")
 	history := flag.String("history", "", "write an invariant time series CSV to this file")
@@ -68,6 +69,7 @@ func main() {
 		DeviceWorkers:      *devWorkers,
 		AdjustableFraction: -1,
 		HighOrderThickness: *highOrder,
+		Precision:          *precision,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -113,7 +115,7 @@ func main() {
 		steps = 0
 	}
 	fmt.Printf("%s\n", model.Mesh)
-	fmt.Printf("mode=%s dt=%.1fs steps=%d (total %d)\n", md, model.Config.Dt, steps, total)
+	fmt.Printf("mode=%s precision=%s dt=%.1fs steps=%d (total %d)\n", md, *precision, model.Config.Dt, steps, total)
 
 	inv0 := model.Invariants()
 	fmt.Printf("initial: mass=%.6e energy=%.6e enstrophy=%.6e\n",

@@ -1,0 +1,25 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// TestClusterFloat32Job routes a float32 fast-mode job spec through the
+// coordinator to a worker and completes it: the precision field is part of
+// the cluster submission surface, not just the single-node one, and the
+// assigned worker's status must retain it (a steal re-runs from the spec,
+// so a dropped field would silently change the arithmetic).
+func TestClusterFloat32Job(t *testing.T) {
+	w := newTestWorker(t, "w1", serve.Config{})
+	c, ts := newTestCluster(t, time.Hour, w)
+
+	info := submitCluster(t, ts.URL, serve.JobSpec{TestCase: 5, Level: 2,
+		Mode: "plan", Precision: "float32", Steps: 6})
+	done := waitClusterState(t, c, ts.URL, info.ID, serve.StateCompleted)
+	if done.Spec.Precision != "float32" {
+		t.Fatalf("completed cluster job lost its precision: %+v", done.Spec)
+	}
+}

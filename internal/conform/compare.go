@@ -151,8 +151,17 @@ func ReorderTol(steps int) Tolerance {
 }
 
 // PairTolerance returns the acceptance band for comparing strategies a and b
-// over a trajectory of the given length.
+// over a trajectory of the given length. A reduced-precision strategy in the
+// pair (nonzero RelBand) widens the band to its documented per-step drift;
+// two exact strategies are held to bitwise-level ULP distance; otherwise the
+// summation-reordering band applies.
 func PairTolerance(a, b Strategy, steps int) Tolerance {
+	if band := math.Max(a.RelBand, b.RelBand); band > 0 {
+		if steps < 1 {
+			steps = 1
+		}
+		return Tolerance{MaxULP: 4, RelLInf: band * float64(steps+1)}
+	}
 	if a.Exact && b.Exact {
 		return ExactTol
 	}

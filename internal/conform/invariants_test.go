@@ -18,6 +18,14 @@ func TestInvariantDriftAllStrategies(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, s := range AllStrategies() {
+		// Reduced-precision strategies conserve to their own roundoff, not
+		// float64's: scale the drift limits by the documented per-step band
+		// (fast32: mass to ~1e-9 observed vs the 1e-12 float64 limit).
+		massLimit, energyLimit := 1e-12, 1e-7
+		if s.RelBand > 0 {
+			massLimit = s.RelBand * float64(steps)
+			energyLimit = s.RelBand * float64(steps)
+		}
 		res, err := s.Run(c, false)
 		if err != nil {
 			t.Errorf("%s: %v", s.Name, err)
@@ -29,8 +37,8 @@ func TestInvariantDriftAllStrategies(t *testing.T) {
 		}
 		m0 := res.Mass[0]
 		for i, m := range res.Mass {
-			if drift := math.Abs(m-m0) / math.Abs(m0); drift > 1e-12 {
-				t.Errorf("%s: mass drift %.3e at step %d (limit 1e-12)", s.Name, drift, i)
+			if drift := math.Abs(m-m0) / math.Abs(m0); drift > massLimit {
+				t.Errorf("%s: mass drift %.3e at step %d (limit %.0e)", s.Name, drift, i, massLimit)
 				break
 			}
 		}
@@ -43,8 +51,8 @@ func TestInvariantDriftAllStrategies(t *testing.T) {
 				t.Errorf("%s: non-positive thickness %v at step %d", s.Name, inv.MinH, i)
 				break
 			}
-			if d := math.Abs(inv.TotalEnergy-i0.TotalEnergy) / math.Abs(i0.TotalEnergy); d > 1e-7 {
-				t.Errorf("%s: energy drift %.3e at step %d (limit 1e-7)", s.Name, d, i)
+			if d := math.Abs(inv.TotalEnergy-i0.TotalEnergy) / math.Abs(i0.TotalEnergy); d > energyLimit {
+				t.Errorf("%s: energy drift %.3e at step %d (limit %.0e)", s.Name, d, i, energyLimit)
 				break
 			}
 			if d := math.Abs(inv.PotentialEnstrophy-i0.PotentialEnstrophy) /

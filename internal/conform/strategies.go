@@ -19,6 +19,12 @@ type Strategy struct {
 	// re-partitions the index ranges): pairs of exact strategies are held to
 	// ExactTol, pairs involving a reordered one to ReorderTol.
 	Exact bool
+	// RelBand, when nonzero, is the documented per-step relative-error band
+	// of a reduced-precision strategy: comparisons involving it are held to
+	// RelBand*(steps+1) in relative l-inf/l-2 instead of the float64 bands
+	// (see PairTolerance). Fast32Band is the calibrated value for the
+	// float32 fast mode.
+	RelBand float64
 
 	run func(c *Case, recordStages bool) (*Result, error)
 }
@@ -122,6 +128,39 @@ func Plan(workers int) Strategy {
 		s.Runner = r
 		return pool.Close, nil
 	})
+}
+
+// Fast32Band is the documented per-step relative-error band of the float32
+// fast mode against the float64 trajectory. Calibration (TestFast32Band):
+// across the named cases and seeded random cases at levels 2-4, the observed
+// per-step relative l-inf drift tops out near 1e-6 (a handful of float32
+// ulps, 1.2e-7 each, per RK stage); the band carries ~5x headroom. The
+// negative control in fast32_test.go pins that a 100x tighter band fails, so
+// the tolerance stays honest.
+const Fast32Band = 5e-6
+
+// Fast32 is the float32 fast-mode step (sw.Fast32Runner): the whole RK-4
+// step computed in single precision over CSR-packed SoA arrays, loading from
+// and storing to the float64 state around each step. Not exact by
+// construction; held to Fast32Band per step. Stage recording is forcibly
+// disabled: a PostSubstep hook would silently route the run through the
+// float64 path, and a fast32 result must actually measure fast32.
+func Fast32(workers int) Strategy {
+	name := fmt.Sprintf("fast32-w%d", workers)
+	st := solverStrategy(name, false, func(s *sw.Solver) (func(), error) {
+		pool := par.NewPool(workers)
+		r, err := sw.NewFast32Runner(s, pool)
+		if err != nil {
+			pool.Close()
+			return nil, err
+		}
+		s.Runner = r
+		return pool.Close, nil
+	})
+	st.RelBand = Fast32Band
+	inner := st.run
+	st.run = func(c *Case, _ bool) (*Result, error) { return inner(c, false) }
+	return st
 }
 
 // HybridPattern is the Figure-4(b) pattern-driven hybrid executor with the
@@ -259,6 +298,8 @@ func AllStrategies() []Strategy {
 		HybridPattern(1),
 		MPI(2),
 		MPI(4),
+		Fast32(1),
+		Fast32(4),
 	}
 }
 

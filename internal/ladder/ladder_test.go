@@ -1,0 +1,141 @@
+package ladder
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/perfmodel"
+)
+
+// TestRunSmallLevels climbs two cheap rungs for real and checks every
+// report field is populated and self-consistent (closed-sphere counts,
+// positive times, a per-kernel split that sums to ~the serial step).
+func TestRunSmallLevels(t *testing.T) {
+	rep, err := Run(Config{MinLevel: 3, MaxLevel: 4, Steps: 1}, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Levels) != 2 {
+		t.Fatalf("got %d levels, want 2", len(rep.Levels))
+	}
+	for i, lv := range rep.Levels {
+		level := 3 + i
+		wantCells := 10*(1<<(2*uint(level))) + 2
+		if lv.Cells != wantCells {
+			t.Errorf("level %d: %d cells, want %d", level, lv.Cells, wantCells)
+		}
+		if lv.Edges != 3*lv.Cells-6 || lv.Vertices != 2*lv.Cells-4 {
+			t.Errorf("level %d: counts violate sphere identities: %+v", level, lv)
+		}
+		if lv.SerialStep <= 0 || lv.PlanStep <= 0 || lv.Fast32Step <= 0 {
+			t.Errorf("level %d: non-positive step time: %+v", level, lv)
+		}
+		if lv.ModeledBytes <= 0 || lv.CSRBytes <= 0 || lv.HeapBytes == 0 {
+			t.Errorf("level %d: missing footprint fields: %+v", level, lv)
+		}
+		if len(lv.PerKernel) == 0 {
+			t.Errorf("level %d: empty per-kernel split", level)
+		}
+		var sum float64
+		for name, sec := range lv.PerKernel {
+			if sec < 0 {
+				t.Errorf("level %d: negative kernel time %s", level, name)
+			}
+			sum += sec
+		}
+		// The kernels are the step: their sum must be within 2x of the
+		// measured serial step (timer overhead and warm-up jitter aside).
+		if sum < lv.SerialStep/2 || sum > 2*lv.SerialStep {
+			t.Errorf("level %d: per-kernel sum %.2e inconsistent with serial step %.2e",
+				level, sum, lv.SerialStep)
+		}
+	}
+}
+
+// TestCheckLinear feeds fabricated ladders to the scaling assertion:
+// linear growth (constant ns/cell) passes, mild cache-fallout growth passes
+// within the slack, quadratic growth fails, and the failure names the mode.
+func TestCheckLinear(t *testing.T) {
+	mk := func(times ...float64) []Level {
+		var out []Level
+		cells := 40962
+		for _, s := range times {
+			out = append(out, Level{Level: 6, Cells: cells, SerialStep: s, PlanStep: s, Fast32Step: s})
+			cells *= 4
+		}
+		return out
+	}
+	if err := CheckLinear(mk(0.1, 0.4, 1.6), 1.8); err != nil {
+		t.Errorf("linear ladder rejected: %v", err)
+	}
+	if err := CheckLinear(mk(0.1, 0.6, 2.4), 1.8); err != nil {
+		t.Errorf("1.5x/rung cache-fallout ladder rejected: %v", err)
+	}
+	err := CheckLinear(mk(0.1, 1.6, 25.6), 1.8)
+	if err == nil {
+		t.Fatal("quadratic ladder accepted")
+	}
+	if !strings.Contains(err.Error(), "serial") {
+		t.Errorf("failure does not name the mode column: %v", err)
+	}
+
+	// A column missing on one rung (e.g. fast32 skipped) is not an error.
+	lv := mk(0.1, 0.4)
+	lv[1].Fast32Step = 0
+	if err := CheckLinear(lv, 1.8); err != nil {
+		t.Errorf("missing column rejected: %v", err)
+	}
+}
+
+// TestModeledBytesScalesLinearly pins the traffic model the measured times
+// are read against: bytes/step is linear in cell count by construction.
+func TestModeledBytesScalesLinearly(t *testing.T) {
+	a := ModeledBytesPerStep(perfmodel.CountsForCells(40962))
+	b := ModeledBytesPerStep(perfmodel.CountsForCells(4 * 40962))
+	if a <= 0 {
+		t.Fatalf("non-positive modeled bytes %v", a)
+	}
+	if ratio := b / a; ratio < 3.9 || ratio > 4.1 {
+		t.Errorf("modeled bytes ratio %.3f for 4x cells, want ~4", ratio)
+	}
+}
+
+// TestMergeJSON round-trips the report into a pre-existing benchmark JSON
+// without clobbering its entries, and overwrites a stale ladder key.
+func TestMergeJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path,
+		[]byte(`{"BenchmarkStepPlan/10242cells": {"ns_per_op": 5580000}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep := &Report{Config: Config{MinLevel: 6, MaxLevel: 7, Steps: 2},
+		Levels: []Level{{Level: 6, Cells: 40962}}}
+	if err := MergeJSON(path, "ladder", rep); err != nil {
+		t.Fatal(err)
+	}
+	// Merge again with a different report: the key must be replaced.
+	rep.Levels[0].Cells = 40963
+	if err := MergeJSON(path, "ladder", rep); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Bench  map[string]float64 `json:"BenchmarkStepPlan/10242cells"`
+		Ladder Report             `json:"ladder"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("merged file is not valid JSON: %v\n%s", err, raw)
+	}
+	if doc.Bench["ns_per_op"] != 5580000 {
+		t.Errorf("pre-existing benchmark entry clobbered: %s", raw)
+	}
+	if len(doc.Ladder.Levels) != 1 || doc.Ladder.Levels[0].Cells != 40963 {
+		t.Errorf("ladder key not replaced: %+v", doc.Ladder)
+	}
+}

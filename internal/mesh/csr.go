@@ -1,0 +1,187 @@
+package mesh
+
+import (
+	"fmt"
+	"unsafe"
+)
+
+// This file packs the strided, padded connectivity of Mesh into CSR
+// (compressed sparse row) form and provides the aligned SoA allocators the
+// big-mesh execution paths build on. Motivation (paper Figure 6 ladder,
+// Table III): at 2.6M cells the strided MaxEdges/MaxEdgesOnEdge rows waste
+// both footprint and — more importantly — memory streams, because every
+// inner gather loop must load a row length and re-slice a padded row. The
+// CSR image stores only the valid entries back to back, so the hot loops
+// become stride-1 sweeps over int32 column indices, the form the compiler
+// can keep bounds-check-free (see internal/sw/plan_kernels.go) and the
+// hardware prefetcher likes.
+//
+// PackCSR validates EVERY index it emits against the owning entity count.
+// That validation is load-bearing: the solver's compiled kernels gather
+// through these columns with unchecked loads, so "no column escapes its
+// array" must be established here, once, at pack time.
+
+// CSR is the compressed-sparse-row image of a Mesh's variable-degree
+// connectivity. Fixed-degree adjacency (CellsOnEdge, VerticesOnEdge,
+// CellsOnVertex, EdgesOnVertex) is already dense and keeps its layout.
+type CSR struct {
+	NCells, NEdges, NVertices int
+
+	// CellPtr[c]..CellPtr[c+1] spans cell c's incident entries in the three
+	// parallel column arrays below, in the same counterclockwise j-order as
+	// the strided originals (so reductions reassociate nothing).
+	CellPtr   []int32
+	CellEdges []int32 // EdgesOnCell packed
+	CellCells []int32 // CellsOnCell packed (neighbor across CellEdges[k])
+	CellVerts []int32 // VerticesOnCell packed
+
+	// EdgePtr[e]..EdgePtr[e+1] spans edge e's TRiSK tangential stencil.
+	EdgePtr     []int32
+	EdgeEdges   []int32   // EdgesOnEdge packed
+	EdgeWeights []float64 // WeightsOnEdge packed, same j-order
+}
+
+// PackCSR builds the CSR image of m's connectivity, validating every row
+// length and every emitted column index. The returned arrays are aligned
+// and tail-padded via the Aligned* allocators.
+func (m *Mesh) PackCSR() (*CSR, error) {
+	c := &CSR{NCells: m.NCells, NEdges: m.NEdges, NVertices: m.NVertices}
+
+	c.CellPtr = AlignedInt32(m.NCells + 1)
+	total := 0
+	for i := 0; i < m.NCells; i++ {
+		n := int(m.NEdgesOnCell[i])
+		if n < 1 || n > MaxEdges {
+			return nil, fmt.Errorf("mesh: cell %d has degree %d outside [1,%d]", i, n, MaxEdges)
+		}
+		total += n
+		c.CellPtr[i+1] = int32(total)
+	}
+	c.CellEdges = AlignedInt32(total)
+	c.CellCells = AlignedInt32(total)
+	c.CellVerts = AlignedInt32(total)
+	k := 0
+	for i := 0; i < m.NCells; i++ {
+		base := i * MaxEdges
+		n := int(m.NEdgesOnCell[i])
+		for j := 0; j < n; j++ {
+			e := m.EdgesOnCell[base+j]
+			nb := m.CellsOnCell[base+j]
+			v := m.VerticesOnCell[base+j]
+			if e < 0 || int(e) >= m.NEdges {
+				return nil, fmt.Errorf("mesh: EdgesOnCell[%d][%d] = %d out of range", i, j, e)
+			}
+			if nb < 0 || int(nb) >= m.NCells {
+				return nil, fmt.Errorf("mesh: CellsOnCell[%d][%d] = %d out of range", i, j, nb)
+			}
+			if v < 0 || int(v) >= m.NVertices {
+				return nil, fmt.Errorf("mesh: VerticesOnCell[%d][%d] = %d out of range", i, j, v)
+			}
+			c.CellEdges[k] = e
+			c.CellCells[k] = nb
+			c.CellVerts[k] = v
+			k++
+		}
+	}
+
+	c.EdgePtr = AlignedInt32(m.NEdges + 1)
+	total = 0
+	for e := 0; e < m.NEdges; e++ {
+		n := int(m.NEdgesOnEdge[e])
+		if n < 0 || n > MaxEdgesOnEdge {
+			return nil, fmt.Errorf("mesh: edge %d has stencil size %d outside [0,%d]", e, n, MaxEdgesOnEdge)
+		}
+		total += n
+		c.EdgePtr[e+1] = int32(total)
+	}
+	c.EdgeEdges = AlignedInt32(total)
+	c.EdgeWeights = AlignedFloat64(total)
+	k = 0
+	for e := 0; e < m.NEdges; e++ {
+		base := e * MaxEdgesOnEdge
+		n := int(m.NEdgesOnEdge[e])
+		for j := 0; j < n; j++ {
+			eoe := m.EdgesOnEdge[base+j]
+			if eoe < 0 || int(eoe) >= m.NEdges {
+				return nil, fmt.Errorf("mesh: EdgesOnEdge[%d][%d] = %d out of range", e, j, eoe)
+			}
+			c.EdgeEdges[k] = eoe
+			c.EdgeWeights[k] = m.WeightsOnEdge[base+j]
+			k++
+		}
+	}
+
+	// The fixed-degree arrays the compiled kernels also gather through are
+	// validated here too, so every index an unchecked kernel can load is
+	// covered by one pack-time pass.
+	for e := 0; e < 2*m.NEdges; e++ {
+		if ci := m.CellsOnEdge[e]; ci < 0 || int(ci) >= m.NCells {
+			return nil, fmt.Errorf("mesh: CellsOnEdge[%d] = %d out of range", e, ci)
+		}
+		if vi := m.VerticesOnEdge[e]; vi < 0 || int(vi) >= m.NVertices {
+			return nil, fmt.Errorf("mesh: VerticesOnEdge[%d] = %d out of range", e, vi)
+		}
+	}
+	for i := 0; i < m.NVertices*VertexDegree; i++ {
+		if ci := m.CellsOnVertex[i]; ci < 0 || int(ci) >= m.NCells {
+			return nil, fmt.Errorf("mesh: CellsOnVertex[%d] = %d out of range", i, ci)
+		}
+		if ei := m.EdgesOnVertex[i]; ei < 0 || int(ei) >= m.NEdges {
+			return nil, fmt.Errorf("mesh: EdgesOnVertex[%d] = %d out of range", i, ei)
+		}
+	}
+	return c, nil
+}
+
+// CellRow returns the half-open [lo,hi) span of cell c's columns.
+func (c *CSR) CellRow(i int) (int, int) { return int(c.CellPtr[i]), int(c.CellPtr[i+1]) }
+
+// EdgeRow returns the half-open [lo,hi) span of edge e's stencil columns.
+func (c *CSR) EdgeRow(e int) (int, int) { return int(c.EdgePtr[e]), int(c.EdgePtr[e+1]) }
+
+// Bytes returns the resident size of the CSR image in bytes.
+func (c *CSR) Bytes() int64 {
+	n := len(c.CellPtr) + len(c.CellEdges) + len(c.CellCells) + len(c.CellVerts) +
+		len(c.EdgePtr) + len(c.EdgeEdges)
+	return int64(n)*4 + int64(len(c.EdgeWeights))*8
+}
+
+// --- aligned, padded SoA allocators ----------------------------------------
+
+// alignBytes is the allocation alignment: one cache line, which is also a
+// full 512-bit vector lane.
+const alignBytes = 64
+
+// alignedOff returns the element offset that aligns &buf[off] to alignBytes,
+// for elements of size elem bytes.
+func alignedOff(p unsafe.Pointer, elem uintptr) int {
+	rem := uintptr(p) % alignBytes
+	if rem == 0 {
+		return 0
+	}
+	return int((alignBytes - rem) / elem)
+}
+
+// AlignedFloat64 returns a zeroed float64 slice of length n whose first
+// element sits on a cache-line boundary and whose capacity is padded to a
+// multiple of 8 elements, so vectorized sweeps and static worker partitions
+// rounded to 8-element boundaries never share a line across owners.
+func AlignedFloat64(n int) []float64 {
+	buf := make([]float64, n+2*alignBytes/8)
+	off := alignedOff(unsafe.Pointer(unsafe.SliceData(buf)), 8)
+	return buf[off : off+n : off+n+(8-n%8)%8]
+}
+
+// AlignedFloat32 is AlignedFloat64 for float32 (16-element pad).
+func AlignedFloat32(n int) []float32 {
+	buf := make([]float32, n+2*alignBytes/4)
+	off := alignedOff(unsafe.Pointer(unsafe.SliceData(buf)), 4)
+	return buf[off : off+n : off+n+(16-n%16)%16]
+}
+
+// AlignedInt32 is AlignedFloat64 for int32 (16-element pad).
+func AlignedInt32(n int) []int32 {
+	buf := make([]int32, n+2*alignBytes/4)
+	off := alignedOff(unsafe.Pointer(unsafe.SliceData(buf)), 4)
+	return buf[off : off+n : off+n+(16-n%16)%16]
+}

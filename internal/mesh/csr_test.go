@@ -1,0 +1,180 @@
+package mesh
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"unsafe"
+
+	"repro/internal/geom"
+	"repro/internal/icosa"
+)
+
+func addrOf64(s []float64) uintptr { return uintptr(unsafe.Pointer(unsafe.SliceData(s))) }
+func addrOf32(s []float32) uintptr { return uintptr(unsafe.Pointer(unsafe.SliceData(s))) }
+func addrOfI32(s []int32) uintptr  { return uintptr(unsafe.Pointer(unsafe.SliceData(s))) }
+
+// jitteredMesh builds a valid SCVT mesh from seeded tangential jitter of the
+// icosahedral generators (the same construction internal/conform uses for
+// its random cases, reproduced here because mesh cannot import conform).
+func jitteredMesh(t *testing.T, seed uint64, level int) *Mesh {
+	t.Helper()
+	rng := rand.New(rand.NewSource(int64(seed)))
+	tri := icosa.Generate(level)
+	base := append([]geom.Vec3(nil), tri.Nodes...)
+	spacing := math.Sqrt(4 * math.Pi / float64(len(base)))
+	jitter := 0.15 * spacing
+	dx := make([]geom.Vec3, len(base))
+	for i, p := range base {
+		w := geom.V(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64())
+		dx[i] = geom.ProjectToTangent(p, w)
+	}
+	for try := 0; try < 5; try++ {
+		for i, p := range base {
+			tri.Nodes[i] = p.Add(dx[i].Scale(jitter)).Normalize()
+		}
+		m, err := FromTriangulation(tri, Options{})
+		if err == nil {
+			if err = m.Validate(); err == nil {
+				return m
+			}
+		}
+		jitter /= 2
+	}
+	copy(tri.Nodes, base)
+	m, err := FromTriangulation(tri, Options{})
+	if err != nil {
+		t.Fatalf("unperturbed icosa mesh failed: %v", err)
+	}
+	return m
+}
+
+// TestPackCSRRoundTrip is the property test backing the unchecked compiled
+// kernels: on a family of seeded jittered meshes, the CSR image must
+// reproduce the strided connectivity exactly — same rows, same j-order, same
+// weights bit for bit — and every emitted column must be in range.
+func TestPackCSRRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		seed  uint64
+		level int
+	}{{1, 2}, {2, 2}, {3, 3}, {4, 3}, {0xdead, 3}, {42, 4}} {
+		m := jitteredMesh(t, tc.seed, tc.level)
+		c, err := m.PackCSR()
+		if err != nil {
+			t.Fatalf("seed %d level %d: PackCSR: %v", tc.seed, tc.level, err)
+		}
+		if c.NCells != m.NCells || c.NEdges != m.NEdges || c.NVertices != m.NVertices {
+			t.Fatalf("seed %d: entity counts differ", tc.seed)
+		}
+		if got, want := len(c.CellPtr), m.NCells+1; got != want {
+			t.Fatalf("seed %d: len(CellPtr) = %d, want %d", tc.seed, got, want)
+		}
+		for cell := 0; cell < m.NCells; cell++ {
+			lo, hi := c.CellRow(cell)
+			n := int(m.NEdgesOnCell[cell])
+			if hi-lo != n {
+				t.Fatalf("seed %d: cell %d row length %d, want %d", tc.seed, cell, hi-lo, n)
+			}
+			base := cell * MaxEdges
+			for j := 0; j < n; j++ {
+				if c.CellEdges[lo+j] != m.EdgesOnCell[base+j] {
+					t.Fatalf("seed %d: CellEdges[%d][%d] mismatch", tc.seed, cell, j)
+				}
+				if c.CellCells[lo+j] != m.CellsOnCell[base+j] {
+					t.Fatalf("seed %d: CellCells[%d][%d] mismatch", tc.seed, cell, j)
+				}
+				if c.CellVerts[lo+j] != m.VerticesOnCell[base+j] {
+					t.Fatalf("seed %d: CellVerts[%d][%d] mismatch", tc.seed, cell, j)
+				}
+			}
+		}
+		for e := 0; e < m.NEdges; e++ {
+			lo, hi := c.EdgeRow(e)
+			n := int(m.NEdgesOnEdge[e])
+			if hi-lo != n {
+				t.Fatalf("seed %d: edge %d stencil length %d, want %d", tc.seed, e, hi-lo, n)
+			}
+			base := e * MaxEdgesOnEdge
+			for j := 0; j < n; j++ {
+				if c.EdgeEdges[lo+j] != m.EdgesOnEdge[base+j] {
+					t.Fatalf("seed %d: EdgeEdges[%d][%d] mismatch", tc.seed, e, j)
+				}
+				if c.EdgeWeights[lo+j] != m.WeightsOnEdge[base+j] {
+					t.Fatalf("seed %d: EdgeWeights[%d][%d] not bitwise equal", tc.seed, e, j)
+				}
+			}
+		}
+		// The in-range property the unchecked kernels rely on.
+		for k, e := range c.CellEdges {
+			if e < 0 || int(e) >= m.NEdges {
+				t.Fatalf("seed %d: CellEdges[%d] = %d out of range", tc.seed, k, e)
+			}
+		}
+		for k, e := range c.EdgeEdges {
+			if e < 0 || int(e) >= m.NEdges {
+				t.Fatalf("seed %d: EdgeEdges[%d] = %d out of range", tc.seed, k, e)
+			}
+		}
+		if c.Bytes() <= 0 {
+			t.Fatalf("seed %d: CSR Bytes() not positive", tc.seed)
+		}
+	}
+}
+
+// TestPackCSRRejectsCorruptIndex pins the validation contract: a column
+// outside its entity range must fail the pack, never escape into the image.
+func TestPackCSRRejectsCorruptIndex(t *testing.T) {
+	m := jitteredMesh(t, 7, 2)
+	corrupt := []struct {
+		name string
+		poke func()
+	}{
+		{"EdgesOnCell", func() { m.EdgesOnCell[0] = int32(m.NEdges) }},
+		{"CellsOnCell", func() { m.CellsOnCell[0] = -1 }},
+		{"VerticesOnCell", func() { m.VerticesOnCell[0] = int32(m.NVertices) }},
+		{"EdgesOnEdge", func() { m.EdgesOnEdge[0] = int32(m.NEdges) }},
+		{"CellsOnEdge", func() { m.CellsOnEdge[0] = -2 }},
+		{"VerticesOnEdge", func() { m.VerticesOnEdge[0] = int32(m.NVertices) }},
+		{"CellsOnVertex", func() { m.CellsOnVertex[0] = int32(m.NCells) }},
+		{"EdgesOnVertex", func() { m.EdgesOnVertex[0] = -1 }},
+		{"NEdgesOnCell", func() { m.NEdgesOnCell[0] = MaxEdges + 1 }},
+		{"NEdgesOnEdge", func() { m.NEdgesOnEdge[0] = -1 }},
+	}
+	for _, tc := range corrupt {
+		mm := jitteredMesh(t, 7, 2)
+		*m = *mm // fresh copy per corruption
+		tc.poke()
+		if _, err := m.PackCSR(); err == nil {
+			t.Errorf("%s: corrupt index passed PackCSR", tc.name)
+		}
+	}
+}
+
+// TestAlignedAllocators checks alignment, length and tail padding of the SoA
+// allocators across awkward sizes.
+func TestAlignedAllocators(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 7, 8, 9, 63, 64, 65, 1000, 40962} {
+		f64 := AlignedFloat64(n)
+		f32 := AlignedFloat32(n)
+		i32 := AlignedInt32(n)
+		if len(f64) != n || len(f32) != n || len(i32) != n {
+			t.Fatalf("n=%d: wrong length", n)
+		}
+		if cap(f64)%8 != 0 || cap(f32)%16 != 0 || cap(i32)%16 != 0 {
+			t.Errorf("n=%d: capacity not padded to a full line block (%d/%d/%d)",
+				n, cap(f64), cap(f32), cap(i32))
+		}
+		if n == 0 {
+			continue
+		}
+		if a := addrOf64(f64); a%64 != 0 {
+			t.Errorf("n=%d: float64 base %#x not 64-byte aligned", n, a)
+		}
+		if a := addrOf32(f32); a%64 != 0 {
+			t.Errorf("n=%d: float32 base %#x not 64-byte aligned", n, a)
+		}
+		if a := addrOfI32(i32); a%64 != 0 {
+			t.Errorf("n=%d: int32 base %#x not 64-byte aligned", n, a)
+		}
+	}
+}

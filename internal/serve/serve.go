@@ -118,6 +118,11 @@ type JobSpec struct {
 	// PerturbEps is the relative jitter amplitude; default 1e-8 for
 	// ensembles, must stay within (0, 1e-3].
 	PerturbEps float64 `json:"perturb_eps,omitempty"`
+	// Precision selects the step arithmetic: "" or "float64" for the
+	// reference path, "float32" for the fast mode (serial/threaded/plan
+	// modes only; see mpas.Options.Precision). Checkpoints stay float64, so
+	// a suspended job may be resumed under a different precision.
+	Precision string `json:"precision,omitempty"`
 }
 
 // MaxEnsemble bounds the batch-admission member count: 16 members of a
@@ -134,6 +139,10 @@ const MaxLevel = 6
 var validModes = map[string]bool{
 	"serial": true, "threaded": true, "kernel": true, "pattern": true, "plan": true,
 }
+
+// float32Modes are the host-only modes the float32 fast path can execute
+// under (mpas.Options.Precision).
+var float32Modes = map[string]bool{"serial": true, "threaded": true, "plan": true}
 
 // Normalize validates sp and fills defaults, returning the first problem.
 func (sp *JobSpec) Normalize() error {
@@ -193,6 +202,16 @@ func (sp *JobSpec) Normalize() error {
 	if sp.PerturbEps < 0 || sp.PerturbEps > 1e-3 {
 		return fmt.Errorf("serve: perturb_eps %g out of range (0, 1e-3]", sp.PerturbEps)
 	}
+	switch sp.Precision {
+	case "":
+		sp.Precision = "float64"
+	case "float64", "float32":
+	default:
+		return fmt.Errorf("serve: unknown precision %q (want float64 or float32)", sp.Precision)
+	}
+	if sp.Precision == "float32" && !float32Modes[sp.Mode] {
+		return fmt.Errorf("serve: precision float32 requires mode serial, threaded or plan, not %q", sp.Mode)
+	}
 	return nil
 }
 
@@ -233,8 +252,8 @@ type Event struct {
 	SimTime    float64 `json:"sim_time_s,omitempty"`
 	// Member is the 1-based ensemble member a "diag" event describes
 	// (0 = the whole job / a single-run job).
-	Member int   `json:"member,omitempty"`
-	Diag   *Diag `json:"diag,omitempty"`
+	Member int    `json:"member,omitempty"`
+	Diag   *Diag  `json:"diag,omitempty"`
 	Error  string `json:"error,omitempty"`
 }
 

@@ -291,6 +291,9 @@ func (s *Server) Import(st JobStatus, ckpt io.Reader) (JobStatus, error) {
 	if !validModes[mode] {
 		return JobStatus{}, fmt.Errorf("serve: unknown mode %q", mode)
 	}
+	if spec.Precision == "float32" && !float32Modes[mode] {
+		return JobStatus{}, fmt.Errorf("serve: precision float32 cannot run under mode %q", mode)
+	}
 
 	job := newJob(st.ID, spec)
 	job.mode = mode
@@ -478,6 +481,11 @@ func (s *Server) Resume(id, mode string) error {
 	}
 	if mode != "" && !validModes[mode] {
 		return fmt.Errorf("serve: unknown mode %q (want serial|threaded|kernel|pattern|plan)", mode)
+	}
+	if mode != "" && !float32Modes[mode] {
+		if sp := j.Status().Spec; sp.Precision == "float32" {
+			return fmt.Errorf("serve: precision float32 cannot resume under mode %q", mode)
+		}
 	}
 	j.mu.Lock()
 	if j.state != StateSuspended {

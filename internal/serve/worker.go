@@ -119,6 +119,7 @@ func (s *Server) runJob(job *Job) {
 		DeviceWorkers:      spec.Workers,
 		AdjustableFraction: -1,
 		HighOrderThickness: spec.HighOrder,
+		Precision:          spec.Precision,
 	})
 	buildCtx.Stop()
 	if err != nil {

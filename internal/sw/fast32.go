@@ -1,0 +1,315 @@
+package sw
+
+import (
+	"fmt"
+
+	"repro/internal/mesh"
+	"repro/internal/par"
+)
+
+// Fast-mode execution: the whole RK-4 step computed in float32 (paper
+// Figure 6, the "mixed/reduced precision" rungs of the acceleration ladder).
+// Halving the element size halves the bytes every kernel streams, which is
+// the whole game for this bandwidth-bound solver; the price is a relative
+// error of a few 1e-7 per step against the float64 trajectory, held to a
+// documented band by the conformance harness (internal/conform, strategy
+// "fast32-*", Strategy.RelBand).
+//
+// Design: the runner owns a complete float32 working set — state, provis,
+// accumulator, tendencies, diagnostics, plus float32 copies of the mesh
+// constants and the CSR-packed gather weights. A step
+//
+//  1. loads h/u (and the bottom topography) from the solver's float64 State,
+//  2. recomputes the diagnostics from that loaded state, and
+//  3. runs the four RK stages with the same fusion shape as the compiled
+//     float64 plan, committing into the float32 state,
+//  4. stores h/u and the invariant diagnostics (ke, h_vertex, pv_vertex)
+//     back to the float64 arrays.
+//
+// The float32 -> float64 store is exact and the float64 -> float32 load
+// rounds once, so the float64 State remains the single source of truth:
+// checkpointing, ensemble activation and external state edits all keep
+// working, at the cost of one extra diagnostics solve per step (5 instead
+// of 4). Every op is followed by a barrier — the schedule is deliberately
+// simpler than the plan's dataflow-minimized one; with ~50 cheap barriers
+// against halved memory traffic the trade is easily won.
+type Fast32Runner struct {
+	s    *Solver
+	pool *par.Pool
+	// cfg snapshots the configuration the ops were specialized on; Step
+	// refuses the fast path if the solver's Cfg has since been mutated.
+	cfg Config
+
+	// csr is the packed, index-validated mesh adjacency (see mesh.PackCSR);
+	// its pack-time validation licenses the unchecked loads in
+	// fast32_kernels.go, exactly as for the float64 plan kernels.
+	csr *mesh.CSR
+
+	rkA, rkB [4]float32
+
+	// float32 mesh constants and hoisted gather weights. Each entry is the
+	// float64 value (or float64 product, for the weight tables) rounded once.
+	wA1, wA3, wKite, wE, wEdge []float32
+	areaCell, dcEdge, dvEdge   []float32
+	areaTri, fVertex, kite     []float32
+	b                          []float32
+
+	// float32 working set (cells / edges / vertices).
+	h0, hP, hN, tendH   []float32
+	ke, div, d2, pvCell []float32
+	u0, uP, uN, tendU   []float32
+	hEdge, v, pvEdge    []float32
+	vort, hVert, pvVert []float32
+
+	ops []f32op
+	// exec is the bound method value handed to Pool.Region, created once so
+	// a step allocates nothing.
+	exec       func(t *par.Team)
+	rangeCache map[int][][2]int32
+}
+
+// f32op is one entry of the fast-mode schedule.
+type f32op struct {
+	run     func(lo, hi int)
+	ranges  [][2]int32
+	barrier bool
+}
+
+// NewFast32Runner builds the float32 fast-mode runner for s. The pool
+// provides the worker team (nil means serial); the caller keeps ownership.
+func NewFast32Runner(s *Solver, pool *par.Pool) (*Fast32Runner, error) {
+	if pool == nil {
+		pool = par.NewPool(1)
+	}
+	r := &Fast32Runner{s: s, pool: pool, cfg: s.Cfg, rangeCache: map[int][][2]int32{}}
+	csr, err := s.M.PackCSR()
+	if err != nil {
+		return nil, fmt.Errorf("sw: packing mesh adjacency: %w", err)
+	}
+	r.csr = csr
+	if err := checkSolverShapes(s, csr); err != nil {
+		return nil, fmt.Errorf("sw: fast32 shapes: %w", err)
+	}
+	for i := range r.rkA {
+		r.rkA[i] = float32(s.rkA[i])
+		r.rkB[i] = float32(s.rkB[i])
+	}
+	r.buildTables()
+	r.compileOps()
+	r.exec = r.run
+	return r, nil
+}
+
+// MustNewFast32Runner is NewFast32Runner panicking on error.
+func MustNewFast32Runner(s *Solver, pool *par.Pool) *Fast32Runner {
+	r, err := NewFast32Runner(s, pool)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// buildTables allocates the float32 working set and converts the mesh
+// constants and hoisted weights. Products (signed edge lengths, quadrature
+// weights) are formed in float64 first — reproducing the float64 kernels'
+// constant folding — and rounded once.
+func (r *Fast32Runner) buildTables() {
+	s := r.s
+	m := s.M
+	nc, ne, nv := m.NCells, m.NEdges, m.NVertices
+
+	alloc32 := func(n int) []float32 { return mesh.AlignedFloat32(n) }
+	cvt := func(src []float64, n int) []float32 {
+		dst := alloc32(n)
+		for i := 0; i < n; i++ {
+			dst[i] = float32(src[i])
+		}
+		return dst
+	}
+
+	r.areaCell = cvt(m.AreaCell, nc)
+	r.dcEdge = cvt(m.DcEdge, ne)
+	r.dvEdge = cvt(m.DvEdge, ne)
+	r.areaTri = cvt(m.AreaTriangle, nv)
+	r.fVertex = cvt(m.FVertex, nv)
+	r.kite = cvt(m.KiteAreasOnVertex, nv*mesh.VertexDegree)
+	r.wEdge = cvt(r.csr.EdgeWeights, len(r.csr.EdgeWeights))
+
+	nnz := len(r.csr.CellEdges)
+	r.wA1 = alloc32(nnz)
+	r.wA3 = alloc32(nnz)
+	r.wKite = alloc32(nnz)
+	for cell := 0; cell < nc; cell++ {
+		lo, hi := r.csr.CellRow(cell)
+		base := cell * mesh.MaxEdges
+		for j := 0; j < hi-lo; j++ {
+			e := m.EdgesOnCell[base+j]
+			r.wA1[lo+j] = float32(s.signCell[base+j] * m.DvEdge[e])
+			r.wA3[lo+j] = float32(0.25 * m.DcEdge[e] * m.DvEdge[e])
+			r.wKite[lo+j] = float32(s.kiteOnCell[base+j])
+		}
+	}
+	r.wE = alloc32(nv * mesh.VertexDegree)
+	for v := 0; v < nv; v++ {
+		base := v * mesh.VertexDegree
+		for j := 0; j < mesh.VertexDegree; j++ {
+			e := m.EdgesOnVertex[base+j]
+			r.wE[base+j] = float32(s.signVertex[base+j] * m.DcEdge[e])
+		}
+	}
+
+	r.b = alloc32(nc)
+	r.h0, r.hP, r.hN, r.tendH = alloc32(nc), alloc32(nc), alloc32(nc), alloc32(nc)
+	r.ke, r.div, r.d2, r.pvCell = alloc32(nc), alloc32(nc), alloc32(nc), alloc32(nc)
+	r.u0, r.uP, r.uN, r.tendU = alloc32(ne), alloc32(ne), alloc32(ne), alloc32(ne)
+	r.hEdge, r.v, r.pvEdge = alloc32(ne), alloc32(ne), alloc32(ne)
+	r.vort, r.hVert, r.pvVert = alloc32(nv), alloc32(nv), alloc32(nv)
+}
+
+// compileOps lowers the fast-mode step into the flat op list run executes:
+// load, entry diagnostics, four fused RK stages (each with its own
+// diagnostics solve), store. Every op gets a barrier (the region join covers
+// the last), so no dataflow analysis is needed — correctness is by
+// construction, program order.
+func (r *Fast32Runner) compileOps() {
+	m := r.s.M
+	cfg := r.cfg
+	nc, ne, nv := m.NCells, m.NEdges, m.NVertices
+
+	add := func(n int, run func(lo, hi int)) {
+		r.ops = append(r.ops, f32op{run: run, ranges: r.ranges(n), barrier: true})
+	}
+	// diag appends the compute_solve_diagnostics sequence reading (hs, us).
+	// The op set mirrors the plan's liveness elision: divergence only feeds
+	// viscosity, v and pv_cell only feed the APVM correction, and the
+	// cell-averaged vorticity (H2) has no consumer at all.
+	diag := func(hs, us []float32) {
+		if cfg.HighOrderThickness {
+			add(nc, r.f32C1(hs))
+			add(ne, r.f32D2(hs))
+		} else {
+			add(ne, r.f32D1(hs))
+		}
+		add(nv, r.f32E(us))
+		if cfg.Viscosity != 0 {
+			add(nc, r.f32A2(us))
+		}
+		add(nc, r.f32A3(us))
+		if cfg.APVM != 0 {
+			add(ne, r.f32F(us))
+		}
+		add(nv, r.f32G(hs))
+		if cfg.APVM != 0 {
+			add(nc, r.f32C2())
+		}
+		add(ne, r.f32H1())
+		if cfg.APVM != 0 {
+			add(ne, r.f32B2(us))
+		}
+	}
+
+	add(nc, r.ldCells)
+	add(ne, r.ldEdges)
+	diag(r.h0, r.u0)
+	for stage := 0; stage < 4; stage++ {
+		add(nc, r.f32TendH(stage))
+		add(ne, r.f32TendU(stage))
+		if stage == 1 || stage == 2 {
+			add(nc, r.f32X2(stage))
+			add(ne, r.f32X3(stage))
+		}
+		if stage < 3 {
+			diag(r.hP, r.uP)
+		} else {
+			diag(r.h0, r.u0)
+		}
+	}
+	add(nc, r.stCells)
+	add(ne, r.stEdges)
+	add(nv, r.stVerts)
+	r.ops[len(r.ops)-1].barrier = false // the region join is the last barrier
+}
+
+// --- load/store ops (ordinary indexing is fine here: linear loops over the
+// solver's float64 arrays, outside the bounds-check gate) -------------------
+
+func (r *Fast32Runner) ldCells(lo, hi int) {
+	h, b := r.s.State.H, r.s.B
+	for c := lo; c < hi; c++ {
+		r.h0[c] = float32(h[c])
+		r.b[c] = float32(b[c])
+	}
+}
+
+func (r *Fast32Runner) ldEdges(lo, hi int) {
+	u := r.s.State.U
+	for e := lo; e < hi; e++ {
+		r.u0[e] = float32(u[e])
+	}
+}
+
+func (r *Fast32Runner) stCells(lo, hi int) {
+	h, ke := r.s.State.H, r.s.Diag.KE
+	for c := lo; c < hi; c++ {
+		h[c] = float64(r.h0[c])
+		ke[c] = float64(r.ke[c])
+	}
+}
+
+func (r *Fast32Runner) stEdges(lo, hi int) {
+	u := r.s.State.U
+	for e := lo; e < hi; e++ {
+		u[e] = float64(r.u0[e])
+	}
+}
+
+func (r *Fast32Runner) stVerts(lo, hi int) {
+	hv, pv := r.s.Diag.HVertex, r.s.Diag.PVVertex
+	for v := lo; v < hi; v++ {
+		hv[v] = float64(r.hVert[v])
+		pv[v] = float64(r.pvVert[v])
+	}
+}
+
+// run executes the schedule as one worker of the region.
+func (r *Fast32Runner) run(t *par.Team) {
+	for i := range r.ops {
+		op := &r.ops[i]
+		rg := op.ranges[t.ID]
+		if rg[0] < rg[1] {
+			op.run(int(rg[0]), int(rg[1]))
+		}
+		if op.barrier {
+			t.Barrier()
+		}
+	}
+}
+
+// step advances one RK-4 time step in float32 (called from Solver.Step when
+// the fast path applies).
+func (r *Fast32Runner) step() {
+	s := r.s
+	span := s.Trace.StartSpan("rk4_step_fast32")
+	s.cur = s.State
+	r.pool.Region(r.exec)
+	s.StepCount++
+	s.Time += s.Cfg.Dt
+	s.stepsCounter.Inc()
+	span.End()
+}
+
+// RunKernel implements Runner for the non-step paths (Init, direct kernel
+// calls): full float64 through the pooled per-kernel regions. Only Step
+// itself takes the float32 path.
+func (r *Fast32Runner) RunKernel(k *Kernel) {
+	PoolRunner{Pool: r.pool}.RunKernel(k)
+}
+
+func (r *Fast32Runner) ranges(n int) [][2]int32 {
+	if rs, ok := r.rangeCache[n]; ok {
+		return rs
+	}
+	rs := alignedRanges(n, r.pool.Workers())
+	r.rangeCache[n] = rs
+	return rs
+}

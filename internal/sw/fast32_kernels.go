@@ -1,0 +1,399 @@
+package sw
+
+// This file holds the float32 kernel variants the fast-mode runner
+// (fast32.go) executes. Each is the float32 transcription of the
+// corresponding float64 form in kernels.go / plan_kernels.go: the same
+// expression tree, the same left-to-right association, the same CSR gather
+// structure — only the element type narrows. Scalar coefficients are
+// computed in float64 (exactly as the solver holds them) and rounded once at
+// compile time; see Fast32Runner.buildTables for the weight tables.
+//
+// THIS FILE MUST STAY FREE OF SLICE INDEXING: bce_test.go recompiles the
+// package with -d=ssa/check_bce and fails on any bounds check attributed
+// here (scripts/ci.sh runs the same gate). All access goes through the
+// unchecked views of unchecked.go; soundness comes from mesh.PackCSR's
+// column validation plus the fact that every float32 array is allocated to
+// its exact entity count by the runner that owns it.
+//
+// Every constructor is marked //go:noinline for the same reason as in
+// plan_kernels.go: a closure generated while inlining the constructor into
+// its caller keeps the view accessors as real calls, turning every load in
+// the hot loop into a function call.
+
+// f32TendH is the fused float32 thickness tendency for one RK stage:
+// A1 + X4, with X2 fused at stage 0 and the commit at stage 3.
+//
+//go:noinline
+func (r *Fast32Runner) f32TendH(stage int) func(lo, hi int) {
+	a, b := r.rkA[stage&3], r.rkB[stage&3]
+	us := r.uP
+	if stage == 0 {
+		us = r.u0
+	}
+	cp := vi32(r.csr.CellPtr)
+	ce := vi32(r.csr.CellEdges)
+	w := vf32(r.wA1)
+	area := vf32(r.areaCell)
+	u := vf32(us)
+	he := vf32(r.hEdge)
+	th := vf32(r.tendH)
+	hn := vf32(r.hN)
+	h0 := vf32(r.h0)
+	hp := vf32(r.hP)
+	return func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			ps, pe := int(cp.at(c)), int(cp.at(c+1))
+			var acc float32
+			for j := ps; j < pe; j++ {
+				e := int(ce.at(j))
+				acc += w.at(j) * he.at(e) * u.at(e)
+			}
+			t := -acc / area.at(c)
+			th.set(c, t)
+			switch stage {
+			case 0:
+				hn.set(c, h0.at(c)+b*t)
+				hp.set(c, h0.at(c)+a*t)
+			case 3:
+				h0.set(c, hn.at(c)+b*t)
+			default:
+				hn.set(c, hn.at(c)+b*t)
+			}
+		}
+	}
+}
+
+// f32TendU is the fused float32 momentum tendency for one RK stage:
+// B1 (or its advection-only zeroing), optional viscosity and Rayleigh
+// friction, X5, with X3 fused at stage 0 and the commit at stage 3.
+//
+//go:noinline
+func (r *Fast32Runner) f32TendU(stage int) func(lo, hi int) {
+	cfg := r.cfg
+	g := float32(cfg.Gravity)
+	nu := float32(cfg.Viscosity)
+	rf := float32(cfg.RayleighFriction)
+	a, bw := r.rkA[stage&3], r.rkB[stage&3]
+	us, hs := r.uP, r.hP
+	if stage == 0 {
+		us, hs = r.u0, r.h0
+	}
+	advOnly := cfg.AdvectionOnly
+	ep := vi32(r.csr.EdgePtr)
+	eoe := vi32(r.csr.EdgeEdges)
+	wts := vf32(r.wEdge)
+	coe := vi32(r.s.M.CellsOnEdge)
+	voe := vi32(r.s.M.VerticesOnEdge)
+	dc := vf32(r.dcEdge)
+	dv := vf32(r.dvEdge)
+	u := vf32(us)
+	h := vf32(hs)
+	tu := vf32(r.tendU)
+	he := vf32(r.hEdge)
+	ke := vf32(r.ke)
+	pve := vf32(r.pvEdge)
+	b := vf32(r.b)
+	div := vf32(r.div)
+	vort := vf32(r.vort)
+	un := vf32(r.uN)
+	u0 := vf32(r.u0)
+	up := vf32(r.uP)
+	return func(lo, hi int) {
+		if advOnly {
+			for e := lo; e < hi; e++ {
+				tu.set(e, 0)
+			}
+		} else {
+			for e := lo; e < hi; e++ {
+				ps, pend := int(ep.at(e)), int(ep.at(e+1))
+				pe := pve.at(e)
+				var q float32
+				for j := ps; j < pend; j++ {
+					k := int(eoe.at(j))
+					workPV := 0.5 * (pe + pve.at(k))
+					q += wts.at(j) * u.at(k) * he.at(k) * workPV
+				}
+				c1 := int(coe.at(2 * e))
+				c2 := int(coe.at(2*e + 1))
+				grad := (ke.at(c2) - ke.at(c1) + g*(h.at(c2)+b.at(c2)-h.at(c1)-b.at(c1))) / dc.at(e)
+				tu.set(e, q-grad)
+			}
+			if nu != 0 {
+				for e := lo; e < hi; e++ {
+					c1 := int(coe.at(2 * e))
+					c2 := int(coe.at(2*e + 1))
+					v1 := int(voe.at(2 * e))
+					v2 := int(voe.at(2*e + 1))
+					tu.set(e, tu.at(e)+nu*((div.at(c2)-div.at(c1))/dc.at(e)-(vort.at(v2)-vort.at(v1))/dv.at(e)))
+				}
+			}
+		}
+		if rf != 0 {
+			for e := lo; e < hi; e++ {
+				tu.set(e, tu.at(e)-rf*u.at(e))
+			}
+		}
+		switch stage {
+		case 0:
+			for e := lo; e < hi; e++ {
+				t := tu.at(e)
+				un.set(e, u0.at(e)+bw*t)
+				up.set(e, u0.at(e)+a*t)
+			}
+		case 3:
+			for e := lo; e < hi; e++ {
+				u0.set(e, un.at(e)+bw*tu.at(e))
+			}
+		default:
+			for e := lo; e < hi; e++ {
+				un.set(e, un.at(e)+bw*tu.at(e))
+			}
+		}
+	}
+}
+
+// f32X2 / f32X3: the provisional-state updates for stages 1 and 2.
+//
+//go:noinline
+func (r *Fast32Runner) f32X2(stage int) func(lo, hi int) {
+	a := r.rkA[stage&3]
+	h0 := vf32(r.h0)
+	th := vf32(r.tendH)
+	hp := vf32(r.hP)
+	return func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			hp.set(c, h0.at(c)+a*th.at(c))
+		}
+	}
+}
+
+//go:noinline
+func (r *Fast32Runner) f32X3(stage int) func(lo, hi int) {
+	a := r.rkA[stage&3]
+	u0 := vf32(r.u0)
+	tu := vf32(r.tendU)
+	up := vf32(r.uP)
+	return func(lo, hi int) {
+		for e := lo; e < hi; e++ {
+			up.set(e, u0.at(e)+a*tu.at(e))
+		}
+	}
+}
+
+// --- float32 compute_solve_diagnostics variants ------------------------------
+// Each takes the float32 state arrays the stage reads (h0/u0 at the step
+// entry and stage 3, hP/uP for stages 0..2).
+
+//go:noinline
+func (r *Fast32Runner) f32C1(hs []float32) func(lo, hi int) {
+	cp := vi32(r.csr.CellPtr)
+	ce := vi32(r.csr.CellEdges)
+	cc := vi32(r.csr.CellCells)
+	dc := vf32(r.dcEdge)
+	h := vf32(hs)
+	d2 := vf32(r.d2)
+	return func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			ps, pe := int(cp.at(c)), int(cp.at(c+1))
+			var acc float32
+			for j := ps; j < pe; j++ {
+				nb := int(cc.at(j))
+				d := dc.at(int(ce.at(j)))
+				acc += 2 * (h.at(nb) - h.at(c)) / (d * d)
+			}
+			d2.set(c, acc/float32(pe-ps))
+		}
+	}
+}
+
+//go:noinline
+func (r *Fast32Runner) f32D1(hs []float32) func(lo, hi int) {
+	coe := vi32(r.s.M.CellsOnEdge)
+	h := vf32(hs)
+	he := vf32(r.hEdge)
+	return func(lo, hi int) {
+		for e := lo; e < hi; e++ {
+			c1 := int(coe.at(2 * e))
+			c2 := int(coe.at(2*e + 1))
+			he.set(e, 0.5*(h.at(c1)+h.at(c2)))
+		}
+	}
+}
+
+//go:noinline
+func (r *Fast32Runner) f32D2(hs []float32) func(lo, hi int) {
+	coe := vi32(r.s.M.CellsOnEdge)
+	dcv := vf32(r.dcEdge)
+	h := vf32(hs)
+	d2 := vf32(r.d2)
+	he := vf32(r.hEdge)
+	return func(lo, hi int) {
+		for e := lo; e < hi; e++ {
+			c1 := int(coe.at(2 * e))
+			c2 := int(coe.at(2*e + 1))
+			dc := dcv.at(e)
+			he.set(e, 0.5*(h.at(c1)+h.at(c2))-dc*dc/12*0.5*(d2.at(c1)+d2.at(c2)))
+		}
+	}
+}
+
+//go:noinline
+func (r *Fast32Runner) f32E(us []float32) func(lo, hi int) {
+	w := vf32(r.wE)
+	eov := vi32(r.s.M.EdgesOnVertex)
+	at := vf32(r.areaTri)
+	u := vf32(us)
+	vort := vf32(r.vort)
+	return func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			base := v * 3 // mesh.VertexDegree
+			var circ float32
+			for j := base; j < base+3; j++ {
+				circ += w.at(j) * u.at(int(eov.at(j)))
+			}
+			vort.set(v, circ/at.at(v))
+		}
+	}
+}
+
+//go:noinline
+func (r *Fast32Runner) f32A2(us []float32) func(lo, hi int) {
+	cp := vi32(r.csr.CellPtr)
+	ce := vi32(r.csr.CellEdges)
+	w := vf32(r.wA1)
+	area := vf32(r.areaCell)
+	u := vf32(us)
+	div := vf32(r.div)
+	return func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			ps, pe := int(cp.at(c)), int(cp.at(c+1))
+			var acc float32
+			for j := ps; j < pe; j++ {
+				acc += w.at(j) * u.at(int(ce.at(j)))
+			}
+			div.set(c, acc/area.at(c))
+		}
+	}
+}
+
+//go:noinline
+func (r *Fast32Runner) f32A3(us []float32) func(lo, hi int) {
+	cp := vi32(r.csr.CellPtr)
+	ce := vi32(r.csr.CellEdges)
+	w := vf32(r.wA3)
+	area := vf32(r.areaCell)
+	u := vf32(us)
+	ke := vf32(r.ke)
+	return func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			ps, pe := int(cp.at(c)), int(cp.at(c+1))
+			var acc float32
+			for j := ps; j < pe; j++ {
+				ue := u.at(int(ce.at(j)))
+				acc += w.at(j) * ue * ue
+			}
+			ke.set(c, acc/area.at(c))
+		}
+	}
+}
+
+//go:noinline
+func (r *Fast32Runner) f32F(us []float32) func(lo, hi int) {
+	ep := vi32(r.csr.EdgePtr)
+	eoe := vi32(r.csr.EdgeEdges)
+	wts := vf32(r.wEdge)
+	u := vf32(us)
+	v := vf32(r.v)
+	return func(lo, hi int) {
+		for e := lo; e < hi; e++ {
+			ps, pe := int(ep.at(e)), int(ep.at(e+1))
+			var acc float32
+			for j := ps; j < pe; j++ {
+				acc += wts.at(j) * u.at(int(eoe.at(j)))
+			}
+			v.set(e, acc)
+		}
+	}
+}
+
+//go:noinline
+func (r *Fast32Runner) f32G(hs []float32) func(lo, hi int) {
+	kv := vf32(r.kite)
+	cv := vi32(r.s.M.CellsOnVertex)
+	at := vf32(r.areaTri)
+	fv := vf32(r.fVertex)
+	h := vf32(hs)
+	hvd := vf32(r.hVert)
+	pv := vf32(r.pvVert)
+	vort := vf32(r.vort)
+	return func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			base := v * 3 // mesh.VertexDegree
+			var acc float32
+			for j := base; j < base+3; j++ {
+				acc += kv.at(j) * h.at(int(cv.at(j)))
+			}
+			hv := acc / at.at(v)
+			hvd.set(v, hv)
+			pv.set(v, (fv.at(v)+vort.at(v))/hv)
+		}
+	}
+}
+
+//go:noinline
+func (r *Fast32Runner) f32C2() func(lo, hi int) {
+	cp := vi32(r.csr.CellPtr)
+	cvt := vi32(r.csr.CellVerts)
+	w := vf32(r.wKite)
+	pvc := vf32(r.pvCell)
+	pvv := vf32(r.pvVert)
+	return func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			ps, pe := int(cp.at(c)), int(cp.at(c+1))
+			var acc float32
+			for j := ps; j < pe; j++ {
+				acc += w.at(j) * pvv.at(int(cvt.at(j)))
+			}
+			pvc.set(c, acc)
+		}
+	}
+}
+
+//go:noinline
+func (r *Fast32Runner) f32H1() func(lo, hi int) {
+	voe := vi32(r.s.M.VerticesOnEdge)
+	pve := vf32(r.pvEdge)
+	pvv := vf32(r.pvVert)
+	return func(lo, hi int) {
+		for e := lo; e < hi; e++ {
+			v1 := int(voe.at(2 * e))
+			v2 := int(voe.at(2*e + 1))
+			pve.set(e, 0.5*(pvv.at(v1)+pvv.at(v2)))
+		}
+	}
+}
+
+//go:noinline
+func (r *Fast32Runner) f32B2(us []float32) func(lo, hi int) {
+	coef := float32(r.cfg.APVM * r.cfg.Dt)
+	voe := vi32(r.s.M.VerticesOnEdge)
+	coe := vi32(r.s.M.CellsOnEdge)
+	dc := vf32(r.dcEdge)
+	dv := vf32(r.dvEdge)
+	pve := vf32(r.pvEdge)
+	pvv := vf32(r.pvVert)
+	pvc := vf32(r.pvCell)
+	u := vf32(us)
+	v := vf32(r.v)
+	return func(lo, hi int) {
+		for e := lo; e < hi; e++ {
+			v1 := int(voe.at(2 * e))
+			v2 := int(voe.at(2*e + 1))
+			c1 := int(coe.at(2 * e))
+			c2 := int(coe.at(2*e + 1))
+			gradPVt := (pvv.at(v2) - pvv.at(v1)) / dv.at(e)
+			gradPVn := (pvc.at(c2) - pvc.at(c1)) / dc.at(e)
+			pve.set(e, pve.at(e)-coef*(v.at(e)*gradPVt+u.at(e)*gradPVn))
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/dataflow"
+	"repro/internal/mesh"
 	"repro/internal/par"
 	"repro/internal/pattern"
 )
@@ -153,8 +154,14 @@ type PlanRunner struct {
 	// (e.g. a test-case setup flipping AdvectionOnly after construction).
 	cfg Config
 
-	// Hoisted gather weights (see plan_kernels.go).
-	wA1, wA3, wE []float64
+	// csr is the packed, index-validated image of the mesh adjacency the
+	// compiled kernels gather through (see mesh.PackCSR); the pack-time
+	// validation is what licenses their unchecked loads.
+	csr *mesh.CSR
+
+	// Hoisted gather weights, packed by csr.CellPtr (wA1, wA3, wKite) and
+	// by vertex degree (wE); see buildWeights.
+	wA1, wA3, wKite, wE []float64
 
 	stepPlan    *plan
 	kernelPlans map[*Kernel]*plan
@@ -181,6 +188,14 @@ func NewPlanRunner(s *Solver, pool *par.Pool) (*PlanRunner, error) {
 		pool = par.NewPool(1)
 	}
 	r := &PlanRunner{s: s, pool: pool, cfg: s.Cfg, rangeCache: map[int][][2]int32{}}
+	csr, err := s.M.PackCSR()
+	if err != nil {
+		return nil, fmt.Errorf("sw: packing mesh adjacency: %w", err)
+	}
+	r.csr = csr
+	if err := checkSolverShapes(s, csr); err != nil {
+		return nil, fmt.Errorf("sw: plan shapes: %w", err)
+	}
 	r.buildWeights()
 
 	specs := r.stepSpecs()
@@ -230,6 +245,93 @@ func (r *PlanRunner) OpIDs() []string {
 		out[i] = op.id
 	}
 	return out
+}
+
+// buildWeights precomputes the hoisted gather weights, packed by the CSR
+// row pointers so the hot loops stream them stride-1. wA1[k] is the signed
+// edge length s.signCell*DvEdge shared by A1 and A2; wA3 is A3's quadrature
+// weight (0.25*Dc)*Dv; wKite is C2's kite fraction; wE is E's signed
+// dual-edge length. Each stored product reproduces the original
+// left-associated prefix, so multiplying by the remaining factors gives the
+// original rounding exactly. (Ordinary checked indexing is fine here — this
+// is compile-time setup, not a hot loop; plan_kernels.go must stay free of
+// slice indexing for the bounds-check gate.)
+func (r *PlanRunner) buildWeights() {
+	s := r.s
+	m := s.M
+	c := r.csr
+	nnz := len(c.CellEdges)
+	r.wA1 = mesh.AlignedFloat64(nnz)
+	r.wA3 = mesh.AlignedFloat64(nnz)
+	r.wKite = mesh.AlignedFloat64(nnz)
+	for cell := 0; cell < m.NCells; cell++ {
+		lo, hi := c.CellRow(cell)
+		base := cell * mesh.MaxEdges
+		for j := 0; j < hi-lo; j++ {
+			e := m.EdgesOnCell[base+j]
+			r.wA1[lo+j] = s.signCell[base+j] * m.DvEdge[e]
+			r.wA3[lo+j] = 0.25 * m.DcEdge[e] * m.DvEdge[e]
+			r.wKite[lo+j] = s.kiteOnCell[base+j]
+		}
+	}
+	r.wE = mesh.AlignedFloat64(m.NVertices * mesh.VertexDegree)
+	for v := 0; v < m.NVertices; v++ {
+		base := v * mesh.VertexDegree
+		for j := 0; j < mesh.VertexDegree; j++ {
+			e := m.EdgesOnVertex[base+j]
+			r.wE[base+j] = s.signVertex[base+j] * m.DcEdge[e]
+		}
+	}
+}
+
+// checkSolverShapes asserts, once at compile time, that every array the
+// compiled kernels (plan_kernels.go, fast32_kernels.go) access through
+// unchecked views covers its index space. Together with the CSR pack-time
+// column validation this is the safety argument for the bounds-check-free
+// hot loops.
+func checkSolverShapes(s *Solver, csr *mesh.CSR) error {
+	m := s.M
+	nc, ne, nv := m.NCells, m.NEdges, m.NVertices
+	check := func(name string, got, want int) error {
+		if got < want {
+			return fmt.Errorf("%s has %d elements, need %d", name, got, want)
+		}
+		return nil
+	}
+	for _, c := range []struct {
+		name string
+		got  int
+		want int
+	}{
+		{"State.H", len(s.State.H), nc}, {"State.U", len(s.State.U), ne},
+		{"Provis.H", len(s.Provis.H), nc}, {"Provis.U", len(s.Provis.U), ne},
+		{"next.H", len(s.next.H), nc}, {"next.U", len(s.next.U), ne},
+		{"Tend.H", len(s.Tend.H), nc}, {"Tend.U", len(s.Tend.U), ne},
+		{"B", len(s.B), nc},
+		{"Diag.HEdge", len(s.Diag.HEdge), ne}, {"Diag.KE", len(s.Diag.KE), nc},
+		{"Diag.PVEdge", len(s.Diag.PVEdge), ne}, {"Diag.V", len(s.Diag.V), ne},
+		{"Diag.Divergence", len(s.Diag.Divergence), nc},
+		{"Diag.D2fdx2Cell", len(s.Diag.D2fdx2Cell), nc},
+		{"Diag.Vorticity", len(s.Diag.Vorticity), nv},
+		{"Diag.HVertex", len(s.Diag.HVertex), nv},
+		{"Diag.PVVertex", len(s.Diag.PVVertex), nv},
+		{"Diag.PVCell", len(s.Diag.PVCell), nc},
+		{"AreaCell", len(m.AreaCell), nc}, {"AreaTriangle", len(m.AreaTriangle), nv},
+		{"DcEdge", len(m.DcEdge), ne}, {"DvEdge", len(m.DvEdge), ne},
+		{"FVertex", len(m.FVertex), nv},
+		{"CellsOnEdge", len(m.CellsOnEdge), 2 * ne},
+		{"VerticesOnEdge", len(m.VerticesOnEdge), 2 * ne},
+		{"CellsOnVertex", len(m.CellsOnVertex), nv * mesh.VertexDegree},
+		{"EdgesOnVertex", len(m.EdgesOnVertex), nv * mesh.VertexDegree},
+		{"KiteAreasOnVertex", len(m.KiteAreasOnVertex), nv * mesh.VertexDegree},
+		{"CSR.CellPtr", len(csr.CellPtr), nc + 1},
+		{"CSR.EdgePtr", len(csr.EdgePtr), ne + 1},
+	} {
+		if err := check(c.name, c.got, c.want); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // step advances one RK-4 time step through the compiled plan (called from
@@ -384,7 +486,7 @@ func (r *PlanRunner) stepSpecs() []opSpec {
 		add(opSpec{id: "H2" + suf, stage: stage, n: nc, shape: pattern.ShapeH, out: pattern.Mass,
 			reads: []string{"vorticity"}, writes: []string{"vorticity_cell"}, run: s.patH2})
 		add(opSpec{id: "H1" + suf, stage: stage, n: ne, shape: pattern.ShapeH, out: pattern.Velocity,
-			reads: []string{"pv_vertex"}, writes: []string{"pv_edge"}, run: s.patH1})
+			reads: []string{"pv_vertex"}, writes: []string{"pv_edge"}, run: r.cH1()})
 		if cfg.APVM != 0 {
 			add(opSpec{id: "B2" + suf, stage: stage, n: ne, shape: pattern.ShapeB, out: pattern.Velocity,
 				reads:  []string{"pv_vertex", "pv_cell", diagU, "v", "pv_edge"},

@@ -1,94 +1,84 @@
 package sw
 
-import "repro/internal/mesh"
-
 // This file holds the compiled kernel variants the execution plan (plan.go)
 // dispatches instead of the generic range kernels in kernels.go. Each variant
 // is bitwise-identical to its original: the floating-point expression tree is
 // unchanged (same literals, same left-to-right association), only the
 // surrounding scaffolding differs —
 //
-//   - gather index lists are re-sliced to the stencil width so the compiler
-//     can eliminate the per-element bounds checks,
+//   - gathers run over the mesh's CSR image (mesh.PackCSR): row-pointer
+//     spans into stride-1 int32 column arrays, in the identical j-order as
+//     the strided originals, so reductions reassociate nothing;
+//   - all loads and stores go through the unchecked views of unchecked.go —
+//     the compiler cannot eliminate bounds checks on data-dependent gather
+//     subscripts, so they are removed by construction instead, with safety
+//     established by CSR pack-time index validation plus the array-shape
+//     assertions at plan compile time (plan.go checkShapes);
 //   - products of per-slot mesh constants (edge sign × edge length) are
-//     hoisted into weight tables built once at plan compilation,
+//     hoisted into weight tables packed by the same row pointers (built in
+//     plan.go buildWeights, which may use ordinary checked indexing);
 //   - the current state is bound at compile time instead of read through
 //     s.cur, because the plan never retargets mid-step,
 //   - the RK substep/accumulate updates (X2..X5) are fused into the tendency
 //     loops where the data flow proves the combined loop races with nothing.
 //
+// THIS FILE MUST STAY FREE OF SLICE INDEXING: bce_test.go recompiles the
+// package with -d=ssa/check_bce and fails on any bounds check attributed
+// here (scripts/ci.sh runs the same gate). Setup code that wants ordinary
+// indexing belongs in plan.go.
+//
+// Every constructor below is marked //go:noinline. When the inliner copies a
+// closure-returning function into its caller (stepSpecs), the copied closure
+// body is generated after the inlining pass and the view accessors inside it
+// stay as real calls — turning every load in the hot loops into a function
+// call (~4x per-kernel slowdown, observed). Keeping the constructors out of
+// line makes their closures compile through the normal path, where at/set
+// inline to single load/store instructions.
+//
 // Equivalence is pinned by TestPlanBitwise across the configuration space.
-
-// buildWeights precomputes the hoisted gather weights. wA1[c][j] is the
-// signed edge length s.signCell*DvEdge shared by A1, A2 and A4; wA3 is A3's
-// quadrature weight (0.25*Dc)*Dv; wE is E's signed dual-edge length. Each
-// stored product reproduces the original left-associated prefix, so
-// multiplying by the remaining factors gives the original rounding exactly.
-func (r *PlanRunner) buildWeights() {
-	s := r.s
-	m := s.M
-	r.wA1 = make([]float64, m.NCells*mesh.MaxEdges)
-	r.wA3 = make([]float64, m.NCells*mesh.MaxEdges)
-	for c := 0; c < m.NCells; c++ {
-		base := c * mesh.MaxEdges
-		n := int(m.NEdgesOnCell[c])
-		for j := 0; j < n; j++ {
-			e := m.EdgesOnCell[base+j]
-			r.wA1[base+j] = s.signCell[base+j] * m.DvEdge[e]
-			r.wA3[base+j] = 0.25 * m.DcEdge[e] * m.DvEdge[e]
-		}
-	}
-	r.wE = make([]float64, m.NVertices*mesh.VertexDegree)
-	for v := 0; v < m.NVertices; v++ {
-		base := v * mesh.VertexDegree
-		for j := 0; j < mesh.VertexDegree; j++ {
-			e := m.EdgesOnVertex[base+j]
-			r.wE[base+j] = s.signVertex[base+j] * m.DcEdge[e]
-		}
-	}
-}
 
 // mkTendH compiles the fused thickness-tendency op for one RK stage:
 // A1 (flux divergence), X4 (accumulate), and at stage 0 additionally X2 (the
 // provisional update, legal there because stage 0 reads the accepted state)
 // or at stage 3 the commit into State.H. The stage-0 form also absorbs the
 // next.CopyFrom(State) initialization: hn = h0 + b*t instead of copy-then-add.
+//
+//go:noinline
 func (r *PlanRunner) mkTendH(stage int) func(lo, hi int) {
 	s := r.s
-	m := s.M
-	w := r.wA1
-	a, b := s.rkA[stage], s.rkB[stage]
+	a, b := s.rkA[stage&3], s.rkB[stage&3]
 	st := s.Provis
 	if stage == 0 {
 		st = s.State
 	}
+	cp := vi32(r.csr.CellPtr)
+	ce := vi32(r.csr.CellEdges)
+	w := vf64(r.wA1)
+	area := vf64(s.M.AreaCell)
 	return func(lo, hi int) {
-		u := st.U
-		he := s.Diag.HEdge
-		th := s.Tend.H
-		hn := s.next.H
-		h0 := s.State.H
-		hp := s.Provis.H
+		u := vf64(st.U)
+		he := vf64(s.Diag.HEdge)
+		th := vf64(s.Tend.H)
+		hn := vf64(s.next.H)
+		h0 := vf64(s.State.H)
+		hp := vf64(s.Provis.H)
 		for c := lo; c < hi; c++ {
-			base := c * mesh.MaxEdges
-			n := int(m.NEdgesOnCell[c])
-			ws := w[base : base+n]
-			es := m.EdgesOnCell[base : base+n]
+			ps, pe := int(cp.at(c)), int(cp.at(c+1))
 			acc := 0.0
-			for j, wj := range ws {
-				e := es[j]
-				acc += wj * he[e] * u[e]
+			for j := ps; j < pe; j++ {
+				e := int(ce.at(j))
+				acc += w.at(j) * he.at(e) * u.at(e)
 			}
-			t := -acc / m.AreaCell[c]
-			th[c] = t
+			t := -acc / area.at(c)
+			th.set(c, t)
 			switch stage {
 			case 0:
-				hn[c] = h0[c] + b*t
-				hp[c] = h0[c] + a*t
+				hn.set(c, h0.at(c)+b*t)
+				hp.set(c, h0.at(c)+a*t)
 			case 3:
-				h0[c] = hn[c] + b*t
+				h0.set(c, hn.at(c)+b*t)
 			default:
-				hn[c] += b * t
+				hn.set(c, hn.at(c)+b*t)
 			}
 		}
 	}
@@ -99,81 +89,87 @@ func (r *PlanRunner) mkTendH(stage int) func(lo, hi int) {
 // passes (X1), X5 (accumulate), and at stage 0 additionally X3 or at stage 3
 // the commit into State.U. Sub-passes run in the original pattern order over
 // the worker's own range, so fusion changes no result.
+//
+//go:noinline
 func (r *PlanRunner) mkTendU(stage int) func(lo, hi int) {
 	s := r.s
 	m := s.M
 	cfg := s.Cfg
 	g := cfg.Gravity
-	a, bw := s.rkA[stage], s.rkB[stage]
+	a, bw := s.rkA[stage&3], s.rkB[stage&3]
 	st := s.Provis
 	if stage == 0 {
 		st = s.State
 	}
+	ep := vi32(r.csr.EdgePtr)
+	eoe := vi32(r.csr.EdgeEdges)
+	wts := vf64(r.csr.EdgeWeights)
+	coe := vi32(m.CellsOnEdge)
+	voe := vi32(m.VerticesOnEdge)
+	dc := vf64(m.DcEdge)
+	dv := vf64(m.DvEdge)
 	return func(lo, hi int) {
-		u := st.U
-		tu := s.Tend.U
+		u := vf64(st.U)
+		tu := vf64(s.Tend.U)
 		if cfg.AdvectionOnly {
 			for e := lo; e < hi; e++ {
-				tu[e] = 0
+				tu.set(e, 0)
 			}
 		} else {
-			h := st.H
-			he := s.Diag.HEdge
-			ke := s.Diag.KE
-			pve := s.Diag.PVEdge
-			b := s.B
+			h := vf64(st.H)
+			he := vf64(s.Diag.HEdge)
+			ke := vf64(s.Diag.KE)
+			pve := vf64(s.Diag.PVEdge)
+			b := vf64(s.B)
 			for e := lo; e < hi; e++ {
-				base := e * mesh.MaxEdgesOnEdge
-				n := int(m.NEdgesOnEdge[e])
-				w := m.WeightsOnEdge[base : base+n]
-				eoe := m.EdgesOnEdge[base : base+n]
-				pe := pve[e]
+				ps, pend := int(ep.at(e)), int(ep.at(e+1))
+				pe := pve.at(e)
 				q := 0.0
-				for j, wj := range w {
-					k := eoe[j]
-					workPV := 0.5 * (pe + pve[k])
-					q += wj * u[k] * he[k] * workPV
+				for j := ps; j < pend; j++ {
+					k := int(eoe.at(j))
+					workPV := 0.5 * (pe + pve.at(k))
+					q += wts.at(j) * u.at(k) * he.at(k) * workPV
 				}
-				c1 := m.CellsOnEdge[2*e]
-				c2 := m.CellsOnEdge[2*e+1]
-				grad := (ke[c2] - ke[c1] + g*(h[c2]+b[c2]-h[c1]-b[c1])) / m.DcEdge[e]
-				tu[e] = q - grad
+				c1 := int(coe.at(2 * e))
+				c2 := int(coe.at(2*e + 1))
+				grad := (ke.at(c2) - ke.at(c1) + g*(h.at(c2)+b.at(c2)-h.at(c1)-b.at(c1))) / dc.at(e)
+				tu.set(e, q-grad)
 			}
 			if nu := cfg.Viscosity; nu != 0 {
-				div := s.Diag.Divergence
-				vort := s.Diag.Vorticity
+				div := vf64(s.Diag.Divergence)
+				vort := vf64(s.Diag.Vorticity)
 				for e := lo; e < hi; e++ {
-					c1 := m.CellsOnEdge[2*e]
-					c2 := m.CellsOnEdge[2*e+1]
-					v1 := m.VerticesOnEdge[2*e]
-					v2 := m.VerticesOnEdge[2*e+1]
-					tu[e] += nu * ((div[c2]-div[c1])/m.DcEdge[e] - (vort[v2]-vort[v1])/m.DvEdge[e])
+					c1 := int(coe.at(2 * e))
+					c2 := int(coe.at(2*e + 1))
+					v1 := int(voe.at(2 * e))
+					v2 := int(voe.at(2*e + 1))
+					tu.set(e, tu.at(e)+nu*((div.at(c2)-div.at(c1))/dc.at(e)-(vort.at(v2)-vort.at(v1))/dv.at(e)))
 				}
 			}
 		}
 		if rf := cfg.RayleighFriction; rf != 0 {
 			for e := lo; e < hi; e++ {
-				tu[e] -= rf * u[e]
+				tu.set(e, tu.at(e)-rf*u.at(e))
 			}
 		}
-		un := s.next.U
+		un := vf64(s.next.U)
 		switch stage {
 		case 0:
-			u0 := s.State.U
-			up := s.Provis.U
+			u0 := vf64(s.State.U)
+			up := vf64(s.Provis.U)
 			for e := lo; e < hi; e++ {
-				t := tu[e]
-				un[e] = u0[e] + bw*t
-				up[e] = u0[e] + a*t
+				t := tu.at(e)
+				un.set(e, u0.at(e)+bw*t)
+				up.set(e, u0.at(e)+a*t)
 			}
 		case 3:
-			uo := s.State.U
+			uo := vf64(s.State.U)
 			for e := lo; e < hi; e++ {
-				uo[e] = un[e] + bw*tu[e]
+				uo.set(e, un.at(e)+bw*tu.at(e))
 			}
 		default:
 			for e := lo; e < hi; e++ {
-				un[e] += bw * tu[e]
+				un.set(e, un.at(e)+bw*tu.at(e))
 			}
 		}
 	}
@@ -182,28 +178,31 @@ func (r *PlanRunner) mkTendU(stage int) func(lo, hi int) {
 // mkX2 / mkX3 compile the provisional-state updates for stages 1 and 2 (at
 // stages 0 and 3 they are fused into the tendency ops). Unlike patX2/patX3
 // they bind the RK coefficient at compile time instead of reading s.stage.
+//
+//go:noinline
 func (r *PlanRunner) mkX2(stage int) func(lo, hi int) {
 	s := r.s
-	a := s.rkA[stage]
+	a := s.rkA[stage&3]
 	return func(lo, hi int) {
-		h0 := s.State.H
-		th := s.Tend.H
-		hp := s.Provis.H
+		h0 := vf64(s.State.H)
+		th := vf64(s.Tend.H)
+		hp := vf64(s.Provis.H)
 		for c := lo; c < hi; c++ {
-			hp[c] = h0[c] + a*th[c]
+			hp.set(c, h0.at(c)+a*th.at(c))
 		}
 	}
 }
 
+//go:noinline
 func (r *PlanRunner) mkX3(stage int) func(lo, hi int) {
 	s := r.s
-	a := s.rkA[stage]
+	a := s.rkA[stage&3]
 	return func(lo, hi int) {
-		u0 := s.State.U
-		tu := s.Tend.U
-		up := s.Provis.U
+		u0 := vf64(s.State.U)
+		tu := vf64(s.Tend.U)
+		up := vf64(s.Provis.U)
 		for e := lo; e < hi; e++ {
-			up[e] = u0[e] + a*tu[e]
+			up.set(e, u0.at(e)+a*tu.at(e))
 		}
 	}
 }
@@ -213,199 +212,231 @@ func (r *PlanRunner) mkX3(stage int) func(lo, hi int) {
 // stage 3) at compile time; kernels that read only diagnostics reuse the
 // originals from kernels.go.
 
+//go:noinline
 func (r *PlanRunner) cC1(st *State) func(lo, hi int) {
 	s := r.s
-	m := s.M
+	cp := vi32(r.csr.CellPtr)
+	ce := vi32(r.csr.CellEdges)
+	cc := vi32(r.csr.CellCells)
+	dc := vf64(s.M.DcEdge)
 	return func(lo, hi int) {
-		h := st.H
-		d2 := s.Diag.D2fdx2Cell
+		h := vf64(st.H)
+		d2 := vf64(s.Diag.D2fdx2Cell)
 		for c := lo; c < hi; c++ {
-			base := c * mesh.MaxEdges
-			n := int(m.NEdgesOnCell[c])
-			es := m.EdgesOnCell[base : base+n]
-			cs := m.CellsOnCell[base : base+n]
+			ps, pe := int(cp.at(c)), int(cp.at(c+1))
 			acc := 0.0
-			for j, e := range es {
-				nb := cs[j]
-				d := m.DcEdge[e]
-				acc += 2 * (h[nb] - h[c]) / (d * d)
+			for j := ps; j < pe; j++ {
+				nb := int(cc.at(j))
+				d := dc.at(int(ce.at(j)))
+				acc += 2 * (h.at(nb) - h.at(c)) / (d * d)
 			}
-			d2[c] = acc / float64(n)
+			d2.set(c, acc/float64(pe-ps))
 		}
 	}
 }
 
+//go:noinline
 func (r *PlanRunner) cD1(st *State) func(lo, hi int) {
 	s := r.s
-	m := s.M
+	coe := vi32(s.M.CellsOnEdge)
 	return func(lo, hi int) {
-		h := st.H
-		he := s.Diag.HEdge
+		h := vf64(st.H)
+		he := vf64(s.Diag.HEdge)
 		for e := lo; e < hi; e++ {
-			c1 := m.CellsOnEdge[2*e]
-			c2 := m.CellsOnEdge[2*e+1]
-			he[e] = 0.5 * (h[c1] + h[c2])
+			c1 := int(coe.at(2 * e))
+			c2 := int(coe.at(2*e + 1))
+			he.set(e, 0.5*(h.at(c1)+h.at(c2)))
 		}
 	}
 }
 
+//go:noinline
 func (r *PlanRunner) cD2(st *State) func(lo, hi int) {
 	s := r.s
-	m := s.M
+	coe := vi32(s.M.CellsOnEdge)
+	dcv := vf64(s.M.DcEdge)
 	return func(lo, hi int) {
-		h := st.H
-		d2 := s.Diag.D2fdx2Cell
-		he := s.Diag.HEdge
+		h := vf64(st.H)
+		d2 := vf64(s.Diag.D2fdx2Cell)
+		he := vf64(s.Diag.HEdge)
 		for e := lo; e < hi; e++ {
-			c1 := m.CellsOnEdge[2*e]
-			c2 := m.CellsOnEdge[2*e+1]
-			dc := m.DcEdge[e]
-			he[e] = 0.5*(h[c1]+h[c2]) - dc*dc/12*0.5*(d2[c1]+d2[c2])
+			c1 := int(coe.at(2 * e))
+			c2 := int(coe.at(2*e + 1))
+			dc := dcv.at(e)
+			he.set(e, 0.5*(h.at(c1)+h.at(c2))-dc*dc/12*0.5*(d2.at(c1)+d2.at(c2)))
 		}
 	}
 }
 
+//go:noinline
 func (r *PlanRunner) cE(st *State) func(lo, hi int) {
 	s := r.s
-	m := s.M
-	w := r.wE
+	w := vf64(r.wE)
+	eov := vi32(s.M.EdgesOnVertex)
+	at := vf64(s.M.AreaTriangle)
 	return func(lo, hi int) {
-		u := st.U
-		vort := s.Diag.Vorticity
+		u := vf64(st.U)
+		vort := vf64(s.Diag.Vorticity)
 		for v := lo; v < hi; v++ {
-			base := v * mesh.VertexDegree
+			base := v * 3 // mesh.VertexDegree
 			circ := 0.0
-			for j := 0; j < mesh.VertexDegree; j++ {
-				circ += w[base+j] * u[m.EdgesOnVertex[base+j]]
+			for j := base; j < base+3; j++ {
+				circ += w.at(j) * u.at(int(eov.at(j)))
 			}
-			vort[v] = circ / m.AreaTriangle[v]
+			vort.set(v, circ/at.at(v))
 		}
 	}
 }
 
+//go:noinline
 func (r *PlanRunner) cA2(st *State) func(lo, hi int) {
 	s := r.s
-	m := s.M
-	w := r.wA1
+	cp := vi32(r.csr.CellPtr)
+	ce := vi32(r.csr.CellEdges)
+	w := vf64(r.wA1)
+	area := vf64(s.M.AreaCell)
 	return func(lo, hi int) {
-		u := st.U
-		div := s.Diag.Divergence
+		u := vf64(st.U)
+		div := vf64(s.Diag.Divergence)
 		for c := lo; c < hi; c++ {
-			base := c * mesh.MaxEdges
-			n := int(m.NEdgesOnCell[c])
-			ws := w[base : base+n]
-			es := m.EdgesOnCell[base : base+n]
+			ps, pe := int(cp.at(c)), int(cp.at(c+1))
 			acc := 0.0
-			for j, wj := range ws {
-				acc += wj * u[es[j]]
+			for j := ps; j < pe; j++ {
+				acc += w.at(j) * u.at(int(ce.at(j)))
 			}
-			div[c] = acc / m.AreaCell[c]
+			div.set(c, acc/area.at(c))
 		}
 	}
 }
 
+//go:noinline
 func (r *PlanRunner) cA3(st *State) func(lo, hi int) {
 	s := r.s
-	m := s.M
-	w := r.wA3
+	cp := vi32(r.csr.CellPtr)
+	ce := vi32(r.csr.CellEdges)
+	w := vf64(r.wA3)
+	area := vf64(s.M.AreaCell)
 	return func(lo, hi int) {
-		u := st.U
-		ke := s.Diag.KE
+		u := vf64(st.U)
+		ke := vf64(s.Diag.KE)
 		for c := lo; c < hi; c++ {
-			base := c * mesh.MaxEdges
-			n := int(m.NEdgesOnCell[c])
-			ws := w[base : base+n]
-			es := m.EdgesOnCell[base : base+n]
+			ps, pe := int(cp.at(c)), int(cp.at(c+1))
 			acc := 0.0
-			for j, wj := range ws {
-				ue := u[es[j]]
-				acc += wj * ue * ue
+			for j := ps; j < pe; j++ {
+				ue := u.at(int(ce.at(j)))
+				acc += w.at(j) * ue * ue
 			}
-			ke[c] = acc / m.AreaCell[c]
+			ke.set(c, acc/area.at(c))
 		}
 	}
 }
 
+//go:noinline
 func (r *PlanRunner) cF(st *State) func(lo, hi int) {
 	s := r.s
-	m := s.M
+	ep := vi32(r.csr.EdgePtr)
+	eoe := vi32(r.csr.EdgeEdges)
+	wts := vf64(r.csr.EdgeWeights)
 	return func(lo, hi int) {
-		u := st.U
-		v := s.Diag.V
+		u := vf64(st.U)
+		v := vf64(s.Diag.V)
 		for e := lo; e < hi; e++ {
-			base := e * mesh.MaxEdgesOnEdge
-			n := int(m.NEdgesOnEdge[e])
-			w := m.WeightsOnEdge[base : base+n]
-			eoe := m.EdgesOnEdge[base : base+n]
+			ps, pe := int(ep.at(e)), int(ep.at(e+1))
 			acc := 0.0
-			for j, wj := range w {
-				acc += wj * u[eoe[j]]
+			for j := ps; j < pe; j++ {
+				acc += wts.at(j) * u.at(int(eoe.at(j)))
 			}
-			v[e] = acc
+			v.set(e, acc)
 		}
 	}
 }
 
+//go:noinline
 func (r *PlanRunner) cG(st *State) func(lo, hi int) {
 	s := r.s
-	m := s.M
+	kv := vf64(s.M.KiteAreasOnVertex)
+	cv := vi32(s.M.CellsOnVertex)
+	at := vf64(s.M.AreaTriangle)
+	fv := vf64(s.M.FVertex)
 	return func(lo, hi int) {
-		h := st.H
-		hv := s.Diag.HVertex
-		pv := s.Diag.PVVertex
-		vort := s.Diag.Vorticity
+		h := vf64(st.H)
+		hvd := vf64(s.Diag.HVertex)
+		pv := vf64(s.Diag.PVVertex)
+		vort := vf64(s.Diag.Vorticity)
 		for v := lo; v < hi; v++ {
-			base := v * mesh.VertexDegree
-			kv := m.KiteAreasOnVertex[base : base+mesh.VertexDegree]
-			cv := m.CellsOnVertex[base : base+mesh.VertexDegree]
+			base := v * 3 // mesh.VertexDegree
 			acc := 0.0
-			for j, k := range kv {
-				acc += k * h[cv[j]]
+			for j := base; j < base+3; j++ {
+				acc += kv.at(j) * h.at(int(cv.at(j)))
 			}
-			hv[v] = acc / m.AreaTriangle[v]
-			pv[v] = (m.FVertex[v] + vort[v]) / hv[v]
+			hv := acc / at.at(v)
+			hvd.set(v, hv)
+			pv.set(v, (fv.at(v)+vort.at(v))/hv)
 		}
 	}
 }
 
+//go:noinline
 func (r *PlanRunner) cC2() func(lo, hi int) {
 	s := r.s
-	m := s.M
+	cp := vi32(r.csr.CellPtr)
+	cvt := vi32(r.csr.CellVerts)
+	w := vf64(r.wKite)
 	return func(lo, hi int) {
-		pvc := s.Diag.PVCell
-		pvv := s.Diag.PVVertex
+		pvc := vf64(s.Diag.PVCell)
+		pvv := vf64(s.Diag.PVVertex)
 		for c := lo; c < hi; c++ {
-			base := c * mesh.MaxEdges
-			n := int(m.NEdgesOnCell[c])
-			ws := s.kiteOnCell[base : base+n]
-			vs := m.VerticesOnCell[base : base+n]
+			ps, pe := int(cp.at(c)), int(cp.at(c+1))
 			acc := 0.0
-			for j, wj := range ws {
-				acc += wj * pvv[vs[j]]
+			for j := ps; j < pe; j++ {
+				acc += w.at(j) * pvv.at(int(cvt.at(j)))
 			}
-			pvc[c] = acc
+			pvc.set(c, acc)
 		}
 	}
 }
 
+// cH1 compiles pattern H1 (edge <- 2 vertices): potential vorticity at
+// edges. It reads only diagnostics, so no state binding is needed; the
+// compiled form exists because H1 runs every stage on the hot path.
+//
+//go:noinline
+func (r *PlanRunner) cH1() func(lo, hi int) {
+	s := r.s
+	voe := vi32(s.M.VerticesOnEdge)
+	return func(lo, hi int) {
+		pve := vf64(s.Diag.PVEdge)
+		pvv := vf64(s.Diag.PVVertex)
+		for e := lo; e < hi; e++ {
+			v1 := int(voe.at(2 * e))
+			v2 := int(voe.at(2*e + 1))
+			pve.set(e, 0.5*(pvv.at(v1)+pvv.at(v2)))
+		}
+	}
+}
+
+//go:noinline
 func (r *PlanRunner) cB2(st *State) func(lo, hi int) {
 	s := r.s
-	m := s.M
 	coef := s.Cfg.APVM * s.Cfg.Dt
+	voe := vi32(s.M.VerticesOnEdge)
+	coe := vi32(s.M.CellsOnEdge)
+	dc := vf64(s.M.DcEdge)
+	dv := vf64(s.M.DvEdge)
 	return func(lo, hi int) {
-		pve := s.Diag.PVEdge
-		pvv := s.Diag.PVVertex
-		pvc := s.Diag.PVCell
-		u := st.U
-		v := s.Diag.V
+		pve := vf64(s.Diag.PVEdge)
+		pvv := vf64(s.Diag.PVVertex)
+		pvc := vf64(s.Diag.PVCell)
+		u := vf64(st.U)
+		v := vf64(s.Diag.V)
 		for e := lo; e < hi; e++ {
-			v1 := m.VerticesOnEdge[2*e]
-			v2 := m.VerticesOnEdge[2*e+1]
-			c1 := m.CellsOnEdge[2*e]
-			c2 := m.CellsOnEdge[2*e+1]
-			gradPVt := (pvv[v2] - pvv[v1]) / m.DvEdge[e]
-			gradPVn := (pvc[c2] - pvc[c1]) / m.DcEdge[e]
-			pve[e] -= coef * (v[e]*gradPVt + u[e]*gradPVn)
+			v1 := int(voe.at(2 * e))
+			v2 := int(voe.at(2*e + 1))
+			c1 := int(coe.at(2 * e))
+			c2 := int(coe.at(2*e + 1))
+			gradPVt := (pvv.at(v2) - pvv.at(v1)) / dv.at(e)
+			gradPVn := (pvc.at(c2) - pvc.at(c1)) / dc.at(e)
+			pve.set(e, pve.at(e)-coef*(v.at(e)*gradPVt+u.at(e)*gradPVn))
 		}
 	}
 }

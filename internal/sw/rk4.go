@@ -31,6 +31,13 @@ func (s *Solver) Step() {
 		pr.step()
 		return
 	}
+	// The float32 fast mode additionally requires no PostSubstep hook: its
+	// intermediate states live in float32 arrays the hook could not see.
+	if fr, ok := s.Runner.(*Fast32Runner); ok && fr.s == s && fr.cfg == s.Cfg &&
+		len(s.Tracers) == 0 && s.PostSubstep == nil {
+		fr.step()
+		return
+	}
 	step := s.Trace.StartSpan("rk4_step")
 	s.Provis.CopyFrom(s.State)
 	s.next.CopyFrom(s.State)

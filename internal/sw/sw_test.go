@@ -426,6 +426,22 @@ func BenchmarkStepPlan(b *testing.B) {
 	}
 }
 
+func BenchmarkStepFast32(b *testing.B) {
+	for _, level := range []int{3, 4, 5} {
+		m := testMesh(b, level)
+		pool := par.NewPool(0)
+		defer pool.Close()
+		s, _ := sw.NewSolver(m, sw.DefaultConfig(m))
+		testcases.SetupTC5(s)
+		s.Runner = sw.MustNewFast32Runner(s, pool)
+		b.Run(map[int]string{3: "642cells", 4: "2562cells", 5: "10242cells"}[level], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s.Step()
+			}
+		})
+	}
+}
+
 func BenchmarkStepThreaded(b *testing.B) {
 	m := testMesh(b, 5)
 	pool := par.NewPool(0)

@@ -1,0 +1,56 @@
+//go:build !race
+
+package sw
+
+import "unsafe"
+
+// Unchecked array views for the compiled hot kernels (plan_kernels.go,
+// fast32_kernels.go). The Go compiler cannot eliminate bounds checks on
+// data-dependent gather subscripts (u[EdgesOnCell[j]] and friends), so the
+// compiled kernels read and write through these raw-pointer views instead.
+//
+// Soundness is established OUTSIDE the hot loops, once, by construction:
+//
+//   - every gather index comes from the mesh's CSR image, and
+//     mesh.PackCSR validates every column against its entity count;
+//   - every target array is allocated to its entity count by the solver and
+//     its length is re-asserted against the mesh at plan compile time
+//     (PlanRunner.checkShapes / Fast32Runner construction);
+//   - loop bounds are the per-worker static ranges, partitions of [0, n).
+//
+// Under the race detector this file is replaced by unchecked_race.go, whose
+// views are ordinary slice accesses — bounds-checked and, crucially,
+// race-instrumented — so `go test -race` still watches the compiled
+// schedules for real data races.
+
+type f64v struct{ p *float64 }
+
+func vf64(s []float64) f64v { return f64v{unsafe.SliceData(s)} }
+
+func (v f64v) at(i int) float64 {
+	return *(*float64)(unsafe.Add(unsafe.Pointer(v.p), uintptr(i)*8))
+}
+
+func (v f64v) set(i int, x float64) {
+	*(*float64)(unsafe.Add(unsafe.Pointer(v.p), uintptr(i)*8)) = x
+}
+
+type f32v struct{ p *float32 }
+
+func vf32(s []float32) f32v { return f32v{unsafe.SliceData(s)} }
+
+func (v f32v) at(i int) float32 {
+	return *(*float32)(unsafe.Add(unsafe.Pointer(v.p), uintptr(i)*4))
+}
+
+func (v f32v) set(i int, x float32) {
+	*(*float32)(unsafe.Add(unsafe.Pointer(v.p), uintptr(i)*4)) = x
+}
+
+type i32v struct{ p *int32 }
+
+func vi32(s []int32) i32v { return i32v{unsafe.SliceData(s)} }
+
+func (v i32v) at(i int) int32 {
+	return *(*int32)(unsafe.Add(unsafe.Pointer(v.p), uintptr(i)*4))
+}

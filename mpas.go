@@ -119,6 +119,16 @@ type Options struct {
 	HighOrderThickness bool
 	// Dt overrides the time step (seconds); 0 means a stable default.
 	Dt float64
+	// Precision selects the step arithmetic: "" or "float64" for the
+	// reference double-precision path, "float32" for the fast mode — the
+	// whole RK-4 step computed in single precision over CSR-packed SoA
+	// arrays (sw.Fast32Runner), streaming half the bytes per step. The
+	// float64 State remains the source of truth (loaded/stored around each
+	// step), so checkpointing and diagnostics keep working; trajectories
+	// track the float64 run within the relative band documented in
+	// internal/conform (Strategy.RelBand). Host-only modes (Serial,
+	// Threaded, Plan) only.
+	Precision string
 	// Mesh reuses an existing mesh instead of building one (Level and
 	// LloydIterations are then ignored).
 	Mesh *mesh.Mesh
@@ -142,6 +152,18 @@ func New(opts Options) (*Model, error) {
 	}
 	if opts.TestCase == 0 {
 		opts.TestCase = TC5
+	}
+	switch opts.Precision {
+	case "", "float64", "float32":
+	default:
+		return nil, fmt.Errorf("mpas: unknown precision %q (want float64 or float32)", opts.Precision)
+	}
+	if opts.Precision == "float32" {
+		switch opts.Mode {
+		case Serial, Threaded, Plan:
+		default:
+			return nil, fmt.Errorf("mpas: precision float32 requires a host-only mode (serial, threaded, plan), not %v", opts.Mode)
+		}
 	}
 	m := opts.Mesh
 	if m == nil {
@@ -205,7 +227,24 @@ func New(opts Options) (*Model, error) {
 	default:
 		return nil, fmt.Errorf("mpas: unknown test case %d", opts.TestCase)
 	}
-	if opts.Mode == Plan {
+	if opts.Precision == "float32" {
+		// The fast-mode runner, like the plan, specializes on the post-setup
+		// configuration. It replaces whatever host runner the mode installed;
+		// Init and other non-step paths still run float64 through its pool.
+		if mod.pool == nil {
+			w := opts.Workers
+			if opts.Mode == Serial {
+				w = 1
+			}
+			mod.pool = par.NewPool(w)
+		}
+		r, err := sw.NewFast32Runner(s, mod.pool)
+		if err != nil {
+			mod.pool.Close()
+			return nil, fmt.Errorf("mpas: %w", err)
+		}
+		s.Runner = r
+	} else if opts.Mode == Plan {
 		r, err := sw.NewPlanRunner(s, mod.pool)
 		if err != nil {
 			mod.pool.Close()

@@ -1,0 +1,5 @@
+//go:build !race
+
+package mpas
+
+const raceDetectorEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package mpas
+
+// raceDetectorEnabled mirrors the build's -race flag for tests that must
+// scale themselves down under the detector's ~10x slowdown.
+const raceDetectorEnabled = true

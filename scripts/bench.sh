@@ -1,23 +1,29 @@
 #!/usr/bin/env bash
 # Run the repository benchmarks and emit a machine-readable summary,
-# BENCH_pr6.json: { "<benchmark>": {"ns_per_op":…, "allocs_per_op":…,
-# "bytes_per_op":…}, … }. The BenchmarkClusterEnsemble pair (1 vs 2
-# workers) additionally reports member-steps/s — the cluster ensemble
-# throughput scaling number. Knobs:
+# BENCH_pr7.json: { "<benchmark>": {"ns_per_op":…, "allocs_per_op":…,
+# "bytes_per_op":…}, …, "ladder": {…} }. The BenchmarkClusterEnsemble pair
+# (1 vs 2 workers) additionally reports member-steps/s — the cluster
+# ensemble throughput scaling number — and the trailing "ladder" key is the
+# cmd/bigmesh Table-III scaling report (n=BENCH_LADDER_MIN..MAX icosahedral
+# meshes, serial vs plan vs float32 seconds/step). Knobs:
 #
-#   BENCH_PATTERN   go test -bench regexp      (default: the sw step and
+#   BENCH_PATTERN      go test -bench regexp   (default: the sw step and
 #                                               par pool micro-benchmarks
 #                                               plus cluster throughput)
-#   BENCH_TIME      go test -benchtime value   (default 1x — one iteration,
+#   BENCH_TIME         go test -benchtime value (default 1x — one iteration,
 #                                               enough for a smoke number;
 #                                               use e.g. 2s for real timing)
-#   BENCH_OUT       output path                (default BENCH_pr6.json)
+#   BENCH_OUT          output path             (default BENCH_pr7.json)
+#   BENCH_LADDER       0 to skip the big-mesh ladder (default: run it)
+#   BENCH_LADDER_MIN   first ladder level      (default 6, 40962 cells)
+#   BENCH_LADDER_MAX   last ladder level       (default 9, 2621442 cells)
+#   BENCH_LADDER_STEPS timed steps per mode    (default 2)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-pattern=${BENCH_PATTERN:-'BenchmarkStepSerial|BenchmarkStepThreaded|BenchmarkStepPlan|BenchmarkPoolForOverhead|BenchmarkRegionFusion|BenchmarkReduction|BenchmarkBarrier|BenchmarkDispatchOverhead|BenchmarkDynamicChunkFloor|BenchmarkClusterEnsemble'}
+pattern=${BENCH_PATTERN:-'BenchmarkStepSerial|BenchmarkStepThreaded|BenchmarkStepPlan|BenchmarkStepFast32|BenchmarkPoolForOverhead|BenchmarkRegionFusion|BenchmarkReduction|BenchmarkBarrier|BenchmarkDispatchOverhead|BenchmarkDynamicChunkFloor|BenchmarkClusterEnsemble'}
 benchtime=${BENCH_TIME:-1x}
-out=${BENCH_OUT:-BENCH_pr6.json}
+out=${BENCH_OUT:-BENCH_pr7.json}
 
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
@@ -57,3 +63,12 @@ if [ "$count" -eq 0 ]; then
     exit 1
 fi
 echo "bench.sh: wrote $count benchmark entries to $out"
+
+if [ "${BENCH_LADDER:-1}" != 0 ]; then
+    lmin=${BENCH_LADDER_MIN:-6}
+    lmax=${BENCH_LADDER_MAX:-9}
+    lsteps=${BENCH_LADDER_STEPS:-2}
+    echo "== big-mesh ladder (levels $lmin..$lmax, $lsteps steps/mode) =="
+    go run ./cmd/bigmesh -min-level "$lmin" -max-level "$lmax" \
+        -steps "$lsteps" -out "$out"
+fi

@@ -11,19 +11,38 @@ go vet ./...
 echo "== go build =="
 go build ./...
 
+echo "== bounds-check asm gate (hot kernels) =="
+# The compiled-plan and fast32 kernels must stay bounds-check-free: the test
+# recompiles internal/sw with -d=ssa/check_bce and greps the diagnostics.
+# Run it on its own, without -race, because the unchecked views deliberately
+# fall back to checked slices under the race detector.
+go test -count=1 -run 'TestHotKernelsBoundsCheckFree' ./internal/sw
+
+echo "== zero-alloc gate (level-7 plan + fast32 step) =="
+# Also race-excluded: under -race the kernels run on checked slices and the
+# level-7 build would blow the package test timeout in the coverage run.
+go test -count=1 -run 'TestPlanStepZeroAllocBigMesh' .
+
 echo "== go test -race (runtime + solver focus) =="
 # The compiled-plan step and the pool runtime are the concurrency hot spots:
 # fail fast on them before the full (slower) coverage run below.
 go test -race ./internal/par/... ./internal/sw/...
 
 echo "== go test -race (with coverage) =="
-go test -race -coverprofile=coverage.out -coverpkg=./... ./...
+go test -race -timeout 20m -coverprofile=coverage.out -coverpkg=./... ./...
 
 echo "== conformance matrix (cmd/conformance) =="
 # Every execution strategy against the serial baseline: the named cases plus
 # 20 seeded random cases on a small mesh, ending with the perturbation
 # self-check. Non-zero exit on any divergence.
 go run ./cmd/conformance -level 2 -steps 2 -random 20
+
+echo "== big-mesh ladder smoke (level 7, 163842 cells) =="
+# One Table-III rung end to end: serial, compiled-plan, and float32 fast
+# mode on a real 163842-cell mesh, plus the per-rung report plumbing. The
+# full n=6..9 ladder (scripts/bench.sh) is too slow for every CI run; this
+# smoke keeps the harness itself from silently regressing.
+go run ./cmd/bigmesh -min-level 7 -max-level 7 -steps 2 -check=false
 
 echo "== swserver smoke (submit, poll, metrics, drain) =="
 smokedir=$(mktemp -d)
