@@ -1,0 +1,235 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dist"
+)
+
+// binOnce builds the swrank binary once for every integration test here.
+var binOnce struct {
+	sync.Once
+	bin string
+	err string
+}
+
+func swrank(t *testing.T) string {
+	t.Helper()
+	binOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "swrank-bin-*")
+		if err != nil {
+			binOnce.err = err.Error()
+			return
+		}
+		bin := filepath.Join(dir, "swrank")
+		if out, err := exec.Command("go", "build", "-o", bin, "repro/cmd/swrank").CombinedOutput(); err != nil {
+			binOnce.err = fmt.Sprintf("%v\n%s", err, out)
+			return
+		}
+		binOnce.bin = bin
+	})
+	if binOnce.err != "" {
+		t.Fatalf("building swrank: %s", binOnce.err)
+	}
+	return binOnce.bin
+}
+
+var hashRe = regexp.MustCompile(`swrank hash ([0-9a-f]{16})`)
+
+func runHash(t *testing.T, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(swrank(t), args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("swrank %v: %v\n%s", args, err, out)
+	}
+	m := hashRe.FindSubmatch(out)
+	if m == nil {
+		t.Fatalf("no hash line in output of swrank %v:\n%s", args, out)
+	}
+	return string(m[1])
+}
+
+// In-process coverage of the serial reference path: result file, mass
+// series, and bench entry all produced from one run.
+func TestRunSerialWritesResultAndBench(t *testing.T) {
+	dir := t.TempDir()
+	o := &options{
+		serial: true, caseN: "tc2", level: 3, steps: 2, workers: 1,
+		hash: true, out: filepath.Join(dir, "res.bin"),
+		benchOut: filepath.Join(dir, "bench.json"), benchKey: "k",
+		timeout: time.Minute,
+	}
+	if err := runSerial(o); err != nil {
+		t.Fatal(err)
+	}
+	r, err := dist.ReadResult(o.out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Level != 3 || r.Steps != 2 || len(r.Mass) != 3 || len(r.H) == 0 || len(r.U) == 0 {
+		t.Fatalf("result shape wrong: level=%d steps=%d lens=%d/%d/%d",
+			r.Level, r.Steps, len(r.H), len(r.U), len(r.Mass))
+	}
+	raw, err := os.ReadFile(o.benchOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string][]benchEntry
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("bench JSON: %v\n%s", err, raw)
+	}
+	if len(doc["k"]) != 1 || doc["k"][0].Mode != "serial" || doc["k"][0].SecondsPerStep <= 0 {
+		t.Fatalf("bench entry wrong:\n%s", raw)
+	}
+}
+
+func TestRunSerialRejectsUnknownCase(t *testing.T) {
+	if err := runSerial(&options{serial: true, caseN: "nope", level: 3, steps: 1}); err == nil {
+		t.Fatal("unknown case accepted")
+	}
+}
+
+func TestStateHash(t *testing.T) {
+	h := []float64{1, 2, 3}
+	u := []float64{4, 5}
+	a := stateHash(h, u)
+	if b := stateHash(h, u); b != a {
+		t.Fatalf("hash not deterministic: %x vs %x", a, b)
+	}
+	u[1] = math.Nextafter(5, 6)
+	if b := stateHash(h, u); b == a {
+		t.Fatal("hash insensitive to a 1-ULP change")
+	}
+	// The hash is a plain concatenation of H then U — the split point is
+	// fixed by the mesh, so it is deliberately NOT encoded.
+	if stateHash([]float64{1, 2}, []float64{3}) != stateHash([]float64{1}, []float64{2, 3}) {
+		t.Fatal("hash unexpectedly encodes the H/U boundary")
+	}
+}
+
+func TestMergeBenchRejectsMalformedFiles(t *testing.T) {
+	dir := t.TempDir()
+	notObj := filepath.Join(dir, "a.json")
+	if err := os.WriteFile(notObj, []byte(`[1,2]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := mergeBench(notObj, "k", benchEntry{}); err == nil {
+		t.Fatal("non-object file accepted")
+	}
+	badKey := filepath.Join(dir, "b.json")
+	if err := os.WriteFile(badKey, []byte(`{"k": {"not": "array"}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := mergeBench(badKey, "k", benchEntry{}); err == nil {
+		t.Fatal("non-array key accepted")
+	}
+}
+
+// The core promise of the whole subsystem: N real processes over TCP
+// produce the exact bytes of the single-process run — overlapped or
+// blocking, any worker count.
+func TestLaunchHashMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes")
+	}
+	common := []string{"-case", "tc2", "-level", "3", "-steps", "2", "-hash", "-timeout", "60s"}
+	serial := runHash(t, append([]string{"-serial"}, common...)...)
+	for _, args := range [][]string{
+		{"-launch", "2"},
+		{"-launch", "2", "-overlap=false"},
+		{"-launch", "3", "-workers", "2"},
+	} {
+		got := runHash(t, append(args, common...)...)
+		if got != serial {
+			t.Errorf("swrank %v hash %s != serial %s", args, got, serial)
+		}
+	}
+}
+
+// A rank killed mid-run must take the launch down: non-zero exit, the
+// culprit rank named, every process gone, all well inside the deadline.
+func TestCrashedRankIsNamedFast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes")
+	}
+	start := time.Now()
+	out, err := exec.Command(swrank(t),
+		"-launch", "3", "-case", "tc2", "-level", "3", "-steps", "4",
+		"-crash-rank", "2", "-crash-step", "1", "-timeout", "60s").CombinedOutput()
+	if err == nil {
+		t.Fatalf("launch with a killed rank exited zero:\n%s", out)
+	}
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() == 0 {
+		t.Fatalf("unexpected error kind: %v", err)
+	}
+	if !strings.Contains(string(out), "rank 2 failed") {
+		t.Fatalf("culprit not named in output:\n%s", out)
+	}
+	if el := time.Since(start); el > 30*time.Second {
+		t.Fatalf("failure took %v to surface (deadline was 60s)", el)
+	}
+}
+
+// -bench-out appends entries while preserving unrelated keys in the shared
+// benchmark JSON.
+func TestBenchOutMergesEntries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes")
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, []byte(`{"existing": {"keep": true}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	common := []string{"-case", "tc2", "-level", "3", "-steps", "1",
+		"-bench-out", path, "-timeout", "60s"}
+	for _, args := range [][]string{
+		{"-serial"},
+		{"-launch", "2"},
+		{"-launch", "2", "-overlap=false"},
+	} {
+		if out, err := exec.Command(swrank(t), append(args, common...)...).CombinedOutput(); err != nil {
+			t.Fatalf("swrank %v: %v\n%s", args, err, out)
+		}
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Existing map[string]bool `json:"existing"`
+		Entries  []struct {
+			Mode           string  `json:"mode"`
+			Procs          int     `json:"procs"`
+			Overlap        bool    `json:"overlap"`
+			SecondsPerStep float64 `json:"seconds_per_step"`
+		} `json:"dist_strong_scaling"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("bench JSON: %v\n%s", err, raw)
+	}
+	if !doc.Existing["keep"] {
+		t.Fatal("pre-existing key clobbered")
+	}
+	if len(doc.Entries) != 3 {
+		t.Fatalf("%d entries, want 3:\n%s", len(doc.Entries), raw)
+	}
+	for i, e := range doc.Entries {
+		if e.SecondsPerStep <= 0 {
+			t.Errorf("entry %d has non-positive seconds_per_step", i)
+		}
+	}
+	if doc.Entries[0].Mode != "serial" || doc.Entries[1].Mode != "dist" ||
+		!doc.Entries[1].Overlap || doc.Entries[2].Overlap {
+		t.Fatalf("entry shape wrong:\n%s", raw)
+	}
+}

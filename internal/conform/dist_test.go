@@ -1,0 +1,136 @@
+package conform
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/mesh"
+)
+
+// swrankBin builds cmd/swrank once per test binary and returns its path.
+// The build directory is cleaned up by the last test using it (tracked via
+// testing.T cleanup of the FIRST caller would tear it down too early, so
+// the directory simply lives until the test process exits and the OS temp
+// reaper collects it).
+var swrankOnce struct {
+	sync.Once
+	bin string
+	err string
+}
+
+func swrankBin(t *testing.T) string {
+	t.Helper()
+	swrankOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "swrank-bin-*")
+		if err != nil {
+			swrankOnce.err = err.Error()
+			return
+		}
+		bin := filepath.Join(dir, "swrank")
+		cmd := exec.Command("go", "build", "-o", bin, "repro/cmd/swrank")
+		if out, err := cmd.CombinedOutput(); err != nil {
+			swrankOnce.err = fmt.Sprintf("%v\n%s", err, out)
+			return
+		}
+		swrankOnce.bin = bin
+	})
+	if swrankOnce.err != "" {
+		t.Fatalf("building swrank: %s", swrankOnce.err)
+	}
+	return swrankOnce.bin
+}
+
+func distMesh(t *testing.T, level int) *mesh.Mesh {
+	t.Helper()
+	m, err := dist.DefaultMesh(level)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestDistProcConformance is the paper's equivalence claim extended across
+// REAL process boundaries: 2-process TCP runs of every named case must
+// reproduce the serial baseline within 4 ULPs (they are in fact bitwise
+// equal — the halo exchange transports exact values and owned arithmetic is
+// identical), and 4-process runs likewise on the rotated (tc5) and unstable
+// (galewsky) cases, in both blocking and overlapped scheduling.
+func TestDistProcConformance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes")
+	}
+	bin := swrankBin(t)
+	const level = 4
+	m := distMesh(t, level)
+	base := Baseline()
+
+	runs := []struct {
+		caseName string
+		ranks    int
+		overlap  bool
+		steps    int
+	}{
+		{"tc1", 2, true, 2},
+		{"tc2", 2, true, 2},
+		{"tc5", 2, true, 2},
+		{"tc6", 2, true, 2},
+		{"galewsky", 2, true, 2},
+		{"tc5", 2, false, 2},
+		{"tc5", 4, true, 2},
+		{"tc5", 4, false, 2},
+		{"galewsky", 4, true, 2},
+	}
+	for _, run := range runs {
+		c, err := NamedCase(run.caseName, m, run.steps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := base.Run(c, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := DistProc(bin, run.ranks, level, run.overlap)
+		res, err := st.Run(c, false)
+		if err != nil {
+			t.Fatalf("%s on %s: %v", st.Name, run.caseName, err)
+		}
+		tol := PairTolerance(base, st, c.Steps)
+		d, ok := CompareResults(ref, res, tol)
+		if !ok {
+			t.Errorf("%s vs %s on %s: %s", base.Name, st.Name, run.caseName, d.String())
+			continue
+		}
+		if d.MaxULP != 0 {
+			// Not a failure against the documented band, but the substrate
+			// is built to be bitwise — log any drift loudly.
+			t.Logf("%s on %s: max ULP %d (expected 0)", st.Name, run.caseName, d.MaxULP)
+		}
+		if len(res.Mass) != run.steps+1 {
+			t.Errorf("%s on %s: mass series has %d entries, want %d",
+				st.Name, run.caseName, len(res.Mass), run.steps+1)
+		}
+	}
+}
+
+// The strategy must refuse a case whose mesh/name it cannot reconstruct in
+// another process.
+func TestDistProcRejectsUnnamedCase(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes")
+	}
+	bin := swrankBin(t)
+	m := distMesh(t, 3)
+	c, err := NamedCase("tc2", m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Name = "not-a-named-case"
+	if _, err := DistProc(bin, 2, 3, true).Run(c, false); err == nil {
+		t.Fatal("unnamed case accepted")
+	}
+}

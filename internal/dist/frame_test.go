@@ -1,0 +1,122 @@
+package dist
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"testing"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	want := header{Type: frameData, Sender: 7, Tag: 0x2000_0003, Length: 4096}
+	var b [headerSize]byte
+	putHeader(b[:], want)
+	got, err := parseHeader(b[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("round trip %+v != %+v", got, want)
+	}
+}
+
+func TestHeaderRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"short":       make([]byte, headerSize-1),
+		"zero":        make([]byte, headerSize),
+		"bad magic":   {0xde, 0xad, 0xbe, 0xef, 1, 3, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+		"bad version": {0x46, 0x44, 0x57, 0x53, 9, 3, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+		"bad type":    {0x46, 0x44, 0x57, 0x53, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+		"oversize":    {0x46, 0x44, 0x57, 0x53, 1, 3, 0, 0, 0, 0, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff},
+	}
+	for name, b := range cases {
+		if _, err := parseHeader(b); err == nil {
+			t.Errorf("%s header accepted", name)
+		}
+	}
+}
+
+func TestReadFrameTruncatedPayload(t *testing.T) {
+	var b [headerSize]byte
+	putHeader(b[:], header{Type: frameData, Sender: 1, Tag: 2, Length: 100})
+	r := bytes.NewReader(append(b[:], make([]byte, 10)...)) // 90 bytes short
+	if _, _, _, err := readFrame(r, nil); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+}
+
+func TestWriteReadFrame(t *testing.T) {
+	payload := make([]byte, 8*3)
+	putFloats(payload, []float64{1.5, -2.25, math.Pi})
+	var buf bytes.Buffer
+	if _, n, err := writeFrame(&buf, header{Type: frameData, Sender: 3, Tag: 9}, payload, nil); err != nil || n != headerSize+24 {
+		t.Fatalf("writeFrame: n=%d err=%v", n, err)
+	}
+	h, got, n, err := readFrame(&buf, nil)
+	if err != nil || n != headerSize+24 {
+		t.Fatalf("readFrame: n=%d err=%v", n, err)
+	}
+	if h.Sender != 3 || h.Tag != 9 || !bytes.Equal(got, payload) {
+		t.Fatalf("frame mismatch: %+v", h)
+	}
+	out := make([]float64, 3)
+	getFloats(out, got)
+	if out[0] != 1.5 || out[1] != -2.25 || out[2] != math.Pi {
+		t.Fatalf("float round trip: %v", out)
+	}
+}
+
+// FuzzFrameDecode feeds arbitrary bytes to the frame decoder: it must
+// reject or accept cleanly — no panic, no over-read — and an accepted frame
+// must re-encode to the bytes it was decoded from.
+func FuzzFrameDecode(f *testing.F) {
+	var seed [headerSize]byte
+	putHeader(seed[:], header{Type: frameData, Sender: 1, Tag: 2, Length: 8})
+	f.Add(append(seed[:], 1, 2, 3, 4, 5, 6, 7, 8))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0x53}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		h, payload, n, err := readFrame(r, nil)
+		if err != nil {
+			return
+		}
+		if n != headerSize+len(payload) || int(h.Length) != len(payload) {
+			t.Fatalf("inconsistent decode: n=%d len=%d h.Length=%d", n, len(payload), h.Length)
+		}
+		var buf bytes.Buffer
+		if _, m, err := writeFrame(&buf, h, payload, nil); err != nil || m != n {
+			t.Fatalf("re-encode: m=%d err=%v", m, err)
+		}
+		if !bytes.Equal(buf.Bytes(), data[:n]) {
+			t.Fatalf("re-encode differs from wire bytes")
+		}
+	})
+}
+
+// The decoder must never read past the declared frame, so back-to-back
+// frames on one stream decode independently.
+func TestReadFrameStreamFraming(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 3; i++ {
+		p := make([]byte, 8)
+		putFloats(p, []float64{float64(i)})
+		if _, _, err := writeFrame(&buf, header{Type: frameData, Sender: 0, Tag: uint32(i)}, p, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		h, p, _, err := readFrame(&buf, nil)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		v := make([]float64, 1)
+		getFloats(v, p)
+		if h.Tag != uint32(i) || v[0] != float64(i) {
+			t.Fatalf("frame %d: tag %d value %v", i, h.Tag, v[0])
+		}
+	}
+	if _, _, _, err := readFrame(&buf, nil); err != io.EOF {
+		t.Fatalf("want EOF after last frame, got %v", err)
+	}
+}

@@ -1,0 +1,105 @@
+package dist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// RunResult is the final-state record a distributed (or serial reference)
+// swrank run writes with -out: the gathered global fields plus the global
+// mass series, enough for the conformance harness to compare trajectories
+// across process counts without sharing memory.
+type RunResult struct {
+	Level int
+	Steps int
+	H     []float64
+	U     []float64
+	Mass  []float64 // per step, index 0 = initial state
+}
+
+// resultMagic identifies the binary result file ("SWRK"), little-endian
+// throughout like the repository's checkpoint format.
+const resultMagic uint32 = 0x5357524B
+
+// WriteResult writes r to path atomically enough for our purposes (single
+// writer, readers open only after the writing process exited).
+func WriteResult(path string, r *RunResult) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	var u8 [8]byte
+	putU32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(u8[:4], v)
+		w.Write(u8[:4])
+	}
+	putU32(resultMagic)
+	putU32(1) // version
+	putU32(uint32(r.Level))
+	putU32(uint32(r.Steps))
+	putU32(uint32(len(r.H)))
+	putU32(uint32(len(r.U)))
+	putU32(uint32(len(r.Mass)))
+	for _, field := range [][]float64{r.H, r.U, r.Mass} {
+		for _, v := range field {
+			binary.LittleEndian.PutUint64(u8[:], math.Float64bits(v))
+			w.Write(u8[:])
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadResult reads a file written by WriteResult.
+func ReadResult(path string) (*RunResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	var u8 [8]byte
+	getU32 := func() (uint32, error) {
+		if _, err := io.ReadFull(br, u8[:4]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(u8[:4]), nil
+	}
+	magic, err := getU32()
+	if err != nil || magic != resultMagic {
+		return nil, fmt.Errorf("dist: %s is not a swrank result file (magic %#x, err %v)", path, magic, err)
+	}
+	ver, err := getU32()
+	if err != nil || ver != 1 {
+		return nil, fmt.Errorf("dist: %s: unsupported result version %d", path, ver)
+	}
+	hdr := make([]uint32, 5)
+	for i := range hdr {
+		if hdr[i], err = getU32(); err != nil {
+			return nil, fmt.Errorf("dist: %s: truncated header: %w", path, err)
+		}
+	}
+	const maxField = 1 << 28 // defensive bound, far above any supported mesh
+	if hdr[2] > maxField || hdr[3] > maxField || hdr[4] > maxField {
+		return nil, fmt.Errorf("dist: %s: implausible field sizes %v", path, hdr[2:])
+	}
+	r := &RunResult{Level: int(hdr[0]), Steps: int(hdr[1]),
+		H: make([]float64, hdr[2]), U: make([]float64, hdr[3]), Mass: make([]float64, hdr[4])}
+	for _, field := range [][]float64{r.H, r.U, r.Mass} {
+		for i := range field {
+			if _, err := io.ReadFull(br, u8[:]); err != nil {
+				return nil, fmt.Errorf("dist: %s: truncated data: %w", path, err)
+			}
+			field[i] = math.Float64frombits(binary.LittleEndian.Uint64(u8[:]))
+		}
+	}
+	return r, nil
+}

@@ -1,0 +1,73 @@
+package dist
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestResultRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "r.bin")
+	want := &RunResult{
+		Level: 3, Steps: 2,
+		H:    []float64{1.5, -2.25, 0, 3e100},
+		U:    []float64{-0.5, 1e-300},
+		Mass: []float64{10, 10.000001, 9.999999},
+	}
+	if err := WriteResult(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadResult(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Level != want.Level || got.Steps != want.Steps {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	for name, pair := range map[string][2][]float64{
+		"H": {want.H, got.H}, "U": {want.U, got.U}, "Mass": {want.Mass, got.Mass},
+	} {
+		if len(pair[0]) != len(pair[1]) {
+			t.Fatalf("%s length %d != %d", name, len(pair[1]), len(pair[0]))
+		}
+		for i := range pair[0] {
+			if pair[0][i] != pair[1][i] {
+				t.Fatalf("%s[%d] = %v, want %v", name, i, pair[1][i], pair[0][i])
+			}
+		}
+	}
+}
+
+func TestResultRejectsCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "r.bin")
+	if err := WriteResult(path, &RunResult{Level: 1, Steps: 1,
+		H: []float64{1}, U: []float64{2}, Mass: []float64{3}}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	trunc := filepath.Join(t.TempDir(), "trunc.bin")
+	if err := os.WriteFile(trunc, raw[:len(raw)-4], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadResult(trunc); err == nil {
+		t.Fatal("truncated file accepted")
+	}
+
+	bad := append([]byte(nil), raw...)
+	bad[0] ^= 0xff
+	badPath := filepath.Join(t.TempDir(), "bad.bin")
+	if err := os.WriteFile(badPath, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadResult(badPath); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+
+	if _, err := ReadResult(filepath.Join(t.TempDir(), "missing.bin")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,166 @@
+package halo
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mesh"
+	"repro/internal/partition"
+)
+
+func decompose(t *testing.T, level, nranks, layers int) (*mesh.Mesh, []*partition.Local, []*ExchangeSpec) {
+	t.Helper()
+	g, err := mesh.Build(level, mesh.Options{})
+	if err != nil {
+		t.Fatalf("mesh: %v", err)
+	}
+	part, err := partition.Bisect(g, nranks)
+	if err != nil {
+		t.Fatalf("bisect: %v", err)
+	}
+	locals := make([]*partition.Local, nranks)
+	for r := 0; r < nranks; r++ {
+		locals[r] = partition.Extract(g, part, r, layers)
+	}
+	specs := BuildSpecs(g, locals)
+	if err := Validate(specs); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	return g, locals, specs
+}
+
+// Every halo cell and non-owned edge must be covered by exactly one recv
+// list, and every send slot must be an owned entity on the sender.
+func TestSpecsCoverHalo(t *testing.T) {
+	for _, nranks := range []int{2, 3, 4} {
+		_, locals, specs := decompose(t, 3, nranks, 3)
+		for r, l := range locals {
+			p := specs[r]
+			if p.Rank != r {
+				t.Fatalf("spec rank %d != %d", p.Rank, r)
+			}
+			cellCovered := make([]int, len(l.CellL2G))
+			edgeCovered := make([]int, len(l.EdgeL2G))
+			for _, peer := range p.Peers {
+				for _, lc := range p.RecvCells[peer] {
+					cellCovered[lc]++
+				}
+				for _, le := range p.RecvEdges[peer] {
+					edgeCovered[le]++
+				}
+				for _, lc := range p.SendCells[peer] {
+					if int(lc) >= l.NOwnedCells {
+						t.Fatalf("rank %d sends non-owned cell slot %d to %d", r, lc, peer)
+					}
+				}
+				for _, le := range p.SendEdges[peer] {
+					if int(l.EdgeOwner[le]) != r {
+						t.Fatalf("rank %d sends non-owned edge slot %d to %d", r, le, peer)
+					}
+				}
+			}
+			for lc := range cellCovered {
+				want := 0
+				if lc >= l.NOwnedCells {
+					want = 1
+				}
+				if cellCovered[lc] != want {
+					t.Fatalf("rank %d cell %d covered %d times, want %d", r, lc, cellCovered[lc], want)
+				}
+			}
+			for le := range edgeCovered {
+				want := 0
+				if int(l.EdgeOwner[le]) != r {
+					want = 1
+				}
+				if edgeCovered[le] != want {
+					t.Fatalf("rank %d edge %d covered %d times, want %d", r, le, edgeCovered[le], want)
+				}
+			}
+		}
+	}
+}
+
+// Packing a globally-consistent field on the owner and unpacking on the
+// receiver must reproduce the owner's values at every halo slot exactly.
+func TestPackUnpackRoundTrip(t *testing.T) {
+	g, locals, specs := decompose(t, 3, 3, 2)
+	rng := rand.New(rand.NewSource(7))
+	gcell := make([]float64, g.NCells)
+	gedge := make([]float64, g.NEdges)
+	for i := range gcell {
+		gcell[i] = rng.NormFloat64()
+	}
+	for i := range gedge {
+		gedge[i] = rng.NormFloat64()
+	}
+	// Local fields: owned slots from the global field, halo slots poisoned.
+	cellF := make([][]float64, len(locals))
+	edgeF := make([][]float64, len(locals))
+	for r, l := range locals {
+		cellF[r] = make([]float64, len(l.CellL2G))
+		edgeF[r] = make([]float64, len(l.EdgeL2G))
+		for lc, gc := range l.CellL2G {
+			if lc < l.NOwnedCells {
+				cellF[r][lc] = gcell[gc]
+			} else {
+				cellF[r][lc] = -1e300
+			}
+		}
+		for le, ge := range l.EdgeL2G {
+			if int(l.EdgeOwner[le]) == r {
+				edgeF[r][le] = gedge[ge]
+			} else {
+				edgeF[r][le] = -1e300
+			}
+		}
+	}
+	// One full exchange through Pack/Unpack.
+	for r, p := range specs {
+		for _, peer := range p.Peers {
+			buf := make([]float64, p.SendLen(peer))
+			msg := p.PackSend(peer, cellF[r], edgeF[r], buf)
+			if len(msg) != specs[peer].RecvLen(r) {
+				t.Fatalf("rank %d -> %d: send len %d != recv len %d",
+					r, peer, len(msg), specs[peer].RecvLen(r))
+			}
+			specs[peer].UnpackRecv(r, msg, cellF[peer], edgeF[peer])
+		}
+	}
+	for r, l := range locals {
+		for lc, gc := range l.CellL2G {
+			if cellF[r][lc] != gcell[gc] {
+				t.Fatalf("rank %d cell %d: got %v want %v", r, lc, cellF[r][lc], gcell[gc])
+			}
+		}
+		for le, ge := range l.EdgeL2G {
+			if edgeF[r][le] != gedge[ge] {
+				t.Fatalf("rank %d edge %d: got %v want %v", r, le, edgeF[r][le], gedge[ge])
+			}
+		}
+	}
+}
+
+func TestHaloBytesMatchesLists(t *testing.T) {
+	_, _, specs := decompose(t, 3, 2, 1)
+	for _, p := range specs {
+		want := 0
+		for _, peer := range p.Peers {
+			want += (p.SendLen(peer) + p.RecvLen(peer)) * 8
+		}
+		if got := p.HaloBytes(); got != want {
+			t.Fatalf("HaloBytes %d != %d", got, want)
+		}
+	}
+}
+
+func TestValidateCatchesAsymmetry(t *testing.T) {
+	_, _, specs := decompose(t, 3, 2, 1)
+	// Drop one element from a send list: lengths no longer match.
+	p := specs[0]
+	peer := p.Peers[0]
+	p.SendCells[peer] = p.SendCells[peer][:len(p.SendCells[peer])-1]
+	if err := Validate(specs); err == nil {
+		t.Fatal("Validate accepted a truncated send list")
+	}
+}

@@ -1,0 +1,81 @@
+package mpisim
+
+import (
+	"runtime"
+	"runtime/debug"
+	"testing"
+
+	"repro/internal/mesh"
+)
+
+func decompose2(tb testing.TB) *Decomposition {
+	tb.Helper()
+	g, err := mesh.Build(3, mesh.Options{})
+	if err != nil {
+		tb.Fatalf("mesh: %v", err)
+	}
+	d, err := Decompose(g, 2)
+	if err != nil {
+		tb.Fatalf("decompose: %v", err)
+	}
+	return d
+}
+
+// Steady-state halo exchanges must reuse pooled message buffers instead of
+// allocating per peer per exchange. The gate measures process-wide mallocs
+// across a window of exchanges (GC disabled so the pool cannot be purged
+// mid-measurement) and requires the average to stay below one allocation per
+// exchange — the pre-pool implementation cost ~2 allocations per peer per
+// rank per exchange.
+func TestExchangeAllocFree(t *testing.T) {
+	d := decompose2(t)
+	w := NewWorld(2)
+	const warmup, iters = 16, 200
+	var before, after runtime.MemStats
+	w.Run(func(c *Comm) {
+		l := d.Locals[c.Rank]
+		p := d.Plans[c.Rank]
+		cellF := make([]float64, len(l.CellL2G))
+		edgeF := make([]float64, len(l.EdgeL2G))
+		for i := 0; i < warmup; i++ {
+			c.exchange(p, cellF, edgeF)
+		}
+		c.Barrier()
+		if c.Rank == 0 {
+			old := debug.SetGCPercent(-1)
+			defer debug.SetGCPercent(old)
+			runtime.ReadMemStats(&before)
+		}
+		c.Barrier()
+		for i := 0; i < iters; i++ {
+			c.exchange(p, cellF, edgeF)
+		}
+		c.Barrier()
+		if c.Rank == 0 {
+			runtime.ReadMemStats(&after)
+		}
+	})
+	perExchange := float64(after.Mallocs-before.Mallocs) / iters
+	t.Logf("allocs per exchange (both ranks): %.3f", perExchange)
+	if perExchange > 1.0 {
+		t.Fatalf("halo exchange allocates %.2f objects per exchange; buffer pool is not being reused", perExchange)
+	}
+}
+
+// BenchmarkHaloExchange reports ns and allocs per halo exchange (2 ranks,
+// level-3 mesh, standard halo depth); scripts/bench.sh records it.
+func BenchmarkHaloExchange(b *testing.B) {
+	d := decompose2(b)
+	w := NewWorld(2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	w.Run(func(c *Comm) {
+		l := d.Locals[c.Rank]
+		p := d.Plans[c.Rank]
+		cellF := make([]float64, len(l.CellL2G))
+		edgeF := make([]float64, len(l.EdgeL2G))
+		for i := 0; i < b.N; i++ {
+			c.exchange(p, cellF, edgeF)
+		}
+	})
+}

@@ -1,110 +1,37 @@
 package mpisim
 
 import (
-	"sort"
-
+	"repro/internal/halo"
 	"repro/internal/mesh"
 	"repro/internal/partition"
 )
 
-// Plan is one rank's halo-exchange plan: for each peer, which local cell and
-// edge slots to pack into outgoing messages and which to fill from incoming
-// ones. Send lists on the owner are constructed in the same order as the
-// receiver's recv lists, so messages need no headers.
-type Plan struct {
-	Peers     []int
-	SendCells map[int][]int32
-	RecvCells map[int][]int32
-	SendEdges map[int][]int32
-	RecvEdges map[int][]int32
-}
-
-// HaloBytes returns the per-exchange message volume of this rank (one cell
-// field plus one edge field).
-func (p *Plan) HaloBytes() int {
-	n := 0
-	for _, peer := range p.Peers {
-		n += len(p.SendCells[peer]) + len(p.RecvCells[peer])
-		n += len(p.SendEdges[peer]) + len(p.RecvEdges[peer])
-	}
-	return n * 8
-}
+// Plan is one rank's halo-exchange pattern: for each peer, which local cell
+// and edge slots to pack into outgoing messages and which to fill from
+// incoming ones. It is an alias of the shared halo.ExchangeSpec so mpisim and
+// the real multi-process TCP runtime (internal/dist) consume one definition
+// instead of two drifting copies.
+type Plan = halo.ExchangeSpec
 
 // BuildPlans constructs consistent exchange plans for all ranks.
 func BuildPlans(g *mesh.Mesh, locals []*partition.Local) []*Plan {
-	plans := make([]*Plan, len(locals))
-	for r := range plans {
-		plans[r] = &Plan{
-			SendCells: map[int][]int32{}, RecvCells: map[int][]int32{},
-			SendEdges: map[int][]int32{}, RecvEdges: map[int][]int32{},
-		}
-	}
-	for r, l := range locals {
-		// Halo cells, in local order, grouped by owner.
-		for lc := l.NOwnedCells; lc < len(l.CellL2G); lc++ {
-			o := int(l.CellOwner[lc])
-			plans[r].RecvCells[o] = append(plans[r].RecvCells[o], int32(lc))
-			gcell := l.CellL2G[lc]
-			plans[o].SendCells[r] = append(plans[o].SendCells[r], locals[o].CellG2L[gcell])
-		}
-		// Non-owned local edges.
-		for le, ge := range l.EdgeL2G {
-			o := int(l.EdgeOwner[le])
-			if o == r {
-				continue
-			}
-			plans[r].RecvEdges[o] = append(plans[r].RecvEdges[o], int32(le))
-			plans[o].SendEdges[r] = append(plans[o].SendEdges[r], locals[o].EdgeG2L[ge])
-		}
-	}
-	for r, p := range plans {
-		peers := map[int]bool{}
-		for o := range p.RecvCells {
-			peers[o] = true
-		}
-		for o := range p.SendCells {
-			peers[o] = true
-		}
-		for o := range p.RecvEdges {
-			peers[o] = true
-		}
-		for o := range p.SendEdges {
-			peers[o] = true
-		}
-		delete(peers, r)
-		for o := range peers {
-			p.Peers = append(p.Peers, o)
-		}
-		sort.Ints(p.Peers)
-	}
-	return plans
+	return halo.BuildSpecs(g, locals)
 }
 
 // exchange performs one halo exchange of a cell field and an edge field
 // according to the plan: pack and send to every peer, then receive and
-// unpack from every peer.
+// unpack from every peer. Message buffers come from the world's pool and are
+// returned to it after unpacking, so a steady-state exchange does not
+// allocate.
 func (c *Comm) exchange(p *Plan, cellField, edgeField []float64) {
 	for _, peer := range p.Peers {
-		sc := p.SendCells[peer]
-		se := p.SendEdges[peer]
-		buf := make([]float64, len(sc)+len(se))
-		for i, lc := range sc {
-			buf[i] = cellField[lc]
-		}
-		for i, le := range se {
-			buf[len(sc)+i] = edgeField[le]
-		}
-		c.Send(peer, buf)
+		buf := c.w.getBuf(p.SendLen(peer))
+		p.PackSend(peer, cellField, edgeField, buf)
+		c.sendOwned(peer, buf)
 	}
 	for _, peer := range p.Peers {
-		rc := p.RecvCells[peer]
-		re := p.RecvEdges[peer]
 		buf := c.Recv(peer)
-		for i, lc := range rc {
-			cellField[lc] = buf[i]
-		}
-		for i, le := range re {
-			edgeField[le] = buf[len(rc)+i]
-		}
+		p.UnpackRecv(peer, buf, cellField, edgeField)
+		c.Release(buf)
 	}
 }

@@ -146,11 +146,12 @@ func (r *RankSolver) GatherCellField(local []float64) []float64 {
 	// Pack owned values with their global indices encoded by position:
 	// send [globalIdx0, val0, globalIdx1, val1, ...].
 	if r.Comm.Rank != 0 {
-		buf := make([]float64, 0, 2*r.Local.NOwnedCells)
+		buf := r.Comm.w.getBuf(2 * r.Local.NOwnedCells)
 		for lc := 0; lc < r.Local.NOwnedCells; lc++ {
-			buf = append(buf, float64(r.Local.CellL2G[lc]), local[lc])
+			buf[2*lc] = float64(r.Local.CellL2G[lc])
+			buf[2*lc+1] = local[lc]
 		}
-		r.Comm.Send(0, buf)
+		r.Comm.sendOwned(0, buf)
 		return nil
 	}
 	out := make([]float64, r.globalCells)
@@ -162,6 +163,7 @@ func (r *RankSolver) GatherCellField(local []float64) []float64 {
 		for i := 0; i+1 < len(buf); i += 2 {
 			out[int(buf[i])] = buf[i+1]
 		}
+		r.Comm.Release(buf)
 	}
 	return out
 }
@@ -172,13 +174,13 @@ func (r *RankSolver) GatherCellField(local []float64) []float64 {
 // nil.
 func (r *RankSolver) GatherEdgeField(local []float64) []float64 {
 	if r.Comm.Rank != 0 {
-		buf := make([]float64, 0, 2*len(r.Local.EdgeL2G))
+		buf := r.Comm.w.getBuf(2 * len(r.Local.EdgeL2G))[:0]
 		for le, owner := range r.Local.EdgeOwner {
 			if int(owner) == r.Comm.Rank {
 				buf = append(buf, float64(r.Local.EdgeL2G[le]), local[le])
 			}
 		}
-		r.Comm.Send(0, buf)
+		r.Comm.sendOwned(0, buf)
 		return nil
 	}
 	out := make([]float64, r.globalEdges)
@@ -192,6 +194,7 @@ func (r *RankSolver) GatherEdgeField(local []float64) []float64 {
 		for i := 0; i+1 < len(buf); i += 2 {
 			out[int(buf[i])] = buf[i+1]
 		}
+		r.Comm.Release(buf)
 	}
 	return out
 }

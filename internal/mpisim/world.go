@@ -16,6 +16,36 @@ import (
 type World struct {
 	Size int
 	ch   [][]chan []float64
+
+	// free recycles message buffers across exchanges. Senders draw from it
+	// (Send, exchange, the gather paths) and receivers return buffers via
+	// Comm.Release once unpacked, so steady-state halo traffic does not
+	// allocate. Consumers that never Release simply let buffers fall to the
+	// garbage collector — the pool is an optimization, not an obligation.
+	// (A mutex-guarded stack rather than sync.Pool: Put(&buf) would box a
+	// fresh pointer per release, and sync.Pool contents vanish on GC, which
+	// would make the allocs-per-exchange gate flaky.)
+	mu   sync.Mutex
+	free [][]float64
+}
+
+// getBuf returns a pooled buffer of length n (allocating only when no
+// pooled buffer is large enough).
+func (w *World) getBuf(n int) []float64 {
+	w.mu.Lock()
+	for i := len(w.free) - 1; i >= 0; i-- {
+		if cap(w.free[i]) >= n {
+			b := w.free[i]
+			last := len(w.free) - 1
+			w.free[i] = w.free[last]
+			w.free[last] = nil
+			w.free = w.free[:last]
+			w.mu.Unlock()
+			return b[:n]
+		}
+	}
+	w.mu.Unlock()
+	return make([]float64, n)
 }
 
 // NewWorld creates a world of size ranks.
@@ -60,12 +90,34 @@ func (c *Comm) Size() int { return c.w.Size }
 // Send delivers a copy of data to rank `to`. Messages between a fixed pair
 // of ranks arrive in order.
 func (c *Comm) Send(to int, data []float64) {
+	buf := c.w.getBuf(len(data))
+	copy(buf, data)
+	c.sendOwned(to, buf)
+}
+
+// sendOwned delivers buf itself (no copy) to rank `to`, transferring
+// ownership: the sender must not touch buf afterwards, and the receiver
+// should Release it once unpacked.
+func (c *Comm) sendOwned(to int, buf []float64) {
 	if to < 0 || to >= c.w.Size {
 		panic(fmt.Sprintf("mpisim: send to invalid rank %d", to))
 	}
-	buf := make([]float64, len(data))
-	copy(buf, data)
 	c.w.ch[c.Rank][to] <- buf
+}
+
+// Release returns a received message buffer to the world's pool so a later
+// Send can reuse it. Optional but keeps steady-state exchanges allocation
+// free. The pool is bounded; surplus buffers fall to the garbage collector.
+func (c *Comm) Release(buf []float64) {
+	if cap(buf) == 0 {
+		return
+	}
+	w := c.w
+	w.mu.Lock()
+	if len(w.free) < 4*w.Size*w.Size+16 {
+		w.free = append(w.free, buf)
+	}
+	w.mu.Unlock()
 }
 
 // Recv blocks for the next message from rank `from`.
@@ -82,15 +134,17 @@ func (c *Comm) AllreduceSum(x float64) float64 {
 	if c.Rank == 0 {
 		sum := x
 		for r := 1; r < c.w.Size; r++ {
-			sum += c.Recv(r)[0]
+			buf := c.Recv(r)
+			sum += buf[0]
+			c.Release(buf)
 		}
 		for r := 1; r < c.w.Size; r++ {
-			c.Send(r, []float64{sum})
+			c.sendScalar(r, sum)
 		}
 		return sum
 	}
-	c.Send(0, []float64{x})
-	return c.Recv(0)[0]
+	c.sendScalar(0, x)
+	return c.recvScalar(0)
 }
 
 // AllreduceMax returns the maximum of x over all ranks, on every rank.
@@ -98,17 +152,32 @@ func (c *Comm) AllreduceMax(x float64) float64 {
 	if c.Rank == 0 {
 		m := x
 		for r := 1; r < c.w.Size; r++ {
-			if v := c.Recv(r)[0]; v > m {
-				m = v
+			buf := c.Recv(r)
+			if buf[0] > m {
+				m = buf[0]
 			}
+			c.Release(buf)
 		}
 		for r := 1; r < c.w.Size; r++ {
-			c.Send(r, []float64{m})
+			c.sendScalar(r, m)
 		}
 		return m
 	}
-	c.Send(0, []float64{x})
-	return c.Recv(0)[0]
+	c.sendScalar(0, x)
+	return c.recvScalar(0)
+}
+
+func (c *Comm) sendScalar(to int, x float64) {
+	buf := c.w.getBuf(1)
+	buf[0] = x
+	c.sendOwned(to, buf)
+}
+
+func (c *Comm) recvScalar(from int) float64 {
+	buf := c.Recv(from)
+	v := buf[0]
+	c.Release(buf)
+	return v
 }
 
 // Barrier blocks until every rank has entered it.

@@ -1,0 +1,194 @@
+package partition
+
+import (
+	"testing"
+
+	"repro/internal/mesh"
+)
+
+func extractAll(t *testing.T, level, nranks, layers int) (*mesh.Mesh, []*Local) {
+	t.Helper()
+	g, err := mesh.Build(level, mesh.Options{})
+	if err != nil {
+		t.Fatalf("mesh: %v", err)
+	}
+	p, err := Bisect(g, nranks)
+	if err != nil {
+		t.Fatalf("bisect: %v", err)
+	}
+	locals := make([]*Local, nranks)
+	for r := 0; r < nranks; r++ {
+		locals[r] = Extract(g, p, r, layers)
+	}
+	return g, locals
+}
+
+// Depth arrays must be non-increasing (the interior is a contiguous prefix),
+// and depth 0 must coincide exactly with the entities a halo exchange
+// overwrites: halo cells and non-owned edges.
+func TestDepthOrderingAndSources(t *testing.T) {
+	for _, nranks := range []int{2, 3, 4} {
+		_, locals := extractAll(t, 3, nranks, 3)
+		for _, l := range locals {
+			for _, depths := range [][]int32{l.CellDepth, l.EdgeDepth, l.VertDepth} {
+				for i := 1; i < len(depths); i++ {
+					if depths[i] > depths[i-1] {
+						t.Fatalf("part %d: depth array increases at %d (%d -> %d)",
+							l.Part, i, depths[i-1], depths[i])
+					}
+				}
+			}
+			for lc, d := range l.CellDepth {
+				isHalo := lc >= l.NOwnedCells
+				if (d == 0) != isHalo {
+					t.Fatalf("part %d cell %d: depth %d, halo=%v", l.Part, lc, d, isHalo)
+				}
+			}
+			for le, d := range l.EdgeDepth {
+				nonOwned := l.EdgeOwner[le] != int32(l.Part)
+				if (d == 0) != nonOwned {
+					t.Fatalf("part %d edge %d: depth %d, nonOwned=%v", l.Part, le, d, nonOwned)
+				}
+			}
+			for lv, d := range l.VertDepth {
+				if d == 0 {
+					t.Fatalf("part %d vertex %d: vertices are never exchanged, depth 0", l.Part, lv)
+				}
+			}
+		}
+	}
+}
+
+// The invariant comm/compute overlap rests on: every entity a LOCAL-mesh
+// stencil of an element at depth d reads sits at depth >= d-1. An op whose
+// inputs are stale within halo distance t can then compute every element at
+// depth > t without reading any depth-<=t-1 entity — in particular, never a
+// depth-0 slot an in-flight exchange may be concurrently overwriting.
+// Clamped missing-neighbor slots alias local index 0 (or self), which after
+// depth-descending reordering is a maximum-depth entity, so they pass too.
+func TestDepthStencilSafety(t *testing.T) {
+	for _, nranks := range []int{2, 4} {
+		_, locals := extractAll(t, 3, nranks, 3)
+		for _, l := range locals {
+			m := l.M
+			check := func(kind string, i int, di, dj int32) {
+				if dj < di-1 {
+					t.Fatalf("part %d %s %d at depth %d reads an entity at depth %d",
+						l.Part, kind, i, di, dj)
+				}
+			}
+			for lc := 0; lc < m.NCells; lc++ {
+				di := l.CellDepth[lc]
+				base := lc * mesh.MaxEdges
+				for j := 0; j < int(m.NEdgesOnCell[lc]); j++ {
+					check("cell", lc, di, l.CellDepth[m.CellsOnCell[base+j]])
+					check("cell", lc, di, l.EdgeDepth[m.EdgesOnCell[base+j]])
+					check("cell", lc, di, l.VertDepth[m.VerticesOnCell[base+j]])
+				}
+			}
+			for le := 0; le < m.NEdges; le++ {
+				di := l.EdgeDepth[le]
+				check("edge", le, di, l.CellDepth[m.CellsOnEdge[2*le]])
+				check("edge", le, di, l.CellDepth[m.CellsOnEdge[2*le+1]])
+				check("edge", le, di, l.VertDepth[m.VerticesOnEdge[2*le]])
+				check("edge", le, di, l.VertDepth[m.VerticesOnEdge[2*le+1]])
+				base := le * mesh.MaxEdgesOnEdge
+				for j := 0; j < int(m.NEdgesOnEdge[le]); j++ {
+					check("edge", le, di, l.EdgeDepth[m.EdgesOnEdge[base+j]])
+				}
+			}
+			for lv := 0; lv < m.NVertices; lv++ {
+				di := l.VertDepth[lv]
+				base := lv * mesh.VertexDegree
+				for j := 0; j < mesh.VertexDegree; j++ {
+					check("vertex", lv, di, l.CellDepth[m.CellsOnVertex[base+j]])
+					check("vertex", lv, di, l.EdgeDepth[m.EdgesOnVertex[base+j]])
+				}
+			}
+		}
+	}
+}
+
+// InteriorCells/Edges/Vertices must count exactly the entities at depth > t.
+func TestInteriorCounts(t *testing.T) {
+	_, locals := extractAll(t, 3, 3, 3)
+	for _, l := range locals {
+		for tt := 0; tt <= 8; tt++ {
+			wantC, wantE, wantV := 0, 0, 0
+			for _, d := range l.CellDepth {
+				if d > int32(tt) {
+					wantC++
+				}
+			}
+			for _, d := range l.EdgeDepth {
+				if d > int32(tt) {
+					wantE++
+				}
+			}
+			for _, d := range l.VertDepth {
+				if d > int32(tt) {
+					wantV++
+				}
+			}
+			if got := l.InteriorCells(tt); got != wantC {
+				t.Fatalf("part %d InteriorCells(%d)=%d want %d", l.Part, tt, got, wantC)
+			}
+			if got := l.InteriorEdges(tt); got != wantE {
+				t.Fatalf("part %d InteriorEdges(%d)=%d want %d", l.Part, tt, got, wantE)
+			}
+			if got := l.InteriorVertices(tt); got != wantV {
+				t.Fatalf("part %d InteriorVertices(%d)=%d want %d", l.Part, tt, got, wantV)
+			}
+		}
+	}
+}
+
+// A single-rank extraction has no exchanged entities: every depth is
+// unbounded and the interior is the whole domain at any threshold.
+func TestDepthSingleRank(t *testing.T) {
+	g, locals := extractAll(t, 2, 1, 3)
+	l := locals[0]
+	if l.InteriorCells(100) != g.NCells || l.InteriorEdges(100) != g.NEdges || l.InteriorVertices(100) != g.NVertices {
+		t.Fatalf("single-rank interior must span the whole mesh")
+	}
+	for _, d := range l.CellDepth {
+		if d != DepthUnbounded {
+			t.Fatalf("single-rank cell depth %d != DepthUnbounded", d)
+		}
+	}
+}
+
+// FromOwner must reproduce a valid partition whose per-part cell sets match
+// the original's (as sets), and reject malformed owner maps.
+func TestFromOwner(t *testing.T) {
+	g, err := mesh.Build(3, mesh.Options{})
+	if err != nil {
+		t.Fatalf("mesh: %v", err)
+	}
+	orig, err := Bisect(g, 4)
+	if err != nil {
+		t.Fatalf("bisect: %v", err)
+	}
+	p, err := FromOwner(orig.Owner, 4)
+	if err != nil {
+		t.Fatalf("FromOwner: %v", err)
+	}
+	if err := p.Validate(g); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	for part := range p.Cells {
+		if len(p.Cells[part]) != len(orig.Cells[part]) {
+			t.Fatalf("part %d size %d != %d", part, len(p.Cells[part]), len(orig.Cells[part]))
+		}
+		for _, c := range p.Cells[part] {
+			if orig.Owner[c] != int32(part) {
+				t.Fatalf("part %d claims cell %d owned by %d", part, c, orig.Owner[c])
+			}
+		}
+	}
+	bad := append([]int32(nil), orig.Owner...)
+	bad[0] = 99
+	if _, err := FromOwner(bad, 4); err == nil {
+		t.Fatal("FromOwner accepted an out-of-range owner")
+	}
+}

@@ -1,8 +1,14 @@
 package partition
 
 import (
+	"sort"
+
 	"repro/internal/mesh"
 )
+
+// DepthUnbounded is the halo distance assigned to entities no stencil path
+// connects to an exchanged entity (everything, in a single-rank run).
+const DepthUnbounded = int32(1 << 30)
 
 // Local is one process's view of the global mesh: its owned cells followed
 // by halo layers, with all connectivity remapped to local indices.
@@ -28,6 +34,40 @@ type Local struct {
 	EdgeOwner []int32
 	// CellOwner[lc] is the part owning local cell lc.
 	CellOwner []int32
+
+	// CellDepth[lc] is the halo distance of local cell lc: the length of the
+	// shortest stencil path (through the union of every kernel adjacency —
+	// cellsOnCell, edgesOnCell/cellsOnEdge, verticesOnCell/cellsOnVertex,
+	// edgesOnEdge, verticesOnEdge/edgesOnVertex) connecting it to an entity
+	// the halo exchange overwrites (a halo cell or a non-owned edge; those
+	// are depth 0). Extract orders entities by descending depth within each
+	// class — owned cells, then halo cells; all edges; all vertices — so
+	// every depth array is non-increasing and "the entities safe to compute
+	// while an exchange is in flight" is a contiguous prefix (InteriorCells
+	// and friends). Reordering is arithmetic-neutral: per-entity stencil
+	// gather order is untouched, so owned values stay bitwise identical to a
+	// serial run.
+	CellDepth []int32
+	EdgeDepth []int32
+	VertDepth []int32
+}
+
+// InteriorCells returns the number of leading local cells at halo distance
+// strictly greater than t. A kernel writing cells whose inputs are stale
+// within distance t can safely compute local cells [0, InteriorCells(t))
+// while the exchange is in flight, deferring the rest until it lands.
+func (l *Local) InteriorCells(t int) int {
+	return sort.Search(len(l.CellDepth), func(i int) bool { return l.CellDepth[i] <= int32(t) })
+}
+
+// InteriorEdges is InteriorCells for the edge index space.
+func (l *Local) InteriorEdges(t int) int {
+	return sort.Search(len(l.EdgeDepth), func(i int) bool { return l.EdgeDepth[i] <= int32(t) })
+}
+
+// InteriorVertices is InteriorCells for the vertex index space.
+func (l *Local) InteriorVertices(t int) int {
+	return sort.Search(len(l.VertDepth), func(i int) bool { return l.VertDepth[i] <= int32(t) })
 }
 
 // Extract builds the local view of part with the given halo depth.
@@ -77,6 +117,10 @@ func Extract(g *mesh.Mesh, p *Partition, part, layers int) *Local {
 		}
 	}
 
+	// --- halo depths + interior-first ordering ---------------------------
+	l.computeDepths(g, p, vertG2L)
+	vertG2L = l.reorderByDepth(vertG2L)
+
 	l.M = l.buildLocalMesh(g, vertG2L)
 
 	l.CellOwner = make([]int32, len(l.CellL2G))
@@ -88,6 +132,123 @@ func Extract(g *mesh.Mesh, p *Partition, part, layers int) *Local {
 		l.EdgeOwner[le] = p.Owner[g.CellsOnEdge[2*ge]]
 	}
 	return l
+}
+
+// computeDepths runs a multi-source BFS over the union stencil adjacency of
+// all local entities, seeded at the entities the halo exchange overwrites
+// (halo cells, non-owned edges). It walks the GLOBAL adjacency arrays
+// restricted to the local sets — never the clamped local mesh, whose
+// missing-neighbor slots alias entity 0 and would fabricate shortcuts.
+func (l *Local) computeDepths(g *mesh.Mesh, p *Partition, vertG2L map[int32]int32) {
+	nc, ne, nv := len(l.CellL2G), len(l.EdgeL2G), len(l.VertL2G)
+	// One flat id space: cell lc -> lc, edge le -> nc+le, vertex lv -> nc+ne+lv.
+	d := make([]int32, nc+ne+nv)
+	for i := range d {
+		d[i] = DepthUnbounded
+	}
+	q := make([]int32, 0, nc+ne+nv)
+	add := func(id, dep int32) {
+		if d[id] > dep {
+			d[id] = dep
+			q = append(q, id)
+		}
+	}
+	for lc := l.NOwnedCells; lc < nc; lc++ {
+		add(int32(lc), 0)
+	}
+	for le, ge := range l.EdgeL2G {
+		if p.Owner[g.CellsOnEdge[2*ge]] != int32(l.Part) {
+			add(int32(nc+le), 0)
+		}
+	}
+	for head := 0; head < len(q); head++ {
+		id := q[head]
+		nd := d[id] + 1
+		switch {
+		case id < int32(nc): // cell
+			gc := l.CellL2G[id]
+			base := int(gc) * mesh.MaxEdges
+			for j := 0; j < int(g.NEdgesOnCell[gc]); j++ {
+				if lcc, ok := l.CellG2L[g.CellsOnCell[base+j]]; ok {
+					add(lcc, nd)
+				}
+				if le, ok := l.EdgeG2L[g.EdgesOnCell[base+j]]; ok {
+					add(int32(nc)+le, nd)
+				}
+				if lv, ok := vertG2L[g.VerticesOnCell[base+j]]; ok {
+					add(int32(nc+ne)+lv, nd)
+				}
+			}
+		case id < int32(nc+ne): // edge
+			ge := int(l.EdgeL2G[id-int32(nc)])
+			for k := 0; k < 2; k++ {
+				if lcc, ok := l.CellG2L[g.CellsOnEdge[2*ge+k]]; ok {
+					add(lcc, nd)
+				}
+				if lv, ok := vertG2L[g.VerticesOnEdge[2*ge+k]]; ok {
+					add(int32(nc+ne)+lv, nd)
+				}
+			}
+			base := ge * mesh.MaxEdgesOnEdge
+			for j := 0; j < int(g.NEdgesOnEdge[ge]); j++ {
+				if le2, ok := l.EdgeG2L[g.EdgesOnEdge[base+j]]; ok {
+					add(int32(nc)+le2, nd)
+				}
+			}
+		default: // vertex
+			gv := l.VertL2G[id-int32(nc+ne)]
+			base := int(gv) * mesh.VertexDegree
+			for j := 0; j < mesh.VertexDegree; j++ {
+				if lcc, ok := l.CellG2L[g.CellsOnVertex[base+j]]; ok {
+					add(lcc, nd)
+				}
+				if le2, ok := l.EdgeG2L[g.EdgesOnVertex[base+j]]; ok {
+					add(int32(nc)+le2, nd)
+				}
+			}
+		}
+	}
+	l.CellDepth = d[:nc:nc]
+	l.EdgeDepth = d[nc : nc+ne : nc+ne]
+	l.VertDepth = d[nc+ne:]
+}
+
+// reorderByDepth stably permutes each entity class to descending halo depth
+// (owned cells keep their [0, NOwnedCells) block; halo cells are all depth 0
+// and stay behind them), rewrites the L2G/G2L maps and depth arrays, and
+// returns the rebuilt vertex map.
+func (l *Local) reorderByDepth(vertG2L map[int32]int32) map[int32]int32 {
+	permute := func(n int, depth []int32, l2g []int32) []int32 {
+		perm := make([]int32, n)
+		for i := range perm {
+			perm[i] = int32(i)
+		}
+		sort.SliceStable(perm, func(i, j int) bool { return depth[perm[i]] > depth[perm[j]] })
+		nd := make([]int32, n)
+		ng := make([]int32, n)
+		for newIdx, oldIdx := range perm {
+			nd[newIdx] = depth[oldIdx]
+			ng[newIdx] = l2g[oldIdx]
+		}
+		copy(depth, nd)
+		copy(l2g, ng)
+		return perm
+	}
+	// Cells: only the owned block is permuted (halo cells are all sources).
+	permute(l.NOwnedCells, l.CellDepth[:l.NOwnedCells], l.CellL2G[:l.NOwnedCells])
+	for lc, gc := range l.CellL2G {
+		l.CellG2L[gc] = int32(lc)
+	}
+	permute(len(l.EdgeL2G), l.EdgeDepth, l.EdgeL2G)
+	for le, ge := range l.EdgeL2G {
+		l.EdgeG2L[ge] = int32(le)
+	}
+	permute(len(l.VertL2G), l.VertDepth, l.VertL2G)
+	nvg := make(map[int32]int32, len(l.VertL2G))
+	for lv, gv := range l.VertL2G {
+		nvg[gv] = int32(lv)
+	}
+	return nvg
 }
 
 // buildLocalMesh assembles the local mesh arrays from the global mesh.

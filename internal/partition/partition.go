@@ -76,6 +76,34 @@ func Bisect(m *mesh.Mesh, nparts int) (*Partition, error) {
 	return p, nil
 }
 
+// FromOwner reconstructs a Partition from a bare owner map (the form rank 0
+// distributes during the dist rendezvous). Cell lists come out in ascending
+// global order — NOT the recursion order Bisect produces — so every process
+// of a distributed run must build its Partition through FromOwner (rank 0
+// included) for the local numberings to agree.
+func FromOwner(owner []int32, nparts int) (*Partition, error) {
+	if nparts < 1 {
+		return nil, fmt.Errorf("partition: nparts %d < 1", nparts)
+	}
+	p := &Partition{
+		NParts: nparts,
+		Owner:  append([]int32(nil), owner...),
+		Cells:  make([][]int32, nparts),
+	}
+	for c, o := range owner {
+		if o < 0 || int(o) >= nparts {
+			return nil, fmt.Errorf("partition: cell %d has owner %d outside [0,%d)", c, o, nparts)
+		}
+		p.Cells[o] = append(p.Cells[o], int32(c))
+	}
+	for part, cells := range p.Cells {
+		if len(cells) == 0 {
+			return nil, fmt.Errorf("partition: part %d owns no cells", part)
+		}
+	}
+	return p, nil
+}
+
 // Validate checks that the partition covers every cell exactly once.
 func (p *Partition) Validate(m *mesh.Mesh) error {
 	seen := make([]bool, m.NCells)

@@ -73,12 +73,17 @@ func (sp opSpec) instance() pattern.Instance {
 	}
 }
 
-// planOp is one compiled schedule entry.
+// planOp is one compiled schedule entry. post and wait mark the overlay's
+// exchange ops (see overlap.go): post initiates the halo exchange on worker
+// 0 with NO barrier (interior compute proceeds immediately), wait completes
+// it on worker 0 with an unconditional barrier after.
 type planOp struct {
 	id      string
 	stage   int
 	run     func(lo, hi int)
 	hook    bool
+	post    bool
+	wait    bool
 	ranges  [][2]int32
 	barrier bool
 }
@@ -87,6 +92,9 @@ type planOp struct {
 type plan struct {
 	s   *Solver
 	ops []planOp
+	// ov is set on overlaid schedules only (see overlap.go); post/wait ops
+	// call into it.
+	ov *Overlap
 	// exec is the bound method value handed to Pool.Region, created once so
 	// launching the region allocates nothing.
 	exec func(t *par.Team)
@@ -121,6 +129,26 @@ func (p *plan) run(t *par.Team) {
 				}
 				t.Barrier()
 			}
+			continue
+		}
+		if op.post || op.wait {
+			st := s.Provis
+			if op.stage == 3 {
+				st = s.State
+			}
+			if op.post {
+				// No barrier: the previous frontier already ordered the
+				// exchanged fields' writes, and interior ops never touch
+				// them, so every worker proceeds while worker 0 packs.
+				if t.ID == 0 {
+					p.ov.Post(op.stage, st)
+				}
+				continue
+			}
+			if t.ID == 0 {
+				p.ov.Wait(op.stage, st)
+			}
+			t.Barrier()
 			continue
 		}
 		r := op.ranges[t.ID]
@@ -162,6 +190,11 @@ type PlanRunner struct {
 	// Hoisted gather weights, packed by csr.CellPtr (wA1, wA3, wKite) and
 	// by vertex degree (wE); see buildWeights.
 	wA1, wA3, wKite, wE []float64
+
+	// ov is non-nil on runners built by NewOverlapPlanRunner: the step plan
+	// carries post/wait exchange ops instead of hook slots, and Step takes
+	// the plan path only while s.PostSubstep stays nil.
+	ov *Overlap
 
 	stepPlan    *plan
 	kernelPlans map[*Kernel]*plan

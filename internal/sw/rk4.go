@@ -27,7 +27,11 @@ func (s *Solver) Init() {
 // loop below (tracer advection is not part of the compiled program, and a
 // Cfg mutated after compilation would invalidate the plan's specialization).
 func (s *Solver) Step() {
-	if pr, ok := s.Runner.(*PlanRunner); ok && pr.s == s && pr.cfg == s.Cfg && len(s.Tracers) == 0 {
+	// (An overlap-scheduled plan additionally requires no PostSubstep hook:
+	// its hook slots were compiled into Post/Wait exchange ops, so a hook
+	// would be silently skipped — fall back to the blocking kernel loop.)
+	if pr, ok := s.Runner.(*PlanRunner); ok && pr.s == s && pr.cfg == s.Cfg && len(s.Tracers) == 0 &&
+		(pr.ov == nil || s.PostSubstep == nil) {
 		pr.step()
 		return
 	}

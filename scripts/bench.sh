@@ -1,11 +1,15 @@
 #!/usr/bin/env bash
 # Run the repository benchmarks and emit a machine-readable summary,
-# BENCH_pr7.json: { "<benchmark>": {"ns_per_op":…, "allocs_per_op":…,
-# "bytes_per_op":…}, …, "ladder": {…} }. The BenchmarkClusterEnsemble pair
-# (1 vs 2 workers) additionally reports member-steps/s — the cluster
-# ensemble throughput scaling number — and the trailing "ladder" key is the
-# cmd/bigmesh Table-III scaling report (n=BENCH_LADDER_MIN..MAX icosahedral
-# meshes, serial vs plan vs float32 seconds/step). Knobs:
+# BENCH_pr8.json: { "<benchmark>": {"ns_per_op":…, "allocs_per_op":…,
+# "bytes_per_op":…}, …, "ladder": {…}, "dist_strong_scaling": […] }. The
+# BenchmarkClusterEnsemble pair (1 vs 2 workers) additionally reports
+# member-steps/s — the cluster ensemble throughput scaling number — the
+# "ladder" key is the cmd/bigmesh Table-III scaling report
+# (n=BENCH_LADDER_MIN..MAX icosahedral meshes, serial vs plan vs float32
+# seconds/step), and "dist_strong_scaling" is the real multi-process curve:
+# cmd/swrank wall-clock seconds/step for 1/2/4/8 local OS processes over
+# TCP, overlapped, plus a blocking-exchange run at 4 processes for the
+# overlap-vs-blocking comparison. Knobs:
 #
 #   BENCH_PATTERN      go test -bench regexp   (default: the sw step and
 #                                               par pool micro-benchmarks
@@ -13,20 +17,25 @@
 #   BENCH_TIME         go test -benchtime value (default 1x — one iteration,
 #                                               enough for a smoke number;
 #                                               use e.g. 2s for real timing)
-#   BENCH_OUT          output path             (default BENCH_pr7.json)
+#   BENCH_OUT          output path             (default BENCH_pr8.json)
 #   BENCH_LADDER       0 to skip the big-mesh ladder (default: run it)
 #   BENCH_LADDER_MIN   first ladder level      (default 6, 40962 cells)
 #   BENCH_LADDER_MAX   last ladder level       (default 9, 2621442 cells)
 #   BENCH_LADDER_STEPS timed steps per mode    (default 2)
+#   BENCH_DIST         0 to skip the dist strong-scaling sweep (default: run)
+#   BENCH_DIST_LEVEL   dist sweep mesh level   (default 7, 163842 cells)
+#   BENCH_DIST_STEPS   timed steps per config  (default 5)
+#   BENCH_DIST_PROCS   process counts to sweep (default "1 2 4 8")
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 pattern=${BENCH_PATTERN:-'BenchmarkStepSerial|BenchmarkStepThreaded|BenchmarkStepPlan|BenchmarkStepFast32|BenchmarkPoolForOverhead|BenchmarkRegionFusion|BenchmarkReduction|BenchmarkBarrier|BenchmarkDispatchOverhead|BenchmarkDynamicChunkFloor|BenchmarkClusterEnsemble'}
 benchtime=${BENCH_TIME:-1x}
-out=${BENCH_OUT:-BENCH_pr7.json}
+out=${BENCH_OUT:-BENCH_pr8.json}
 
 raw=$(mktemp)
-trap 'rm -f "$raw"' EXIT
+bindir=""
+trap 'rm -f "$raw"; [ -n "$bindir" ] && rm -rf "$bindir"' EXIT
 
 echo "== go test -bench ($pattern, benchtime=$benchtime) =="
 go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" \
@@ -71,4 +80,27 @@ if [ "${BENCH_LADDER:-1}" != 0 ]; then
     echo "== big-mesh ladder (levels $lmin..$lmax, $lsteps steps/mode) =="
     go run ./cmd/bigmesh -min-level "$lmin" -max-level "$lmax" \
         -steps "$lsteps" -out "$out"
+fi
+
+if [ "${BENCH_DIST:-1}" != 0 ]; then
+    dlevel=${BENCH_DIST_LEVEL:-7}
+    dsteps=${BENCH_DIST_STEPS:-5}
+    dprocs=${BENCH_DIST_PROCS:-"1 2 4 8"}
+    echo "== dist strong scaling (level $dlevel, tc5, procs: $dprocs + blocking at 4) =="
+    bindir=$(mktemp -d)
+    go build -o "$bindir/swrank" ./cmd/swrank
+    for p in $dprocs; do
+        if [ "$p" = 1 ]; then
+            "$bindir/swrank" -serial -case tc5 -level "$dlevel" -steps "$dsteps" \
+                -bench-out "$out"
+        else
+            "$bindir/swrank" -launch "$p" -case tc5 -level "$dlevel" -steps "$dsteps" \
+                -timeout 10m -bench-out "$out"
+        fi
+    done
+    # The paper's overlap-vs-blocking comparison: same binary, same links,
+    # same kernels — scheduling is the only difference.
+    "$bindir/swrank" -launch 4 -overlap=false -case tc5 -level "$dlevel" \
+        -steps "$dsteps" -timeout 10m -bench-out "$out"
+    echo "bench.sh: dist strong-scaling entries appended to $out"
 fi

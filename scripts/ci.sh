@@ -24,9 +24,10 @@ echo "== zero-alloc gate (level-7 plan + fast32 step) =="
 go test -count=1 -run 'TestPlanStepZeroAllocBigMesh' .
 
 echo "== go test -race (runtime + solver focus) =="
-# The compiled-plan step and the pool runtime are the concurrency hot spots:
-# fail fast on them before the full (slower) coverage run below.
-go test -race ./internal/par/... ./internal/sw/...
+# The compiled-plan step, the pool runtime, and the TCP dist runtime are the
+# concurrency hot spots: fail fast on them before the full (slower) coverage
+# run below.
+go test -race ./internal/par/... ./internal/sw/... ./internal/dist/...
 
 echo "== go test -race (with coverage) =="
 go test -race -timeout 20m -coverprofile=coverage.out -coverpkg=./... ./...
@@ -37,6 +38,19 @@ echo "== conformance matrix (cmd/conformance) =="
 # self-check. Non-zero exit on any divergence.
 go run ./cmd/conformance -level 2 -steps 2 -random 20
 
+echo "== swrank distributed smoke (2 real processes over TCP vs serial hash) =="
+smokedir=$(mktemp -d)
+trap 'rm -rf "$smokedir"' EXIT
+go build -o "$smokedir/swrank" ./cmd/swrank
+serial_hash=$("$smokedir/swrank" -serial -case tc5 -level 3 -steps 2 -hash \
+    | awk '/^swrank hash /{print $3}')
+dist_hash=$("$smokedir/swrank" -launch 2 -case tc5 -level 3 -steps 2 -hash \
+    | awk '/^swrank hash /{print $3; exit}')
+[ -n "$serial_hash" ] || { echo "ci.sh: FAIL — serial swrank printed no hash" >&2; exit 1; }
+[ "$dist_hash" = "$serial_hash" ] \
+    || { echo "ci.sh: FAIL — 2-process hash '$dist_hash' != serial '$serial_hash'" >&2; exit 1; }
+echo "swrank smoke OK (2-process hash $dist_hash matches serial)"
+
 echo "== big-mesh ladder smoke (level 7, 163842 cells) =="
 # One Table-III rung end to end: serial, compiled-plan, and float32 fast
 # mode on a real 163842-cell mesh, plus the per-rung report plumbing. The
@@ -45,8 +59,6 @@ echo "== big-mesh ladder smoke (level 7, 163842 cells) =="
 go run ./cmd/bigmesh -min-level 7 -max-level 7 -steps 2 -check=false
 
 echo "== swserver smoke (submit, poll, metrics, drain) =="
-smokedir=$(mktemp -d)
-trap 'rm -rf "$smokedir"' EXIT
 go build -o "$smokedir/swserver" ./cmd/swserver
 "$smokedir/swserver" -addr 127.0.0.1:0 -spool "$smokedir/spool" -workers 1 \
     > "$smokedir/out.log" 2> "$smokedir/err.log" &
