@@ -22,6 +22,7 @@ func main() {
 	steps := flag.Int("steps", 2, "timed steps per mode per level (after one warm-up)")
 	workers := flag.Int("workers", 0, "pool size for plan/fast32 (0 = GOMAXPROCS)")
 	lloyd := flag.Int("lloyd", 0, "Lloyd relaxation sweeps per mesh build")
+	reorder := flag.Bool("reorder", false, "also measure plan/fast32 on the SFC locality-renumbered mesh")
 	slack := flag.Float64("slack", 1.8, "max allowed per-cell step-time growth per rung")
 	out := flag.String("out", "", "merge the report under \"ladder\" in this JSON file")
 	check := flag.Bool("check", true, "fail unless step time scales ~linearly in cells")
@@ -30,6 +31,7 @@ func main() {
 	cfg := ladder.Config{
 		MinLevel: *minLevel, MaxLevel: *maxLevel,
 		Steps: *steps, Workers: *workers, Lloyd: *lloyd,
+		Reorder: *reorder,
 	}
 	rep, err := ladder.Run(cfg, func(format string, args ...any) {
 		fmt.Printf(format+"\n", args...)
@@ -46,6 +48,18 @@ func main() {
 			lv.Level, lv.Cells, lv.BuildSeconds,
 			lv.SerialStep, lv.PlanStep, lv.Fast32Step,
 			lv.ModeledBytes/1e9, lv.SerialStep/lv.PlanStep)
+	}
+	if *reorder {
+		fmt.Printf("\n%-5s %12s %14s %12s %12s %12s\n",
+			"level", "plan_ns/cell", "reorder_ns/cell", "fast32_x", "nbr_before", "nbr_after")
+		for _, lv := range rep.Levels {
+			fmt.Printf("%-5d %12.2f %14.2f %12.2f %12.0f %12.0f\n",
+				lv.Level,
+				lv.PlanStep*1e9/float64(lv.Cells),
+				lv.PlanStepReorder*1e9/float64(lv.Cells),
+				lv.Fast32Step/lv.Fast32StepReorder,
+				lv.NeighborDistBefore, lv.NeighborDistAfter)
+		}
 	}
 
 	if *out != "" {

@@ -34,6 +34,7 @@ func main() {
 	report := flag.Int("report", 100, "report invariants every N steps")
 	highOrder := flag.Bool("high-order", false, "enable C1+D2 high-order thickness interpolation")
 	precision := flag.String("precision", "float64", "step arithmetic: float64 (reference) or float32 (fast mode; serial/threaded/plan only)")
+	reorder := flag.Bool("reorder", false, "locality renumbering: run on the SFC-reordered mesh (checkpoints stay canonical)")
 	info := flag.Bool("info", false, "print platform and pattern info and exit")
 	profile := flag.Bool("profile", false, "profile real per-pattern wall time and print the report")
 	history := flag.String("history", "", "write an invariant time series CSV to this file")
@@ -70,6 +71,7 @@ func main() {
 		AdjustableFraction: -1,
 		HighOrderThickness: *highOrder,
 		Precision:          *precision,
+		Reorder:            *reorder,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -115,7 +117,7 @@ func main() {
 		steps = 0
 	}
 	fmt.Printf("%s\n", model.Mesh)
-	fmt.Printf("mode=%s precision=%s dt=%.1fs steps=%d (total %d)\n", md, *precision, model.Config.Dt, steps, total)
+	fmt.Printf("mode=%s precision=%s reorder=%v dt=%.1fs steps=%d (total %d)\n", md, *precision, *reorder, model.Config.Dt, steps, total)
 
 	inv0 := model.Invariants()
 	fmt.Printf("initial: mass=%.6e energy=%.6e enstrophy=%.6e\n",

@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/conform"
 	"repro/internal/dist"
+	"repro/internal/mesh"
 	"repro/internal/par"
 	"repro/internal/partition"
 	"repro/internal/sw"
@@ -49,6 +50,7 @@ type options struct {
 	level     int
 	steps     int
 	overlap   bool
+	reorder   bool
 	workers   int
 	hash      bool
 	out       string
@@ -71,6 +73,7 @@ func main() {
 	flag.IntVar(&o.level, "level", 5, "icosahedral mesh subdivision level")
 	flag.IntVar(&o.steps, "steps", 10, "RK-4 steps")
 	flag.BoolVar(&o.overlap, "overlap", true, "overlap halo exchange with interior compute")
+	flag.BoolVar(&o.reorder, "reorder", false, "locality renumbering: run on the SFC-reordered mesh (SFC partition; output stays canonical)")
 	flag.IntVar(&o.workers, "workers", 0, "worker threads per rank (0 = NumCPU/ranks, min 1)")
 	flag.BoolVar(&o.hash, "hash", false, "print FNV-1a 64 hash of the final global state")
 	flag.StringVar(&o.out, "out", "", "rank 0: write the final state + mass series here")
@@ -108,6 +111,7 @@ func runLauncher(o *options) error {
 		"-level", fmt.Sprint(o.level),
 		"-steps", fmt.Sprint(o.steps),
 		"-overlap=" + fmt.Sprint(o.overlap),
+		"-reorder=" + fmt.Sprint(o.reorder),
 		"-workers", fmt.Sprint(o.workers),
 		"-timeout", o.timeout.String(),
 		"-crash-rank", fmt.Sprint(o.crashRank),
@@ -128,17 +132,48 @@ func runLauncher(o *options) error {
 // buildCase constructs the canonical mesh and named case; every process of
 // a run (and the serial reference it is compared against) goes through this
 // same path, which is what makes independent per-process mesh construction
-// sound.
-func buildCase(o *options) (*conform.Case, error) {
+// sound. With -reorder the case's configuration is still derived from the
+// CANONICAL mesh (inside NamedCase) and only then is the mesh swapped for
+// its SFC-renumbered copy — the returned maps carry results back to
+// canonical numbering so hashes and result files stay comparable bit for
+// bit across the flag. The renumbering is deterministic, so every rank
+// computes the same maps independently.
+func buildCase(o *options) (*conform.Case, *mesh.Reorder, error) {
 	m, err := dist.DefaultMesh(o.level)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return conform.NamedCase(o.caseN, m, o.steps)
+	c, err := conform.NamedCase(o.caseN, m, o.steps)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !o.reorder {
+		return c, nil, nil
+	}
+	ren := mesh.ComputeReorder(c.Mesh)
+	rm, err := ren.Apply(c.Mesh)
+	if err != nil {
+		return nil, nil, err
+	}
+	c.Mesh = rm
+	return c, ren, nil
+}
+
+// canonicalState maps a final (h, u) pair back to canonical numbering when
+// the run was renumbered; with ren == nil it is the identity.
+func canonicalState(ren *mesh.Reorder, h, u []float64) ([]float64, []float64) {
+	if ren == nil {
+		return h, u
+	}
+	ch := make([]float64, len(h))
+	cu := make([]float64, len(u))
+	ren.CellToCanonical(ch, h)
+	ren.EdgeToCanonical(cu, u)
+	return ch, cu
 }
 
 func runSerial(o *options) error {
-	c, err := buildCase(o)
+	c, ren, err := buildCase(o)
 	if err != nil {
 		return err
 	}
@@ -171,19 +206,21 @@ func runSerial(o *options) error {
 	perStep := elapsed.Seconds() / float64(o.steps)
 	fmt.Printf("swrank serial: case=%s level=%d cells=%d steps=%d %.4fs/step\n",
 		o.caseN, o.level, c.Mesh.NCells, o.steps, perStep)
+	h, u := canonicalState(ren, s.State.H, s.State.U)
 	if o.hash {
-		fmt.Printf("swrank hash %016x\n", stateHash(s.State.H, s.State.U))
+		fmt.Printf("swrank hash %016x\n", stateHash(h, u))
 	}
 	if o.out != "" {
 		if err := dist.WriteResult(o.out, &dist.RunResult{
-			Level: o.level, Steps: o.steps, H: s.State.H, U: s.State.U, Mass: mass}); err != nil {
+			Level: o.level, Steps: o.steps, H: h, U: u, Mass: mass}); err != nil {
 			return err
 		}
 	}
 	if o.benchOut != "" {
 		return mergeBench(o.benchOut, o.benchKey, benchEntry{
 			Mode: "serial", Procs: 1, Workers: workers, Level: o.level,
-			Cells: c.Mesh.NCells, Steps: o.steps, SecondsPerStep: perStep,
+			Cells: c.Mesh.NCells, Steps: o.steps, Reorder: o.reorder,
+			SecondsPerStep: perStep,
 		})
 	}
 	return nil
@@ -205,13 +242,21 @@ func runRank(o *options) error {
 	})
 	defer watchdog.Stop()
 
-	c, err := buildCase(o)
+	c, ren, err := buildCase(o)
 	if err != nil {
 		return err
 	}
 	var owner []int32
 	if o.rank == 0 {
-		p, err := partition.Bisect(c.Mesh, o.ranks)
+		// On the renumbered mesh the SFC partition's parts are contiguous
+		// index ranges — the locality blocks the kernels walk are exactly
+		// the ownership blocks the exchange ships.
+		var p *partition.Partition
+		if o.reorder {
+			p, err = partition.SFC(c.Mesh, o.ranks)
+		} else {
+			p, err = partition.Bisect(c.Mesh, o.ranks)
+		}
 		if err != nil {
 			return err
 		}
@@ -311,6 +356,7 @@ func runRank(o *options) error {
 	if o.rank != 0 {
 		return nil
 	}
+	h, u = canonicalState(ren, h, u)
 	if o.hash {
 		fmt.Printf("swrank hash %016x\n", stateHash(h, u))
 	}
@@ -324,6 +370,7 @@ func runRank(o *options) error {
 		return mergeBench(o.benchOut, o.benchKey, benchEntry{
 			Mode: "dist", Procs: o.ranks, Workers: workers, Level: o.level,
 			Cells: c.Mesh.NCells, Steps: o.steps, Overlap: o.overlap,
+			Reorder:          o.reorder,
 			SecondsPerStep:   perStep,
 			Rank0BytesSent:   b.Comm.BytesSent.Value(),
 			Rank0WaitSeconds: b.Comm.WaitTimer.Total().Seconds(),
@@ -358,6 +405,7 @@ type benchEntry struct {
 	Cells            int     `json:"cells"`
 	Steps            int     `json:"steps"`
 	Overlap          bool    `json:"overlap"`
+	Reorder          bool    `json:"reorder,omitempty"`
 	SecondsPerStep   float64 `json:"seconds_per_step"`
 	Rank0BytesSent   int64   `json:"rank0_bytes_sent,omitempty"`
 	Rank0WaitSeconds float64 `json:"rank0_wait_seconds,omitempty"`

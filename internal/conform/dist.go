@@ -25,12 +25,20 @@ import (
 //   - The strategy needs a prebuilt binary, so it is NOT part of
 //     AllStrategies; the dist conformance suite builds one and constructs
 //     the strategy explicitly.
-func DistProc(bin string, ranks, level int, overlap bool) Strategy {
+// With reorder, every rank runs on the locality-renumbered mesh (swrank
+// -reorder: SFC partition, renumbered rank-local kernels) and rank 0
+// converts the gathered fields back to canonical numbering before writing
+// the result — so the comparison against the canonical baseline stays a
+// straight state compare at the same exact tolerance.
+func DistProc(bin string, ranks, level int, overlap, reorder bool) Strategy {
 	mode := "block"
 	if overlap {
 		mode = "ovl"
 	}
 	name := fmt.Sprintf("dist-p%d-%s", ranks, mode)
+	if reorder {
+		name += "+reorder"
+	}
 	return Strategy{Name: name, Exact: true, run: func(c *Case, _ bool) (*Result, error) {
 		if _, err := NamedCase(c.Name, c.Mesh, c.Steps); err != nil {
 			return nil, fmt.Errorf("dist strategy supports only named cases: %w", err)
@@ -47,6 +55,7 @@ func DistProc(bin string, ranks, level int, overlap bool) Strategy {
 			"-level", fmt.Sprint(level),
 			"-steps", fmt.Sprint(c.Steps),
 			"-overlap="+fmt.Sprint(overlap),
+			"-reorder="+fmt.Sprint(reorder),
 			"-timeout", (2 * time.Minute).String(),
 			"-out", out,
 		)

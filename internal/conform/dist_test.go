@@ -73,17 +73,24 @@ func TestDistProcConformance(t *testing.T) {
 		caseName string
 		ranks    int
 		overlap  bool
+		reorder  bool
 		steps    int
 	}{
-		{"tc1", 2, true, 2},
-		{"tc2", 2, true, 2},
-		{"tc5", 2, true, 2},
-		{"tc6", 2, true, 2},
-		{"galewsky", 2, true, 2},
-		{"tc5", 2, false, 2},
-		{"tc5", 4, true, 2},
-		{"tc5", 4, false, 2},
-		{"galewsky", 4, true, 2},
+		{"tc1", 2, true, false, 2},
+		{"tc2", 2, true, false, 2},
+		{"tc5", 2, true, false, 2},
+		{"tc6", 2, true, false, 2},
+		{"galewsky", 2, true, false, 2},
+		{"tc5", 2, false, false, 2},
+		{"tc5", 4, true, false, 2},
+		{"tc5", 4, false, false, 2},
+		{"galewsky", 4, true, false, 2},
+		// Locality-renumbered ranks (SFC partition, renumbered kernels,
+		// canonicalized gather) must stay in the same exact band.
+		{"tc5", 2, true, true, 2},
+		{"tc5", 4, true, true, 2},
+		{"galewsky", 2, false, true, 2},
+		{"tc2", 4, false, true, 2},
 	}
 	for _, run := range runs {
 		c, err := NamedCase(run.caseName, m, run.steps)
@@ -94,7 +101,7 @@ func TestDistProcConformance(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		st := DistProc(bin, run.ranks, level, run.overlap)
+		st := DistProc(bin, run.ranks, level, run.overlap, run.reorder)
 		res, err := st.Run(c, false)
 		if err != nil {
 			t.Fatalf("%s on %s: %v", st.Name, run.caseName, err)
@@ -130,7 +137,7 @@ func TestDistProcRejectsUnnamedCase(t *testing.T) {
 		t.Fatal(err)
 	}
 	c.Name = "not-a-named-case"
-	if _, err := DistProc(bin, 2, 3, true).Run(c, false); err == nil {
+	if _, err := DistProc(bin, 2, 3, true, false).Run(c, false); err == nil {
 		t.Fatal("unnamed case accepted")
 	}
 }

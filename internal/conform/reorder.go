@@ -1,0 +1,69 @@
+package conform
+
+import (
+	"repro/internal/mesh"
+)
+
+// Reordered wraps a strategy so it executes the case on the
+// locality-renumbered mesh (mesh.ComputeReorder, the -reorder/Options.Reorder
+// path) and converts the resulting fields back to canonical numbering
+// through the inverse maps. Because the renumbering is a pure relabeling —
+// every connectivity row keeps its j-order, signs and weights — the wrapped
+// strategy must reproduce the unwrapped one at the SAME tolerance: exactly
+// (0 ULP) for exact strategies, within its documented band for
+// reduced-precision ones. That inverse-permutation equality is the
+// correctness contract of the whole reordering feature, and the conformance
+// suite asserts it over named and seeded-random cases for serial, plan,
+// fast32 and multi-rank strategies.
+//
+// The wrapped run reuses the case's configuration verbatim (c.Cfg was
+// derived from the canonical mesh), so no parameter can drift with the
+// numbering. Mass/invariant series are global reductions summed in index
+// order and therefore differ in roundoff between numberings; they ride
+// along unconverted and are not part of the state comparison.
+func Reordered(inner Strategy) Strategy {
+	st := Strategy{
+		Name:    inner.Name + "+reorder",
+		Exact:   inner.Exact,
+		RelBand: inner.RelBand,
+	}
+	st.run = func(c *Case, recordStages bool) (*Result, error) {
+		r := mesh.ComputeReorder(c.Mesh)
+		rm, err := r.Apply(c.Mesh)
+		if err != nil {
+			return nil, err
+		}
+		rc := *c
+		rc.Mesh = rm
+		res, err := inner.run(&rc, recordStages)
+		if err != nil {
+			return nil, err
+		}
+		res.H = cellToCanonical(r, res.H)
+		res.U = edgeToCanonical(r, res.U)
+		for i := range res.Stages {
+			res.Stages[i].H = cellToCanonical(r, res.Stages[i].H)
+			res.Stages[i].U = edgeToCanonical(r, res.Stages[i].U)
+		}
+		return res, nil
+	}
+	return st
+}
+
+func cellToCanonical(r *mesh.Reorder, f []float64) []float64 {
+	if f == nil {
+		return nil
+	}
+	out := make([]float64, len(f))
+	r.CellToCanonical(out, f)
+	return out
+}
+
+func edgeToCanonical(r *mesh.Reorder, f []float64) []float64 {
+	if f == nil {
+		return nil
+	}
+	out := make([]float64, len(f))
+	r.EdgeToCanonical(out, f)
+	return out
+}

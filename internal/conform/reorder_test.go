@@ -1,0 +1,269 @@
+package conform
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/mesh"
+	"repro/internal/sw"
+)
+
+// reorderStrategies is the matrix the permutation-equivalence claim runs
+// over: serial gather, the compiled plan (1 and 4 workers), the threaded
+// pool, simulated 2- and 4-rank distribution, and the float32 fast mode.
+// (Real-process distribution is covered by TestDistProcConformance's
+// reorder rows; it needs a prebuilt binary.)
+func reorderStrategies() []Strategy {
+	return []Strategy{
+		Baseline(),
+		Plan(1),
+		Plan(4),
+		Threaded(4),
+		MPI(2),
+		MPI(4),
+		Fast32(4),
+	}
+}
+
+// TestReorderedIsExactPermutation is the correctness contract of locality
+// renumbering: for EVERY execution strategy, running on the SFC-renumbered
+// mesh and inverse-permuting the result must reproduce the strategy's
+// canonical run at 0 ULP — including the float32 fast mode, whose
+// per-element arithmetic is likewise just relabeled. The comparison is
+// strategy-vs-its-own-wrapped-self, so it isolates the permutation claim
+// from each strategy's (separately tested) relation to the baseline.
+func TestReorderedIsExactPermutation(t *testing.T) {
+	cases := []*Case{}
+	for _, name := range NamedCaseNames() {
+		c, err := NamedCase(name, testMesh, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cases = append(cases, c)
+	}
+	cases = append(cases, RandomCases(0x5FC, 3, 2, 2)...)
+	for _, c := range cases {
+		for _, inner := range reorderStrategies() {
+			wrapped := Reordered(inner)
+			ref, err := inner.Run(c, false)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", inner.Name, c.Name, err)
+			}
+			res, err := wrapped.Run(c, false)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", wrapped.Name, c.Name, err)
+			}
+			if d := CompareStates(ref.H, ref.U, res.H, res.U); d.MaxULP != 0 {
+				t.Errorf("%s on %s is not a pure permutation of %s: %s",
+					wrapped.Name, c.Name, inner.Name, d.String())
+			}
+		}
+	}
+}
+
+// TestReorderedStagesExact sharpens the claim to every RK substep boundary:
+// the wrapped baseline's per-stage snapshots, inverse-permuted, are bitwise
+// equal to the canonical ones — the permutation holds within the step, not
+// just at its end.
+func TestReorderedStagesExact(t *testing.T) {
+	c, err := NamedCase("tc5", testMesh, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Baseline()
+	ref, err := base.Run(c, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Reordered(base).Run(c, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Stages) == 0 || len(ref.Stages) != len(res.Stages) {
+		t.Fatalf("stage snapshots %d vs %d", len(ref.Stages), len(res.Stages))
+	}
+	for i := range ref.Stages {
+		a, b := ref.Stages[i], res.Stages[i]
+		if d := CompareStates(a.H, a.U, b.H, b.U); d.MaxULP != 0 {
+			t.Fatalf("step %d stage %d diverges under reorder: %s", a.Step, a.Stage, d.String())
+		}
+	}
+}
+
+// TestReorderedWithinStrategyBands re-runs the wrapped strategies against
+// the CANONICAL baseline under the standard pair tolerances: exact
+// strategies stay in the exact band and fast32 stays in its documented
+// relative band, i.e. wrapping never widens any tolerance.
+func TestReorderedWithinStrategyBands(t *testing.T) {
+	c, err := NamedCase("galewsky", testMesh, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Baseline()
+	ref, err := base.Run(c, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, inner := range reorderStrategies() {
+		wrapped := Reordered(inner)
+		res, err := wrapped.Run(c, false)
+		if err != nil {
+			t.Fatalf("%s: %v", wrapped.Name, err)
+		}
+		tol := PairTolerance(base, wrapped, c.Steps)
+		if d, ok := CompareResults(ref, res, tol); !ok {
+			t.Errorf("%s vs %s: %s", base.Name, wrapped.Name, d.String())
+		}
+	}
+}
+
+// reorderedSolver builds a solver on the renumbered copy of m with the
+// renumber maps attached, mirroring what mpas.Options.Reorder does.
+func reorderedSolver(t *testing.T, m *mesh.Mesh, cfg sw.Config) *sw.Solver {
+	t.Helper()
+	r := mesh.ComputeReorder(m)
+	rm, err := r.Apply(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sw.NewSolver(rm, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Renumber = r
+	return s
+}
+
+// TestReorderCheckpointCanonical: a solver on the renumbered mesh writes
+// BYTE-IDENTICAL checkpoints to the canonical solver at every step — the
+// on-disk format is numbering-independent, which is what lets a checkpoint
+// migrate freely between reordered and canonical processes (serve workers,
+// cluster steals, resume flag flips).
+func TestReorderCheckpointCanonical(t *testing.T) {
+	c, err := NamedCase("tc5", testMesh, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon, err := sw.NewSolver(c.Mesh, c.Cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon.Runner = sw.SerialRunner{}
+	c.Setup(canon)
+	ren := reorderedSolver(t, c.Mesh, c.Cfg)
+	ren.Runner = sw.SerialRunner{}
+	c.Setup(ren)
+	for step := 0; step <= c.Steps; step++ {
+		var a, b bytes.Buffer
+		if err := canon.WriteCheckpoint(&a); err != nil {
+			t.Fatal(err)
+		}
+		if err := ren.WriteCheckpoint(&b); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Fatalf("checkpoint bytes diverge at step %d", step)
+		}
+		canon.Step()
+		ren.Step()
+	}
+}
+
+// TestReorderResumeAcrossNumbering: a mid-run checkpoint crosses the
+// numbering boundary in BOTH directions — canonical run resumed on a
+// renumbered solver and vice versa — and both land on the uninterrupted
+// trajectory at 0 ULP.
+func TestReorderResumeAcrossNumbering(t *testing.T) {
+	const steps, mid = 6, 3
+	c, err := NamedCase("tc5", testMesh, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Uninterrupted canonical reference.
+	ref, err := sw.NewSolver(c.Mesh, c.Cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.Runner = sw.SerialRunner{}
+	c.Setup(ref)
+	ref.Run(steps)
+
+	mkCanon := func() *sw.Solver {
+		s, err := sw.NewSolver(c.Mesh, c.Cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Runner = sw.SerialRunner{}
+		return s
+	}
+	mkRen := func() *sw.Solver {
+		s := reorderedSolver(t, c.Mesh, c.Cfg)
+		s.Runner = sw.SerialRunner{}
+		return s
+	}
+
+	for _, dir := range []struct {
+		name         string
+		first, rest  func() *sw.Solver
+		canonicalize bool // final state needs converting back
+	}{
+		{"canonical->reordered", mkCanon, mkRen, true},
+		{"reordered->canonical", mkRen, mkCanon, false},
+	} {
+		first := dir.first()
+		c.Setup(first)
+		first.Run(mid)
+		var ckpt bytes.Buffer
+		if err := first.WriteCheckpoint(&ckpt); err != nil {
+			t.Fatal(err)
+		}
+		rest := dir.rest()
+		if err := rest.ReadCheckpoint(&ckpt); err != nil {
+			t.Fatalf("%s: %v", dir.name, err)
+		}
+		if rest.StepCount != mid {
+			t.Fatalf("%s: resumed at step %d, want %d", dir.name, rest.StepCount, mid)
+		}
+		rest.Run(steps - mid)
+		h, u := rest.State.H, rest.State.U
+		if dir.canonicalize {
+			h = cellToCanonical(rest.Renumber, h)
+			u = edgeToCanonical(rest.Renumber, u)
+		}
+		if d := CompareStates(ref.State.H, ref.State.U, h, u); d.MaxULP != 0 {
+			t.Errorf("%s: resumed trajectory diverged: %s", dir.name, d.String())
+		}
+	}
+}
+
+// TestReorderSetupPermutes pins the property every reorder path leans on:
+// the analytic test-case initializers are position-pure, so running setup
+// on the renumbered mesh yields exactly the permuted canonical initial
+// state (no setup may consult raw indices).
+func TestReorderSetupPermutes(t *testing.T) {
+	for _, name := range NamedCaseNames() {
+		c, err := NamedCase(name, testMesh, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		canon, err := sw.NewSolver(c.Mesh, c.Cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		canon.Runner = sw.SerialRunner{}
+		c.Setup(canon)
+		ren := reorderedSolver(t, c.Mesh, c.Cfg)
+		ren.Runner = sw.SerialRunner{}
+		c.Setup(ren)
+		h := cellToCanonical(ren.Renumber, ren.State.H)
+		u := edgeToCanonical(ren.Renumber, ren.State.U)
+		b := cellToCanonical(ren.Renumber, ren.B)
+		if d := CompareStates(canon.State.H, canon.State.U, h, u); d.MaxULP != 0 {
+			t.Errorf("%s: initial state not a pure permutation: %s", name, d.String())
+		}
+		if d := CompareStates(canon.B, nil, b, nil); d.MaxULP != 0 {
+			t.Errorf("%s: topography not a pure permutation: %s", name, d.String())
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package geom
+
+import "math"
+
+// This file provides the spherical space-filling-curve (SFC) key used for
+// locality renumbering (mesh.ComputeReorder) and contiguous-range
+// partitioning (partition.SFC). Points on the unit sphere are gnomonically
+// projected onto the six faces of an enclosing cube and ordered by a Hilbert
+// curve within each face, so points that are close on the sphere get close
+// keys almost everywhere (the only seams are the cube-face boundaries).
+// Keeping one key function shared by the renumbering pass and the
+// partitioner is what makes the two coincide: on an SFC-renumbered mesh,
+// sorting by key is sorting by index, so SFC partitions become contiguous
+// index ranges.
+
+const (
+	// sfcOrder is the Hilbert curve refinement order per cube face. 2^20
+	// grid cells per face side resolves ~1e12 positions per face — far
+	// below the spacing of any buildable mesh, so distinct generators
+	// essentially never collide (ties are broken by index upstream).
+	sfcOrder = 20
+	sfcGrid  = 1 << sfcOrder
+)
+
+// SFCKey maps a unit vector to its position along a spherical space-filling
+// curve: 3 bits of cube face above 2*sfcOrder bits of intra-face Hilbert
+// index. Keys are comparable with < and deterministic in the input bits.
+func SFCKey(p Vec3) uint64 {
+	face, u, v := cubeFace(p)
+	return uint64(face)<<(2*sfcOrder) | hilbertD(sfcCoord(u), sfcCoord(v))
+}
+
+// cubeFace gnomonically projects unit vector p onto the face of the cube
+// [-1,1]^3 that its dominant axis selects, returning the face index and the
+// in-face coordinates u,v in [-1,1].
+func cubeFace(p Vec3) (face int, u, v float64) {
+	ax, ay, az := math.Abs(p.X), math.Abs(p.Y), math.Abs(p.Z)
+	switch {
+	case ax >= ay && ax >= az:
+		if p.X >= 0 {
+			return 0, p.Y / ax, p.Z / ax
+		}
+		return 1, p.Z / ax, p.Y / ax
+	case ay >= ax && ay >= az:
+		if p.Y >= 0 {
+			return 2, p.Z / ay, p.X / ay
+		}
+		return 3, p.X / ay, p.Z / ay
+	default:
+		if p.Z >= 0 {
+			return 4, p.X / az, p.Y / az
+		}
+		return 5, p.Y / az, p.X / az
+	}
+}
+
+// sfcCoord maps t in [-1,1] to a grid coordinate in [0, sfcGrid).
+func sfcCoord(t float64) uint32 {
+	i := int64((t + 1) * 0.5 * sfcGrid)
+	if i < 0 {
+		i = 0
+	}
+	if i >= sfcGrid {
+		i = sfcGrid - 1
+	}
+	return uint32(i)
+}
+
+// hilbertD returns the distance along the order-sfcOrder Hilbert curve of
+// grid cell (x, y); the classic xy2d bit-interleaving walk from coarse to
+// fine quadrants.
+func hilbertD(x, y uint32) uint64 {
+	var d uint64
+	for s := uint32(sfcGrid / 2); s > 0; s /= 2 {
+		var rx, ry uint32
+		if x&s > 0 {
+			rx = 1
+		}
+		if y&s > 0 {
+			ry = 1
+		}
+		d += uint64(s) * uint64(s) * uint64((3*rx)^ry)
+		if ry == 0 {
+			if rx == 1 {
+				x = sfcGrid - 1 - x
+				y = sfcGrid - 1 - y
+			}
+			x, y = y, x
+		}
+	}
+	return d
+}

@@ -1,0 +1,80 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestHilbertCurveAdjacency checks the Hilbert walk itself. The curve is
+// self-similar: the top 2k bits of hilbertD are the order-k curve over the
+// top k bits of the coordinates, so evaluating on a coarse 32x32 subgrid
+// must yield a permutation of 0..1023 in which consecutive curve positions
+// are Manhattan-adjacent grid cells — the defining property of a Hilbert
+// ordering.
+func TestHilbertCurveAdjacency(t *testing.T) {
+	const k = 5
+	const n = 1 << k
+	shift := uint(sfcOrder - k)
+	pos := make([][2]int, n*n) // curve distance -> (x, y)
+	seen := make([]bool, n*n)
+	for x := 0; x < n; x++ {
+		for y := 0; y < n; y++ {
+			d := hilbertD(uint32(x)<<shift, uint32(y)<<shift) >> (2 * shift)
+			if d >= uint64(n*n) {
+				t.Fatalf("hilbertD(%d,%d) coarse index %d out of range", x, y, d)
+			}
+			if seen[d] {
+				t.Fatalf("curve distance %d visited twice", d)
+			}
+			seen[d] = true
+			pos[d] = [2]int{x, y}
+		}
+	}
+	for d := 1; d < n*n; d++ {
+		dx := pos[d][0] - pos[d-1][0]
+		dy := pos[d][1] - pos[d-1][1]
+		if dx*dx+dy*dy != 1 {
+			t.Fatalf("curve positions %d->%d jump from %v to %v", d-1, d, pos[d-1], pos[d])
+		}
+	}
+}
+
+func TestSFCKeyDeterministicAndBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		p := V(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()).Normalize()
+		k1, k2 := SFCKey(p), SFCKey(p)
+		if k1 != k2 {
+			t.Fatalf("SFCKey not deterministic at %v: %d vs %d", p, k1, k2)
+		}
+		if face := k1 >> (2 * sfcOrder); face > 5 {
+			t.Fatalf("SFCKey face %d out of range at %v", face, p)
+		}
+	}
+}
+
+// TestSFCKeyLocality is the statistical property the renumbering relies on:
+// pairs of nearby points on the sphere must be far closer in key space, on
+// average, than arbitrary pairs. The margin is coarse (10x) so the test is
+// robust to the occasional pair straddling a curve seam.
+func TestSFCKeyLocality(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	randPoint := func() Vec3 {
+		return V(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()).Normalize()
+	}
+	const samples = 4000
+	var nearSum, farSum float64
+	for i := 0; i < samples; i++ {
+		p := randPoint()
+		// A point ~0.01 rad away along a random tangent.
+		dir := ProjectToTangent(p, randPoint()).Normalize()
+		q := p.Add(dir.Scale(0.01)).Normalize()
+		nearSum += math.Abs(float64(SFCKey(p)) - float64(SFCKey(q)))
+		farSum += math.Abs(float64(SFCKey(p)) - float64(SFCKey(randPoint())))
+	}
+	if nearSum*10 >= farSum {
+		t.Fatalf("SFC keys show no locality: near mean %g vs far mean %g",
+			nearSum/samples, farSum/samples)
+	}
+}

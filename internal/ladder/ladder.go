@@ -40,6 +40,12 @@ type Config struct {
 	// Default 0: relaxation cost grows superlinearly and does not change
 	// the scaling exponent being measured.
 	Lloyd int
+	// Reorder additionally measures the plan and fast32 rungs on the SFC
+	// locality-renumbered mesh (mpas.Options.Reorder) and records the mean
+	// neighbor-index distance before/after — the pair of columns that shows
+	// where renumbering starts paying (the rungs whose working set has
+	// fallen out of cache).
+	Reorder bool
 }
 
 func (c Config) withDefaults() Config {
@@ -69,6 +75,15 @@ type Level struct {
 	PlanStep   float64 `json:"plan_step_seconds"`
 	Fast32Step float64 `json:"fast32_step_seconds"`
 
+	// Reorder columns (Config.Reorder): the same plan/fast32 measurements
+	// on the SFC-renumbered mesh, and the mean neighbor-index distance (in
+	// cell units) before and after renumbering — the locality the columns
+	// are buying.
+	PlanStepReorder    float64 `json:"plan_step_reorder_seconds,omitempty"`
+	Fast32StepReorder  float64 `json:"fast32_step_reorder_seconds,omitempty"`
+	NeighborDistBefore float64 `json:"neighbor_dist_before,omitempty"`
+	NeighborDistAfter  float64 `json:"neighbor_dist_after,omitempty"`
+
 	// PerKernel is the serial run's wall-time split by Algorithm-1 kernel
 	// (seconds per step, from the sw_kernel_*_seconds telemetry timers).
 	PerKernel map[string]float64 `json:"per_kernel_seconds"`
@@ -77,6 +92,14 @@ type Level struct {
 	// (perfmodel.WorkTable bytes summed over the four RK stages plus the
 	// driver's state copies) — the denominator for a bandwidth reading.
 	ModeledBytes float64 `json:"modeled_bytes_per_step"`
+	// PlanBandwidth is the achieved streaming rate implied by the plan
+	// measurement (ModeledBytes / PlanStep): modeled traffic over measured
+	// time, directly comparable to the device bandwidth ceiling. The
+	// reorder variant reads the renumbered measurement against the SAME
+	// modeled traffic — renumbering changes none of the arithmetic or the
+	// bytes, only how far apart they sit.
+	PlanBandwidth        float64 `json:"plan_achieved_bytes_per_second,omitempty"`
+	PlanBandwidthReorder float64 `json:"plan_reorder_achieved_bytes_per_second,omitempty"`
 	// CSRBytes is the measured footprint of the packed adjacency.
 	CSRBytes int64 `json:"csr_bytes"`
 	// HeapBytes is the live heap after the rung's solvers were built.
@@ -135,7 +158,7 @@ func runLevel(cfg Config, level int, logf func(string, ...any)) (*Level, error) 
 
 	// Serial rung, with the per-kernel wall-time split.
 	reg := telemetry.NewRegistry()
-	sec, err := timeMode(m, mpas.Serial, "", cfg, func(mod *mpas.Model) {
+	sec, err := timeMode(m, mpas.Serial, "", cfg, false, func(mod *mpas.Model) {
 		mod.EnableTelemetry(nil, reg)
 	})
 	if err != nil {
@@ -151,15 +174,22 @@ func runLevel(cfg Config, level int, logf func(string, ...any)) (*Level, error) 
 	}
 	logf("level %d: serial %.3fs/step", level, lv.SerialStep)
 
-	if lv.PlanStep, err = timeMode(m, mpas.Plan, "", cfg, nil); err != nil {
+	if lv.PlanStep, err = timeMode(m, mpas.Plan, "", cfg, false, nil); err != nil {
 		return nil, err
 	}
-	logf("level %d: plan   %.3fs/step", level, lv.PlanStep)
+	lv.PlanBandwidth = lv.ModeledBytes / lv.PlanStep
+	logf("level %d: plan   %.3fs/step (%.1f GB/s achieved)", level, lv.PlanStep, lv.PlanBandwidth/1e9)
 
-	if lv.Fast32Step, err = timeMode(m, mpas.Plan, "float32", cfg, nil); err != nil {
+	if lv.Fast32Step, err = timeMode(m, mpas.Plan, "float32", cfg, false, nil); err != nil {
 		return nil, err
 	}
 	logf("level %d: fast32 %.3fs/step", level, lv.Fast32Step)
+
+	if cfg.Reorder {
+		if err := measureReorder(cfg, m, lv, logf); err != nil {
+			return nil, err
+		}
+	}
 
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
@@ -167,13 +197,39 @@ func runLevel(cfg Config, level int, logf func(string, ...any)) (*Level, error) 
 	return lv, nil
 }
 
+// measureReorder adds the renumbered plan/fast32 columns and the
+// locality-before/after pair to an already measured rung.
+func measureReorder(cfg Config, m *mesh.Mesh, lv *Level, logf func(string, ...any)) error {
+	lv.NeighborDistBefore = m.NeighborLocality().Mean
+	rm, err := mesh.ComputeReorder(m).Apply(m)
+	if err != nil {
+		return fmt.Errorf("ladder: level %d: %w", lv.Level, err)
+	}
+	lv.NeighborDistAfter = rm.NeighborLocality().Mean
+
+	if lv.PlanStepReorder, err = timeMode(m, mpas.Plan, "", cfg, true, nil); err != nil {
+		return err
+	}
+	lv.PlanBandwidthReorder = lv.ModeledBytes / lv.PlanStepReorder
+	logf("level %d: plan+reorder   %.3fs/step (%.2fx, neighbor dist %.0f -> %.0f)",
+		lv.Level, lv.PlanStepReorder, lv.PlanStep/lv.PlanStepReorder,
+		lv.NeighborDistBefore, lv.NeighborDistAfter)
+
+	if lv.Fast32StepReorder, err = timeMode(m, mpas.Plan, "float32", cfg, true, nil); err != nil {
+		return err
+	}
+	logf("level %d: fast32+reorder %.3fs/step (%.2fx)",
+		lv.Level, lv.Fast32StepReorder, lv.Fast32Step/lv.Fast32StepReorder)
+	return nil
+}
+
 // timeMode builds a TC5 model on msh under the given mode/precision, runs
 // one warm-up step, then returns the mean of cfg.Steps timed steps.
 func timeMode(msh *mesh.Mesh, mode mpas.Mode, precision string, cfg Config,
-	prep func(*mpas.Model)) (float64, error) {
+	reorder bool, prep func(*mpas.Model)) (float64, error) {
 	mod, err := mpas.New(mpas.Options{
 		Mesh: msh, TestCase: mpas.TC5, Mode: mode,
-		Workers: cfg.Workers, Precision: precision,
+		Workers: cfg.Workers, Precision: precision, Reorder: reorder,
 	})
 	if err != nil {
 		return 0, err
@@ -241,6 +297,8 @@ func CheckLinear(levels []Level, slack float64) error {
 		{"serial", func(l Level) float64 { return l.SerialStep }},
 		{"plan", func(l Level) float64 { return l.PlanStep }},
 		{"fast32", func(l Level) float64 { return l.Fast32Step }},
+		{"plan+reorder", func(l Level) float64 { return l.PlanStepReorder }},
+		{"fast32+reorder", func(l Level) float64 { return l.Fast32StepReorder }},
 	}
 	for i := 1; i < len(levels); i++ {
 		a, b := levels[i-1], levels[i]

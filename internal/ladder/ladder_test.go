@@ -55,6 +55,31 @@ func TestRunSmallLevels(t *testing.T) {
 	}
 }
 
+// TestRunReorderColumns climbs one cheap rung with the reorder columns on:
+// the renumbered measurements and the locality pair must be populated, and
+// renumbering must actually shrink the mean neighbor-index distance (that
+// shrinkage is the entire mechanism the extra columns exist to show).
+func TestRunReorderColumns(t *testing.T) {
+	rep, err := Run(Config{MinLevel: 4, MaxLevel: 4, Steps: 1, Reorder: true}, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lv := rep.Levels[0]
+	if lv.PlanStepReorder <= 0 || lv.Fast32StepReorder <= 0 {
+		t.Errorf("reorder step columns not measured: %+v", lv)
+	}
+	if lv.PlanBandwidth <= 0 || lv.PlanBandwidthReorder <= 0 {
+		t.Errorf("achieved-bandwidth columns not derived: %+v", lv)
+	}
+	if lv.NeighborDistBefore <= 0 || lv.NeighborDistAfter <= 0 {
+		t.Errorf("neighbor-distance columns not measured: %+v", lv)
+	}
+	if lv.NeighborDistAfter >= lv.NeighborDistBefore {
+		t.Errorf("renumbering did not improve locality: %.1f -> %.1f",
+			lv.NeighborDistBefore, lv.NeighborDistAfter)
+	}
+}
+
 // TestCheckLinear feeds fabricated ladders to the scaling assertion:
 // linear growth (constant ns/cell) passes, mild cache-fallout growth passes
 // within the slack, quadratic growth fails, and the failure names the mode.

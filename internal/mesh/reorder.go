@@ -1,0 +1,303 @@
+package mesh
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// This file implements locality renumbering: relabel the mesh's cells along
+// a spherical space-filling curve (geom.SFCKey) and induce edge and vertex
+// numberings by first touch from the new cell order. The paper's Figure-6
+// ladder is a memory-access-pattern ladder; after the SoA/CSR/BCE rungs
+// (PR 7) the remaining large-mesh fallout is that the raw icosahedral
+// subdivision numbering scatters every indirect gather (cellsOnCell,
+// edgesOnCell, the TRiSK stencil) across distant cache lines. Renumbering
+// brings geometric neighbors together in index space so those gathers land
+// in lines that are already resident.
+//
+// The renumbering is a pure relabeling: every per-entity row keeps its
+// counterclockwise j-order and its orientation signs, so every kernel
+// gather performs the identical per-element arithmetic and a reordered run
+// is exactly a permutation of the canonical run (0 ULP; internal/conform
+// proves this). External-facing state — checkpoints, result files, gathered
+// fields, hashes — stays in canonical numbering via the retained
+// forward/inverse maps.
+
+// Reorder is a locality renumbering of one mesh: mutually inverse
+// permutations for cells, edges and vertices. Perm maps canonical (old)
+// indices to renumbered (new) indices; Inv maps back.
+type Reorder struct {
+	CellPerm []int32 // canonical cell -> renumbered cell
+	CellInv  []int32 // renumbered cell -> canonical cell
+	EdgePerm []int32
+	EdgeInv  []int32
+	VertPerm []int32
+	VertInv  []int32
+}
+
+// ComputeReorder derives the locality renumbering of m: cells sorted by
+// spherical SFC key (ties broken by canonical index, so the result is
+// deterministic), edges and vertices numbered in first-touch order of the
+// new cell sweep — the order the compiled kernels' gathers will visit them.
+func ComputeReorder(m *Mesh) *Reorder {
+	r := &Reorder{
+		CellPerm: make([]int32, m.NCells),
+		CellInv:  make([]int32, m.NCells),
+		EdgePerm: make([]int32, m.NEdges),
+		EdgeInv:  make([]int32, m.NEdges),
+		VertPerm: make([]int32, m.NVertices),
+		VertInv:  make([]int32, m.NVertices),
+	}
+	keys := make([]uint64, m.NCells)
+	for c := range keys {
+		keys[c] = geom.SFCKey(m.XCell[c])
+	}
+	order := make([]int32, m.NCells)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if keys[a] != keys[b] {
+			return keys[a] < keys[b]
+		}
+		return a < b
+	})
+	for n, old := range order {
+		r.CellInv[n] = old
+		r.CellPerm[old] = int32(n)
+	}
+
+	// First-touch edge/vertex numbering: sweep cells in the new order and
+	// hand out indices the first time each incident edge/vertex appears.
+	// On a closed mesh every edge and vertex is incident to some cell, so
+	// both sweeps assign every index exactly once.
+	for i := range r.EdgePerm {
+		r.EdgePerm[i] = -1
+	}
+	for i := range r.VertPerm {
+		r.VertPerm[i] = -1
+	}
+	var ne, nv int32
+	for n := 0; n < m.NCells; n++ {
+		old := r.CellInv[n]
+		for _, e := range m.CellEdges(old) {
+			if r.EdgePerm[e] < 0 {
+				r.EdgePerm[e] = ne
+				r.EdgeInv[ne] = e
+				ne++
+			}
+		}
+		for _, v := range m.CellVertices(old) {
+			if r.VertPerm[v] < 0 {
+				r.VertPerm[v] = nv
+				r.VertInv[nv] = v
+				nv++
+			}
+		}
+	}
+	return r
+}
+
+// Validate checks that r is a complete set of mutually inverse bijections
+// sized for m. Apply calls it, so a corrupt permutation can never produce a
+// silently mis-wired mesh.
+func (r *Reorder) Validate(m *Mesh) error {
+	if err := checkPerm("cell", r.CellPerm, r.CellInv, m.NCells); err != nil {
+		return err
+	}
+	if err := checkPerm("edge", r.EdgePerm, r.EdgeInv, m.NEdges); err != nil {
+		return err
+	}
+	return checkPerm("vertex", r.VertPerm, r.VertInv, m.NVertices)
+}
+
+func checkPerm(kind string, perm, inv []int32, n int) error {
+	if len(perm) != n || len(inv) != n {
+		return fmt.Errorf("reorder: %s maps sized %d/%d, mesh has %d", kind, len(perm), len(inv), n)
+	}
+	for old, nw := range perm {
+		if nw < 0 || int(nw) >= n {
+			return fmt.Errorf("reorder: %s %d maps to %d outside [0,%d)", kind, old, nw, n)
+		}
+		if inv[nw] != int32(old) {
+			return fmt.Errorf("reorder: %s maps not inverse at %d -> %d -> %d", kind, old, nw, inv[nw])
+		}
+	}
+	return nil
+}
+
+// Apply returns a new mesh relabeled by r; m is not modified (callers such
+// as the serve daemon share one cached canonical mesh across jobs). Every
+// connectivity row keeps its j-order and signs, entries are remapped through
+// the permutations, and geometry/metric/weight values are carried over
+// bitwise, so kernels on the result perform a 0-ULP permutation of the
+// canonical run.
+func (r *Reorder) Apply(m *Mesh) (*Mesh, error) {
+	if err := r.Validate(m); err != nil {
+		return nil, err
+	}
+	nm := NewEmpty(m.Radius, m.NCells, m.NEdges, m.NVertices, m.Level)
+	for old := 0; old < m.NCells; old++ {
+		n := int(r.CellPerm[old])
+		nm.XCell[n] = m.XCell[old]
+		nm.LatCell[n] = m.LatCell[old]
+		nm.LonCell[n] = m.LonCell[old]
+		nm.AreaCell[n] = m.AreaCell[old]
+		nm.FCell[n] = m.FCell[old]
+		deg := int(m.NEdgesOnCell[old])
+		nm.NEdgesOnCell[n] = int32(deg)
+		ob, nb := old*MaxEdges, n*MaxEdges
+		for j := 0; j < deg; j++ {
+			nm.EdgesOnCell[nb+j] = r.EdgePerm[m.EdgesOnCell[ob+j]]
+			nm.VerticesOnCell[nb+j] = r.VertPerm[m.VerticesOnCell[ob+j]]
+			nm.CellsOnCell[nb+j] = r.CellPerm[m.CellsOnCell[ob+j]]
+			nm.EdgeSignOnCell[nb+j] = m.EdgeSignOnCell[ob+j]
+		}
+	}
+	for old := 0; old < m.NEdges; old++ {
+		n := int(r.EdgePerm[old])
+		nm.XEdge[n] = m.XEdge[old]
+		nm.LatEdge[n] = m.LatEdge[old]
+		nm.LonEdge[n] = m.LonEdge[old]
+		nm.EdgeNormal[n] = m.EdgeNormal[old]
+		nm.EdgeTangent[n] = m.EdgeTangent[old]
+		nm.AngleEdge[n] = m.AngleEdge[old]
+		nm.DcEdge[n] = m.DcEdge[old]
+		nm.DvEdge[n] = m.DvEdge[old]
+		nm.FEdge[n] = m.FEdge[old]
+		// The cell pair keeps its order, so the positive normal direction
+		// (first cell -> second cell) and with it every orientation sign is
+		// unchanged by the relabeling.
+		nm.CellsOnEdge[2*n] = r.CellPerm[m.CellsOnEdge[2*old]]
+		nm.CellsOnEdge[2*n+1] = r.CellPerm[m.CellsOnEdge[2*old+1]]
+		nm.VerticesOnEdge[2*n] = r.VertPerm[m.VerticesOnEdge[2*old]]
+		nm.VerticesOnEdge[2*n+1] = r.VertPerm[m.VerticesOnEdge[2*old+1]]
+		ns := int(m.NEdgesOnEdge[old])
+		nm.NEdgesOnEdge[n] = int32(ns)
+		ob, nb := old*MaxEdgesOnEdge, n*MaxEdgesOnEdge
+		for j := 0; j < ns; j++ {
+			nm.EdgesOnEdge[nb+j] = r.EdgePerm[m.EdgesOnEdge[ob+j]]
+			nm.WeightsOnEdge[nb+j] = m.WeightsOnEdge[ob+j]
+		}
+	}
+	for old := 0; old < m.NVertices; old++ {
+		n := int(r.VertPerm[old])
+		nm.XVertex[n] = m.XVertex[old]
+		nm.LatVertex[n] = m.LatVertex[old]
+		nm.AreaTriangle[n] = m.AreaTriangle[old]
+		nm.FVertex[n] = m.FVertex[old]
+		ob, nb := old*VertexDegree, n*VertexDegree
+		for j := 0; j < VertexDegree; j++ {
+			nm.CellsOnVertex[nb+j] = r.CellPerm[m.CellsOnVertex[ob+j]]
+			nm.EdgesOnVertex[nb+j] = r.EdgePerm[m.EdgesOnVertex[ob+j]]
+			nm.KiteAreasOnVertex[nb+j] = m.KiteAreasOnVertex[ob+j]
+			nm.EdgeSignOnVertex[nb+j] = m.EdgeSignOnVertex[ob+j]
+		}
+	}
+	return nm, nil
+}
+
+// Canonical-order converters. "Canonical" is the numbering of the mesh
+// ComputeReorder was called on; src and dst must not alias. These are the
+// only bridge external-facing state needs: checkpoints, gathered result
+// fields and hashes stay canonical at the boundary while the solver runs
+// renumbered.
+
+// CellToCanonical scatters a renumbered cell field into canonical order.
+func (r *Reorder) CellToCanonical(dst, src []float64) {
+	for nw, old := range r.CellInv {
+		dst[old] = src[nw]
+	}
+}
+
+// CellFromCanonical gathers a canonical cell field into renumbered order.
+func (r *Reorder) CellFromCanonical(dst, src []float64) {
+	for nw, old := range r.CellInv {
+		dst[nw] = src[old]
+	}
+}
+
+// EdgeToCanonical scatters a renumbered edge field into canonical order.
+func (r *Reorder) EdgeToCanonical(dst, src []float64) {
+	for nw, old := range r.EdgeInv {
+		dst[old] = src[nw]
+	}
+}
+
+// EdgeFromCanonical gathers a canonical edge field into renumbered order.
+func (r *Reorder) EdgeFromCanonical(dst, src []float64) {
+	for nw, old := range r.EdgeInv {
+		dst[nw] = src[old]
+	}
+}
+
+// Locality summarizes how far, in index space, the mesh's gather stencils
+// reach. All numbers are mean absolute index distances in CELL units
+// (edge-space distances are scaled by NCells/NEdges ~ 1/3) so they are
+// comparable across entity kinds and mesh sizes; smaller means gathers land
+// nearer in memory.
+type Locality struct {
+	MeanCellCell float64 `json:"mean_cell_cell"` // cellsOnCell vs owning cell
+	MeanCellEdge float64 `json:"mean_cell_edge"` // edgesOnCell vs expected edge position
+	MeanEdgeCell float64 `json:"mean_edge_cell"` // cellsOnEdge vs expected cell position
+	MeanEdgeEdge float64 `json:"mean_edge_edge"` // TRiSK stencil vs owning edge
+	Mean         float64 `json:"mean"`           // weighted over all stencil entries
+}
+
+// NeighborLocality measures the mean neighbor index distance of every
+// gather stencil the step kernels traverse. The cross-space terms compare
+// against the proportional position (cell c expects its edges near
+// c*NEdges/NCells and vice versa), which is exactly where a first-touch
+// numbering puts them.
+func (m *Mesh) NeighborLocality() Locality {
+	var l Locality
+	edgePerCell := float64(m.NEdges) / float64(m.NCells)
+	toCells := 1 / edgePerCell // edge-index distance -> cell units
+	var nCC, nCE, nEC, nEE int
+	for c := int32(0); c < int32(m.NCells); c++ {
+		for _, nb := range m.CellNeighbors(c) {
+			l.MeanCellCell += absInt32(nb - c)
+			nCC++
+		}
+		expect := float64(c) * edgePerCell
+		for _, e := range m.CellEdges(c) {
+			l.MeanCellEdge += absFloat(float64(e)-expect) * toCells
+			nCE++
+		}
+	}
+	for e := int32(0); e < int32(m.NEdges); e++ {
+		expect := float64(e) * toCells
+		l.MeanEdgeCell += absFloat(float64(m.CellsOnEdge[2*e]) - expect)
+		l.MeanEdgeCell += absFloat(float64(m.CellsOnEdge[2*e+1]) - expect)
+		nEC += 2
+		stencil, _ := m.EdgeStencil(e)
+		for _, eoe := range stencil {
+			l.MeanEdgeEdge += absInt32(eoe-e) * toCells
+			nEE++
+		}
+	}
+	l.Mean = (l.MeanCellCell + l.MeanCellEdge + l.MeanEdgeCell + l.MeanEdgeEdge) /
+		float64(nCC+nCE+nEC+nEE)
+	l.MeanCellCell /= float64(nCC)
+	l.MeanCellEdge /= float64(nCE)
+	l.MeanEdgeCell /= float64(nEC)
+	l.MeanEdgeEdge /= float64(nEE)
+	return l
+}
+
+func absInt32(d int32) float64 {
+	if d < 0 {
+		return float64(-d)
+	}
+	return float64(d)
+}
+
+func absFloat(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

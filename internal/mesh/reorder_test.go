@@ -1,0 +1,234 @@
+package mesh
+
+import (
+	"testing"
+)
+
+// reorderSeeds is the jittered-mesh family the reorder property tests run
+// over — same construction as the CSR round-trip tests.
+var reorderSeeds = []struct {
+	seed  uint64
+	level int
+}{{1, 2}, {2, 2}, {3, 3}, {0xbeef, 3}, {42, 4}}
+
+// TestReorderBijectionAndValidate: the computed maps are mutually inverse
+// bijections and the relabeled mesh still satisfies every structural and
+// geometric mesh invariant.
+func TestReorderBijectionAndValidate(t *testing.T) {
+	for _, tc := range reorderSeeds {
+		m := jitteredMesh(t, tc.seed, tc.level)
+		r := ComputeReorder(m)
+		if err := r.Validate(m); err != nil {
+			t.Fatalf("seed %d level %d: %v", tc.seed, tc.level, err)
+		}
+		nm, err := r.Apply(m)
+		if err != nil {
+			t.Fatalf("seed %d level %d: Apply: %v", tc.seed, tc.level, err)
+		}
+		if err := nm.Validate(); err != nil {
+			t.Fatalf("seed %d level %d: reordered mesh invalid: %v", tc.seed, tc.level, err)
+		}
+		// Apply must not touch the input mesh (serve shares cached meshes).
+		if err := m.Validate(); err != nil {
+			t.Fatalf("seed %d level %d: Apply corrupted its input: %v", tc.seed, tc.level, err)
+		}
+	}
+}
+
+// TestReorderDeterministic: the same mesh always yields the same maps.
+func TestReorderDeterministic(t *testing.T) {
+	m := jitteredMesh(t, 5, 3)
+	r1, r2 := ComputeReorder(m), ComputeReorder(m)
+	for i := range r1.CellPerm {
+		if r1.CellPerm[i] != r2.CellPerm[i] {
+			t.Fatalf("cell perm differs at %d", i)
+		}
+	}
+	for i := range r1.EdgePerm {
+		if r1.EdgePerm[i] != r2.EdgePerm[i] {
+			t.Fatalf("edge perm differs at %d", i)
+		}
+	}
+	for i := range r1.VertPerm {
+		if r1.VertPerm[i] != r2.VertPerm[i] {
+			t.Fatalf("vertex perm differs at %d", i)
+		}
+	}
+}
+
+// TestReorderGeometryCarriedBitwise: values ride the permutation unchanged —
+// position, metric and weight arrays of the relabeled mesh are bitwise
+// copies of the originals at the mapped indices, and connectivity rows are
+// entrywise remapped without any j-order shuffle.
+func TestReorderGeometryCarriedBitwise(t *testing.T) {
+	m := jitteredMesh(t, 9, 3)
+	r := ComputeReorder(m)
+	nm, err := r.Apply(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for old := 0; old < m.NCells; old++ {
+		n := r.CellPerm[old]
+		if nm.XCell[n] != m.XCell[old] || nm.AreaCell[n] != m.AreaCell[old] {
+			t.Fatalf("cell %d geometry not carried bitwise", old)
+		}
+		deg := int(m.NEdgesOnCell[old])
+		if int(nm.NEdgesOnCell[n]) != deg {
+			t.Fatalf("cell %d degree changed", old)
+		}
+		for j := 0; j < deg; j++ {
+			if nm.EdgesOnCell[int(n)*MaxEdges+j] != r.EdgePerm[m.EdgesOnCell[old*MaxEdges+j]] {
+				t.Fatalf("cell %d edge slot %d not remapped in place", old, j)
+			}
+			if nm.EdgeSignOnCell[int(n)*MaxEdges+j] != m.EdgeSignOnCell[old*MaxEdges+j] {
+				t.Fatalf("cell %d sign slot %d changed", old, j)
+			}
+		}
+	}
+	for old := 0; old < m.NEdges; old++ {
+		n := r.EdgePerm[old]
+		if nm.DcEdge[n] != m.DcEdge[old] || nm.EdgeNormal[n] != m.EdgeNormal[old] {
+			t.Fatalf("edge %d geometry not carried bitwise", old)
+		}
+		if nm.CellsOnEdge[2*n] != r.CellPerm[m.CellsOnEdge[2*old]] ||
+			nm.CellsOnEdge[2*n+1] != r.CellPerm[m.CellsOnEdge[2*old+1]] {
+			t.Fatalf("edge %d cell pair reordered", old)
+		}
+		ns := int(m.NEdgesOnEdge[old])
+		for j := 0; j < ns; j++ {
+			if nm.WeightsOnEdge[int(n)*MaxEdgesOnEdge+j] != m.WeightsOnEdge[old*MaxEdgesOnEdge+j] {
+				t.Fatalf("edge %d TRiSK weight %d changed", old, j)
+			}
+		}
+	}
+}
+
+// TestReorderCSRRoundTrip: the CSR image of the relabeled mesh is exactly
+// the permuted CSR image of the original — row of new cell n equals the
+// entrywise-remapped row of canonical cell CellInv[n], weights bit for bit.
+func TestReorderCSRRoundTrip(t *testing.T) {
+	for _, tc := range reorderSeeds {
+		m := jitteredMesh(t, tc.seed, tc.level)
+		r := ComputeReorder(m)
+		nm, err := r.Apply(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c0, err := m.PackCSR()
+		if err != nil {
+			t.Fatalf("canonical PackCSR: %v", err)
+		}
+		c1, err := nm.PackCSR()
+		if err != nil {
+			t.Fatalf("reordered PackCSR: %v", err)
+		}
+		for n := 0; n < nm.NCells; n++ {
+			old := int(r.CellInv[n])
+			lo1, hi1 := c1.CellRow(n)
+			lo0, hi0 := c0.CellRow(old)
+			if hi1-lo1 != hi0-lo0 {
+				t.Fatalf("cell %d CSR row length changed", old)
+			}
+			for j := 0; j < hi0-lo0; j++ {
+				if c1.CellEdges[lo1+j] != r.EdgePerm[c0.CellEdges[lo0+j]] ||
+					c1.CellCells[lo1+j] != r.CellPerm[c0.CellCells[lo0+j]] ||
+					c1.CellVerts[lo1+j] != r.VertPerm[c0.CellVerts[lo0+j]] {
+					t.Fatalf("cell %d CSR row entry %d not the remapped original", old, j)
+				}
+			}
+		}
+		for n := 0; n < nm.NEdges; n++ {
+			old := int(r.EdgeInv[n])
+			lo1, hi1 := c1.EdgeRow(n)
+			lo0, hi0 := c0.EdgeRow(old)
+			if hi1-lo1 != hi0-lo0 {
+				t.Fatalf("edge %d stencil length changed", old)
+			}
+			for j := 0; j < hi0-lo0; j++ {
+				if c1.EdgeEdges[lo1+j] != r.EdgePerm[c0.EdgeEdges[lo0+j]] {
+					t.Fatalf("edge %d stencil entry %d not the remapped original", old, j)
+				}
+				if c1.EdgeWeights[lo1+j] != c0.EdgeWeights[lo0+j] {
+					t.Fatalf("edge %d stencil weight %d changed", old, j)
+				}
+			}
+		}
+	}
+}
+
+// TestReorderRejectsCorruptPermutation: a tampered map must fail Validate
+// and Apply, never silently mis-wire a mesh.
+func TestReorderRejectsCorruptPermutation(t *testing.T) {
+	m := jitteredMesh(t, 3, 2)
+	corrupt := []struct {
+		name string
+		mut  func(r *Reorder)
+	}{
+		{"duplicate cell target", func(r *Reorder) { r.CellPerm[1] = r.CellPerm[0] }},
+		{"cell out of range", func(r *Reorder) { r.CellPerm[0] = int32(m.NCells) }},
+		{"negative edge", func(r *Reorder) { r.EdgePerm[2] = -1 }},
+		{"inverse mismatch", func(r *Reorder) { r.VertInv[0], r.VertInv[1] = r.VertInv[1], r.VertInv[0] }},
+		{"truncated edge map", func(r *Reorder) { r.EdgePerm = r.EdgePerm[:m.NEdges-1] }},
+	}
+	for _, tc := range corrupt {
+		r := ComputeReorder(m)
+		tc.mut(r)
+		if err := r.Validate(m); err == nil {
+			t.Errorf("%s: Validate accepted a corrupt permutation", tc.name)
+		}
+		if _, err := r.Apply(m); err == nil {
+			t.Errorf("%s: Apply accepted a corrupt permutation", tc.name)
+		}
+	}
+}
+
+// TestReorderFieldConvertersRoundTrip: FromCanonical then ToCanonical is the
+// identity (and vice versa) for cell and edge fields.
+func TestReorderFieldConvertersRoundTrip(t *testing.T) {
+	m := jitteredMesh(t, 12, 3)
+	r := ComputeReorder(m)
+	cell := make([]float64, m.NCells)
+	for i := range cell {
+		cell[i] = float64(i) * 1.5
+	}
+	tmp := make([]float64, m.NCells)
+	back := make([]float64, m.NCells)
+	r.CellFromCanonical(tmp, cell)
+	r.CellToCanonical(back, tmp)
+	for i := range cell {
+		if back[i] != cell[i] {
+			t.Fatalf("cell field round trip broke at %d", i)
+		}
+	}
+	edge := make([]float64, m.NEdges)
+	for i := range edge {
+		edge[i] = float64(i) - 0.25
+	}
+	etmp := make([]float64, m.NEdges)
+	eback := make([]float64, m.NEdges)
+	r.EdgeFromCanonical(etmp, edge)
+	r.EdgeToCanonical(eback, etmp)
+	for i := range edge {
+		if eback[i] != edge[i] {
+			t.Fatalf("edge field round trip broke at %d", i)
+		}
+	}
+}
+
+// TestReorderImprovesLocality: the point of the pass — the mean neighbor
+// index distance must drop on a real subdivision mesh, whose raw numbering
+// interleaves refinement generations.
+func TestReorderImprovesLocality(t *testing.T) {
+	m := MustBuild(4, Options{})
+	before := m.NeighborLocality()
+	r := ComputeReorder(m)
+	nm, err := r.Apply(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := nm.NeighborLocality()
+	t.Logf("locality mean: %.1f cells before, %.1f cells after", before.Mean, after.Mean)
+	if after.Mean >= before.Mean {
+		t.Fatalf("reordering did not improve locality: %.1f -> %.1f", before.Mean, after.Mean)
+	}
+}

@@ -1,0 +1,45 @@
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/mesh"
+)
+
+// SFC partitions the mesh's cells into nparts balanced chunks of the
+// spherical space-filling curve (the same geom.SFCKey order that
+// mesh.ComputeReorder renumbers by). Chunks of a space-filling curve are
+// compact patches, so halo sizes are comparable to Bisect's — but because
+// partitioner and renumbering share one curve, on an SFC-renumbered mesh
+// every part is a CONTIGUOUS index range: owned cells, worker partition
+// blocks and cache-locality blocks all coincide.
+func SFC(m *mesh.Mesh, nparts int) (*Partition, error) {
+	if nparts < 1 {
+		return nil, fmt.Errorf("partition: nparts %d < 1", nparts)
+	}
+	if nparts > m.NCells {
+		return nil, fmt.Errorf("partition: nparts %d exceeds %d cells", nparts, m.NCells)
+	}
+	order := make([]int32, m.NCells)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	keys := make([]uint64, m.NCells)
+	for c := range keys {
+		keys[c] = geom.SFCKey(m.XCell[c])
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if keys[a] != keys[b] {
+			return keys[a] < keys[b]
+		}
+		return a < b
+	})
+	owner := make([]int32, m.NCells)
+	for i, c := range order {
+		owner[c] = int32(i * nparts / m.NCells)
+	}
+	return FromOwner(owner, nparts)
+}

@@ -1,0 +1,61 @@
+package partition
+
+import (
+	"testing"
+
+	"repro/internal/mesh"
+)
+
+func TestSFCPartitionValidBalanced(t *testing.T) {
+	m := mesh.MustBuild(3, mesh.Options{})
+	for _, nparts := range []int{1, 2, 4, 7} {
+		p, err := SFC(m, nparts)
+		if err != nil {
+			t.Fatalf("SFC(%d): %v", nparts, err)
+		}
+		if err := p.Validate(m); err != nil {
+			t.Fatalf("SFC(%d): %v", nparts, err)
+		}
+		if imb := p.Imbalance(); imb > 1.01 {
+			t.Fatalf("SFC(%d): imbalance %.3f, chunks should be balanced to one cell", nparts, imb)
+		}
+	}
+	if _, err := SFC(m, 0); err == nil {
+		t.Fatal("SFC accepted 0 parts")
+	}
+	if _, err := SFC(m, m.NCells+1); err == nil {
+		t.Fatal("SFC accepted more parts than cells")
+	}
+}
+
+// TestSFCContiguousOnReorderedMesh is the property the renumbering and the
+// partitioner are designed to share: after mesh.ComputeReorder relabels the
+// cells along the curve, the SFC partition of the relabeled mesh is a set of
+// contiguous index ranges — every rank owns one block of the renumbered
+// arrays.
+func TestSFCContiguousOnReorderedMesh(t *testing.T) {
+	m := mesh.MustBuild(3, mesh.Options{})
+	nm, err := mesh.ComputeReorder(m).Apply(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nparts := range []int{2, 4} {
+		p, err := SFC(nm, nparts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		next := int32(0)
+		for part, cells := range p.Cells {
+			for i, c := range cells {
+				if c != next {
+					t.Fatalf("nparts=%d part %d cell %d: index %d breaks the contiguous run at %d",
+						nparts, part, i, c, next)
+				}
+				next++
+			}
+		}
+		if int(next) != nm.NCells {
+			t.Fatalf("nparts=%d: ranges cover %d of %d cells", nparts, next, nm.NCells)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"testing"
+)
+
+// fetchCheckpointBytes downloads a job's raw spooled checkpoint.
+func fetchCheckpointBytes(t *testing.T, base, id string) []byte {
+	t.Helper()
+	resp, err := http.Get(base + "/jobs/" + id + "/checkpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("checkpoint: status %d", resp.StatusCode)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestReorderJobCanonical submits the same trajectory twice — once on the
+// canonical mesh, once locality-renumbered — and requires the spooled
+// checkpoints to be BYTE-IDENTICAL: the reorder flag changes only the
+// in-memory layout the kernels walk, never any externally visible state.
+// That byte equality is exactly what lets a reordered job's checkpoint be
+// resumed (or stolen by a cluster peer) under the opposite setting.
+func TestReorderJobCanonical(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueCap: 4})
+	const steps = 8
+
+	spec := JobSpec{TestCase: 5, Level: 2, Mode: "plan", Steps: steps}
+	plain := submitJob(t, ts.URL, spec)
+	plain = waitState(t, ts.URL, plain.ID, StateCompleted)
+
+	spec.Reorder = true
+	reord := submitJob(t, ts.URL, spec)
+	reord = waitState(t, ts.URL, reord.ID, StateCompleted)
+	if !reord.Spec.Reorder {
+		t.Fatalf("completed spec lost its reorder flag: %+v", reord.Spec)
+	}
+
+	a := fetchCheckpointBytes(t, ts.URL, plain.ID)
+	b := fetchCheckpointBytes(t, ts.URL, reord.ID)
+	if len(a) == 0 {
+		t.Fatal("empty checkpoint")
+	}
+	if string(a) != string(b) {
+		t.Fatalf("reordered job's checkpoint differs from canonical (%d vs %d bytes)", len(a), len(b))
+	}
+}

@@ -123,6 +123,11 @@ type JobSpec struct {
 	// modes only; see mpas.Options.Precision). Checkpoints stay float64, so
 	// a suspended job may be resumed under a different precision.
 	Precision string `json:"precision,omitempty"`
+	// Reorder runs the job on the SFC locality-renumbered mesh
+	// (mpas.Options.Reorder). Checkpoints stay in canonical numbering, so
+	// the flag may differ between a suspension and its resume, and a stolen
+	// job may land on a worker with the opposite setting.
+	Reorder bool `json:"reorder,omitempty"`
 }
 
 // MaxEnsemble bounds the batch-admission member count: 16 members of a

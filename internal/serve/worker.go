@@ -120,6 +120,7 @@ func (s *Server) runJob(job *Job) {
 		AdjustableFraction: -1,
 		HighOrderThickness: spec.HighOrder,
 		Precision:          spec.Precision,
+		Reorder:            spec.Reorder,
 	})
 	buildCtx.Stop()
 	if err != nil {

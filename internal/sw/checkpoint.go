@@ -12,6 +12,12 @@ import (
 // Checkpointing: the prognostic state (h, u), the bottom topography and the
 // clock are enough to resume a run exactly — diagnostics are recomputed by
 // Init. Restart equivalence is bitwise and covered by tests.
+//
+// Checkpoints are ALWAYS in canonical mesh numbering: a solver running on a
+// locality-renumbered mesh (s.Renumber non-nil) converts through the
+// permutation maps on write and read, so the on-disk bytes are independent
+// of the renumbering and a checkpoint moves freely between reordered and
+// canonical runs (and between processes that disagree about reordering).
 
 const (
 	ckptMagic   = 0x53574350 // "SWCP"
@@ -44,9 +50,9 @@ func (s *Solver) WriteCheckpoint(w io.Writer) error {
 		func() error { return put(ckptVersion) },
 		func() error { return put(uint64(s.StepCount)) },
 		func() error { return putF(s.Time) },
-		func() error { return putArr(s.State.H) },
-		func() error { return putArr(s.State.U) },
-		func() error { return putArr(s.B) },
+		func() error { return putArr(s.canonicalCell(s.State.H)) },
+		func() error { return putArr(s.canonicalEdge(s.State.U)) },
+		func() error { return putArr(s.canonicalCell(s.B)) },
 	} {
 		if err := step(); err != nil {
 			return err
@@ -105,19 +111,59 @@ func (s *Solver) ReadCheckpoint(r io.Reader) error {
 	if err != nil {
 		return err
 	}
-	if err := getArr(s.State.H, "h"); err != nil {
+	readArr := func(dst []float64, what string, fromCanon func(dst, src []float64)) error {
+		if s.Renumber == nil {
+			return getArr(dst, what)
+		}
+		tmp := make([]float64, len(dst))
+		if err := getArr(tmp, what); err != nil {
+			return err
+		}
+		fromCanon(dst, tmp)
+		return nil
+	}
+	if err := readArr(s.State.H, "h", s.renumberCellFrom); err != nil {
 		return err
 	}
-	if err := getArr(s.State.U, "u"); err != nil {
+	if err := readArr(s.State.U, "u", s.renumberEdgeFrom); err != nil {
 		return err
 	}
-	if err := getArr(s.B, "b"); err != nil {
+	if err := readArr(s.B, "b", s.renumberCellFrom); err != nil {
 		return err
 	}
 	s.StepCount = int(steps)
 	s.Time = math.Float64frombits(timeBits)
 	s.Init()
 	return nil
+}
+
+// canonicalCell returns a cell field in canonical mesh order: a converted
+// copy when the solver's mesh is renumbered, the slice itself otherwise.
+func (s *Solver) canonicalCell(a []float64) []float64 {
+	if s.Renumber == nil {
+		return a
+	}
+	out := make([]float64, len(a))
+	s.Renumber.CellToCanonical(out, a)
+	return out
+}
+
+// canonicalEdge is canonicalCell for edge fields.
+func (s *Solver) canonicalEdge(a []float64) []float64 {
+	if s.Renumber == nil {
+		return a
+	}
+	out := make([]float64, len(a))
+	s.Renumber.EdgeToCanonical(out, a)
+	return out
+}
+
+func (s *Solver) renumberCellFrom(dst, canon []float64) {
+	s.Renumber.CellFromCanonical(dst, canon)
+}
+
+func (s *Solver) renumberEdgeFrom(dst, canon []float64) {
+	s.Renumber.EdgeFromCanonical(dst, canon)
 }
 
 // SaveCheckpoint writes the checkpoint to a file.

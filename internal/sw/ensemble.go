@@ -222,7 +222,9 @@ func (e *Ensemble) WriteCheckpoint(w io.Writer) error {
 	if err := put(uint64(len(e.members))); err != nil {
 		return err
 	}
-	if err := putArr(e.s.B); err != nil {
+	// Like the solver checkpoint, the bytes are canonical-order regardless
+	// of any locality renumbering of the resident mesh.
+	if err := putArr(e.s.canonicalCell(e.s.B)); err != nil {
 		return err
 	}
 	for i := range e.members {
@@ -233,10 +235,10 @@ func (e *Ensemble) WriteCheckpoint(w io.Writer) error {
 		if err := putF(m.Time); err != nil {
 			return err
 		}
-		if err := putArr(m.State.H); err != nil {
+		if err := putArr(e.s.canonicalCell(m.State.H)); err != nil {
 			return err
 		}
-		if err := putArr(m.State.U); err != nil {
+		if err := putArr(e.s.canonicalEdge(m.State.U)); err != nil {
 			return err
 		}
 	}
@@ -294,7 +296,18 @@ func (e *Ensemble) ReadCheckpoint(r io.Reader) error {
 	if int(k) != len(e.members) {
 		return fmt.Errorf("sw: ensemble checkpoint has %d members, ensemble has %d", k, len(e.members))
 	}
-	if err := getArr(e.s.B, "b"); err != nil {
+	readArr := func(dst []float64, what string, fromCanon func(dst, src []float64)) error {
+		if e.s.Renumber == nil {
+			return getArr(dst, what)
+		}
+		tmp := make([]float64, len(dst))
+		if err := getArr(tmp, what); err != nil {
+			return err
+		}
+		fromCanon(dst, tmp)
+		return nil
+	}
+	if err := readArr(e.s.B, "b", e.s.renumberCellFrom); err != nil {
 		return err
 	}
 	for i := range e.members {
@@ -307,10 +320,10 @@ func (e *Ensemble) ReadCheckpoint(r io.Reader) error {
 		if err != nil {
 			return err
 		}
-		if err := getArr(m.State.H, fmt.Sprintf("member %d h", i)); err != nil {
+		if err := readArr(m.State.H, fmt.Sprintf("member %d h", i), e.s.renumberCellFrom); err != nil {
 			return err
 		}
-		if err := getArr(m.State.U, fmt.Sprintf("member %d u", i)); err != nil {
+		if err := readArr(m.State.U, fmt.Sprintf("member %d u", i), e.s.renumberEdgeFrom); err != nil {
 			return err
 		}
 		m.StepCount = int(steps)

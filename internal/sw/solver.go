@@ -54,6 +54,14 @@ type Solver struct {
 	// Bottom topography at cells (set by the test case; zero by default).
 	B []float64
 
+	// Renumber, when non-nil, records the locality renumbering
+	// (mesh.Reorder) that produced M from the canonical mesh. In-memory
+	// state is then in renumbered order; externally visible state —
+	// checkpoints — crosses through the maps at the boundary, so the
+	// on-disk bytes are identical with and without renumbering and a
+	// checkpoint can be resumed under either.
+	Renumber *mesh.Reorder
+
 	State  *State // accepted state at s.Time
 	Provis *State // RK provisional state
 	next   *State // RK accumulator

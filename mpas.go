@@ -132,6 +132,15 @@ type Options struct {
 	// Mesh reuses an existing mesh instead of building one (Level and
 	// LloydIterations are then ignored).
 	Mesh *mesh.Mesh
+	// Reorder applies the locality renumbering (mesh.ComputeReorder): cells
+	// relabeled along a spherical space-filling curve, edges/vertices by
+	// first touch, so the kernels' indirect gathers land in cache-resident
+	// lines on large meshes. The trajectory is exactly a permutation of the
+	// canonical run (0 ULP; proven by internal/conform) and checkpoints
+	// stay in canonical numbering, so resume works across the setting. When
+	// Mesh is supplied it is not modified — the model runs on a renumbered
+	// copy.
+	Reorder bool
 }
 
 // Model is a runnable shallow-water model instance.
@@ -140,6 +149,10 @@ type Model struct {
 	Solver *sw.Solver
 	Config sw.Config
 	Mode   Mode
+	// Reorder is the locality renumbering in effect (nil when the model
+	// runs in canonical numbering). Mesh and all solver state are in the
+	// renumbered order; use the maps to convert fields to canonical.
+	Reorder *mesh.Reorder
 
 	pool *par.Pool
 	exec *hybrid.Executor
@@ -177,16 +190,29 @@ func New(opts Options) (*Model, error) {
 			return nil, err
 		}
 	}
+	// The configuration (notably the stable Dt) is derived from the
+	// canonical mesh BEFORE any renumbering, so reordered and canonical
+	// runs share bit-identical parameters.
 	cfg := sw.DefaultConfig(m)
 	cfg.HighOrderThickness = opts.HighOrderThickness
 	if opts.Dt > 0 {
 		cfg.Dt = opts.Dt
 	}
+	var ren *mesh.Reorder
+	if opts.Reorder {
+		ren = mesh.ComputeReorder(m)
+		rm, err := ren.Apply(m)
+		if err != nil {
+			return nil, fmt.Errorf("mpas: reorder: %w", err)
+		}
+		m = rm
+	}
 	s, err := sw.NewSolver(m, cfg)
 	if err != nil {
 		return nil, err
 	}
-	mod := &Model{Mesh: m, Solver: s, Config: cfg, Mode: opts.Mode}
+	s.Renumber = ren
+	mod := &Model{Mesh: m, Solver: s, Config: cfg, Mode: opts.Mode, Reorder: ren}
 
 	switch opts.Mode {
 	case Serial:

@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
 # Run the repository benchmarks and emit a machine-readable summary,
-# BENCH_pr8.json: { "<benchmark>": {"ns_per_op":…, "allocs_per_op":…,
+# BENCH_pr9.json: { "<benchmark>": {"ns_per_op":…, "allocs_per_op":…,
 # "bytes_per_op":…}, …, "ladder": {…}, "dist_strong_scaling": […] }. The
 # BenchmarkClusterEnsemble pair (1 vs 2 workers) additionally reports
 # member-steps/s — the cluster ensemble throughput scaling number — the
 # "ladder" key is the cmd/bigmesh Table-III scaling report
 # (n=BENCH_LADDER_MIN..MAX icosahedral meshes, serial vs plan vs float32
-# seconds/step), and "dist_strong_scaling" is the real multi-process curve:
+# seconds/step, plus the SFC-reorder columns: renumbered plan/fast32 times
+# and the mean neighbor-index distance before/after renumbering), and
+# "dist_strong_scaling" is the real multi-process curve:
 # cmd/swrank wall-clock seconds/step for 1/2/4/8 local OS processes over
 # TCP, overlapped, plus a blocking-exchange run at 4 processes for the
 # overlap-vs-blocking comparison. Knobs:
@@ -17,11 +19,12 @@
 #   BENCH_TIME         go test -benchtime value (default 1x — one iteration,
 #                                               enough for a smoke number;
 #                                               use e.g. 2s for real timing)
-#   BENCH_OUT          output path             (default BENCH_pr8.json)
+#   BENCH_OUT          output path             (default BENCH_pr9.json)
 #   BENCH_LADDER       0 to skip the big-mesh ladder (default: run it)
 #   BENCH_LADDER_MIN   first ladder level      (default 6, 40962 cells)
 #   BENCH_LADDER_MAX   last ladder level       (default 9, 2621442 cells)
 #   BENCH_LADDER_STEPS timed steps per mode    (default 2)
+#   BENCH_LADDER_REORDER 0 to skip the reorder columns (default: measure)
 #   BENCH_DIST         0 to skip the dist strong-scaling sweep (default: run)
 #   BENCH_DIST_LEVEL   dist sweep mesh level   (default 7, 163842 cells)
 #   BENCH_DIST_STEPS   timed steps per config  (default 5)
@@ -31,7 +34,7 @@ cd "$(dirname "$0")/.."
 
 pattern=${BENCH_PATTERN:-'BenchmarkStepSerial|BenchmarkStepThreaded|BenchmarkStepPlan|BenchmarkStepFast32|BenchmarkPoolForOverhead|BenchmarkRegionFusion|BenchmarkReduction|BenchmarkBarrier|BenchmarkDispatchOverhead|BenchmarkDynamicChunkFloor|BenchmarkClusterEnsemble'}
 benchtime=${BENCH_TIME:-1x}
-out=${BENCH_OUT:-BENCH_pr8.json}
+out=${BENCH_OUT:-BENCH_pr9.json}
 
 raw=$(mktemp)
 bindir=""
@@ -77,9 +80,11 @@ if [ "${BENCH_LADDER:-1}" != 0 ]; then
     lmin=${BENCH_LADDER_MIN:-6}
     lmax=${BENCH_LADDER_MAX:-9}
     lsteps=${BENCH_LADDER_STEPS:-2}
-    echo "== big-mesh ladder (levels $lmin..$lmax, $lsteps steps/mode) =="
+    lreorder=-reorder
+    [ "${BENCH_LADDER_REORDER:-1}" = 0 ] && lreorder=-reorder=false
+    echo "== big-mesh ladder (levels $lmin..$lmax, $lsteps steps/mode, $lreorder) =="
     go run ./cmd/bigmesh -min-level "$lmin" -max-level "$lmax" \
-        -steps "$lsteps" -out "$out"
+        -steps "$lsteps" "$lreorder" -out "$out"
 fi
 
 if [ "${BENCH_DIST:-1}" != 0 ]; then

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Perf gate: diff the step-kernel benchmarks between the two newest recorded
+# benchmark summaries (BENCH_pr*.json, ordered by PR number) and fail on a
+# regression of the hot-path step kernels — StepPlan and StepFast32 ns/op at
+# the reference level — beyond the allowed slack.
+#
+#   scripts/benchdiff.sh                 # newest two BENCH_pr*.json
+#   scripts/benchdiff.sh OLD.json NEW.json
+#
+#   BENCH_DIFF_MAX   allowed regression in percent (default 10)
+#   BENCH_DIFF_REF   reference benchmark sublevel  (default 10242cells)
+#
+# A benchmark present only in the NEW file is fine (a new column); one that
+# disappears from NEW while recorded in OLD fails the gate — losing the
+# measurement is how a regression hides.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+max=${BENCH_DIFF_MAX:-10}
+ref=${BENCH_DIFF_REF:-10242cells}
+
+old=${1:-}
+new=${2:-}
+if [ -z "$new" ]; then
+    # shellcheck disable=SC2012
+    files=$(ls BENCH_pr*.json 2>/dev/null | sort -V | tail -n 2)
+    count=$(printf '%s\n' "$files" | grep -c . || true)
+    if [ "$count" -lt 2 ]; then
+        echo "benchdiff.sh: fewer than two BENCH_pr*.json files — nothing to diff, OK"
+        exit 0
+    fi
+    old=$(printf '%s\n' "$files" | head -n 1)
+    new=$(printf '%s\n' "$files" | tail -n 1)
+fi
+echo "benchdiff.sh: $old -> $new (max +${max}% on ns/op, reference $ref)"
+
+fail=0
+for bench in "BenchmarkStepPlan/$ref" "BenchmarkStepFast32/$ref"; do
+    o=$(jq -r --arg k "$bench" '.[$k].ns_per_op // empty' "$old")
+    n=$(jq -r --arg k "$bench" '.[$k].ns_per_op // empty' "$new")
+    if [ -z "$o" ]; then
+        echo "  $bench: not recorded in $old — skipped"
+        continue
+    fi
+    if [ -z "$n" ]; then
+        echo "  $bench: recorded in $old but MISSING from $new — FAIL"
+        fail=1
+        continue
+    fi
+    # Integer-safe percent delta via awk (ns_per_op may be fractional).
+    verdict=$(awk -v o="$o" -v n="$n" -v max="$max" 'BEGIN {
+        pct = (n - o) / o * 100
+        printf "%+.1f%%", pct
+        exit !(pct <= max)
+    }') || { fail=1; verdict="$verdict REGRESSION"; }
+    echo "  $bench: $o -> $n ns/op ($verdict)"
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "benchdiff.sh: FAIL — step kernels regressed beyond ${max}% (or lost their measurement)" >&2
+    exit 1
+fi
+echo "benchdiff.sh: OK"

@@ -51,12 +51,28 @@ dist_hash=$("$smokedir/swrank" -launch 2 -case tc5 -level 3 -steps 2 -hash \
     || { echo "ci.sh: FAIL — 2-process hash '$dist_hash' != serial '$serial_hash'" >&2; exit 1; }
 echo "swrank smoke OK (2-process hash $dist_hash matches serial)"
 
-echo "== big-mesh ladder smoke (level 7, 163842 cells) =="
+echo "== swrank -reorder smoke (renumbered 2-process run, canonical hash) =="
+# Locality renumbering must be invisible in the output: the SFC-partitioned
+# renumbered 2-process run, gathered and converted back to canonical
+# numbering, hashes bit-for-bit to the SAME serial hash as above.
+reorder_hash=$("$smokedir/swrank" -launch 2 -case tc5 -level 3 -steps 2 -hash -reorder \
+    | awk '/^swrank hash /{print $3; exit}')
+[ "$reorder_hash" = "$serial_hash" ] \
+    || { echo "ci.sh: FAIL — reordered 2-process hash '$reorder_hash' != serial '$serial_hash'" >&2; exit 1; }
+echo "swrank -reorder smoke OK (renumbered hash $reorder_hash matches serial)"
+
+echo "== big-mesh ladder smoke (level 7, 163842 cells, with reorder columns) =="
 # One Table-III rung end to end: serial, compiled-plan, and float32 fast
-# mode on a real 163842-cell mesh, plus the per-rung report plumbing. The
+# mode on a real 163842-cell mesh, plus the per-rung report plumbing and the
+# SFC-reorder columns (renumbered plan/fast32 + neighbor-distance pair). The
 # full n=6..9 ladder (scripts/bench.sh) is too slow for every CI run; this
 # smoke keeps the harness itself from silently regressing.
-go run ./cmd/bigmesh -min-level 7 -max-level 7 -steps 2 -check=false
+go run ./cmd/bigmesh -min-level 7 -max-level 7 -steps 2 -check=false -reorder
+
+echo "== benchmark perf gate (newest two BENCH_pr*.json) =="
+# Recorded step-kernel numbers may not regress more than 10% between the two
+# newest checked-in benchmark summaries.
+scripts/benchdiff.sh
 
 echo "== swserver smoke (submit, poll, metrics, drain) =="
 go build -o "$smokedir/swserver" ./cmd/swserver
