@@ -59,12 +59,14 @@ func TestPlanStepZeroAllocBigMesh(t *testing.T) {
 	}
 	for _, tc := range []struct {
 		name      string
+		mode      Mode
 		precision string
 	}{
-		{"plan", ""},
-		{"fast32", "float32"},
+		{"plan", Plan, ""},
+		{"taskplan", TaskPlan, ""},
+		{"fast32", Plan, "float32"},
 	} {
-		m, err := New(Options{Mesh: msh, TestCase: TC5, Mode: Plan, Precision: tc.precision})
+		m, err := New(Options{Mesh: msh, TestCase: TC5, Mode: tc.mode, Precision: tc.precision})
 		if err != nil {
 			t.Fatal(err)
 		}

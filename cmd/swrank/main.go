@@ -50,6 +50,7 @@ type options struct {
 	level     int
 	steps     int
 	overlap   bool
+	taskplan  bool
 	reorder   bool
 	workers   int
 	hash      bool
@@ -73,6 +74,7 @@ func main() {
 	flag.IntVar(&o.level, "level", 5, "icosahedral mesh subdivision level")
 	flag.IntVar(&o.steps, "steps", 10, "RK-4 steps")
 	flag.BoolVar(&o.overlap, "overlap", true, "overlap halo exchange with interior compute")
+	flag.BoolVar(&o.taskplan, "taskplan", false, "execute the compiled plan as a dependency-counted task graph (no level barriers)")
 	flag.BoolVar(&o.reorder, "reorder", false, "locality renumbering: run on the SFC-reordered mesh (SFC partition; output stays canonical)")
 	flag.IntVar(&o.workers, "workers", 0, "worker threads per rank (0 = NumCPU/ranks, min 1)")
 	flag.BoolVar(&o.hash, "hash", false, "print FNV-1a 64 hash of the final global state")
@@ -111,6 +113,7 @@ func runLauncher(o *options) error {
 		"-level", fmt.Sprint(o.level),
 		"-steps", fmt.Sprint(o.steps),
 		"-overlap=" + fmt.Sprint(o.overlap),
+		"-taskplan=" + fmt.Sprint(o.taskplan),
 		"-reorder=" + fmt.Sprint(o.reorder),
 		"-workers", fmt.Sprint(o.workers),
 		"-timeout", o.timeout.String(),
@@ -187,7 +190,11 @@ func runSerial(o *options) error {
 	}
 	pool := par.NewPool(workers)
 	defer pool.Close()
-	r, err := sw.NewPlanRunner(s, pool)
+	newRunner := sw.NewPlanRunner
+	if o.taskplan {
+		newRunner = sw.NewTaskPlanRunner
+	}
+	r, err := newRunner(s, pool)
 	if err != nil {
 		return err
 	}
@@ -220,6 +227,7 @@ func runSerial(o *options) error {
 		return mergeBench(o.benchOut, o.benchKey, benchEntry{
 			Mode: "serial", Procs: 1, Workers: workers, Level: o.level,
 			Cells: c.Mesh.NCells, Steps: o.steps, Reorder: o.reorder,
+			TaskPlan:       o.taskplan,
 			SecondsPerStep: perStep,
 		})
 	}
@@ -287,7 +295,8 @@ func runRank(o *options) error {
 	pool := par.NewPool(workers)
 	defer pool.Close()
 
-	rs, err := dist.NewRankSolver(b, c.Mesh, c.Cfg, c.Setup, pool, o.overlap)
+	rs, err := dist.NewRankSolverOpts(b, c.Mesh, c.Cfg, c.Setup, pool,
+		dist.RankOptions{Overlap: o.overlap, TaskPlan: o.taskplan})
 	if err != nil {
 		return err
 	}
@@ -371,6 +380,7 @@ func runRank(o *options) error {
 			Mode: "dist", Procs: o.ranks, Workers: workers, Level: o.level,
 			Cells: c.Mesh.NCells, Steps: o.steps, Overlap: o.overlap,
 			Reorder:          o.reorder,
+			TaskPlan:         o.taskplan,
 			SecondsPerStep:   perStep,
 			Rank0BytesSent:   b.Comm.BytesSent.Value(),
 			Rank0WaitSeconds: b.Comm.WaitTimer.Total().Seconds(),
@@ -406,6 +416,7 @@ type benchEntry struct {
 	Steps            int     `json:"steps"`
 	Overlap          bool    `json:"overlap"`
 	Reorder          bool    `json:"reorder,omitempty"`
+	TaskPlan         bool    `json:"taskplan,omitempty"`
 	SecondsPerStep   float64 `json:"seconds_per_step"`
 	Rank0BytesSent   int64   `json:"rank0_bytes_sent,omitempty"`
 	Rank0WaitSeconds float64 `json:"rank0_wait_seconds,omitempty"`

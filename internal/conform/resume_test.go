@@ -70,6 +70,16 @@ func TestResumeEquivalence(t *testing.T) {
 			s.Runner = r
 			return pool.Close, nil
 		}},
+		{"taskplan-w4", func(s *sw.Solver) (func(), error) {
+			pool := par.NewPool(4)
+			r, err := sw.NewTaskPlanRunner(s, pool)
+			if err != nil {
+				pool.Close()
+				return nil, err
+			}
+			s.Runner = r
+			return pool.Close, nil
+		}},
 		{"kernel-level", func(s *sw.Solver) (func(), error) {
 			e := hybrid.NewHybridSolver(s, hybrid.KernelLevelSchedule(), 2, 2)
 			return e.Close, nil
@@ -103,6 +113,94 @@ func TestResumeEquivalence(t *testing.T) {
 			d := CompareStates(ref.State.H, ref.State.U, s.State.H, s.State.U)
 			if !ExactTol.Accepts(d) {
 				t.Errorf("resumed-under-%s diverges from uninterrupted serial: %v", r.name, d)
+			}
+		})
+	}
+}
+
+// TestResumeAcrossTaskPlanFlag pins resume in BOTH directions across the
+// taskplan mode flag: a trajectory checkpointed under barrier-plan execution
+// and finished under task-graph execution (and vice versa) must land bitwise
+// on the uninterrupted serial state. This is what lets a served job or a rank
+// restart flip `-mode taskplan` on an existing checkpoint.
+func TestResumeAcrossTaskPlanFlag(t *testing.T) {
+	const (
+		steps = 8
+		mid   = 3
+	)
+	c, err := NamedCase("tc5", testMesh, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := sw.NewSolver(c.Mesh, c.Cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.Runner = sw.SerialRunner{}
+	c.Setup(ref)
+	ref.Run(steps)
+
+	attachPlan := func(s *sw.Solver) (func(), error) {
+		pool := par.NewPool(4)
+		r, err := sw.NewPlanRunner(s, pool)
+		if err != nil {
+			pool.Close()
+			return nil, err
+		}
+		s.Runner = r
+		return pool.Close, nil
+	}
+	attachTask := func(s *sw.Solver) (func(), error) {
+		pool := par.NewPool(4)
+		r, err := sw.NewTaskPlanRunner(s, pool)
+		if err != nil {
+			pool.Close()
+			return nil, err
+		}
+		s.Runner = r
+		return pool.Close, nil
+	}
+	for _, tc := range []struct {
+		name          string
+		before, after func(s *sw.Solver) (func(), error)
+	}{
+		{"plan-then-taskplan", attachPlan, attachTask},
+		{"taskplan-then-plan", attachTask, attachPlan},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			first, err := sw.NewSolver(c.Mesh, c.Cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cleanup, err := tc.before(first)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cleanup()
+			c.Setup(first)
+			first.Run(mid)
+			var ckpt bytes.Buffer
+			if err := first.WriteCheckpoint(&ckpt); err != nil {
+				t.Fatal(err)
+			}
+
+			second, err := sw.NewSolver(c.Mesh, c.Cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cleanup2, err := tc.after(second)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cleanup2()
+			if err := second.ReadCheckpoint(bytes.NewReader(ckpt.Bytes())); err != nil {
+				t.Fatal(err)
+			}
+			second.Run(steps - mid)
+
+			d := CompareStates(ref.State.H, ref.State.U, second.State.H, second.State.U)
+			if !ExactTol.Accepts(d) {
+				t.Errorf("%s diverges from uninterrupted serial: %v", tc.name, d)
 			}
 		})
 	}

@@ -130,6 +130,27 @@ func Plan(workers int) Strategy {
 	})
 }
 
+// TaskPlanned is the task-dataflow execution of the compiled step: the same
+// schedule as Plan lowered into a dependency-counted task graph run on
+// work-stealing deques, with no level barriers. Every task executes the same
+// closure over the same index range as the barrier schedule entry it came
+// from, and the dependency edges enforce every hazard the barriers enforced,
+// so any steal-induced interleaving is a legal topological order of identical
+// arithmetic: exact.
+func TaskPlanned(workers int) Strategy {
+	name := fmt.Sprintf("taskplan-w%d", workers)
+	return solverStrategy(name, true, func(s *sw.Solver) (func(), error) {
+		pool := par.NewPool(workers)
+		r, err := sw.NewTaskPlanRunner(s, pool)
+		if err != nil {
+			pool.Close()
+			return nil, err
+		}
+		s.Runner = r
+		return pool.Close, nil
+	})
+}
+
 // Fast32Band is the documented per-step relative-error band of the float32
 // fast mode against the float64 trajectory. Calibration (TestFast32Band):
 // across the named cases and seeded random cases at levels 2-4, the observed
@@ -291,6 +312,10 @@ func AllStrategies() []Strategy {
 		Threaded(4),
 		Plan(1),
 		Plan(4),
+		Plan(8),
+		TaskPlanned(1),
+		TaskPlanned(4),
+		TaskPlanned(8),
 		HybridKernel(),
 		HybridPattern(0),
 		HybridPattern(0.25),

@@ -116,10 +116,14 @@ func TestRankSolverBitwiseMatchesSerial(t *testing.T) {
 	serial.Run(steps)
 
 	for _, tc := range []struct {
-		ranks   int
-		overlap bool
-		workers int
-	}{{2, false, 1}, {2, true, 1}, {3, true, 2}} {
+		ranks    int
+		overlap  bool
+		taskplan bool
+		workers  int
+	}{
+		{2, false, false, 1}, {2, true, false, 1}, {3, true, false, 2},
+		{2, false, true, 1}, {2, true, true, 2}, {3, true, true, 2},
+	} {
 		owner := bisectOwner(t, m, tc.ranks)
 		runWorldBoot(t, tc.ranks, owner, func(b *Bootstrap) error {
 			defer b.Comm.Close()
@@ -128,7 +132,8 @@ func TestRankSolverBitwiseMatchesSerial(t *testing.T) {
 				pool = par.NewPool(tc.workers)
 				defer pool.Close()
 			}
-			rs, err := NewRankSolver(b, m, cfg, testcases.SetupTC5, pool, tc.overlap)
+			rs, err := NewRankSolverOpts(b, m, cfg, testcases.SetupTC5, pool,
+				RankOptions{Overlap: tc.overlap, TaskPlan: tc.taskplan})
 			if err != nil {
 				return err
 			}

@@ -48,6 +48,20 @@ type RankSolver struct {
 	err error // first exchange error observed inside a step
 }
 
+// RankOptions selects how a rank schedules its local step.
+type RankOptions struct {
+	// Overlap steps through the comm/compute-overlapped compiled plan; off
+	// means the blocking plan with the exchange in the PostSubstep slot.
+	Overlap bool
+	// TaskPlan lowers whichever schedule Overlap selected into the
+	// dependency-counted task graph (sw.NewTaskPlanRunner /
+	// sw.NewOverlapTaskPlanRunner): same ops, same ranges, no level
+	// barriers. With Overlap, a stage's halo Wait gates only that stage's
+	// boundary-slice tasks, so interior work keeps flowing while frames are
+	// in flight. Trajectories are bitwise-unchanged either way.
+	TaskPlan bool
+}
+
 // NewRankSolver completes the bootstrap into a running rank: partition from
 // the distributed owner map, extraction of the rank-local mesh (halo-depth
 // ordered), halo spec construction, neighbor link establishment, and solver
@@ -57,6 +71,11 @@ type RankSolver struct {
 // every part, so local numberings agree across processes without any
 // further communication.
 func NewRankSolver(b *Bootstrap, g *mesh.Mesh, cfg sw.Config, setup func(*sw.Solver), pool *par.Pool, overlap bool) (*RankSolver, error) {
+	return NewRankSolverOpts(b, g, cfg, setup, pool, RankOptions{Overlap: overlap})
+}
+
+// NewRankSolverOpts is NewRankSolver with the full scheduling options.
+func NewRankSolverOpts(b *Bootstrap, g *mesh.Mesh, cfg sw.Config, setup func(*sw.Solver), pool *par.Pool, opts RankOptions) (*RankSolver, error) {
 	c := b.Comm
 	if len(b.Owner) != g.NCells {
 		return nil, fmt.Errorf("dist: owner map covers %d cells, mesh has %d", len(b.Owner), g.NCells)
@@ -98,7 +117,7 @@ func NewRankSolver(b *Bootstrap, g *mesh.Mesh, cfg sw.Config, setup func(*sw.Sol
 		}
 	}
 
-	if overlap {
+	if opts.Overlap {
 		ov := &sw.Overlap{
 			Post: func(stage int, st *sw.State) { rs.Ex.Post(st.H, st.U) },
 			Wait: func(stage int, st *sw.State) {
@@ -110,13 +129,21 @@ func NewRankSolver(b *Bootstrap, g *mesh.Mesh, cfg sw.Config, setup func(*sw.Sol
 			InteriorEdges:    l.InteriorEdges,
 			InteriorVertices: l.InteriorVertices,
 		}
-		runner, err := sw.NewOverlapPlanRunner(s, pool, ov)
+		newRunner := sw.NewOverlapPlanRunner
+		if opts.TaskPlan {
+			newRunner = sw.NewOverlapTaskPlanRunner
+		}
+		runner, err := newRunner(s, pool, ov)
 		if err != nil {
 			return nil, err
 		}
 		s.Runner = runner
 	} else {
-		runner, err := sw.NewPlanRunner(s, pool)
+		newRunner := sw.NewPlanRunner
+		if opts.TaskPlan {
+			newRunner = sw.NewTaskPlanRunner
+		}
+		runner, err := newRunner(s, pool)
 		if err != nil {
 			return nil, err
 		}

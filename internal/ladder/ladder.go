@@ -75,6 +75,16 @@ type Level struct {
 	PlanStep   float64 `json:"plan_step_seconds"`
 	Fast32Step float64 `json:"fast32_step_seconds"`
 
+	// Task-graph columns: the same compiled plan executed as a
+	// dependency-counted task graph (mpas.TaskPlan, no level barriers), with
+	// the scheduler's per-step steal count and summed per-worker idle time
+	// from the par_taskplan_* telemetry. Steals/idle are recorded even when
+	// zero — "measured zero" (a one-worker pool never steals or parks) must
+	// stay distinguishable from "not measured".
+	TaskStep        float64 `json:"taskplan_step_seconds"`
+	TaskSteals      float64 `json:"taskplan_steals_per_step"`
+	TaskIdleSeconds float64 `json:"taskplan_idle_seconds_per_step"`
+
 	// Reorder columns (Config.Reorder): the same plan/fast32 measurements
 	// on the SFC-renumbered mesh, and the mean neighbor-index distance (in
 	// cell units) before and after renumbering — the locality the columns
@@ -184,6 +194,28 @@ func runLevel(cfg Config, level int, logf func(string, ...any)) (*Level, error) 
 		return nil, err
 	}
 	logf("level %d: fast32 %.3fs/step", level, lv.Fast32Step)
+
+	// Task-graph rung, with the scheduler telemetry. The registry covers the
+	// warm-up step too, hence the Steps+1 divisor.
+	treg := telemetry.NewRegistry()
+	if lv.TaskStep, err = timeMode(m, mpas.TaskPlan, "", cfg, false, func(mod *mpas.Model) {
+		mod.EnableTelemetry(nil, treg)
+	}); err != nil {
+		return nil, err
+	}
+	perRun := float64(cfg.Steps + 1)
+	lv.TaskSteals = float64(treg.Counter("par_taskplan_steals_total").Value()) / perRun
+	nw := cfg.Workers
+	if nw <= 0 {
+		nw = runtime.GOMAXPROCS(0)
+	}
+	for w := 0; w < nw; w++ {
+		if t := treg.Timer(fmt.Sprintf("par_taskplan_w%d_idle_seconds", w)); t != nil {
+			lv.TaskIdleSeconds += t.Total().Seconds() / perRun
+		}
+	}
+	logf("level %d: taskplan %.3fs/step (%.0f steals/step, %.3fs idle/step)",
+		level, lv.TaskStep, lv.TaskSteals, lv.TaskIdleSeconds)
 
 	if cfg.Reorder {
 		if err := measureReorder(cfg, m, lv, logf); err != nil {
@@ -297,6 +329,7 @@ func CheckLinear(levels []Level, slack float64) error {
 		{"serial", func(l Level) float64 { return l.SerialStep }},
 		{"plan", func(l Level) float64 { return l.PlanStep }},
 		{"fast32", func(l Level) float64 { return l.Fast32Step }},
+		{"taskplan", func(l Level) float64 { return l.TaskStep }},
 		{"plan+reorder", func(l Level) float64 { return l.PlanStepReorder }},
 		{"fast32+reorder", func(l Level) float64 { return l.Fast32StepReorder }},
 	}

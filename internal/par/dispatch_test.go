@@ -44,6 +44,47 @@ func TestDispatchAllocFree(t *testing.T) {
 	}
 }
 
+// TestDynamicChunkFloorTunable pins that ForDynamic's clamp for non-positive
+// chunk sizes reads the package-level DynamicChunkFloor, not the frozen
+// default — the floor is the tuning knob for machines where 64-element claims
+// are the wrong trade.
+func TestDynamicChunkFloorTunable(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	old := DynamicChunkFloor
+	defer func() { DynamicChunkFloor = old }()
+
+	var mu sync.Mutex
+	// Floor >= n: the whole range is one chunk on the calling goroutine.
+	DynamicChunkFloor = 1000
+	calls := 0
+	p.ForDynamic(1000, 0, func(lo, hi int) {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+	})
+	if calls != 1 {
+		t.Errorf("floor 1000 over n=1000 ran %d chunks, want 1", calls)
+	}
+
+	// Floor 250 over 1000: exactly four 250-element claims.
+	DynamicChunkFloor = 250
+	var sizes []int
+	p.ForDynamic(1000, 0, func(lo, hi int) {
+		mu.Lock()
+		sizes = append(sizes, hi-lo)
+		mu.Unlock()
+	})
+	if len(sizes) != 4 {
+		t.Errorf("floor 250 over n=1000 ran %d chunks, want 4 (%v)", len(sizes), sizes)
+	}
+	for _, s := range sizes {
+		if s != 250 {
+			t.Errorf("chunk of %d elements under floor 250", s)
+		}
+	}
+}
+
 // TestPoolReleasesClosure checks the work slot is cleared after the join, so
 // a pool kept alive does not pin the last caller's captures.
 func TestPoolReleasesClosure(t *testing.T) {

@@ -20,11 +20,20 @@ const (
 	opRegion
 )
 
-// DefaultDynamicChunk is the floor ForDynamic clamps non-positive chunk
-// sizes to. Claiming a chunk costs one contended atomic add; at 64 elements
-// per claim the claim traffic stays far below the memory traffic of the
-// loop body even for the cheapest per-element work.
+// DefaultDynamicChunk is the default floor ForDynamic clamps non-positive
+// chunk sizes to. Claiming a chunk costs one contended atomic add; at 64
+// elements per claim the claim traffic stays far below the memory traffic of
+// the loop body even for the cheapest per-element work
+// (BenchmarkDynamicChunkFloor measures the claim overhead per chunk size;
+// see DESIGN.md for the numbers behind 64).
 const DefaultDynamicChunk = 64
+
+// DynamicChunkFloor is the floor actually applied; it starts at
+// DefaultDynamicChunk and may be tuned (e.g. lowered on machines whose
+// per-element work is unusually expensive, raised when claim contention
+// shows up in profiles). Set it before launching concurrent dispatches —
+// it is read unsynchronized on the dispatch path.
+var DynamicChunkFloor = DefaultDynamicChunk
 
 // paddedCounter is an atomic counter alone on its own cache line, so the
 // workers hammering it in ForDynamic do not false-share with the pool's
@@ -204,7 +213,7 @@ func (p *Pool) For(n int, body func(lo, hi int)) {
 // chunking (For) is the paper's choice for uniform patterns; dynamic
 // scheduling wins when per-element cost varies (e.g. variable-resolution
 // meshes, where pentagon/hexagon and refined/coarse regions differ).
-// A chunk below 1 is clamped to DefaultDynamicChunk.
+// A chunk below 1 is clamped to DynamicChunkFloor.
 func (p *Pool) ForDynamic(n, chunk int, body func(lo, hi int)) {
 	if n <= 0 {
 		return
@@ -212,7 +221,7 @@ func (p *Pool) ForDynamic(n, chunk int, body func(lo, hi int)) {
 	p.dispatches.Add(1)
 	p.elements.Add(int64(n))
 	if chunk < 1 {
-		chunk = DefaultDynamicChunk
+		chunk = DynamicChunkFloor
 	}
 	if p.nw == 1 || n <= chunk {
 		body(0, n)

@@ -1,0 +1,7 @@
+//go:build race
+
+package par
+
+// raceDetectorEnabled mirrors the build's -race flag for tests whose
+// allocation or timing assertions do not hold under the detector.
+const raceDetectorEnabled = true

@@ -1,0 +1,578 @@
+package par
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// This file implements task-dataflow execution: a static task graph with
+// precomputed dependency counters, executed by the pool's workers through
+// per-worker work-stealing deques. It is the point-to-point alternative to
+// the level-barrier schedule a Pool.Region otherwise runs — instead of every
+// worker stalling at each dependency frontier behind the slowest tile, a
+// finished task releases exactly its successor tasks (one atomic decrement
+// per edge), so independent work flows through what a barrier would make a
+// hard frontier.
+//
+// The graph is compiled once (AddTask/AddDep/Freeze) and replayed many
+// times (Run): tasks, edges, counters and deques are all preallocated at
+// freeze time, and a Run only resets counters and re-seeds the root tasks,
+// so steady-state execution allocates nothing.
+//
+// Scheduling is a bounded Chase-Lev deque per worker: the owner pushes and
+// pops at the bottom (LIFO — a task's just-released successors run next,
+// while their inputs are still in cache), thieves steal from the top (FIFO —
+// the oldest task is the root of the largest untouched subgraph). Each deque
+// is sized to hold the whole graph and its indices are monotone within a
+// run, so pushes can never overflow or lap a concurrent steal.
+//
+// Idle workers spin briefly on a generation word, yield, then park on a
+// condition variable, reusing the exact lost-wakeup-free protocol of the
+// sense-reversing Barrier: a releasing worker bumps the generation FIRST and
+// only then checks for sleepers, while a parking worker registers as a
+// sleeper and then re-checks the generation — sequential consistency of the
+// four atomic operations guarantees one side always sees the other.
+
+// taskDeque is a bounded Chase-Lev work-stealing deque of task ids. bottom
+// is owned by one worker (push/pop); top is claimed by thieves (and by the
+// owner for the last element) through compare-and-swap. The buffer is a
+// power-of-two ring at least as large as the task graph, so within one run
+// (monotone indices, at most one push per task) a slot is never rewritten
+// while a thief may still read it.
+type taskDeque struct {
+	_      linePad
+	bottom atomic.Int64
+	_      linePad
+	top    atomic.Int64
+	_      linePad
+	buf    []atomic.Int32
+	mask   int64
+}
+
+// push appends t at the bottom. Owner only (or single-threaded setup before
+// the region starts).
+func (d *taskDeque) push(t int32) {
+	b := d.bottom.Load()
+	d.buf[b&d.mask].Store(t)
+	d.bottom.Store(b + 1)
+}
+
+// pop removes the most recently pushed task (LIFO). Owner only.
+func (d *taskDeque) pop() (int32, bool) {
+	b := d.bottom.Load() - 1
+	d.bottom.Store(b)
+	t := d.top.Load()
+	if t > b {
+		// Empty: undo the reservation.
+		d.bottom.Store(b + 1)
+		return -1, false
+	}
+	v := d.buf[b&d.mask].Load()
+	if t == b {
+		// Last element: race thieves for it on top.
+		won := d.top.CompareAndSwap(t, t+1)
+		d.bottom.Store(b + 1)
+		if !won {
+			return -1, false
+		}
+	}
+	return v, true
+}
+
+// steal removes the oldest task (FIFO). Any worker but the owner.
+func (d *taskDeque) steal() (int32, bool) {
+	for {
+		t := d.top.Load()
+		b := d.bottom.Load()
+		if t >= b {
+			return -1, false
+		}
+		v := d.buf[t&d.mask].Load()
+		if d.top.CompareAndSwap(t, t+1) {
+			return v, true
+		}
+		// Lost the race for this element; the deque may hold more.
+	}
+}
+
+// depth returns a point-in-time element count (for the queue-depth gauge).
+func (d *taskDeque) depth() int64 {
+	n := d.bottom.Load() - d.top.Load()
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// taskIdler parks workers that found every deque empty while tasks are still
+// in flight. The protocol is the Barrier's parking protocol verbatim; see
+// the package comment above and barrier.go.
+type taskIdler struct {
+	_        linePad
+	gen      atomic.Uint32
+	_        linePad
+	sleepers atomic.Int32
+	mu       sync.Mutex
+	cond     *sync.Cond
+}
+
+// wake publishes "new work (or completion) exists": bump the generation
+// first, then broadcast if anyone is parked or committed to parking. The
+// empty critical section orders the broadcast after a parker that has
+// incremented sleepers but not yet reached cond.Wait (see Barrier.Wait).
+func (id *taskIdler) wake() {
+	id.gen.Add(1)
+	if id.sleepers.Load() > 0 {
+		id.mu.Lock()
+		//lint:ignore SA2001 handshake with the parking protocol in park
+		id.mu.Unlock()
+		id.cond.Broadcast()
+	}
+}
+
+// park sleeps until the generation moves past g. The caller must have
+// captured g BEFORE scanning for work, so any work published after the scan
+// bumps gen past g and the re-check under the mutex aborts the sleep.
+func (id *taskIdler) park(g uint32) {
+	id.mu.Lock()
+	id.sleepers.Add(1)
+	for id.gen.Load() == g {
+		id.cond.Wait()
+	}
+	id.sleepers.Add(-1)
+	id.mu.Unlock()
+}
+
+// taskStats is one worker's per-run scheduling counters, padded so workers
+// never false-share. Written only by the owning worker during a run, read by
+// the coordinator after the region join.
+type taskStats struct {
+	_         linePad
+	executed  int64
+	steals    int64
+	maxDepth  int64
+	idleNanos int64
+	_         linePad
+}
+
+// TaskGraph is a frozen dependency-counted task DAG replayed by Run. Build
+// one with NewTaskGraph + AddTask/AddDep + Freeze.
+type TaskGraph struct {
+	pool *Pool
+	nw   int
+	// spin is the empty-handed steal-loop budget before yielding and
+	// parking; zero on a single-P runtime (same policy as Barrier).
+	spin int32
+
+	// Frozen graph: run closures, initial dependency counts, successor
+	// adjacency in CSR form, seed tasks (initDeps==0) in insertion order,
+	// and each task's home worker (initial deque placement — execution may
+	// move through stealing).
+	runs     []func()
+	home     []int32
+	initDeps []int32
+	succPtr  []int32
+	succs    []int32
+	seeds    []int32
+
+	// Replayed state: live counters (reset, never reallocated), one deque
+	// per worker, the parking machinery, and per-worker counters.
+	deps      []atomic.Int32
+	_         linePad
+	remaining atomic.Int64
+	_         linePad
+	deques    []taskDeque
+	idler     taskIdler
+	stats     []taskStats
+	// execFn is the bound worker-loop method handed to Pool.Region, created
+	// once at freeze time so launching a run allocates nothing.
+	execFn func(t *Team)
+
+	// Builder state, dropped at freeze.
+	edges  [][2]int32
+	frozen bool
+
+	// Cumulative scheduling totals across runs (single-owner, updated after
+	// each region join) and the telemetry instruments they flush into.
+	totalTasks  int64
+	totalSteals int64
+	instr       bool
+	tasksC      *telemetry.Counter
+	stealsC     *telemetry.Counter
+	depthG      *telemetry.Gauge
+	idleT       []*telemetry.Timer
+}
+
+// NewTaskGraph starts building a task graph executed by pool's workers.
+func NewTaskGraph(pool *Pool) *TaskGraph {
+	g := &TaskGraph{pool: pool, nw: pool.Workers()}
+	if runtime.GOMAXPROCS(0) > 1 {
+		g.spin = 1 << 12
+	}
+	g.idler.cond = sync.NewCond(&g.idler.mu)
+	return g
+}
+
+// AddTask registers a task and returns its id. home is the worker whose
+// deque seeds or receives the task's releases (clamped into the team); run
+// must be self-contained — it receives no worker identity, because stealing
+// may execute it anywhere.
+func (g *TaskGraph) AddTask(home int, run func()) int32 {
+	if g.frozen {
+		panic("par: AddTask after Freeze")
+	}
+	if home < 0 || home >= g.nw {
+		home = 0
+	}
+	id := int32(len(g.runs))
+	g.runs = append(g.runs, run)
+	g.home = append(g.home, int32(home))
+	return id
+}
+
+// AddDep records that succ cannot start before pred finished. Duplicate
+// edges are deduplicated at freeze time.
+func (g *TaskGraph) AddDep(pred, succ int32) {
+	if g.frozen {
+		panic("par: AddDep after Freeze")
+	}
+	if pred == succ || pred < 0 || succ < 0 ||
+		int(pred) >= len(g.runs) || int(succ) >= len(g.runs) {
+		panic(fmt.Sprintf("par: bad dependency %d -> %d (have %d tasks)", pred, succ, len(g.runs)))
+	}
+	g.edges = append(g.edges, [2]int32{pred, succ})
+}
+
+// Freeze dedupes the edges, builds the successor CSR, computes the initial
+// dependency counters and the seed set, validates acyclicity (a cycle would
+// deadlock Run), and preallocates the deques. After Freeze the graph is
+// immutable and Run may be called any number of times.
+func (g *TaskGraph) Freeze() error {
+	if g.frozen {
+		return fmt.Errorf("par: task graph already frozen")
+	}
+	n := len(g.runs)
+	if n == 0 {
+		return fmt.Errorf("par: task graph has no tasks")
+	}
+	// Sort + unique the edge list, then lower to CSR.
+	edges := g.edges
+	g.edges = nil
+	sortEdges(edges)
+	uniq := edges[:0]
+	for i, e := range edges {
+		if i > 0 && e == edges[i-1] {
+			continue
+		}
+		uniq = append(uniq, e)
+	}
+	g.succPtr = make([]int32, n+1)
+	g.succs = make([]int32, len(uniq))
+	g.initDeps = make([]int32, n)
+	for _, e := range uniq {
+		g.succPtr[e[0]+1]++
+		g.initDeps[e[1]]++
+	}
+	for i := 0; i < n; i++ {
+		g.succPtr[i+1] += g.succPtr[i]
+	}
+	fill := make([]int32, n)
+	for _, e := range uniq {
+		g.succs[g.succPtr[e[0]]+fill[e[0]]] = e[1]
+		fill[e[0]]++
+	}
+	for i := 0; i < n; i++ {
+		if g.initDeps[i] == 0 {
+			g.seeds = append(g.seeds, int32(i))
+		}
+	}
+	// Kahn's algorithm over a scratch copy of the counters: every task must
+	// become ready, or the graph has a cycle.
+	deg := append([]int32(nil), g.initDeps...)
+	queue := append([]int32(nil), g.seeds...)
+	done := 0
+	for len(queue) > 0 {
+		t := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		done++
+		for i := g.succPtr[t]; i < g.succPtr[t+1]; i++ {
+			s := g.succs[i]
+			deg[s]--
+			if deg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	if done != n {
+		return fmt.Errorf("par: task graph has a cycle (%d of %d tasks reachable)", done, n)
+	}
+
+	g.deps = make([]atomic.Int32, n)
+	cap := int64(1)
+	for cap < int64(n) {
+		cap <<= 1
+	}
+	g.deques = make([]taskDeque, g.nw)
+	for w := range g.deques {
+		g.deques[w].buf = make([]atomic.Int32, cap)
+		g.deques[w].mask = cap - 1
+	}
+	g.stats = make([]taskStats, g.nw)
+	g.execFn = g.exec
+	g.frozen = true
+	return nil
+}
+
+// sortEdges sorts by (pred, succ) without the sort package's interface
+// allocations mattering — freeze-time only, but keep it simple.
+func sortEdges(edges [][2]int32) {
+	if len(edges) < 2 {
+		return
+	}
+	// Insertion sort degrades on large graphs; use a simple merge via the
+	// standard library pattern: pack to int64 keys and sort those.
+	keys := make([]int64, len(edges))
+	for i, e := range edges {
+		keys[i] = int64(e[0])<<32 | int64(uint32(e[1]))
+	}
+	sortInt64(keys)
+	for i, k := range keys {
+		edges[i] = [2]int32{int32(k >> 32), int32(uint32(k))}
+	}
+}
+
+func sortInt64(a []int64) {
+	// Heapsort: in-place, no recursion, O(n log n) worst case.
+	n := len(a)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDown(a, i, n)
+	}
+	for i := n - 1; i > 0; i-- {
+		a[0], a[i] = a[i], a[0]
+		siftDown(a, 0, i)
+	}
+}
+
+func siftDown(a []int64, root, n int) {
+	for {
+		child := 2*root + 1
+		if child >= n {
+			return
+		}
+		if child+1 < n && a[child+1] > a[child] {
+			child++
+		}
+		if a[root] >= a[child] {
+			return
+		}
+		a[root], a[child] = a[child], a[root]
+		root = child
+	}
+}
+
+// Instrument attaches scheduling telemetry from reg: par_<name>_tasks_total,
+// par_<name>_steals_total, a par_<name>_queue_depth_peak gauge (the deepest
+// deque observed during the latest run), and per-worker
+// par_<name>_w<i>_idle_seconds timers accumulating time spent stealing,
+// spinning and parked. A nil registry leaves the graph uninstrumented (and
+// Run skips the clock reads entirely).
+func (g *TaskGraph) Instrument(reg *telemetry.Registry, name string) {
+	if reg == nil {
+		return
+	}
+	g.instr = true
+	g.tasksC = reg.Counter("par_" + name + "_tasks_total")
+	g.stealsC = reg.Counter("par_" + name + "_steals_total")
+	g.depthG = reg.Gauge("par_" + name + "_queue_depth_peak")
+	g.idleT = make([]*telemetry.Timer, g.nw)
+	for i := range g.idleT {
+		g.idleT[i] = reg.Timer(fmt.Sprintf("par_%s_w%d_idle_seconds", name, i))
+	}
+}
+
+// Tasks returns the number of tasks in the frozen graph.
+func (g *TaskGraph) Tasks() int { return len(g.runs) }
+
+// EachEdge calls f for every dependency edge of the frozen graph, in
+// ascending (pred, succ) order — the shape independent verifiers want for a
+// single-pass transitive-closure sweep.
+func (g *TaskGraph) EachEdge(f func(pred, succ int32)) {
+	for t := int32(0); t < int32(len(g.runs)); t++ {
+		for i := g.succPtr[t]; i < g.succPtr[t+1]; i++ {
+			f(t, g.succs[i])
+		}
+	}
+}
+
+// Edges returns the number of (deduplicated) dependency edges.
+func (g *TaskGraph) Edges() int { return len(g.succs) }
+
+// Seeds returns the number of root tasks (no predecessors).
+func (g *TaskGraph) Seeds() int { return len(g.seeds) }
+
+// TasksExecuted returns the cumulative task count across all runs.
+func (g *TaskGraph) TasksExecuted() int64 { return g.totalTasks }
+
+// Steals returns the cumulative number of stolen tasks across all runs.
+func (g *TaskGraph) Steals() int64 { return g.totalSteals }
+
+// Run replays the graph once: reset the dependency counters from the frozen
+// image, seed the root tasks (in reverse insertion order, so the owner's
+// LIFO pop starts with the earliest-inserted root), and run the worker loop
+// as one parallel region. Allocation-free after Freeze.
+func (g *TaskGraph) Run() {
+	if !g.frozen {
+		panic("par: Run before Freeze")
+	}
+	for i := range g.deps {
+		g.deps[i].Store(g.initDeps[i])
+	}
+	g.remaining.Store(int64(len(g.runs)))
+	for i := len(g.seeds) - 1; i >= 0; i-- {
+		s := g.seeds[i]
+		g.deques[g.home[s]].push(s)
+	}
+	g.pool.Region(g.execFn)
+	g.flushStats()
+}
+
+// flushStats folds the per-worker counters of the finished run into the
+// cumulative totals and the telemetry instruments, then clears them.
+func (g *TaskGraph) flushStats() {
+	var tasks, steals, peak int64
+	for w := range g.stats {
+		st := &g.stats[w]
+		tasks += st.executed
+		steals += st.steals
+		if st.maxDepth > peak {
+			peak = st.maxDepth
+		}
+		if g.instr {
+			g.idleT[w].Observe(time.Duration(st.idleNanos))
+		}
+		*st = taskStats{}
+	}
+	g.totalTasks += tasks
+	g.totalSteals += steals
+	if g.instr {
+		g.tasksC.Add(tasks)
+		g.stealsC.Add(steals)
+		g.depthG.Set(float64(peak))
+	}
+}
+
+// exec is the per-worker loop of one run: drain the own deque, otherwise
+// steal; park when everything is empty but tasks are still in flight; exit
+// when the remaining count hits zero.
+func (g *TaskGraph) exec(t *Team) {
+	w := t.ID
+	st := &g.stats[w]
+	d := &g.deques[w]
+	for {
+		id, ok := d.pop()
+		if !ok {
+			id, ok = g.acquire(w, st)
+			if !ok {
+				return
+			}
+		}
+		g.exec1(w, id, st, d)
+	}
+}
+
+// exec1 runs one task and releases its successors: each successor's counter
+// drops by one, and the releaser pushes those that hit zero onto its own
+// deque (LIFO locality), then wakes idle workers once. The atomic decrement
+// chain is also the memory fence: the worker that takes a counter to zero
+// happens-after every predecessor's writes.
+func (g *TaskGraph) exec1(w int, id int32, st *taskStats, d *taskDeque) {
+	g.runs[id]()
+	st.executed++
+	released := false
+	for i := g.succPtr[id]; i < g.succPtr[id+1]; i++ {
+		s := g.succs[i]
+		if g.deps[s].Add(-1) == 0 {
+			d.push(s)
+			released = true
+		}
+	}
+	if released {
+		if dep := d.depth(); dep > st.maxDepth {
+			st.maxDepth = dep
+		}
+		if g.nw > 1 {
+			g.idler.wake()
+		}
+	}
+	if g.remaining.Add(-1) == 0 && g.nw > 1 {
+		g.idler.wake()
+	}
+}
+
+// acquire finds work for an empty-handed worker: capture the idle
+// generation, check for completion, sweep the other deques, then spin /
+// yield / park until the generation moves. The capture-then-scan order makes
+// the park race-free: any push (and the final completion) bumps the
+// generation after publishing, so either the scan sees the work or the
+// parking re-check sees the bump.
+func (g *TaskGraph) acquire(w int, st *taskStats) (int32, bool) {
+	if g.nw == 1 {
+		// Single worker: an empty deque means an empty graph (Freeze
+		// validated acyclicity, so serial execution cannot stall).
+		if g.remaining.Load() != 0 {
+			panic("par: task graph stalled with tasks remaining")
+		}
+		return -1, false
+	}
+	var t0 time.Time
+	if g.instr {
+		t0 = time.Now()
+	}
+	defer func() {
+		if g.instr {
+			st.idleNanos += time.Since(t0).Nanoseconds()
+		}
+	}()
+	for {
+		gen := g.idler.gen.Load()
+		if g.remaining.Load() == 0 {
+			return -1, false
+		}
+		for i := 1; i < g.nw; i++ {
+			v := w + i
+			if v >= g.nw {
+				v -= g.nw
+			}
+			if id, ok := g.deques[v].steal(); ok {
+				st.steals++
+				return id, true
+			}
+		}
+		if g.stillIdle(gen) {
+			g.idler.park(gen)
+		}
+	}
+}
+
+// stillIdle burns the spin budget and a few cooperative yields on the idle
+// generation; it reports whether the caller should park (generation still
+// unchanged) or rescan immediately.
+func (g *TaskGraph) stillIdle(gen uint32) bool {
+	for i := g.spin; i > 0; i-- {
+		if g.idler.gen.Load() != gen {
+			return false
+		}
+	}
+	for i := 0; i < 64; i++ {
+		if g.idler.gen.Load() != gen {
+			return false
+		}
+		runtime.Gosched()
+	}
+	return g.idler.gen.Load() == gen
+}

@@ -18,7 +18,7 @@ func TestResumeUnderDifferentMode(t *testing.T) {
 	)
 	ref := referenceRun(t, level, steps)
 
-	for _, resumeMode := range []string{"serial", "threaded", "kernel", "pattern", "plan"} {
+	for _, resumeMode := range []string{"serial", "threaded", "kernel", "pattern", "plan", "taskplan"} {
 		t.Run("serial_to_"+resumeMode, func(t *testing.T) {
 			_, ts := newTestServer(t, Config{Workers: 1, QueueCap: 4, CheckpointEvery: 100})
 

@@ -143,11 +143,14 @@ const MaxLevel = 6
 // under), matching cmd/swmodel -mode.
 var validModes = map[string]bool{
 	"serial": true, "threaded": true, "kernel": true, "pattern": true, "plan": true,
+	"taskplan": true,
 }
 
 // float32Modes are the host-only modes the float32 fast path can execute
 // under (mpas.Options.Precision).
-var float32Modes = map[string]bool{"serial": true, "threaded": true, "plan": true}
+var float32Modes = map[string]bool{
+	"serial": true, "threaded": true, "plan": true, "taskplan": true,
+}
 
 // Normalize validates sp and fills defaults, returning the first problem.
 func (sp *JobSpec) Normalize() error {
@@ -169,7 +172,7 @@ func (sp *JobSpec) Normalize() error {
 		sp.Mode = "serial"
 	}
 	if !validModes[sp.Mode] {
-		return fmt.Errorf("serve: unknown mode %q (want serial|threaded|kernel|pattern|plan)", sp.Mode)
+		return fmt.Errorf("serve: unknown mode %q (want serial|threaded|kernel|pattern|plan|taskplan)", sp.Mode)
 	}
 	if sp.Steps < 0 || sp.Days < 0 {
 		return fmt.Errorf("serve: steps and days must be non-negative")

@@ -41,6 +41,8 @@ func modeFor(mode string) mpas.Mode {
 		return mpas.PatternDriven
 	case "plan":
 		return mpas.Plan
+	case "taskplan":
+		return mpas.TaskPlan
 	default:
 		return mpas.Serial
 	}

@@ -200,6 +200,12 @@ type PlanRunner struct {
 	kernelPlans map[*Kernel]*plan
 	rangeCache  map[int][][2]int32
 	elided      []string
+
+	// tasks is non-nil on runners built by NewTaskPlanRunner /
+	// NewOverlapTaskPlanRunner: the step plan lowered once more, from a
+	// level-barrier schedule to a dependency-counted task graph
+	// (taskplan.go), which step() then runs instead of the barrier region.
+	tasks *par.TaskGraph
 }
 
 // planCompiles counts NewPlanRunner compilations process-wide. Ensemble
@@ -371,9 +377,17 @@ func checkSolverShapes(s *Solver, csr *mesh.CSR) error {
 // Solver.Step).
 func (r *PlanRunner) step() {
 	s := r.s
-	span := s.Trace.StartSpan("rk4_step_plan")
+	name := "rk4_step_plan"
+	if r.tasks != nil {
+		name = "rk4_step_taskplan"
+	}
+	span := s.Trace.StartSpan(name)
 	s.cur = s.State
-	r.pool.Region(r.stepPlan.exec)
+	if r.tasks != nil {
+		r.tasks.Run()
+	} else {
+		r.pool.Region(r.stepPlan.exec)
+	}
 	s.StepCount++
 	s.Time += s.Cfg.Dt
 	s.stepsCounter.Inc()

@@ -1,6 +1,7 @@
 package sw_test
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -419,6 +420,57 @@ func BenchmarkStepPlan(b *testing.B) {
 		testcases.SetupTC5(s)
 		s.Runner = sw.MustNewPlanRunner(s, pool)
 		b.Run(map[int]string{3: "642cells", 4: "2562cells", 5: "10242cells"}[level], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s.Step()
+			}
+		})
+	}
+}
+
+func BenchmarkStepTaskPlan(b *testing.B) {
+	for _, level := range []int{3, 4, 5} {
+		m := testMesh(b, level)
+		pool := par.NewPool(0)
+		defer pool.Close()
+		s, _ := sw.NewSolver(m, sw.DefaultConfig(m))
+		testcases.SetupTC5(s)
+		s.Runner = sw.MustNewTaskPlanRunner(s, pool)
+		b.Run(map[int]string{3: "642cells", 4: "2562cells", 5: "10242cells"}[level], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s.Step()
+			}
+		})
+	}
+}
+
+// BenchmarkStepPlanWorkers / BenchmarkStepTaskPlanWorkers sweep the worker
+// count at the 10242-cell rung so the benchmark JSON records the parallel
+// efficiency of barrier vs task-graph scheduling side by side.
+func BenchmarkStepPlanWorkers(b *testing.B) {
+	for _, nw := range []int{1, 2, 4, 8} {
+		m := testMesh(b, 5)
+		pool := par.NewPool(nw)
+		defer pool.Close()
+		s, _ := sw.NewSolver(m, sw.DefaultConfig(m))
+		testcases.SetupTC5(s)
+		s.Runner = sw.MustNewPlanRunner(s, pool)
+		b.Run(fmt.Sprintf("w%d", nw), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s.Step()
+			}
+		})
+	}
+}
+
+func BenchmarkStepTaskPlanWorkers(b *testing.B) {
+	for _, nw := range []int{1, 2, 4, 8} {
+		m := testMesh(b, 5)
+		pool := par.NewPool(nw)
+		defer pool.Close()
+		s, _ := sw.NewSolver(m, sw.DefaultConfig(m))
+		testcases.SetupTC5(s)
+		s.Runner = sw.MustNewTaskPlanRunner(s, pool)
+		b.Run(fmt.Sprintf("w%d", nw), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				s.Step()
 			}

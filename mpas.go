@@ -71,6 +71,12 @@ const (
 	// cell vorticity, the velocity reconstruction — go stale between
 	// explicit Init calls).
 	Plan
+	// TaskPlan executes the same compiled schedule as Plan but lowered once
+	// more, into a dependency-counted task graph: each (op, tile) pair is a
+	// task released point-to-point by its true predecessors and run on
+	// work-stealing deques, so the per-level barriers disappear entirely.
+	// Bitwise-identical to Plan (and hence to Serial on prognostics).
+	TaskPlan
 )
 
 func (m Mode) String() string {
@@ -85,6 +91,8 @@ func (m Mode) String() string {
 		return "pattern-driven"
 	case Plan:
 		return "plan"
+	case TaskPlan:
+		return "taskplan"
 	}
 	return fmt.Sprintf("Mode(%d)", int(m))
 }
@@ -173,9 +181,9 @@ func New(opts Options) (*Model, error) {
 	}
 	if opts.Precision == "float32" {
 		switch opts.Mode {
-		case Serial, Threaded, Plan:
+		case Serial, Threaded, Plan, TaskPlan:
 		default:
-			return nil, fmt.Errorf("mpas: precision float32 requires a host-only mode (serial, threaded, plan), not %v", opts.Mode)
+			return nil, fmt.Errorf("mpas: precision float32 requires a host-only mode (serial, threaded, plan, taskplan), not %v", opts.Mode)
 		}
 	}
 	m := opts.Mesh
@@ -230,7 +238,7 @@ func New(opts Options) (*Model, error) {
 		}
 		mod.exec = hybrid.NewHybridSolver(s, hybrid.PatternDrivenSchedule(frac),
 			opts.Workers, opts.DeviceWorkers)
-	case Plan:
+	case Plan, TaskPlan:
 		// The runner is compiled after the test-case setup below: the plan
 		// specializes on the configuration, and e.g. TC1 flips AdvectionOnly
 		// during setup.
@@ -270,8 +278,12 @@ func New(opts Options) (*Model, error) {
 			return nil, fmt.Errorf("mpas: %w", err)
 		}
 		s.Runner = r
-	} else if opts.Mode == Plan {
-		r, err := sw.NewPlanRunner(s, mod.pool)
+	} else if opts.Mode == Plan || opts.Mode == TaskPlan {
+		newRunner := sw.NewPlanRunner
+		if opts.Mode == TaskPlan {
+			newRunner = sw.NewTaskPlanRunner
+		}
+		r, err := newRunner(s, mod.pool)
 		if err != nil {
 			mod.pool.Close()
 			return nil, fmt.Errorf("mpas: %w", err)
@@ -311,6 +323,9 @@ func (m *Model) EnableTelemetry(tr *telemetry.Tracer, reg *telemetry.Registry) {
 	m.Solver.EnableTelemetry(tr, reg)
 	if m.pool != nil {
 		m.pool.Instrument(reg, "team")
+	}
+	if pr, ok := m.Solver.Runner.(*sw.PlanRunner); ok {
+		pr.InstrumentTasks(reg)
 	}
 	if m.exec != nil {
 		m.exec.EnableTelemetry(tr, reg)

@@ -46,7 +46,7 @@ func TestModesProduceIdenticalTrajectories(t *testing.T) {
 		t.Fatal(err)
 	}
 	var ref []float64
-	for _, mode := range []Mode{Serial, Threaded, Plan, KernelLevel, PatternDriven} {
+	for _, mode := range []Mode{Serial, Threaded, Plan, TaskPlan, KernelLevel, PatternDriven} {
 		m := newModel(t, Options{Mesh: msh, TestCase: TC5, Mode: mode,
 			Workers: 2, DeviceWorkers: 2, AdjustableFraction: 0.25,
 			PlanHost: mode == KernelLevel})
@@ -126,7 +126,7 @@ func TestHeightErrorAndTotalHeight(t *testing.T) {
 func TestModeStrings(t *testing.T) {
 	for m, want := range map[Mode]string{Serial: "serial", Threaded: "threaded",
 		KernelLevel: "kernel-level", PatternDriven: "pattern-driven",
-		Plan: "plan"} {
+		Plan: "plan", TaskPlan: "taskplan"} {
 		if m.String() != want {
 			t.Errorf("%d -> %s", m, m.String())
 		}

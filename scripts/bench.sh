@@ -1,12 +1,13 @@
 #!/usr/bin/env bash
 # Run the repository benchmarks and emit a machine-readable summary,
-# BENCH_pr9.json: { "<benchmark>": {"ns_per_op":…, "allocs_per_op":…,
+# BENCH_pr10.json: { "<benchmark>": {"ns_per_op":…, "allocs_per_op":…,
 # "bytes_per_op":…}, …, "ladder": {…}, "dist_strong_scaling": […] }. The
 # BenchmarkClusterEnsemble pair (1 vs 2 workers) additionally reports
 # member-steps/s — the cluster ensemble throughput scaling number — the
 # "ladder" key is the cmd/bigmesh Table-III scaling report
-# (n=BENCH_LADDER_MIN..MAX icosahedral meshes, serial vs plan vs float32
-# seconds/step, plus the SFC-reorder columns: renumbered plan/fast32 times
+# (n=BENCH_LADDER_MIN..MAX icosahedral meshes, serial vs plan vs taskplan
+# vs float32 seconds/step with the task scheduler's steal/idle telemetry,
+# plus the SFC-reorder columns: renumbered plan/fast32 times
 # and the mean neighbor-index distance before/after renumbering), and
 # "dist_strong_scaling" is the real multi-process curve:
 # cmd/swrank wall-clock seconds/step for 1/2/4/8 local OS processes over
@@ -19,7 +20,7 @@
 #   BENCH_TIME         go test -benchtime value (default 1x — one iteration,
 #                                               enough for a smoke number;
 #                                               use e.g. 2s for real timing)
-#   BENCH_OUT          output path             (default BENCH_pr9.json)
+#   BENCH_OUT          output path             (default BENCH_pr10.json)
 #   BENCH_LADDER       0 to skip the big-mesh ladder (default: run it)
 #   BENCH_LADDER_MIN   first ladder level      (default 6, 40962 cells)
 #   BENCH_LADDER_MAX   last ladder level       (default 9, 2621442 cells)
@@ -32,9 +33,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-pattern=${BENCH_PATTERN:-'BenchmarkStepSerial|BenchmarkStepThreaded|BenchmarkStepPlan|BenchmarkStepFast32|BenchmarkPoolForOverhead|BenchmarkRegionFusion|BenchmarkReduction|BenchmarkBarrier|BenchmarkDispatchOverhead|BenchmarkDynamicChunkFloor|BenchmarkClusterEnsemble'}
+pattern=${BENCH_PATTERN:-'BenchmarkStepSerial|BenchmarkStepThreaded|BenchmarkStepPlan|BenchmarkStepTaskPlan|BenchmarkStepFast32|BenchmarkPoolForOverhead|BenchmarkRegionFusion|BenchmarkReduction|BenchmarkBarrier|BenchmarkDispatchOverhead|BenchmarkDynamicChunkFloor|BenchmarkTaskGraphOverhead|BenchmarkClusterEnsemble'}
 benchtime=${BENCH_TIME:-1x}
-out=${BENCH_OUT:-BENCH_pr9.json}
+out=${BENCH_OUT:-BENCH_pr10.json}
 
 raw=$(mktemp)
 bindir=""

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Perf gate: diff the step-kernel benchmarks between the two newest recorded
 # benchmark summaries (BENCH_pr*.json, ordered by PR number) and fail on a
-# regression of the hot-path step kernels — StepPlan and StepFast32 ns/op at
-# the reference level — beyond the allowed slack.
+# regression of the hot-path step kernels — StepPlan, StepTaskPlan and
+# StepFast32 ns/op at the reference level — beyond the allowed slack.
 #
 #   scripts/benchdiff.sh                 # newest two BENCH_pr*.json
 #   scripts/benchdiff.sh OLD.json NEW.json
@@ -35,7 +35,7 @@ fi
 echo "benchdiff.sh: $old -> $new (max +${max}% on ns/op, reference $ref)"
 
 fail=0
-for bench in "BenchmarkStepPlan/$ref" "BenchmarkStepFast32/$ref"; do
+for bench in "BenchmarkStepPlan/$ref" "BenchmarkStepTaskPlan/$ref" "BenchmarkStepFast32/$ref"; do
     o=$(jq -r --arg k "$bench" '.[$k].ns_per_op // empty' "$old")
     n=$(jq -r --arg k "$bench" '.[$k].ns_per_op // empty' "$new")
     if [ -z "$o" ]; then

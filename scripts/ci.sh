@@ -29,6 +29,22 @@ echo "== go test -race (runtime + solver focus) =="
 # run below.
 go test -race ./internal/par/... ./internal/sw/... ./internal/dist/...
 
+echo "== task-runtime race stress (GOMAXPROCS 1, 2, NumCPU) =="
+# The work-stealing task scheduler's interesting interleavings depend on how
+# many OS threads the goroutines actually share: GOMAXPROCS=1 forces full
+# cooperative multiplexing (stealing only happens across preemption points),
+# 2 gives minimal real parallelism, NumCPU is the production shape. Run the
+# deque/graph unit tests and the solver-level taskplan conformance under all
+# three so a lost-wakeup or ordering bug can't hide behind one scheduler
+# shape.
+ncpu=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN)
+for gmp in 1 2 "$ncpu"; do
+    echo "-- GOMAXPROCS=$gmp --"
+    GOMAXPROCS=$gmp go test -race -count=1 \
+        -run 'TaskGraph|TaskPlan|Deque|Steal' \
+        ./internal/par ./internal/sw
+done
+
 echo "== go test -race (with coverage) =="
 go test -race -timeout 20m -coverprofile=coverage.out -coverpkg=./... ./...
 
@@ -50,6 +66,21 @@ dist_hash=$("$smokedir/swrank" -launch 2 -case tc5 -level 3 -steps 2 -hash \
 [ "$dist_hash" = "$serial_hash" ] \
     || { echo "ci.sh: FAIL — 2-process hash '$dist_hash' != serial '$serial_hash'" >&2; exit 1; }
 echo "swrank smoke OK (2-process hash $dist_hash matches serial)"
+
+echo "== swrank -taskplan smoke (task-dataflow execution, canonical hash) =="
+# Task-graph execution must be bitwise invisible: the same run driven by
+# dependency-counted tasks instead of level barriers — serially and across 2
+# real processes with halo exchange through hook tasks — hashes bit-for-bit
+# to the SAME serial hash as above.
+task_hash=$("$smokedir/swrank" -serial -taskplan -case tc5 -level 3 -steps 2 -hash \
+    | awk '/^swrank hash /{print $3}')
+[ "$task_hash" = "$serial_hash" ] \
+    || { echo "ci.sh: FAIL — serial taskplan hash '$task_hash' != serial '$serial_hash'" >&2; exit 1; }
+task_dist_hash=$("$smokedir/swrank" -launch 2 -taskplan -case tc5 -level 3 -steps 2 -hash \
+    | awk '/^swrank hash /{print $3; exit}')
+[ "$task_dist_hash" = "$serial_hash" ] \
+    || { echo "ci.sh: FAIL — 2-process taskplan hash '$task_dist_hash' != serial '$serial_hash'" >&2; exit 1; }
+echo "swrank -taskplan smoke OK (serial and 2-process task-graph hashes match serial)"
 
 echo "== swrank -reorder smoke (renumbered 2-process run, canonical hash) =="
 # Locality renumbering must be invisible in the output: the SFC-partitioned
